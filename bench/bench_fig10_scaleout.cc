@@ -1,0 +1,82 @@
+// Figure 10: scaling out D-FASTER — throughput vs cluster size for the
+// four storage configurations (no checkpoints, null, local SSD, cloud SSD),
+// under uniform and Zipfian(0.99) YCSB-A 50:50.
+//
+// Expected shape (paper §7.2): throughput scales with workers; checkpointed
+// configurations pay a ~20-40% tax vs no-checkpoints; slower storage costs a
+// little more; Zipfian is faster than uniform (hot keys go in-place).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "harness/stats.h"
+
+namespace dpr {
+namespace {
+
+struct BackendConfig {
+  std::string name;
+  RecoverabilityMode mode;
+  StorageBackend backend;
+};
+
+void Run(const Flags& flags) {
+  const BenchConfig config = BenchConfig::FromFlags(flags);
+  std::vector<uint32_t> worker_counts =
+      config.quick ? std::vector<uint32_t>{2, 4}
+                   : std::vector<uint32_t>{2, 4, 6, 8};
+  const std::vector<BackendConfig> backends = {
+      {"no-chkpt", RecoverabilityMode::kNone, StorageBackend::kNull},
+      {"null", RecoverabilityMode::kDpr, StorageBackend::kNull},
+      {"local-ssd", RecoverabilityMode::kDpr, StorageBackend::kLocal},
+      {"cloud-ssd", RecoverabilityMode::kDpr, StorageBackend::kCloud},
+  };
+  for (double theta : {0.0, 0.99}) {
+    printf("\n=== Figure 10%s: scale-out, YCSB-A 50:50, %s ===\n",
+           theta == 0.0 ? "a" : "b",
+           theta == 0.0 ? "uniform" : "Zipfian(0.99)");
+    ResultTable table({"workers", "config", "Mops", "committed-Mops"});
+    for (uint32_t workers : worker_counts) {
+      for (const auto& backend : backends) {
+        ClusterOptions options;
+        options.num_workers = workers;
+        options.mode = backend.mode;
+        options.backend = backend.backend;
+        options.checkpoint_interval_us = 100000;  // paper: 100 ms
+        DFasterCluster cluster(options);
+        Status s = cluster.Start();
+        DPR_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+
+        DriverOptions driver;
+        driver.num_client_threads = config.client_threads;
+        driver.duration_ms = config.duration_ms;
+        driver.workload.num_keys = config.num_keys;
+        driver.workload.read_fraction = config.read_fraction;
+        driver.workload.rmw_fraction = config.rmw_fraction;
+        driver.workload.zipf_theta = theta;
+        driver.track_commits = backend.mode == RecoverabilityMode::kDpr;
+        const DriverResult result = RunYcsbDriver(&cluster, driver);
+        table.AddRow({std::to_string(workers), backend.name,
+                      ResultTable::Fmt(result.Mops()),
+                      backend.mode == RecoverabilityMode::kDpr
+                          ? ResultTable::Fmt(result.CommittedMops())
+                          : "n/a"});
+      }
+    }
+    table.Print();
+  }
+}
+
+}  // namespace
+}  // namespace dpr
+
+int main(int argc, char** argv) {
+  dpr::Flags flags(argc, argv);
+  printf("bench_fig10_scaleout (quick=%d; --quick=false for full sweep; "
+         "--reads/--rmw change the mix)\n",
+         flags.GetBool("quick", true) ? 1 : 0);
+  dpr::Run(flags);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 14: impact of the storage backend on throughput as the checkpoint
+// interval shrinks from 500 ms to 25 ms.
+//
+// Expected shape: backends differ little at long intervals; cloud-latency
+// storage (checkpoint persist ~50 ms) degrades sharply once the interval
+// approaches the persist time (thrashing at <= 50 ms).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "harness/stats.h"
+
+namespace dpr {
+namespace {
+
+void Run(const Flags& flags) {
+  const BenchConfig config = BenchConfig::FromFlags(flags);
+  const std::vector<uint64_t> intervals_ms = {500, 250, 100, 50, 25};
+  const std::vector<std::pair<std::string, StorageBackend>> backends = {
+      {"null", StorageBackend::kNull},
+      {"local-ssd", StorageBackend::kLocal},
+      {"cloud-ssd", StorageBackend::kCloud},
+  };
+  printf("\n=== Figure 14: storage backend vs checkpoint interval ===\n");
+  ResultTable table({"interval-ms", "backend", "Mops"});
+  for (uint64_t interval : intervals_ms) {
+    for (const auto& [name, backend] : backends) {
+      ClusterOptions options;
+      options.num_workers = 2;
+      options.backend = backend;
+      options.checkpoint_interval_us = interval * 1000;
+      DFasterCluster cluster(options);
+      Status s = cluster.Start();
+      DPR_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+      DriverOptions driver;
+      driver.num_client_threads = config.client_threads;
+      driver.duration_ms = config.duration_ms;
+      driver.workload.num_keys = config.num_keys;
+      driver.workload.zipf_theta = 0.99;
+      const DriverResult result = RunYcsbDriver(&cluster, driver);
+      table.AddRow({std::to_string(interval), name,
+                    ResultTable::Fmt(result.Mops())});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace dpr
+
+int main(int argc, char** argv) {
+  dpr::Flags flags(argc, argv);
+  printf("bench_fig14_storage (quick=%d)\n", flags.GetBool("quick", true));
+  dpr::Run(flags);
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Microbenchmarks (google-benchmark) for the core primitives: FASTER ops,
+// epoch protection, DPR finder algorithms, header codecs, and hashing.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "dpr/finder.h"
+#include "dpr/header.h"
+#include "epoch/light_epoch.h"
+#include "faster/faster_store.h"
+
+namespace dpr {
+namespace {
+
+std::unique_ptr<FasterStore> MakeStore() {
+  FasterOptions options;
+  options.index_buckets = 1 << 16;
+  options.log_device = std::make_unique<NullDevice>();
+  options.meta_device = std::make_unique<NullDevice>();
+  return std::make_unique<FasterStore>(std::move(options));
+}
+
+void BM_FasterUpsert(benchmark::State& state) {
+  auto store = MakeStore();
+  auto session = store->NewSession();
+  Random rng(1);
+  for (auto _ : state) {
+    session->Upsert(rng.Uniform(100000), rng.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FasterUpsert);
+
+void BM_FasterRead(benchmark::State& state) {
+  auto store = MakeStore();
+  auto session = store->NewSession();
+  for (uint64_t k = 0; k < 100000; ++k) session->Upsert(k, k);
+  Random rng(2);
+  uint64_t value;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session->Read(rng.Uniform(100000), &value));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FasterRead);
+
+void BM_FasterRmw(benchmark::State& state) {
+  auto store = MakeStore();
+  auto session = store->NewSession();
+  Random rng(3);
+  for (auto _ : state) {
+    session->Rmw(rng.Uniform(1000), 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FasterRmw);
+
+void BM_EpochProtectRefresh(benchmark::State& state) {
+  LightEpoch epoch;
+  epoch.Protect();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(epoch.Refresh());
+  }
+  epoch.Unprotect();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EpochProtectRefresh);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  ZipfianGenerator gen(1 << 20, 0.99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfianNext);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096);
+
+void BM_HeaderEncodeDecode(benchmark::State& state) {
+  DprRequestHeader header;
+  header.session_id = 1;
+  header.version = 42;
+  for (int w = 0; w < state.range(0); ++w) header.deps[w] = w + 1;
+  std::string buf;
+  for (auto _ : state) {
+    buf.clear();
+    header.EncodeTo(&buf);
+    DprRequestHeader decoded;
+    benchmark::DoNotOptimize(decoded.DecodeFrom(buf));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeaderEncodeDecode)->Arg(2)->Arg(8);
+
+// DPR finder report+cut cycle: the per-checkpoint protocol cost.
+template <typename FinderT>
+void BM_FinderReportAndCut(benchmark::State& state) {
+  MetadataStore metadata(std::make_unique<NullDevice>());
+  (void)metadata.Recover();
+  FinderT finder(&metadata);
+  const int workers = static_cast<int>(state.range(0));
+  for (int w = 0; w < workers; ++w) (void)finder.AddWorker(w, 0);
+  Version version = 1;
+  for (auto _ : state) {
+    for (int w = 0; w < workers; ++w) {
+      DependencySet deps;
+      if (version > 1) deps[(w + 1) % workers] = version - 1;
+      (void)finder.ReportPersistedVersion(
+          finder.CurrentWorldLine(), WorkerVersion{uint32_t(w), version},
+          deps);
+    }
+    (void)finder.ComputeCut();
+    ++version;
+  }
+  state.SetItemsProcessed(state.iterations() * workers);
+}
+BENCHMARK_TEMPLATE(BM_FinderReportAndCut, SimpleDprFinder)->Arg(8)->Arg(64);
+BENCHMARK_TEMPLATE(BM_FinderReportAndCut, GraphDprFinder)->Arg(8)->Arg(64);
+BENCHMARK_TEMPLATE(BM_FinderReportAndCut, HybridDprFinder)->Arg(8)->Arg(64);
+
+}  // namespace
+}  // namespace dpr
+
+BENCHMARK_MAIN();

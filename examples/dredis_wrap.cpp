@@ -1,0 +1,64 @@
+// Wrapping an *unmodified* cache-store with libDPR (paper §6): the store —
+// here the bundled Redis stand-in — knows nothing about DPR; the proxy adds
+// prefix recoverability by intercepting request batches, triggering BGSAVE
+// on the store's existing group-commit interface, and polling LASTSAVE.
+//
+// Build & run:  ./build/examples/dredis_wrap
+#include <cstdio>
+#include <cstring>
+
+#include "common/clock.h"
+#include "harness/cluster.h"
+
+using namespace dpr;  // NOLINT — example brevity
+
+int main() {
+  RedisClusterOptions options;
+  options.num_shards = 2;
+  options.deployment = RedisDeployment::kDpr;
+  options.checkpoint_interval_us = 50000;
+  DRedisCluster cluster(options);
+  if (!cluster.Start().ok()) return 1;
+
+  auto client = cluster.NewClient(/*batch=*/8, /*window=*/64);
+  auto session = client->NewSession(1);
+
+  for (uint64_t k = 0; k < 100; ++k) {
+    session->Set(k, k + 1000);
+  }
+  (void)session->WaitForAll();
+  printf("100 SETs completed against the unmodified store\n");
+
+  // Commit progress arrives via piggybacked watermarks; touch each shard to
+  // learn them, then report the committed prefix.
+  const uint64_t target = session->dpr().next_seqno();
+  const Stopwatch timer;
+  while (timer.ElapsedMillis() < 10000) {
+    const auto point = session->dpr().GetCommitPoint();
+    if (point.prefix_end >= target && point.excluded.empty()) break;
+    for (uint32_t shard = 0; shard < 2; ++shard) {
+      uint64_t key = 0;
+      while (DRedisClient::ShardOf(key, 2) != shard) key++;
+      session->Get(key, nullptr);
+    }
+    (void)session->WaitForAll();
+    SleepMicros(5000);
+  }
+  printf("committed prefix: %llu / %llu ops (via BGSAVE snapshots: "
+         "shard0 token %llu, shard1 token %llu)\n",
+         static_cast<unsigned long long>(
+             session->dpr().GetCommitPoint().prefix_end),
+         static_cast<unsigned long long>(target),
+         static_cast<unsigned long long>(cluster.store(0)->LastSave()),
+         static_cast<unsigned long long>(cluster.store(1)->LastSave()));
+
+  session->Get(42, [](Status s, Slice value) {
+    uint64_t v = 0;
+    if (s.ok() && value.size() == 8) memcpy(&v, value.data(), 8);
+    printf("GET 42 -> %llu (%s)\n", static_cast<unsigned long long>(v),
+           s.ToString().c_str());
+  });
+  (void)session->WaitForAll();
+  printf("dredis_wrap done\n");
+  return 0;
+}

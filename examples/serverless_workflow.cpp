@@ -1,0 +1,86 @@
+// Serverless workflow (paper §1, Example 2): a chain of operators passes
+// state through the cache-store. With a synchronous-durability store, every
+// hand-off waits for a commit; with DPR, downstream operators consume
+// upstream outputs *before* they commit, and the workflow exposes results
+// only once the whole chain's prefix is durable.
+//
+// Build & run:  ./build/examples/serverless_workflow
+#include <cstdio>
+
+#include "common/clock.h"
+#include "harness/cluster.h"
+
+using namespace dpr;  // NOLINT — example brevity
+
+namespace {
+
+// Mailbox slots: stage s writes its output for item i at key s*100000 + i.
+uint64_t Slot(uint64_t stage, uint64_t item) { return stage * 100000 + item; }
+constexpr uint64_t kStages = 4;
+constexpr uint64_t kItems = 64;
+
+}  // namespace
+
+int main() {
+  ClusterOptions options;
+  options.num_workers = 2;
+  options.backend = StorageBackend::kCloud;  // high-latency durable tier
+  options.checkpoint_interval_us = 100000;
+  DFasterCluster cluster(options);
+  if (!cluster.Start().ok()) return 1;
+
+  auto client = cluster.NewClient(/*batch=*/8, /*window=*/128);
+
+  // Stage 0 produces inputs; stages 1..3 transform the previous stage's
+  // output. Each stage is an operator with its own session (they could be
+  // separate processes; sessions are the dependency unit).
+  const Stopwatch total;
+  {
+    auto source = client->NewSession(1);
+    for (uint64_t i = 0; i < kItems; ++i) {
+      source->Upsert(Slot(0, i), i + 1);
+    }
+    (void)source->WaitForAll();
+  }
+  for (uint64_t stage = 1; stage < kStages; ++stage) {
+    auto op = client->NewSession(1 + stage);
+    const Stopwatch stage_timer;
+    for (uint64_t i = 0; i < kItems; ++i) {
+      // Dequeue the upstream value (likely still uncommitted!)…
+      uint64_t value = 0;
+      std::atomic<bool> got{false};
+      op->Read(Slot(stage - 1, i), [&](KvResult r, uint64_t v) {
+        if (r == KvResult::kOk) value = v;
+        got.store(true);
+      });
+      (void)op->WaitForAll();
+      if (!got.load()) continue;
+      // …apply this operator's transformation and enqueue downstream.
+      op->Upsert(Slot(stage, i), value * 2 + 1);
+    }
+    (void)op->WaitForAll();
+    printf("stage %llu completed %llu hand-offs in %.1f ms — no commit "
+           "waits on the critical path\n",
+           static_cast<unsigned long long>(stage),
+           static_cast<unsigned long long>(kItems),
+           stage_timer.ElapsedMillis() * 1.0);
+  }
+  printf("workflow pipeline finished in %.1f ms\n",
+         total.ElapsedMillis() * 1.0);
+
+  // The egress operator defers the user-visible effect until its prefix —
+  // which transitively includes every upstream stage — is durable.
+  auto egress = client->NewSession(99);
+  uint64_t final_value = 0;
+  egress->Read(Slot(kStages - 1, kItems - 1), [&](KvResult r, uint64_t v) {
+    if (r == KvResult::kOk) final_value = v;
+  });
+  (void)egress->WaitForAll();
+  const Stopwatch commit_timer;
+  Status s = egress->WaitForCommit();
+  printf("egress: result %llu committed after another %.1f ms (%s) — "
+         "now safe to answer the user\n",
+         static_cast<unsigned long long>(final_value),
+         commit_timer.ElapsedMillis() * 1.0, s.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,115 @@
+#include "baseline/commitlog_store.h"
+
+#include <utility>
+
+#include "common/clock.h"
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace dpr {
+
+CommitLogStore::CommitLogStore(CommitLogStoreOptions options)
+    : options_(std::move(options)) {
+  if (options_.log_device == nullptr) {
+    options_.log_device = std::make_unique<MemoryDevice>();
+  }
+  if (options_.sync != CommitLogSync::kNone) {
+    log_ = std::make_unique<WriteAheadLog>(std::move(options_.log_device));
+    sync_thread_ = std::thread([this] { SyncLoop(); });
+  }
+}
+
+CommitLogStore::~CommitLogStore() {
+  stop_.store(true, std::memory_order_release);
+  sync_cv_.notify_all();
+  if (sync_thread_.joinable()) sync_thread_.join();
+}
+
+Status CommitLogStore::Put(Slice key, Slice value) {
+  uint64_t my_batch = 0;
+  if (log_ != nullptr) {
+    std::string rec;
+    PutLengthPrefixed(&rec, key);
+    PutLengthPrefixed(&rec, value);
+    DPR_RETURN_NOT_OK(log_->Append(rec));
+    if (options_.sync == CommitLogSync::kGroup) {
+      std::lock_guard<std::mutex> guard(sync_mu_);
+      my_batch = pending_batch_;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    map_[key.ToString()] = value.ToString();
+  }
+  if (options_.sync == CommitLogSync::kGroup) {
+    // Group commit: block until the fsync that covers this append lands.
+    std::unique_lock<std::mutex> lock(sync_mu_);
+    sync_cv_.notify_all();  // wake the syncer promptly
+    sync_cv_.wait(lock, [&] {
+      return synced_batch_ > my_batch || stop_.load(std::memory_order_acquire);
+    });
+  }
+  return Status::OK();
+}
+
+Status CommitLogStore::Get(Slice key, std::string* value) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = map_.find(key.ToString());
+  if (it == map_.end()) return Status::NotFound();
+  if (value != nullptr) *value = it->second;
+  return Status::OK();
+}
+
+void CommitLogStore::SyncLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (options_.sync == CommitLogSync::kPeriodic) {
+      SleepMicros(options_.sync_period_us);
+    } else {
+      // Group mode: coalesce whatever arrived since the last fsync.
+      std::unique_lock<std::mutex> lock(sync_mu_);
+      sync_cv_.wait_for(lock, std::chrono::microseconds(200));
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+    uint64_t batch;
+    {
+      std::lock_guard<std::mutex> guard(sync_mu_);
+      batch = pending_batch_;
+      pending_batch_ = batch + 1;
+    }
+    Status s = log_->Sync();
+    if (!s.ok()) DPR_WARN("commit log sync: %s", s.ToString().c_str());
+    {
+      std::lock_guard<std::mutex> guard(sync_mu_);
+      synced_batch_ = batch + 1;
+    }
+    sync_cv_.notify_all();
+  }
+  sync_cv_.notify_all();
+}
+
+Status CommitLogStore::Recover() {
+  std::lock_guard<std::mutex> guard(mu_);
+  map_.clear();
+  if (log_ == nullptr) return Status::OK();
+  return log_->Replay([this](uint64_t, Slice record) {
+    Decoder dec(record);
+    Slice k;
+    Slice v;
+    if (dec.GetLengthPrefixed(&k) && dec.GetLengthPrefixed(&v)) {
+      map_[k.ToString()] = v.ToString();
+    }
+  });
+}
+
+void CommitLogStore::SimulateCrash() {
+  std::lock_guard<std::mutex> guard(mu_);
+  map_.clear();
+  if (log_ != nullptr) log_->device()->SimulateCrash();
+}
+
+uint64_t CommitLogStore::size() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return map_.size();
+}
+
+}  // namespace dpr

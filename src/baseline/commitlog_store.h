@@ -1,0 +1,74 @@
+#ifndef DPR_BASELINE_COMMITLOG_STORE_H_
+#define DPR_BASELINE_COMMITLOG_STORE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/wal.h"
+
+namespace dpr {
+
+/// Commit-log durability policy, mirroring Cassandra's commitlog_sync knob
+/// (paper §7.6 / Fig. 19a):
+///  * kNone     — writes are memory-only (not recoverable);
+///  * kPeriodic — writes append to the log, a background thread fsyncs every
+///                sync_period_us (eventual recoverability);
+///  * kGroup    — a write blocks until the group fsync covering it completes
+///                (synchronous recoverability).
+enum class CommitLogSync { kNone, kPeriodic, kGroup };
+
+struct CommitLogStoreOptions {
+  CommitLogSync sync = CommitLogSync::kPeriodic;
+  uint64_t sync_period_us = 10000;  // Cassandra default: 10 ms
+  std::unique_ptr<Device> log_device;
+};
+
+/// Minimal Cassandra-like partition store: an in-memory table in front of a
+/// commit log. Only the recoverability knob is modeled — that is the sole
+/// axis Fig. 19(a) varies.
+class CommitLogStore {
+ public:
+  explicit CommitLogStore(CommitLogStoreOptions options);
+  ~CommitLogStore();
+
+  CommitLogStore(const CommitLogStore&) = delete;
+  CommitLogStore& operator=(const CommitLogStore&) = delete;
+
+  Status Put(Slice key, Slice value);
+  Status Get(Slice key, std::string* value);
+
+  /// Replays the durable commit log into a fresh table (crash recovery).
+  Status Recover();
+
+  void SimulateCrash();
+  uint64_t size() const;
+
+ private:
+  void SyncLoop();
+
+  CommitLogStoreOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::string> map_;
+  std::unique_ptr<WriteAheadLog> log_;
+
+  // Group-commit machinery: writers wait until synced_batch_ covers their
+  // enqueue batch.
+  std::mutex sync_mu_;
+  std::condition_variable sync_cv_;
+  uint64_t pending_batch_ = 0;  // batch number being accumulated
+  uint64_t synced_batch_ = 0;   // last batch made durable
+  std::thread sync_thread_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace dpr
+
+#endif  // DPR_BASELINE_COMMITLOG_STORE_H_

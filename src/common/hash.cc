@@ -1,0 +1,45 @@
+#include "common/hash.h"
+
+namespace dpr {
+
+uint64_t HashBytes(const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+namespace {
+
+struct Crc32cTable {
+  uint32_t table[256];
+  constexpr Crc32cTable() : table{} {
+    // CRC32C (Castagnoli) polynomial, reflected.
+    constexpr uint32_t kPoly = 0x82f63b78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      table[i] = crc;
+    }
+  }
+};
+
+constexpr Crc32cTable kCrcTable{};
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ kCrcTable.table[(crc ^ p[i]) & 0xff];
+  }
+  return ~crc;
+}
+
+}  // namespace dpr

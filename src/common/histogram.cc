@@ -1,0 +1,93 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <limits>
+
+namespace dpr {
+
+Histogram::Histogram()
+    : buckets_(kNumBuckets, 0),
+      count_(0),
+      sum_(0),
+      min_(std::numeric_limits<uint64_t>::max()),
+      max_(0) {}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < (1u << kSubBucketBits)) return static_cast<int>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int octave = msb - kSubBucketBits + 1;
+  const int sub =
+      static_cast<int>((value >> (msb - kSubBucketBits)) & ((1 << kSubBucketBits) - 1));
+  const int idx = ((octave + 1) << kSubBucketBits) + sub;
+  return std::min(idx, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket < (1 << kSubBucketBits)) return static_cast<uint64_t>(bucket);
+  const int octave = (bucket >> kSubBucketBits) - 1;
+  const int sub = bucket & ((1 << kSubBucketBits) - 1);
+  const int msb = octave + kSubBucketBits - 1;
+  const uint64_t base = 1ULL << msb;
+  return base + (static_cast<uint64_t>(sub + 1) << (msb - kSubBucketBits)) - 1;
+}
+
+void Histogram::Record(uint64_t value_us) {
+  buckets_[BucketFor(value_us)]++;
+  count_++;
+  sum_ += value_us;
+  min_ = std::min(min_, value_us);
+  max_ = std::max(max_, value_us);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<uint64_t>::max();
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  const auto threshold = static_cast<uint64_t>(
+      p / 100.0 * static_cast<double>(count_) + 0.5);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= threshold && buckets_[i] > 0) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "count=%llu mean=%.1fus p50=%lluus p90=%lluus p99=%lluus "
+           "p99.9=%lluus max=%lluus",
+           static_cast<unsigned long long>(count_), Mean(),
+           static_cast<unsigned long long>(Percentile(50)),
+           static_cast<unsigned long long>(Percentile(90)),
+           static_cast<unsigned long long>(Percentile(99)),
+           static_cast<unsigned long long>(Percentile(99.9)),
+           static_cast<unsigned long long>(max()));
+  return buf;
+}
+
+}  // namespace dpr

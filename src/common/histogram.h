@@ -1,0 +1,47 @@
+#ifndef DPR_COMMON_HISTOGRAM_H_
+#define DPR_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dpr {
+
+/// Log-bucketed latency histogram (HdrHistogram-style, base-2 buckets with
+/// linear sub-buckets). Records values in microseconds. Thread-compatible;
+/// callers merge per-thread instances for concurrent recording.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value_us);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+  /// p in [0, 100]; returns the approximate value at that percentile.
+  uint64_t Percentile(double p) const;
+
+  /// One-line summary: "count=... mean=...us p50=... p99=... max=...".
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 linear sub-buckets/octave
+  static constexpr int kNumBuckets = 64 * (1 << kSubBucketBits);
+
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketUpperBound(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+};
+
+}  // namespace dpr
+
+#endif  // DPR_COMMON_HISTOGRAM_H_

@@ -1,0 +1,90 @@
+#ifndef DPR_COMMON_LATCH_H_
+#define DPR_COMMON_LATCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace dpr {
+
+/// Test-and-test-and-set spin latch for short critical sections.
+class SpinLatch {
+ public:
+  SpinLatch() = default;
+  SpinLatch(const SpinLatch&) = delete;
+  SpinLatch& operator=(const SpinLatch&) = delete;
+
+  void Lock() {
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      while (locked_.load(std::memory_order_relaxed)) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  bool TryLock() {
+    return !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void Unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+/// RAII guard for SpinLatch.
+class SpinLatchGuard {
+ public:
+  explicit SpinLatchGuard(SpinLatch& latch) : latch_(latch) { latch_.Lock(); }
+  ~SpinLatchGuard() { latch_.Unlock(); }
+  SpinLatchGuard(const SpinLatchGuard&) = delete;
+  SpinLatchGuard& operator=(const SpinLatchGuard&) = delete;
+
+ private:
+  SpinLatch& latch_;
+};
+
+/// Reader-writer spin latch. Writers are exclusive (negative sentinel);
+/// readers share. Used by the D-Redis server wrapper: checkpoints take the
+/// exclusive latch while request batches take the shared latch, ensuring all
+/// operations of a batch land in one version (paper §6).
+class SharedSpinLatch {
+ public:
+  SharedSpinLatch() = default;
+  SharedSpinLatch(const SharedSpinLatch&) = delete;
+  SharedSpinLatch& operator=(const SharedSpinLatch&) = delete;
+
+  void LockShared() {
+    for (;;) {
+      int64_t v = state_.load(std::memory_order_relaxed);
+      if (v >= 0 &&
+          state_.compare_exchange_weak(v, v + 1, std::memory_order_acquire)) {
+        return;
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  void UnlockShared() { state_.fetch_sub(1, std::memory_order_release); }
+
+  void LockExclusive() {
+    for (;;) {
+      int64_t expected = 0;
+      if (state_.compare_exchange_weak(expected, -1,
+                                       std::memory_order_acquire)) {
+        return;
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  void UnlockExclusive() { state_.store(0, std::memory_order_release); }
+
+ private:
+  std::atomic<int64_t> state_{0};
+};
+
+}  // namespace dpr
+
+#endif  // DPR_COMMON_LATCH_H_

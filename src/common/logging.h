@@ -1,0 +1,55 @@
+#ifndef DPR_COMMON_LOGGING_H_
+#define DPR_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dpr {
+
+/// Minimal leveled logging to stderr. Level is set once at startup (not
+/// thread-safe to change while logging).
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+}  // namespace dpr
+
+#define DPR_LOG_IMPL(level, tag, ...)                                 \
+  do {                                                                \
+    if (static_cast<int>(level) >=                                    \
+        static_cast<int>(::dpr::GetLogLevel())) {                     \
+      fprintf(stderr, "[%s %s:%d] ", tag, __FILE__, __LINE__);        \
+      fprintf(stderr, __VA_ARGS__);                                   \
+      fprintf(stderr, "\n");                                          \
+    }                                                                 \
+  } while (false)
+
+#define DPR_DEBUG(...) DPR_LOG_IMPL(::dpr::LogLevel::kDebug, "DEBUG", __VA_ARGS__)
+#define DPR_INFO(...) DPR_LOG_IMPL(::dpr::LogLevel::kInfo, "INFO", __VA_ARGS__)
+#define DPR_WARN(...) DPR_LOG_IMPL(::dpr::LogLevel::kWarn, "WARN", __VA_ARGS__)
+#define DPR_ERROR(...) DPR_LOG_IMPL(::dpr::LogLevel::kError, "ERROR", __VA_ARGS__)
+
+/// Invariant check that stays on in release builds; databases prefer a loud
+/// crash over silent corruption.
+#define DPR_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      fprintf(stderr, "[FATAL %s:%d] check failed: %s\n", __FILE__,      \
+              __LINE__, #cond);                                          \
+      abort();                                                           \
+    }                                                                    \
+  } while (false)
+
+#define DPR_CHECK_MSG(cond, ...)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      fprintf(stderr, "[FATAL %s:%d] check failed: %s: ", __FILE__,      \
+              __LINE__, #cond);                                          \
+      fprintf(stderr, __VA_ARGS__);                                      \
+      fprintf(stderr, "\n");                                             \
+      abort();                                                           \
+    }                                                                    \
+  } while (false)
+
+#endif  // DPR_COMMON_LOGGING_H_

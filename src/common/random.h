@@ -1,0 +1,88 @@
+#ifndef DPR_COMMON_RANDOM_H_
+#define DPR_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace dpr {
+
+/// xoshiro256** PRNG: fast, high-quality, and deterministic across platforms
+/// so workload traces are reproducible from a seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the full state.
+    for (auto& word : state_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+/// Zipfian-distributed key generator over [0, n) with parameter theta,
+/// following the Gray et al. rejection-free method used by YCSB. Frequently
+/// used with theta = 0.99 (the paper's skewed configuration). The hot items
+/// are scattered across the key space by a final hash so that skew does not
+/// correlate with shard assignment.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed = 12345,
+                   bool scramble = true);
+
+  /// Next sample in [0, n).
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double Zeta(uint64_t n, double theta) const;
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  bool scramble_;
+  Random rng_;
+};
+
+}  // namespace dpr
+
+#endif  // DPR_COMMON_RANDOM_H_

@@ -1,0 +1,45 @@
+#include "common/status.h"
+
+namespace dpr {
+
+namespace {
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kIOError:
+      return "IOError";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+    case Status::Code::kBusy:
+      return "Busy";
+    case Status::Code::kAborted:
+      return "Aborted";
+    case Status::Code::kTimedOut:
+      return "TimedOut";
+    case Status::Code::kNotOwner:
+      return "NotOwner";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace dpr

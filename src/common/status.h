@@ -1,0 +1,96 @@
+#ifndef DPR_COMMON_STATUS_H_
+#define DPR_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dpr {
+
+/// Outcome of an operation. Modeled after the RocksDB/Arrow Status idiom:
+/// cheap to construct for OK, carries a code plus a human-readable message
+/// otherwise. No exceptions are used anywhere on hot paths.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kInvalidArgument = 2,
+    kIOError = 3,
+    kCorruption = 4,
+    kNotSupported = 5,
+    kBusy = 6,
+    kAborted = 7,         // request rejected because of a world-line mismatch
+    kTimedOut = 8,
+    kNotOwner = 9,        // key not owned by the contacted worker
+    kUnavailable = 10,    // transient failure; retry later
+  };
+
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg = "") {
+    return Status(Code::kNotFound, std::string(msg));
+  }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, std::string(msg));
+  }
+  static Status IOError(std::string_view msg) {
+    return Status(Code::kIOError, std::string(msg));
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, std::string(msg));
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(Code::kNotSupported, std::string(msg));
+  }
+  static Status Busy(std::string_view msg = "") {
+    return Status(Code::kBusy, std::string(msg));
+  }
+  static Status Aborted(std::string_view msg = "") {
+    return Status(Code::kAborted, std::string(msg));
+  }
+  static Status TimedOut(std::string_view msg = "") {
+    return Status(Code::kTimedOut, std::string(msg));
+  }
+  static Status NotOwner(std::string_view msg = "") {
+    return Status(Code::kNotOwner, std::string(msg));
+  }
+  static Status Unavailable(std::string_view msg = "") {
+    return Status(Code::kUnavailable, std::string(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsNotOwner() const { return code_ == Code::kNotOwner; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+/// Evaluates `expr`; returns the non-OK status from the enclosing function.
+#define DPR_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::dpr::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (false)
+
+}  // namespace dpr
+
+#endif  // DPR_COMMON_STATUS_H_

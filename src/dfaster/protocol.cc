@@ -1,0 +1,69 @@
+#include "dfaster/protocol.h"
+
+#include "common/coding.h"
+
+namespace dpr {
+
+void KvBatchRequest::EncodeTo(std::string* dst) const {
+  header.EncodeTo(dst);
+  PutFixed32(dst, static_cast<uint32_t>(ops.size()));
+  for (const KvOp& op : ops) {
+    dst->push_back(static_cast<char>(op.type));
+    PutFixed64(dst, op.key);
+    PutFixed64(dst, op.value);
+  }
+}
+
+bool KvBatchRequest::DecodeFrom(Slice input) {
+  size_t consumed = 0;
+  if (!header.DecodeFrom(input, &consumed)) return false;
+  Decoder dec(Slice(input.data() + consumed, input.size() - consumed));
+  uint32_t n;
+  if (!dec.GetFixed32(&n)) return false;
+  // Each op costs 17 wire bytes; reject counts the payload cannot hold
+  // (otherwise a hostile count triggers a huge allocation).
+  if (n > dec.remaining() / 17) return false;
+  ops.clear();
+  ops.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    KvOp op;
+    uint8_t type;
+    if (!dec.GetBytes(&type, 1) || !dec.GetFixed64(&op.key) ||
+        !dec.GetFixed64(&op.value)) {
+      return false;
+    }
+    op.type = static_cast<KvOp::Type>(type);
+    ops.push_back(op);
+  }
+  return true;
+}
+
+void KvBatchResponse::EncodeTo(std::string* dst) const {
+  header.EncodeTo(dst);
+  PutFixed32(dst, static_cast<uint32_t>(results.size()));
+  for (const KvOpResult& r : results) {
+    dst->push_back(static_cast<char>(r.result));
+    PutFixed64(dst, r.value);
+  }
+}
+
+bool KvBatchResponse::DecodeFrom(Slice input) {
+  size_t consumed = 0;
+  if (!header.DecodeFrom(input, &consumed)) return false;
+  Decoder dec(Slice(input.data() + consumed, input.size() - consumed));
+  uint32_t n;
+  if (!dec.GetFixed32(&n)) return false;
+  if (n > dec.remaining() / 9) return false;  // 9 wire bytes per result
+  results.clear();
+  results.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    KvOpResult r;
+    uint8_t result;
+    if (!dec.GetBytes(&result, 1) || !dec.GetFixed64(&r.value)) return false;
+    r.result = static_cast<KvResult>(result);
+    results.push_back(r);
+  }
+  return true;
+}
+
+}  // namespace dpr

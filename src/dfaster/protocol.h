@@ -1,0 +1,56 @@
+#ifndef DPR_DFASTER_PROTOCOL_H_
+#define DPR_DFASTER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "dpr/header.h"
+
+namespace dpr {
+
+/// One key-value operation inside a D-FASTER batch.
+struct KvOp {
+  enum class Type : uint8_t { kRead = 1, kUpsert = 2, kRmw = 3, kDelete = 4 };
+  Type type = Type::kRead;
+  uint64_t key = 0;
+  uint64_t value = 0;  // upsert value / RMW delta
+};
+
+/// Per-op result codes (kept to one byte on the wire).
+enum class KvResult : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kNotOwner = 2,
+  kError = 3,
+};
+
+struct KvOpResult {
+  KvResult result = KvResult::kOk;
+  uint64_t value = 0;
+};
+
+/// Request batch: DPR header followed by the op list. An empty op list is a
+/// valid "ping" used to learn commit watermarks.
+struct KvBatchRequest {
+  DprRequestHeader header;
+  std::vector<KvOp> ops;
+
+  void EncodeTo(std::string* dst) const;
+  bool DecodeFrom(Slice input);
+};
+
+/// Response batch: DPR response header followed by per-op results (empty on
+/// rejection).
+struct KvBatchResponse {
+  DprResponseHeader header;
+  std::vector<KvOpResult> results;
+
+  void EncodeTo(std::string* dst) const;
+  bool DecodeFrom(Slice input);
+};
+
+}  // namespace dpr
+
+#endif  // DPR_DFASTER_PROTOCOL_H_

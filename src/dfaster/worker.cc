@@ -1,0 +1,214 @@
+#include "dfaster/worker.h"
+
+#include <utility>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace dpr {
+
+DFasterWorker::DFasterWorker(DFasterWorkerConfig config)
+    : config_(std::move(config)),
+      owners_(YcsbWorkload::kNumPartitions) {
+  for (uint32_t vp = 0; vp < YcsbWorkload::kNumPartitions; ++vp) {
+    owners_[vp].store(config_.start_empty
+                          ? kInvalidWorker
+                          : YcsbWorkload::DefaultOwner(vp,
+                                                       config_.num_workers),
+                      std::memory_order_relaxed);
+  }
+  store_ = std::make_unique<FasterStore>(std::move(config_.faster));
+  if (config_.mode == RecoverabilityMode::kDpr) {
+    config_.dpr.worker_id = config_.id;
+    dpr_worker_ = std::make_unique<DprWorker>(store_.get(), config_.dpr);
+  }
+}
+
+DFasterWorker::~DFasterWorker() { Stop(); }
+
+Status DFasterWorker::Start(std::unique_ptr<RpcServer> server) {
+  stop_.store(false, std::memory_order_release);
+  if (dpr_worker_ != nullptr) {
+    DPR_RETURN_NOT_OK(dpr_worker_->Start());
+  } else if (config_.mode == RecoverabilityMode::kEventual &&
+             config_.dpr.checkpoint_interval_us > 0) {
+    eventual_timer_ = std::thread([this] { EventualTimerLoop(); });
+  }
+  if (config_.compaction_threshold_bytes > 0 && dpr_worker_ != nullptr) {
+    gc_thread_ = std::thread([this] { GcLoop(); });
+  }
+  if (server != nullptr) {
+    server_ = std::move(server);
+    DPR_RETURN_NOT_OK(server_->Start(
+        [this](Slice request, std::string* response) {
+          ExecuteBatch(request, response);
+        }));
+    address_ = server_->address();
+  }
+  return Status::OK();
+}
+
+void DFasterWorker::Stop() {
+  if (stop_.exchange(true)) return;
+  if (server_ != nullptr) server_->Stop();
+  if (dpr_worker_ != nullptr) dpr_worker_->Stop();
+  if (eventual_timer_.joinable()) eventual_timer_.join();
+  if (gc_thread_.joinable()) gc_thread_.join();
+  store_->WaitForCheckpoints();
+}
+
+void DFasterWorker::EventualTimerLoop() {
+  // "No DPR": checkpoint on a local timer without coordination or reporting.
+  while (!stop_.load(std::memory_order_acquire)) {
+    SleepMicros(config_.dpr.checkpoint_interval_us);
+    if (stop_.load(std::memory_order_acquire)) break;
+    Version token;
+    Status s = store_->PerformCheckpoint(store_->CurrentVersion() + 1,
+                                         nullptr, &token);
+    if (!s.ok() && !s.IsBusy()) {
+      DPR_WARN("eventual checkpoint: %s", s.ToString().c_str());
+    }
+  }
+}
+
+void DFasterWorker::GcLoop() {
+  // Two-phase GC driven by the DPR watermark: start a compaction when the
+  // reclaimable prefix exceeds the threshold; finish it once the committed
+  // cut covers the compaction checkpoint (only entries inside the DPR
+  // guarantee are ever dropped).
+  while (!stop_.load(std::memory_order_acquire)) {
+    SleepMicros(config_.dpr.checkpoint_interval_us + 1000);
+    if (stop_.load(std::memory_order_acquire)) break;
+    const Version watermark = dpr_worker_->persisted_watermark();
+    if (pending_compaction_ != kInvalidVersion) {
+      Status s = store_->FinishCompaction(pending_compaction_, watermark);
+      if (s.ok() || s.IsNotFound()) pending_compaction_ = kInvalidVersion;
+      continue;
+    }
+    if (watermark == kInvalidVersion) continue;
+    const uint64_t reclaimable =
+        store_->read_only_address() - store_->begin_address();
+    if (reclaimable < config_.compaction_threshold_bytes) continue;
+    Version token;
+    Status s = store_->StartCompaction(watermark, &token);
+    if (s.ok()) {
+      pending_compaction_ = token;
+    } else if (!s.IsNotFound() && !s.IsBusy() &&
+               s.code() != Status::Code::kInvalidArgument) {
+      DPR_WARN("worker %u compaction: %s", config_.id,
+               s.ToString().c_str());
+    }
+  }
+}
+
+bool DFasterWorker::OwnsPartition(uint32_t partition) const {
+  return owners_[partition].load(std::memory_order_acquire) == config_.id;
+}
+
+void DFasterWorker::DisownPartition(uint32_t partition) {
+  owners_[partition].store(kInvalidWorker, std::memory_order_release);
+}
+
+void DFasterWorker::AdoptPartition(uint32_t partition) {
+  owners_[partition].store(config_.id, std::memory_order_release);
+}
+
+uint32_t DFasterWorker::OwnedPartitionCount() const {
+  uint32_t count = 0;
+  for (uint32_t vp = 0; vp < YcsbWorkload::kNumPartitions; ++vp) {
+    if (OwnsPartition(vp)) ++count;
+  }
+  return count;
+}
+
+void DFasterWorker::RunOps(const KvBatchRequest& request, Version /*version*/,
+                           KvBatchResponse* response, bool check_ownership) {
+  auto session = store_->NewSession();
+  response->results.resize(request.ops.size());
+  for (size_t i = 0; i < request.ops.size(); ++i) {
+    const KvOp& op = request.ops[i];
+    KvOpResult& out = response->results[i];
+    if (check_ownership &&
+        !OwnsPartition(YcsbWorkload::PartitionOf(op.key))) {
+      out.result = KvResult::kNotOwner;
+      continue;
+    }
+    Status s;
+    switch (op.type) {
+      case KvOp::Type::kRead:
+        s = session->Read(op.key, &out.value);
+        break;
+      case KvOp::Type::kUpsert:
+        s = session->Upsert(op.key, op.value);
+        break;
+      case KvOp::Type::kRmw:
+        s = session->Rmw(op.key, op.value, &out.value);
+        break;
+      case KvOp::Type::kDelete:
+        s = session->Delete(op.key);
+        break;
+    }
+    if (s.ok()) {
+      out.result = KvResult::kOk;
+    } else if (s.IsNotFound()) {
+      out.result = KvResult::kNotFound;
+    } else {
+      out.result = KvResult::kError;
+    }
+  }
+}
+
+void DFasterWorker::ExecuteBatch(const KvBatchRequest& request,
+                                 KvBatchResponse* response) {
+  ExecuteBatchInternal(request, response, /*check_ownership=*/true);
+}
+
+Status DFasterWorker::InstallMigratedData(const KvBatchRequest& request,
+                                          KvBatchResponse* response) {
+  ExecuteBatchInternal(request, response, /*check_ownership=*/false);
+  return response->header.status == DprResponseHeader::BatchStatus::kOk
+             ? Status::OK()
+             : Status::Unavailable("migration batch rejected");
+}
+
+void DFasterWorker::ExecuteBatchInternal(const KvBatchRequest& request,
+                                         KvBatchResponse* response,
+                                         bool check_ownership) {
+  if (dpr_worker_ == nullptr) {
+    // kNone / kEventual: no admission control, no commit tracking.
+    RunOps(request, store_->CurrentVersion(), response, check_ownership);
+    response->header.status = DprResponseHeader::BatchStatus::kOk;
+    response->header.world_line = kInitialWorldLine;
+    response->header.executed_version = store_->CurrentVersion();
+    response->header.persisted_version = store_->LargestDurableToken();
+    return;
+  }
+  Version version = kInvalidVersion;
+  Status admit = dpr_worker_->BeginBatch(request.header, &version);
+  if (!admit.ok()) {
+    const auto status = admit.IsAborted()
+                            ? DprResponseHeader::BatchStatus::kWorldLineShift
+                            : DprResponseHeader::BatchStatus::kRetryLater;
+    dpr_worker_->FillResponse(kInvalidVersion, status, &response->header);
+    response->results.clear();
+    return;
+  }
+  RunOps(request, version, response, check_ownership);
+  dpr_worker_->EndBatch();
+  dpr_worker_->FillResponse(version, DprResponseHeader::BatchStatus::kOk,
+                            &response->header);
+}
+
+void DFasterWorker::ExecuteBatch(Slice request, std::string* response) {
+  KvBatchRequest req;
+  KvBatchResponse resp;
+  if (!req.DecodeFrom(request)) {
+    resp.header.status = DprResponseHeader::BatchStatus::kRetryLater;
+    resp.EncodeTo(response);
+    return;
+  }
+  ExecuteBatch(req, &resp);
+  resp.EncodeTo(response);
+}
+
+}  // namespace dpr

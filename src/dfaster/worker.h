@@ -1,0 +1,110 @@
+#ifndef DPR_DFASTER_WORKER_H_
+#define DPR_DFASTER_WORKER_H_
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "dfaster/protocol.h"
+#include "dpr/worker.h"
+#include "faster/faster_store.h"
+#include "net/rpc.h"
+#include "workload/ycsb.h"
+
+namespace dpr {
+
+/// Recoverability modes evaluated in the paper:
+///  * kNone      — pure in-memory cache, no checkpoints ("No Chkpts");
+///  * kEventual  — uncoordinated periodic checkpoints, no DPR ("No DPR");
+///  * kDpr       — periodic checkpoints coordinated by the DPR protocol.
+enum class RecoverabilityMode { kNone, kEventual, kDpr };
+
+struct DFasterWorkerConfig {
+  WorkerId id = 0;
+  uint32_t num_workers = 1;
+  /// A worker joining an existing cluster starts owning nothing; partitions
+  /// are handed to it via ownership transfer (§5.3).
+  bool start_empty = false;
+  RecoverabilityMode mode = RecoverabilityMode::kDpr;
+  FasterOptions faster;
+  /// Used in kDpr mode (finder, checkpoint interval) and, for its
+  /// checkpoint_interval_us, in kEventual mode too.
+  DprWorkerOptions dpr;
+  /// Log-compaction trigger: when the in-memory log exceeds this many bytes
+  /// of reclaimable prefix, garbage-collect up to the DPR watermark
+  /// (two-phase; only entries inside the guarantee are dropped). 0 disables.
+  uint64_t compaction_threshold_bytes = 0;
+};
+
+/// One D-FASTER shard (paper §5.2): a FASTER instance with a DPR worker
+/// wrapped around it, an RPC endpoint for remote execution, and a direct
+/// entry point for co-located execution.
+class DFasterWorker {
+ public:
+  explicit DFasterWorker(DFasterWorkerConfig config);
+  ~DFasterWorker();
+
+  DFasterWorker(const DFasterWorker&) = delete;
+  DFasterWorker& operator=(const DFasterWorker&) = delete;
+
+  /// Starts DPR participation and, if `server` is non-null, remote serving.
+  Status Start(std::unique_ptr<RpcServer> server);
+  void Stop();
+
+  /// Executes an encoded KvBatchRequest; used by both the RPC handler and
+  /// co-located clients (which call it directly, skipping the network).
+  void ExecuteBatch(Slice request, std::string* response);
+
+  /// Typed entry for co-located clients (avoids one encode/decode round).
+  void ExecuteBatch(const KvBatchRequest& request, KvBatchResponse* response);
+
+  // --- ownership (paper §5.3) ---
+  /// True if this worker currently owns the virtual partition.
+  bool OwnsPartition(uint32_t partition) const;
+  /// Renounces ownership locally; subsequent ops on the partition are
+  /// rejected with kNotOwner. Call at a checkpoint boundary so ownership is
+  /// static within versions.
+  void DisownPartition(uint32_t partition);
+  /// Starts serving the partition.
+  void AdoptPartition(uint32_t partition);
+  /// Number of partitions this worker currently owns.
+  uint32_t OwnedPartitionCount() const;
+  /// Installs migrated records under DPR admission (bypasses the ownership
+  /// check: the partition is mid-transfer and deliberately unowned).
+  Status InstallMigratedData(const KvBatchRequest& request,
+                             KvBatchResponse* response);
+
+  FasterStore* store() { return store_.get(); }
+  DprWorker* dpr_worker() { return dpr_worker_.get(); }
+  WorkerId id() const { return config_.id; }
+  const std::string& address() const { return address_; }
+
+ private:
+  void RunOps(const KvBatchRequest& request, Version version,
+              KvBatchResponse* response, bool check_ownership);
+  void GcLoop();
+  void ExecuteBatchInternal(const KvBatchRequest& request,
+                            KvBatchResponse* response, bool check_ownership);
+  void EventualTimerLoop();
+
+  DFasterWorkerConfig config_;
+  std::unique_ptr<FasterStore> store_;
+  std::unique_ptr<DprWorker> dpr_worker_;  // kDpr mode only
+  std::unique_ptr<RpcServer> server_;
+  std::string address_;
+
+  // Local view of the ownership map: partition -> owning worker.
+  std::vector<std::atomic<uint32_t>> owners_;
+
+  // kEventual mode: uncoordinated checkpoint timer.
+  std::thread eventual_timer_;
+  // DPR-watermark-driven log garbage collection.
+  std::thread gc_thread_;
+  Version pending_compaction_ = kInvalidVersion;
+  std::atomic<bool> stop_{true};
+};
+
+}  // namespace dpr
+
+#endif  // DPR_DFASTER_WORKER_H_

@@ -1,0 +1,79 @@
+#include "dpr/cluster_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dpr {
+
+void ClusterManager::RegisterWorker(DprWorker* worker) {
+  std::lock_guard<std::mutex> guard(mu_);
+  workers_[worker->id()] = worker;
+}
+
+void ClusterManager::UnregisterWorker(WorkerId worker_id) {
+  std::lock_guard<std::mutex> guard(mu_);
+  workers_.erase(worker_id);
+}
+
+Status ClusterManager::HandleFailure(const std::vector<WorkerId>& failed) {
+  // Serialize whole recovery sequences; a nested failure waits here and then
+  // runs as its own world-line shift.
+  std::lock_guard<std::mutex> recovery_guard(recovery_mu_);
+
+  WorldLine new_world_line;
+  DprCut recovery_cut;
+  DPR_RETURN_NOT_OK(finder_->BeginRecovery(&new_world_line, &recovery_cut));
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    recovery_cuts_[new_world_line] = recovery_cut;
+  }
+
+  // Snapshot the worker set so rollback RPCs run without holding mu_.
+  std::vector<DprWorker*> workers;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    workers.reserve(workers_.size());
+    for (auto& [id, w] : workers_) workers.push_back(w);
+  }
+
+  Status result = Status::OK();
+  for (DprWorker* worker : workers) {
+    const Version safe = CutVersion(recovery_cut, worker->id());
+    const bool crashed = std::find(failed.begin(), failed.end(),
+                                   worker->id()) != failed.end();
+    Status s = crashed ? worker->CrashAndRestore(new_world_line, safe)
+                       : worker->Rollback(new_world_line, safe);
+    if (!s.ok()) {
+      DPR_ERROR("worker %u rollback to v%llu failed: %s", worker->id(),
+                static_cast<unsigned long long>(safe), s.ToString().c_str());
+      result = s;
+    }
+  }
+
+  DPR_RETURN_NOT_OK(finder_->EndRecovery());
+  return result;
+}
+
+void ClusterManager::GetRecoveryInfo(WorldLine* world_line,
+                                     DprCut* cut) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (recovery_cuts_.empty()) {
+    if (world_line != nullptr) *world_line = kInitialWorldLine;
+    if (cut != nullptr) cut->clear();
+    return;
+  }
+  auto it = recovery_cuts_.rbegin();
+  if (world_line != nullptr) *world_line = it->first;
+  if (cut != nullptr) *cut = it->second;
+}
+
+bool ClusterManager::GetRecoveryCut(WorldLine world_line, DprCut* cut) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = recovery_cuts_.find(world_line);
+  if (it == recovery_cuts_.end()) return false;
+  if (cut != nullptr) *cut = it->second;
+  return true;
+}
+
+}  // namespace dpr

@@ -1,0 +1,53 @@
+#ifndef DPR_DPR_CLUSTER_MANAGER_H_
+#define DPR_DPR_CLUSTER_MANAGER_H_
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "dpr/finder.h"
+#include "dpr/types.h"
+#include "dpr/worker.h"
+
+namespace dpr {
+
+/// The external failure-handling entity the paper assumes (§4.1, a stand-in
+/// for Kubernetes / Service Fabric): detects (or, here, is told about)
+/// failures, restarts failed workers from their last checkpoint, and
+/// orchestrates the cluster-wide rollback to the last DPR cut — halting DPR
+/// progress, instructing every worker to roll back, and resuming progress
+/// once all report completion.
+class ClusterManager {
+ public:
+  explicit ClusterManager(DprFinder* finder) : finder_(finder) {}
+
+  void RegisterWorker(DprWorker* worker);
+  void UnregisterWorker(WorkerId worker_id);
+
+  /// Processes one failure event: workers in `failed` crash-and-restore
+  /// (losing volatile state), all others roll back to the recovery cut.
+  /// Serialized internally; a failure arriving mid-recovery is handled as a
+  /// second failure-and-recovery sequence, exactly as in the paper's nested
+  /// failure experiment (Fig. 16).
+  Status HandleFailure(const std::vector<WorkerId>& failed);
+
+  /// Latest world-line and the cut it recovered to; sessions use this to
+  /// compute surviving prefixes.
+  void GetRecoveryInfo(WorldLine* world_line, DprCut* cut) const;
+
+  /// Recovery cut of a specific world-line (sessions that lag several
+  /// failures behind resolve against their next world-line's cut).
+  bool GetRecoveryCut(WorldLine world_line, DprCut* cut) const;
+
+ private:
+  DprFinder* finder_;
+  mutable std::mutex mu_;
+  std::map<WorkerId, DprWorker*> workers_;
+  std::map<WorldLine, DprCut> recovery_cuts_;
+  std::mutex recovery_mu_;  // serializes HandleFailure
+};
+
+}  // namespace dpr
+
+#endif  // DPR_DPR_CLUSTER_MANAGER_H_

@@ -1,0 +1,238 @@
+#include "dpr/finder_service.h"
+
+#include <utility>
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace dpr {
+
+namespace {
+
+enum Method : uint8_t {
+  kAddWorker = 1,
+  kRemoveWorker = 2,
+  kReport = 3,
+  kComputeCut = 4,
+  kGetCut = 5,
+  kMaxPersisted = 6,
+  kWorldLine = 7,
+  kBeginRecovery = 8,
+  kEndRecovery = 9,
+};
+
+void EncodeCut(std::string* dst, const DprCut& cut) {
+  PutFixed32(dst, static_cast<uint32_t>(cut.size()));
+  for (const auto& [w, v] : cut) {
+    PutFixed32(dst, w);
+    PutFixed64(dst, v);
+  }
+}
+
+bool DecodeCut(Decoder* dec, DprCut* cut) {
+  uint32_t n;
+  if (!dec->GetFixed32(&n)) return false;
+  if (n > dec->remaining() / 12) return false;
+  cut->clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t w;
+    uint64_t v;
+    if (!dec->GetFixed32(&w) || !dec->GetFixed64(&v)) return false;
+    (*cut)[w] = v;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ server side
+
+DprFinderServer::DprFinderServer(DprFinder* finder,
+                                 std::unique_ptr<RpcServer> server)
+    : finder_(finder), server_(std::move(server)) {}
+
+DprFinderServer::~DprFinderServer() { Stop(); }
+
+Status DprFinderServer::Start() {
+  DPR_RETURN_NOT_OK(server_->Start(
+      [this](Slice request, std::string* response) {
+        Handle(request, response);
+      }));
+  address_ = server_->address();
+  return Status::OK();
+}
+
+void DprFinderServer::Stop() {
+  if (server_ != nullptr) server_->Stop();
+}
+
+void DprFinderServer::Handle(Slice request, std::string* response) {
+  Decoder dec(Slice(request.data() + 1, request.size() - 1));
+  uint8_t method = request.empty() ? 0 : static_cast<uint8_t>(request.data()[0]);
+  Status status;
+  std::string payload;
+  switch (method) {
+    case kAddWorker: {
+      uint32_t w;
+      uint64_t start;
+      if (dec.GetFixed32(&w) && dec.GetFixed64(&start)) {
+        status = finder_->AddWorker(w, start);
+      } else {
+        status = Status::InvalidArgument("bad AddWorker");
+      }
+      break;
+    }
+    case kRemoveWorker: {
+      uint32_t w;
+      status = dec.GetFixed32(&w) ? finder_->RemoveWorker(w)
+                                  : Status::InvalidArgument("bad Remove");
+      break;
+    }
+    case kReport: {
+      uint64_t wl;
+      uint32_t w;
+      uint64_t v;
+      DprCut deps;
+      if (dec.GetFixed64(&wl) && dec.GetFixed32(&w) && dec.GetFixed64(&v) &&
+          DecodeCut(&dec, &deps)) {
+        status = finder_->ReportPersistedVersion(wl, WorkerVersion{w, v},
+                                                 deps);
+      } else {
+        status = Status::InvalidArgument("bad Report");
+      }
+      break;
+    }
+    case kComputeCut:
+      status = finder_->ComputeCut();
+      break;
+    case kGetCut: {
+      WorldLine wl;
+      DprCut cut;
+      finder_->GetCut(&wl, &cut);
+      PutFixed64(&payload, wl);
+      EncodeCut(&payload, cut);
+      break;
+    }
+    case kMaxPersisted:
+      PutFixed64(&payload, finder_->MaxPersistedVersion());
+      break;
+    case kWorldLine:
+      PutFixed64(&payload, finder_->CurrentWorldLine());
+      break;
+    case kBeginRecovery: {
+      WorldLine wl;
+      DprCut cut;
+      status = finder_->BeginRecovery(&wl, &cut);
+      if (status.ok()) {
+        PutFixed64(&payload, wl);
+        EncodeCut(&payload, cut);
+      }
+      break;
+    }
+    case kEndRecovery:
+      status = finder_->EndRecovery();
+      break;
+    default:
+      status = Status::InvalidArgument("unknown finder method");
+  }
+  response->push_back(static_cast<char>(status.code()));
+  response->append(payload);
+}
+
+// ------------------------------------------------------------ client side
+
+RemoteDprFinder::RemoteDprFinder(std::unique_ptr<RpcConnection> conn)
+    : conn_(std::move(conn)) {}
+
+Status RemoteDprFinder::Call(uint8_t method, Slice payload,
+                             std::string* response) const {
+  std::string request(1, static_cast<char>(method));
+  request.append(payload.data(), payload.size());
+  std::string raw;
+  DPR_RETURN_NOT_OK(conn_->Call(request, &raw));
+  if (raw.empty()) return Status::Corruption("empty finder response");
+  const auto code = static_cast<Status::Code>(raw[0]);
+  if (code != Status::Code::kOk) return Status(code, "finder error");
+  if (response != nullptr) response->assign(raw.data() + 1, raw.size() - 1);
+  return Status::OK();
+}
+
+Status RemoteDprFinder::AddWorker(WorkerId worker, Version start_version) {
+  std::string payload;
+  PutFixed32(&payload, worker);
+  PutFixed64(&payload, start_version);
+  return Call(kAddWorker, payload, nullptr);
+}
+
+Status RemoteDprFinder::RemoveWorker(WorkerId worker) {
+  std::string payload;
+  PutFixed32(&payload, worker);
+  return Call(kRemoveWorker, payload, nullptr);
+}
+
+Status RemoteDprFinder::ReportPersistedVersion(WorldLine world_line,
+                                               WorkerVersion wv,
+                                               const DependencySet& deps) {
+  std::string payload;
+  PutFixed64(&payload, world_line);
+  PutFixed32(&payload, wv.worker);
+  PutFixed64(&payload, wv.version);
+  EncodeCut(&payload, deps);
+  return Call(kReport, payload, nullptr);
+}
+
+Status RemoteDprFinder::ComputeCut() {
+  return Call(kComputeCut, Slice(), nullptr);
+}
+
+void RemoteDprFinder::GetCut(WorldLine* world_line, DprCut* cut) const {
+  std::string payload;
+  if (!Call(kGetCut, Slice(), &payload).ok()) {
+    if (cut != nullptr) cut->clear();
+    return;
+  }
+  Decoder dec(payload);
+  uint64_t wl = kInitialWorldLine;
+  DprCut parsed;
+  if (dec.GetFixed64(&wl) && DecodeCut(&dec, &parsed)) {
+    if (world_line != nullptr) *world_line = wl;
+    if (cut != nullptr) *cut = std::move(parsed);
+  }
+}
+
+Version RemoteDprFinder::MaxPersistedVersion() const {
+  std::string payload;
+  if (!Call(kMaxPersisted, Slice(), &payload).ok() || payload.size() < 8) {
+    return kInvalidVersion;
+  }
+  return DecodeFixed64(payload.data());
+}
+
+WorldLine RemoteDprFinder::CurrentWorldLine() const {
+  std::string payload;
+  if (!Call(kWorldLine, Slice(), &payload).ok() || payload.size() < 8) {
+    return kInitialWorldLine;
+  }
+  return DecodeFixed64(payload.data());
+}
+
+Status RemoteDprFinder::BeginRecovery(WorldLine* new_world_line,
+                                      DprCut* cut) {
+  std::string payload;
+  DPR_RETURN_NOT_OK(Call(kBeginRecovery, Slice(), &payload));
+  Decoder dec(payload);
+  uint64_t wl;
+  DprCut parsed;
+  if (!dec.GetFixed64(&wl) || !DecodeCut(&dec, &parsed)) {
+    return Status::Corruption("bad BeginRecovery response");
+  }
+  if (new_world_line != nullptr) *new_world_line = wl;
+  if (cut != nullptr) *cut = std::move(parsed);
+  return Status::OK();
+}
+
+Status RemoteDprFinder::EndRecovery() {
+  return Call(kEndRecovery, Slice(), nullptr);
+}
+
+}  // namespace dpr

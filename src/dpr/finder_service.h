@@ -1,0 +1,62 @@
+#ifndef DPR_DPR_FINDER_SERVICE_H_
+#define DPR_DPR_FINDER_SERVICE_H_
+
+#include <memory>
+
+#include "dpr/finder.h"
+#include "net/rpc.h"
+
+namespace dpr {
+
+/// Exposes a DprFinder over RPC so workers in other processes participate in
+/// DPR tracking — the deployment shape of the paper's evaluation (shards are
+/// separate machines; here, separate processes on one box over TCP).
+///
+/// Wire format: [u8 method][method-specific payload]; responses are
+/// [u8 status-code][payload]. Small and synchronous: every call is off the
+/// workers' critical path by construction (reports happen at checkpoint
+/// completion, cut reads on a timer).
+class DprFinderServer {
+ public:
+  DprFinderServer(DprFinder* finder, std::unique_ptr<RpcServer> server);
+  ~DprFinderServer();
+
+  Status Start();
+  void Stop();
+  const std::string& address() const { return address_; }
+
+ private:
+  void Handle(Slice request, std::string* response);
+
+  DprFinder* finder_;
+  std::unique_ptr<RpcServer> server_;
+  std::string address_;
+};
+
+/// Client-side stub: a DprFinder implementation backed by a connection to a
+/// DprFinderServer. Cut reads are cached briefly (watermarks are published
+/// lazily anyway), everything else is a synchronous RPC.
+class RemoteDprFinder : public DprFinder {
+ public:
+  explicit RemoteDprFinder(std::unique_ptr<RpcConnection> conn);
+
+  Status AddWorker(WorkerId worker, Version start_version) override;
+  Status RemoveWorker(WorkerId worker) override;
+  Status ReportPersistedVersion(WorldLine world_line, WorkerVersion wv,
+                                const DependencySet& deps) override;
+  Status ComputeCut() override;
+  void GetCut(WorldLine* world_line, DprCut* cut) const override;
+  Version MaxPersistedVersion() const override;
+  WorldLine CurrentWorldLine() const override;
+  Status BeginRecovery(WorldLine* new_world_line, DprCut* cut) override;
+  Status EndRecovery() override;
+
+ private:
+  Status Call(uint8_t method, Slice payload, std::string* response) const;
+
+  std::unique_ptr<RpcConnection> conn_;
+};
+
+}  // namespace dpr
+
+#endif  // DPR_DPR_FINDER_SERVICE_H_

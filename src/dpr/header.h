@@ -1,0 +1,48 @@
+#ifndef DPR_DPR_HEADER_H_
+#define DPR_DPR_HEADER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "dpr/types.h"
+
+namespace dpr {
+
+/// DPR header prepended to every request batch (paper §6, Fig. 9): carries
+/// the session's world-line, its version clock Vs, and the compacted
+/// dependency set of uncommitted prior operations.
+struct DprRequestHeader {
+  uint64_t session_id = 0;
+  WorldLine world_line = kInitialWorldLine;
+  Version version = kInvalidVersion;  // Vs: largest version the session saw
+  DependencySet deps;                 // per-worker max uncommitted version
+
+  void EncodeTo(std::string* dst) const;
+  bool DecodeFrom(Slice input, size_t* consumed = nullptr);
+};
+
+/// Per-batch response header: which version the batch executed in, the
+/// worker's world-line, and its committed watermark (the piggybacked commit
+/// notification that lets clients learn prefix durability lazily).
+struct DprResponseHeader {
+  enum class BatchStatus : uint8_t {
+    kOk = 0,
+    kWorldLineShift = 1,  // worker is on a newer world-line: session must
+                          // compute its surviving prefix before continuing
+    kRetryLater = 2,      // worker mid-recovery or behind the client's
+                          // world-line; client should retry
+  };
+
+  BatchStatus status = BatchStatus::kOk;
+  WorldLine world_line = kInitialWorldLine;
+  Version executed_version = kInvalidVersion;   // version the batch ran in
+  Version persisted_version = kInvalidVersion;  // worker's committed watermark
+
+  void EncodeTo(std::string* dst) const;
+  bool DecodeFrom(Slice input, size_t* consumed = nullptr);
+};
+
+}  // namespace dpr
+
+#endif  // DPR_DPR_HEADER_H_

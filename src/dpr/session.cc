@@ -1,0 +1,218 @@
+#include "dpr/session.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dpr {
+
+DprSession::DprSession(uint64_t session_id, bool strict)
+    : session_id_(session_id), strict_(strict) {}
+
+DprRequestHeader DprSession::MakeHeader() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  DprRequestHeader header;
+  header.session_id = session_id_;
+  header.world_line = world_line_;
+  header.version = version_clock_;
+  header.deps = deps_;
+  return header;
+}
+
+void DprSession::AbsorbLocked(WorkerId worker, const DprResponseHeader& resp) {
+  if (resp.world_line > observed_world_line_) {
+    observed_world_line_ = resp.world_line;
+  }
+  if (resp.status != DprResponseHeader::BatchStatus::kOk) return;
+  if (resp.executed_version > version_clock_) {
+    version_clock_ = resp.executed_version;
+  }
+  Version& wm = watermarks_[worker];
+  if (resp.persisted_version > wm) wm = resp.persisted_version;
+  // Dependencies on committed versions are satisfied forever; prune them so
+  // headers stay small.
+  for (auto it = deps_.begin(); it != deps_.end();) {
+    auto wit = watermarks_.find(it->first);
+    if (wit != watermarks_.end() && it->second <= wit->second) {
+      it = deps_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+uint64_t DprSession::RecordBatch(WorkerId worker, uint64_t n,
+                                 const DprResponseHeader& resp) {
+  std::lock_guard<std::mutex> guard(mu_);
+  const uint64_t start = next_seqno_;
+  next_seqno_ += n;
+  segments_.push_back(Segment{start, n, worker, resp.executed_version,
+                              /*resolved=*/true});
+  MergeDependency(&deps_, WorkerVersion{worker, resp.executed_version});
+  AbsorbLocked(worker, resp);
+  return start;
+}
+
+uint64_t DprSession::IssuePending(WorkerId worker, uint64_t n) {
+  std::lock_guard<std::mutex> guard(mu_);
+  const uint64_t start = next_seqno_;
+  next_seqno_ += n;
+  segments_.push_back(
+      Segment{start, n, worker, kInvalidVersion, /*resolved=*/false});
+  return start;
+}
+
+void DprSession::ResolvePending(uint64_t start_seqno,
+                                const DprResponseHeader& resp) {
+  std::lock_guard<std::mutex> guard(mu_);
+  // Unresolved segments cluster at the tail (bounded by the client window);
+  // scan backwards so resolution stays O(window) even when the committed
+  // prefix cannot advance and the deque grows.
+  for (auto rit = segments_.rbegin(); rit != segments_.rend(); ++rit) {
+    Segment& seg = *rit;
+    if (seg.start == start_seqno && !seg.resolved) {
+      seg.resolved = true;
+      seg.version = resp.executed_version;
+      // Failed/rejected ops resolve with version 0: they had no effect, so
+      // they commit vacuously and contribute no dependency.
+      if (seg.version != kInvalidVersion) {
+        MergeDependency(&deps_, WorkerVersion{seg.worker, seg.version});
+      }
+      AbsorbLocked(seg.worker, resp);
+      return;
+    }
+  }
+  DPR_WARN("ResolvePending: no pending segment at seqno %llu",
+           static_cast<unsigned long long>(start_seqno));
+}
+
+void DprSession::ObserveWatermark(WorkerId worker,
+                                  const DprResponseHeader& resp) {
+  std::lock_guard<std::mutex> guard(mu_);
+  AbsorbLocked(worker, resp);
+}
+
+DprSession::CommitPoint DprSession::ComputePointLocked(
+    const DprCut& committed, bool drop_committed) {
+  CommitPoint point;
+  // Phase 1: extend the frontier. A resolved-but-uncommitted segment stops
+  // it; an unresolved (PENDING) segment is skipped per relaxed DPR — ops
+  // after it cannot depend on it, so the prefix may exclude it.
+  uint64_t frontier = reported_prefix_;
+  for (const auto& seg : segments_) {
+    if (seg.resolved) {
+      if (CutVersion(committed, seg.worker) >= seg.version) {
+        frontier = std::max(frontier, seg.start + seg.count);
+      } else {
+        break;
+      }
+    } else if (strict_) {
+      // Strict CPR/DPR: operations commit in start order; an unresolved
+      // operation gates everything after it.
+      break;
+    }
+    // relaxed: unresolved segments are skipped (exception list)
+  }
+  // Never regress a previously-reported prefix (a segment that has since
+  // resolved into an uncommitted version must not pull it back).
+  point.prefix_end = std::max(frontier, reported_prefix_);
+  reported_prefix_ = point.prefix_end;
+  // Phase 2: the exception list — anything below the prefix that is not
+  // (yet) committed.
+  for (const auto& seg : segments_) {
+    if (seg.start >= point.prefix_end) break;
+    const bool is_committed =
+        seg.resolved && CutVersion(committed, seg.worker) >= seg.version;
+    if (!is_committed) {
+      const uint64_t end = std::min(seg.start + seg.count, point.prefix_end);
+      for (uint64_t s = seg.start; s < end; ++s) point.excluded.push_back(s);
+    }
+  }
+  if (drop_committed) {
+    while (!segments_.empty()) {
+      const Segment& seg = segments_.front();
+      const bool is_committed =
+          seg.resolved && CutVersion(committed, seg.worker) >= seg.version;
+      if (is_committed && seg.start + seg.count <= point.prefix_end) {
+        segments_.pop_front();
+      } else {
+        break;
+      }
+    }
+  }
+  return point;
+}
+
+DprSession::CommitPoint DprSession::GetCommitPoint() {
+  std::lock_guard<std::mutex> guard(mu_);
+  return ComputePointLocked(watermarks_, /*drop_committed=*/true);
+}
+
+uint64_t DprSession::next_seqno() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return next_seqno_;
+}
+
+bool DprSession::needs_failure_handling() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return observed_world_line_ > world_line_;
+}
+
+WorldLine DprSession::observed_world_line() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return observed_world_line_;
+}
+
+WorldLine DprSession::world_line() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return world_line_;
+}
+
+std::string DprSession::DebugString() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::string out = "session " + std::to_string(session_id_) +
+                    " wl=" + std::to_string(world_line_) +
+                    " Vs=" + std::to_string(version_clock_) +
+                    " next=" + std::to_string(next_seqno_) +
+                    " reported=" + std::to_string(reported_prefix_) + "\n";
+  out += "  watermarks:";
+  for (const auto& [w, v] : watermarks_) {
+    out += " (" + std::to_string(w) + "->" + std::to_string(v) + ")";
+  }
+  out += "\n  segments:";
+  for (const auto& seg : segments_) {
+    out += " [" + std::to_string(seg.start) + "+" +
+           std::to_string(seg.count) + " w" + std::to_string(seg.worker) +
+           " v" + std::to_string(seg.version) +
+           (seg.resolved ? "" : " PENDING") + "]";
+  }
+  out += "\n";
+  return out;
+}
+
+DprSession::CommitPoint DprSession::HandleFailure(WorldLine new_world_line,
+                                                  const DprCut& recovery_cut) {
+  std::lock_guard<std::mutex> guard(mu_);
+  // The surviving prefix is the commit point evaluated at the recovery cut:
+  // exactly the operations whose versions made it into the cut survive.
+  CommitPoint survivors = ComputePointLocked(recovery_cut,
+                                             /*drop_committed=*/false);
+  // Everything in flight or above the prefix is gone; the session restarts
+  // its order on the new world-line. The version clock is retained: workers
+  // resume in versions strictly above anything pre-failure, so monotonicity
+  // is preserved across the world-line shift.
+  segments_.clear();
+  deps_.clear();
+  for (auto& [w, v] : watermarks_) {
+    const Version cv = CutVersion(recovery_cut, w);
+    if (v > cv) v = cv;
+  }
+  world_line_ = new_world_line;
+  if (observed_world_line_ < new_world_line) {
+    observed_world_line_ = new_world_line;
+  }
+  reported_prefix_ = survivors.prefix_end;
+  return survivors;
+}
+
+}  // namespace dpr

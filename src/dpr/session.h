@@ -1,0 +1,111 @@
+#ifndef DPR_DPR_SESSION_H_
+#define DPR_DPR_SESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "dpr/header.h"
+#include "dpr/types.h"
+
+namespace dpr {
+
+/// Client-side libDPR: tracks one session's SessionOrder, version clock,
+/// dependency set, commit watermarks, and world-line (paper §3, §5.4, §6).
+///
+/// Operations are numbered by *start* order (relaxed DPR). A batch either
+/// completes synchronously (RecordBatch) or is issued as PENDING
+/// (IssuePending) and resolved later (ResolvePending); unresolved operations
+/// below the committed prefix are surfaced in the exception list, exactly as
+/// relaxed CPR/DPR prescribes.
+///
+/// Thread-safety: all methods are internally synchronized so a background
+/// completion thread may resolve pendings while the session issues new ops.
+class DprSession {
+ public:
+  /// `strict`: strict CPR/DPR ordering (§5.4) — the commit point never
+  /// passes over an unresolved PENDING operation, so recovered prefixes
+  /// have no exception list (at the cost of blocking commits on stragglers).
+  /// Default is relaxed DPR, the FASTER default.
+  explicit DprSession(uint64_t session_id, bool strict = false);
+
+  uint64_t session_id() const { return session_id_; }
+  bool strict() const { return strict_; }
+
+  /// Header to attach to the next outgoing batch.
+  DprRequestHeader MakeHeader() const;
+
+  /// Records `n` operations that completed synchronously at `worker`;
+  /// returns the first seqno. Absorbs the response's commit watermark.
+  uint64_t RecordBatch(WorkerId worker, uint64_t n,
+                       const DprResponseHeader& resp);
+
+  /// Assigns seqnos to `n` operations issued (start-time order) whose
+  /// results are not yet known. Later ops do not depend on them until
+  /// ResolvePending.
+  uint64_t IssuePending(WorkerId worker, uint64_t n);
+
+  /// Resolves a pending batch previously issued at `start_seqno`.
+  void ResolvePending(uint64_t start_seqno, const DprResponseHeader& resp);
+
+  /// Absorbs commit-watermark/world-line info from any response.
+  void ObserveWatermark(WorkerId worker, const DprResponseHeader& resp);
+
+  /// Commit status reported to the application.
+  struct CommitPoint {
+    /// All ops with seqno < prefix_end are committed…
+    uint64_t prefix_end = 0;
+    /// …except these (pending or not-yet-committed ops the prefix skipped).
+    std::vector<uint64_t> excluded;
+  };
+  CommitPoint GetCommitPoint();
+
+  uint64_t next_seqno() const;
+
+  /// True once any response revealed a newer world-line; the application
+  /// must call HandleFailure before issuing more operations.
+  bool needs_failure_handling() const;
+  WorldLine observed_world_line() const;
+  WorldLine world_line() const;
+
+  /// Computes the surviving prefix at the recovery cut, resets in-flight
+  /// state, and moves the session onto `new_world_line`. Returned
+  /// CommitPoint::excluded lists the *lost* operations below the prefix.
+  CommitPoint HandleFailure(WorldLine new_world_line,
+                            const DprCut& recovery_cut);
+
+  /// Human-readable dump of internal state (segments, watermarks, clocks)
+  /// for diagnostics.
+  std::string DebugString() const;
+
+ private:
+  struct Segment {
+    uint64_t start = 0;
+    uint64_t count = 0;
+    WorkerId worker = kInvalidWorker;
+    Version version = kInvalidVersion;
+    bool resolved = false;
+  };
+
+  CommitPoint ComputePointLocked(const DprCut& committed,
+                                 bool drop_committed);
+  void AbsorbLocked(WorkerId worker, const DprResponseHeader& resp);
+
+  const uint64_t session_id_;
+  const bool strict_;
+  mutable std::mutex mu_;
+  uint64_t next_seqno_ = 0;
+  WorldLine world_line_ = kInitialWorldLine;
+  WorldLine observed_world_line_ = kInitialWorldLine;
+  Version version_clock_ = kInvalidVersion;  // Vs (§3.2)
+  DependencySet deps_;                       // uncommitted per-worker max
+  DprCut watermarks_;                        // per-worker committed versions
+  std::deque<Segment> segments_;
+  uint64_t reported_prefix_ = 0;  // keeps GetCommitPoint monotone
+};
+
+}  // namespace dpr
+
+#endif  // DPR_DPR_SESSION_H_

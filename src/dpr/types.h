@@ -1,0 +1,65 @@
+#ifndef DPR_DPR_TYPES_H_
+#define DPR_DPR_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace dpr {
+
+/// Identifies one StateObject shard (the paper's "worker").
+using WorkerId = uint32_t;
+constexpr WorkerId kInvalidWorker = ~0u;
+
+/// Checkpoint version number. Versions are per-worker and monotone; the DPR
+/// version clock (paper §3.2) guarantees no version ever depends on a larger
+/// version number, across all workers.
+using Version = uint64_t;
+constexpr Version kInvalidVersion = 0;  // versions start at 1
+
+/// World-line id (paper §4.2): a viewstamp-like counter incremented on every
+/// failure. Requests and state tagged with different world-lines must not
+/// interact.
+using WorldLine = uint64_t;
+constexpr WorldLine kInitialWorldLine = 1;
+
+/// A commit token "A-m": version m of worker A (paper §3, Figure 2).
+struct WorkerVersion {
+  WorkerId worker = kInvalidWorker;
+  Version version = kInvalidVersion;
+
+  friend bool operator==(const WorkerVersion&, const WorkerVersion&) = default;
+  friend auto operator<=>(const WorkerVersion&, const WorkerVersion&) = default;
+};
+
+/// A DPR-cut (paper Def. 3.1): for every live worker, the largest version
+/// number whose effects are guaranteed recoverable. Recovering every worker
+/// to its cut entry yields a prefix-consistent global state.
+using DprCut = std::map<WorkerId, Version>;
+
+/// Returns the cut entry for `worker`, or kInvalidVersion when absent.
+inline Version CutVersion(const DprCut& cut, WorkerId worker) {
+  auto it = cut.find(worker);
+  return it == cut.end() ? kInvalidVersion : it->second;
+}
+
+/// Compact dependency set carried by client requests: for each worker the
+/// session has touched, the largest version it operated in. (Tokens capture
+/// prefixes, so depending on A-m subsumes depending on A-k for k < m.)
+using DependencySet = std::map<WorkerId, Version>;
+
+inline void MergeDependency(DependencySet* deps, WorkerVersion wv) {
+  auto [it, inserted] = deps->emplace(wv.worker, wv.version);
+  if (!inserted && it->second < wv.version) it->second = wv.version;
+}
+
+inline void MergeDependencies(DependencySet* into, const DependencySet& from) {
+  for (const auto& [w, v] : from) {
+    MergeDependency(into, WorkerVersion{w, v});
+  }
+}
+
+}  // namespace dpr
+
+#endif  // DPR_DPR_TYPES_H_

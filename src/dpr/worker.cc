@@ -1,0 +1,195 @@
+#include "dpr/worker.h"
+
+#include <utility>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace dpr {
+
+DprWorker::DprWorker(StateObject* state_object,
+                     const DprWorkerOptions& options)
+    : state_object_(state_object), options_(options) {
+  DPR_CHECK(state_object_ != nullptr);
+  DPR_CHECK(options_.finder != nullptr);
+  DPR_CHECK(options_.worker_id != kInvalidWorker);
+}
+
+DprWorker::~DprWorker() { Stop(); }
+
+Status DprWorker::Start() {
+  world_line_.store(options_.finder->CurrentWorldLine(),
+                    std::memory_order_release);
+  DPR_RETURN_NOT_OK(options_.finder->AddWorker(options_.worker_id, 0));
+  stop_.store(false, std::memory_order_release);
+  if (options_.checkpoint_interval_us > 0) {
+    timer_ = std::thread([this] { TimerLoop(); });
+  }
+  return Status::OK();
+}
+
+void DprWorker::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (timer_.joinable()) timer_.join();
+}
+
+void DprWorker::TimerLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    SleepMicros(options_.checkpoint_interval_us);
+    if (stop_.load(std::memory_order_acquire)) break;
+    Status s = TryCommit(0);
+    if (!s.ok() && !s.IsBusy() && !s.IsUnavailable()) {
+      DPR_WARN("worker %u commit: %s", options_.worker_id,
+               s.ToString().c_str());
+    }
+    RefreshPersistedWatermark();
+  }
+}
+
+Status DprWorker::BeginBatch(const DprRequestHeader& header,
+                             Version* out_version) {
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    const WorldLine my_wl = world_line_.load(std::memory_order_acquire);
+    if (header.world_line < my_wl) {
+      // Client is on a pre-failure world-line; it must compute its surviving
+      // prefix before operating in the new world (paper §4.2).
+      return Status::Aborted("stale client world-line");
+    }
+    if (header.world_line > my_wl || in_recovery_.load()) {
+      // This worker has not rolled back yet; make the client retry instead
+      // of mixing world-lines.
+      return Status::Unavailable("worker behind client world-line");
+    }
+    version_latch_.LockShared();
+    if (in_recovery_.load(std::memory_order_acquire) ||
+        world_line_.load(std::memory_order_acquire) != my_wl) {
+      version_latch_.UnlockShared();
+      continue;
+    }
+    const Version v = state_object_->CurrentVersion();
+    if (v < header.version) {
+      // Progress rule (§3.2): execute only in a version >= the client's Vs;
+      // fast-forward by committing up to it.
+      version_latch_.UnlockShared();
+      Status s = TryCommit(header.version);
+      if (!s.ok() && !s.IsBusy()) return s;
+      std::this_thread::yield();
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> guard(deps_mu_);
+      DependencySet& deps = version_deps_[v];
+      for (const auto& [dw, dv] : header.deps) {
+        if (dw == options_.worker_id) continue;  // self-deps are implicit
+        MergeDependency(&deps, WorkerVersion{dw, dv});
+      }
+    }
+    *out_version = v;
+    return Status::OK();  // caller executes the batch, then EndBatch()
+  }
+  return Status::Unavailable("could not admit batch");
+}
+
+void DprWorker::EndBatch() { version_latch_.UnlockShared(); }
+
+void DprWorker::FillResponse(Version executed_version,
+                             DprResponseHeader::BatchStatus status,
+                             DprResponseHeader* resp) const {
+  resp->status = status;
+  resp->world_line = world_line_.load(std::memory_order_acquire);
+  resp->executed_version = executed_version;
+  resp->persisted_version =
+      persisted_watermark_.load(std::memory_order_acquire);
+}
+
+Status DprWorker::TryCommit(Version target_version) {
+  if (in_recovery_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("mid-recovery");
+  }
+  version_latch_.LockExclusive();
+  const Version cur = state_object_->CurrentVersion();
+  Version target = target_version;
+  if (target == 0) {
+    target = cur + 1;
+    if (options_.vmax_fast_forward) {
+      const Version vmax = options_.finder->MaxPersistedVersion();
+      if (vmax + 1 > target) target = vmax + 1;  // catch up to the cluster
+    }
+  }
+  if (target <= cur) {
+    version_latch_.UnlockExclusive();
+    return Status::OK();  // someone already advanced past the target
+  }
+  const WorldLine wl = world_line_.load(std::memory_order_acquire);
+  Version token = kInvalidVersion;
+  Status s = state_object_->PerformCheckpoint(
+      target, [this, wl](Version t) { OnCheckpointPersistent(wl, t); },
+      &token);
+  version_latch_.UnlockExclusive();
+  return s;
+}
+
+void DprWorker::OnCheckpointPersistent(WorldLine world_line, Version token) {
+  DependencySet deps;
+  {
+    std::lock_guard<std::mutex> guard(deps_mu_);
+    // The report covers every version in (last_reported, token]; fold their
+    // dependency sets together (versions are cumulative prefixes).
+    auto it = version_deps_.begin();
+    while (it != version_deps_.end() && it->first <= token) {
+      MergeDependencies(&deps, it->second);
+      it = version_deps_.erase(it);
+    }
+    if (token > last_reported_) last_reported_ = token;
+  }
+  Status s = options_.finder->ReportPersistedVersion(
+      world_line, WorkerVersion{options_.worker_id, token}, deps);
+  if (!s.ok() && !s.IsAborted()) {
+    DPR_WARN("worker %u report v%llu: %s", options_.worker_id,
+             static_cast<unsigned long long>(token), s.ToString().c_str());
+  }
+  RefreshPersistedWatermark();
+}
+
+void DprWorker::RefreshPersistedWatermark() {
+  const Version safe = options_.finder->SafeVersion(options_.worker_id);
+  Version cur = persisted_watermark_.load(std::memory_order_relaxed);
+  while (safe > cur && !persisted_watermark_.compare_exchange_weak(
+                           cur, safe, std::memory_order_release)) {
+  }
+}
+
+Status DprWorker::Rollback(WorldLine new_world_line, Version safe_version) {
+  return RollbackInternal(new_world_line, safe_version, /*crash=*/false);
+}
+
+Status DprWorker::CrashAndRestore(WorldLine new_world_line,
+                                  Version safe_version) {
+  return RollbackInternal(new_world_line, safe_version, /*crash=*/true);
+}
+
+Status DprWorker::RollbackInternal(WorldLine new_world_line,
+                                   Version safe_version, bool crash) {
+  in_recovery_.store(true, std::memory_order_release);
+  // Quiesce in-flight batches before touching store state: a simulated
+  // crash drops the volatile log, which no concurrently-executing batch may
+  // still be reading.
+  version_latch_.LockExclusive();
+  if (crash) state_object_->SimulateCrash();
+  Version restored = kInvalidVersion;
+  Status s = state_object_->RestoreCheckpoint(safe_version, &restored);
+  if (s.ok()) {
+    {
+      std::lock_guard<std::mutex> guard(deps_mu_);
+      version_deps_.clear();
+      last_reported_ = restored;
+    }
+    world_line_.store(new_world_line, std::memory_order_release);
+  }
+  version_latch_.UnlockExclusive();
+  in_recovery_.store(false, std::memory_order_release);
+  RefreshPersistedWatermark();
+  return s;
+}
+
+}  // namespace dpr

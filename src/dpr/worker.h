@@ -1,0 +1,117 @@
+#ifndef DPR_DPR_WORKER_H_
+#define DPR_DPR_WORKER_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/latch.h"
+#include "common/status.h"
+#include "dpr/finder.h"
+#include "dpr/header.h"
+#include "dpr/state_object.h"
+#include "dpr/types.h"
+
+namespace dpr {
+
+struct DprWorkerOptions {
+  WorkerId worker_id = kInvalidWorker;
+  DprFinder* finder = nullptr;
+  /// Period of the background commit timer; 0 disables it (manual TryCommit
+  /// only, as tests prefer).
+  uint64_t checkpoint_interval_us = 100000;
+  /// Enable Vmax fast-forwarding (§3.4): each timer tick targets at least the
+  /// global max persisted version so a lagging worker catches up.
+  bool vmax_fast_forward = true;
+};
+
+/// Server-side libDPR (paper §6): wraps any StateObject with the DPR
+/// protocol. Request batches pass through BeginBatch()/EndBatch(), which
+///  * validate the client's world-line against the worker's,
+///  * fast-forward the worker's version when the client has seen a larger
+///    one (the progress guarantee of §3.2),
+///  * merge the batch's dependency set into the version it executes in, and
+///  * hold the shared version latch so an entire batch lands in one version
+///    (checkpoints take it exclusively, briefly, to draw the boundary).
+/// A background timer triggers Commit() periodically; persistence callbacks
+/// report (version, deps) to the DprFinder off the critical path.
+class DprWorker {
+ public:
+  DprWorker(StateObject* state_object, const DprWorkerOptions& options);
+  ~DprWorker();
+
+  DprWorker(const DprWorker&) = delete;
+  DprWorker& operator=(const DprWorker&) = delete;
+
+  /// Registers with the finder and starts the commit timer (if configured).
+  Status Start();
+  void Stop();
+
+  /// Admission control for one request batch. On OK, `*out_version` is the
+  /// version every operation of the batch executes in, and the caller must
+  /// execute the batch and then call EndBatch(). Failure modes:
+  ///  * Aborted    — client world-line is stale; respond kWorldLineShift.
+  ///  * Unavailable— worker mid-recovery or behind the client's world-line;
+  ///                 respond kRetryLater.
+  Status BeginBatch(const DprRequestHeader& header, Version* out_version);
+  void EndBatch();
+
+  /// Fills a response header for a batch that executed in `executed_version`
+  /// (or for a rejection, using the status mapped from BeginBatch()).
+  void FillResponse(Version executed_version,
+                    DprResponseHeader::BatchStatus status,
+                    DprResponseHeader* resp) const;
+
+  /// Triggers a commit now. target 0 means current+1 (with Vmax
+  /// fast-forward when enabled). Returns Busy if the store is already
+  /// checkpointing; that is benign (the timer will retry).
+  Status TryCommit(Version target_version = 0);
+
+  /// Rolls the store back to `safe_version` on world-line `new_world_line`
+  /// (invoked by the cluster manager during recovery, §4).
+  Status Rollback(WorldLine new_world_line, Version safe_version);
+
+  /// Marks this worker as failed-and-restarted: volatile state is dropped,
+  /// then the store is restored like any other rollback.
+  Status CrashAndRestore(WorldLine new_world_line, Version safe_version);
+
+  WorkerId id() const { return options_.worker_id; }
+  StateObject* state_object() { return state_object_; }
+  WorldLine world_line() const {
+    return world_line_.load(std::memory_order_acquire);
+  }
+  /// This worker's committed watermark (refreshed from the finder by the
+  /// timer thread; piggybacked on every response).
+  Version persisted_watermark() const {
+    return persisted_watermark_.load(std::memory_order_acquire);
+  }
+  void RefreshPersistedWatermark();
+
+ private:
+  void TimerLoop();
+  Status RollbackInternal(WorldLine new_world_line, Version safe_version,
+                          bool crash);
+  void OnCheckpointPersistent(WorldLine world_line, Version token);
+
+  StateObject* state_object_;
+  DprWorkerOptions options_;
+
+  SharedSpinLatch version_latch_;
+  std::atomic<uint64_t> world_line_{kInitialWorldLine};
+  std::atomic<uint64_t> persisted_watermark_{kInvalidVersion};
+  std::atomic<bool> in_recovery_{false};
+
+  // Dependency sets accumulated per (uncommitted) version, and the largest
+  // token already reported to the finder.
+  std::mutex deps_mu_;
+  std::map<Version, DependencySet> version_deps_;
+  Version last_reported_ = kInvalidVersion;
+
+  std::thread timer_;
+  std::atomic<bool> stop_{true};
+};
+
+}  // namespace dpr
+
+#endif  // DPR_DPR_WORKER_H_

@@ -1,0 +1,129 @@
+#ifndef DPR_DREDIS_DREDIS_H_
+#define DPR_DREDIS_DREDIS_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dpr/worker.h"
+#include "net/rpc.h"
+#include "respstore/resp_store.h"
+
+namespace dpr {
+
+/// Serves an unmodified RespStore ("Redis") over RPC: each message is an
+/// encoded command batch, each response the encoded replies.
+class RespStoreServer {
+ public:
+  RespStoreServer(RespStore* store, std::unique_ptr<RpcServer> server);
+  ~RespStoreServer();
+
+  Status Start();
+  void Stop();
+  const std::string& address() const { return address_; }
+
+ private:
+  RespStore* store_;
+  std::unique_ptr<RpcServer> server_;
+  std::string address_;
+};
+
+/// Forwards every message unchanged to a backend endpoint — the paper's
+/// "Redis + proxy" control configuration that isolates the cost of the extra
+/// network hop from the cost of DPR itself (§7.5).
+class PassThroughProxy {
+ public:
+  PassThroughProxy(std::unique_ptr<RpcConnection> backend,
+                   std::unique_ptr<RpcServer> server);
+  ~PassThroughProxy();
+
+  Status Start();
+  void Stop();
+  const std::string& address() const { return address_; }
+
+ private:
+  std::unique_ptr<RpcConnection> backend_;
+  std::unique_ptr<RpcServer> server_;
+  std::string address_;
+};
+
+/// StateObject adapter over an *unmodified* remote cache-store: Commit() is
+/// BGSAVE + LASTSAVE polling, Restore() is the store's snapshot reload
+/// ("restarting the Redis instance", §6). The version counter lives here in
+/// the wrapper; the store never learns about DPR.
+class RemoteRespStateObject : public StateObject {
+ public:
+  /// `crash_handle` (optional) lets failure tests crash the backing store;
+  /// it is not part of the protocol.
+  RemoteRespStateObject(std::unique_ptr<RpcConnection> conn,
+                        RespStore* crash_handle = nullptr);
+  ~RemoteRespStateObject() override;
+
+  Status PerformCheckpoint(Version target_version, PersistCallback on_persist,
+                           Version* out_token) override;
+  Status RestoreCheckpoint(Version version, Version* restored_token) override;
+  Version CurrentVersion() const override {
+    return version_.load(std::memory_order_acquire);
+  }
+  void SimulateCrash() override;
+
+  RpcConnection* connection() { return conn_.get(); }
+
+ private:
+  void PollLoop();
+
+  std::unique_ptr<RpcConnection> conn_;
+  RespStore* crash_handle_;
+  std::atomic<uint64_t> version_{1};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  struct Outstanding {
+    Version token;
+    PersistCallback callback;
+  };
+  std::deque<Outstanding> outstanding_;
+  bool stop_ = false;
+  std::thread poll_thread_;
+};
+
+/// The D-Redis proxy (paper Fig. 9): server-side libDPR (DprWorker) in front
+/// of an unmodified store. Request wire format:
+///   [DprRequestHeader][u32 op-count][encoded command batch]
+/// Response:
+///   [DprResponseHeader][encoded replies]
+class DRedisProxy {
+ public:
+  struct Options {
+    WorkerId id = 0;
+    DprWorkerOptions dpr;  // finder + checkpoint interval
+  };
+
+  DRedisProxy(Options options, std::unique_ptr<RpcConnection> store_conn,
+              std::unique_ptr<RpcServer> server,
+              RespStore* crash_handle = nullptr);
+  ~DRedisProxy();
+
+  Status Start();
+  void Stop();
+  const std::string& address() const { return address_; }
+  DprWorker* dpr_worker() { return dpr_worker_.get(); }
+
+ private:
+  void Handle(Slice request, std::string* response);
+
+  Options options_;
+  std::unique_ptr<RemoteRespStateObject> state_object_;
+  std::unique_ptr<DprWorker> dpr_worker_;
+  std::unique_ptr<RpcServer> server_;
+  std::string address_;
+};
+
+}  // namespace dpr
+
+#endif  // DPR_DREDIS_DREDIS_H_

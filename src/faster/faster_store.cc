@@ -1,0 +1,708 @@
+#include "faster/faster_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace dpr {
+
+namespace {
+// Checkpoint-metadata WAL record types.
+constexpr uint8_t kMetaCheckpoint = 1;
+constexpr uint8_t kMetaRollback = 2;
+constexpr uint8_t kMetaBegin = 3;  // durable log-begin advance (compaction)
+constexpr size_t kMaxValueSize = 4096;
+}  // namespace
+
+FasterStore::FasterStore(FasterOptions options)
+    : options_(std::move(options)),
+      log_(options_.page_bits),
+      index_(options_.index_buckets),
+      meta_wal_(options_.meta_device != nullptr
+                    ? std::move(options_.meta_device)
+                    : std::make_unique<MemoryDevice>()) {
+  if (options_.log_device == nullptr) {
+    options_.log_device = std::make_unique<MemoryDevice>();
+  }
+  flush_thread_ = std::thread([this] { FlushLoop(); });
+}
+
+FasterStore::~FasterStore() {
+  {
+    std::lock_guard<std::mutex> guard(flush_mu_);
+    stop_flush_ = true;
+  }
+  flush_cv_.notify_all();
+  if (flush_thread_.joinable()) flush_thread_.join();
+}
+
+// ---------------------------------------------------------------- sessions
+
+FasterStore::Session::Session(FasterStore* store) : store_(store) {
+  store_->epoch_.Protect();
+}
+
+FasterStore::Session::~Session() { store_->epoch_.Unprotect(); }
+
+std::unique_ptr<FasterStore::Session> FasterStore::NewSession() {
+  return std::unique_ptr<Session>(new Session(this));
+}
+
+void FasterStore::Session::Refresh() { store_->epoch_.Refresh(); }
+
+Status FasterStore::Session::Read(uint64_t key, std::string* value) {
+  if (++ops_since_refresh_ >= 256) {
+    ops_since_refresh_ = 0;
+    Refresh();
+  }
+  return store_->ReadInternal(key, value, nullptr);
+}
+
+Status FasterStore::Session::Read(uint64_t key, uint64_t* value) {
+  if (++ops_since_refresh_ >= 256) {
+    ops_since_refresh_ = 0;
+    Refresh();
+  }
+  return store_->ReadInternal(key, nullptr, value);
+}
+
+Status FasterStore::Session::Upsert(uint64_t key, Slice value) {
+  if (++ops_since_refresh_ >= 256) {
+    ops_since_refresh_ = 0;
+    Refresh();
+  }
+  return store_->UpsertInternal(key, value);
+}
+
+Status FasterStore::Session::Upsert(uint64_t key, uint64_t value) {
+  return Upsert(key, Slice(reinterpret_cast<const char*>(&value), 8));
+}
+
+Status FasterStore::Session::Delete(uint64_t key) {
+  if (++ops_since_refresh_ >= 256) {
+    ops_since_refresh_ = 0;
+    Refresh();
+  }
+  return store_->UpsertInternal(key, Slice(nullptr, 0));
+}
+
+Status FasterStore::Session::Rmw(uint64_t key, uint64_t delta,
+                                 uint64_t* result) {
+  if (++ops_since_refresh_ >= 256) {
+    ops_since_refresh_ = 0;
+    Refresh();
+  }
+  FasterStore* s = store_;
+  if (s->crashed_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("store crashed; awaiting restore");
+  }
+  for (;;) {
+    const uint64_t v = s->version_.load(std::memory_order_acquire);
+    LogAddress head;
+    const LogAddress found = s->FindRecord(key, &head);
+    if (found != kNullAddress) {
+      RecordHeader* rec = s->log_.RecordAt(found);
+      if (!rec->tombstone() && rec->value_size == 8 &&
+          found >= s->read_only_address_.load(std::memory_order_acquire) &&
+          s->rollback_state_.load(std::memory_order_acquire) ==
+              static_cast<int>(RollbackState::kRest) &&
+          !s->checkpoint_active_.load(std::memory_order_acquire)) {
+        // In-place atomic add in the mutable region.
+        std::atomic_ref<uint64_t> cell(
+            *reinterpret_cast<uint64_t*>(rec->value()));
+        const uint64_t updated =
+            cell.fetch_add(delta, std::memory_order_acq_rel) + delta;
+        if (result != nullptr) *result = updated;
+        return Status::OK();
+      }
+    }
+    // RCU: read-modify-write into a fresh record at the tail.
+    uint64_t base = 0;
+    if (found != kNullAddress) {
+      const RecordHeader* rec = s->log_.RecordAt(found);
+      if (!rec->tombstone() && rec->value_size == 8) {
+        memcpy(&base, rec->value(), 8);
+      }
+    }
+    const uint64_t updated = base + delta;
+    LogAddress expected = head;
+    const LogAddress fresh = s->AppendRecord(
+        key, Slice(reinterpret_cast<const char*>(&updated), 8),
+        /*tombstone=*/false, expected, static_cast<uint32_t>(v));
+    if (s->index_.CasHead(key, &expected, fresh)) {
+      if (result != nullptr) *result = updated;
+      s->record_count_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    // Lost the CAS: the chain advanced; seal the orphan and retry the whole
+    // RMW against the fresh head.
+    s->log_.RecordAt(fresh)->SetFlag(RecordHeader::kInvalid);
+  }
+}
+
+// ------------------------------------------------------------------- reads
+
+bool FasterStore::Visible(const RecordHeader* rec) const {
+  if (rec->invalid()) return false;
+  const uint64_t high = ignore_high_.load(std::memory_order_acquire);
+  if (high != 0) {
+    const uint64_t low = ignore_low_.load(std::memory_order_acquire);
+    if (rec->version > low && rec->version <= high) return false;
+  }
+  return true;
+}
+
+LogAddress FasterStore::FindRecord(uint64_t key, LogAddress* head_out) const {
+  const LogAddress head = index_.Head(key);
+  if (head_out != nullptr) *head_out = head;
+  LogAddress addr = head;
+  const LogAddress begin = begin_.load(std::memory_order_acquire);
+  while (addr != kNullAddress && addr >= begin) {
+    const RecordHeader* rec = log_.RecordAt(addr);
+    if (rec->key == key && Visible(rec)) return addr;
+    addr = rec->prev;
+  }
+  return kNullAddress;
+}
+
+Status FasterStore::ReadInternal(uint64_t key, std::string* out_str,
+                                 uint64_t* out_int) {
+  if (crashed_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("store crashed; awaiting restore");
+  }
+  const LogAddress found = FindRecord(key, nullptr);
+  if (found == kNullAddress) return Status::NotFound();
+  const RecordHeader* rec = log_.RecordAt(found);
+  if (rec->tombstone()) return Status::NotFound();
+  if (out_int != nullptr) {
+    if (rec->value_size != 8) {
+      return Status::InvalidArgument("value is not 8 bytes");
+    }
+    *out_int = std::atomic_ref<const uint64_t>(
+                   *reinterpret_cast<const uint64_t*>(rec->value()))
+                   .load(std::memory_order_acquire);
+  }
+  if (out_str != nullptr) {
+    // Values longer than 8 bytes are never updated in place, so this copy
+    // cannot tear; 8-byte values are read atomically above the memcpy.
+    if (rec->value_size == 8) {
+      uint64_t v = std::atomic_ref<const uint64_t>(
+                       *reinterpret_cast<const uint64_t*>(rec->value()))
+                       .load(std::memory_order_acquire);
+      out_str->assign(reinterpret_cast<const char*>(&v), 8);
+    } else {
+      out_str->assign(rec->value(), rec->value_size);
+    }
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------ writes
+
+LogAddress FasterStore::AppendRecord(uint64_t key, Slice value, bool tombstone,
+                                     LogAddress prev, uint32_t version) {
+  const uint64_t size = RecordHeader::SizeWith(
+      static_cast<uint16_t>(value.size()));
+  const LogAddress addr = log_.Allocate(size);
+  RecordHeader* rec = log_.RecordAt(addr);
+  rec->prev = prev;
+  rec->key = key;
+  rec->version = version;
+  rec->value_size = static_cast<uint16_t>(value.size());
+  rec->flags = tombstone ? RecordHeader::kTombstone : 0;
+  if (!value.empty()) memcpy(rec->value(), value.data(), value.size());
+  return addr;
+}
+
+Status FasterStore::UpsertInternal(uint64_t key, Slice value) {
+  if (crashed_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("store crashed; awaiting restore");
+  }
+  if (value.size() > kMaxValueSize) {
+    return Status::InvalidArgument("value too large");
+  }
+  const bool tombstone = value.data() == nullptr;
+  for (;;) {
+    LogAddress head;
+    const LogAddress found = FindRecord(key, &head);
+    const uint64_t v = version_.load(std::memory_order_acquire);
+    if (!tombstone && found != kNullAddress) {
+      RecordHeader* rec = log_.RecordAt(found);
+      if (!rec->tombstone() && rec->value_size == 8 && value.size() == 8 &&
+          found >= read_only_address_.load(std::memory_order_acquire) &&
+          rollback_state_.load(std::memory_order_acquire) ==
+              static_cast<int>(RollbackState::kRest) &&
+          !checkpoint_active_.load(std::memory_order_acquire)) {
+        // In-place update: mutable-region records belong to the current
+        // version, so no new version stamp is needed. While a checkpoint is
+        // in flight the store runs in CPR's reduced-performance mode — all
+        // updates take the RCU path (paper §5.5 / §7.2: frequent
+        // checkpoints over slow storage keep the store in the slow path).
+        std::atomic_ref<uint64_t> cell(
+            *reinterpret_cast<uint64_t*>(rec->value()));
+        uint64_t nv;
+        memcpy(&nv, value.data(), 8);
+        cell.store(nv, std::memory_order_release);
+        return Status::OK();
+      }
+    }
+    LogAddress expected = head;
+    const LogAddress fresh =
+        AppendRecord(key, tombstone ? Slice("", 0) : value, tombstone,
+                     expected, static_cast<uint32_t>(v));
+    if (tombstone) log_.RecordAt(fresh)->SetFlag(RecordHeader::kTombstone);
+    if (index_.CasHead(key, &expected, fresh)) {
+      record_count_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    log_.RecordAt(fresh)->SetFlag(RecordHeader::kInvalid);
+  }
+}
+
+// ------------------------------------------------------------- checkpoints
+
+Status FasterStore::PerformCheckpoint(Version target_version,
+                                      PersistCallback on_persist,
+                                      Version* out_token) {
+  if (crashed_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("store crashed");
+  }
+  if (rollback_state_.load(std::memory_order_acquire) !=
+      static_cast<int>(RollbackState::kRest)) {
+    return Status::Busy("rollback in progress");
+  }
+  bool expected = false;
+  if (!checkpoint_active_.compare_exchange_strong(expected, true)) {
+    return Status::Busy("checkpoint already in progress");
+  }
+  const Version token = version_.load(std::memory_order_acquire);
+  if (target_version <= token) {
+    checkpoint_active_.store(false, std::memory_order_release);
+    return Status::InvalidArgument("target version must exceed current");
+  }
+  DPR_CHECK_MSG(target_version < (uint64_t{1} << 32),
+                "version overflows record stamp");
+  // Draw the boundary: everything below `boundary` belongs to versions
+  // <= token and becomes immutable (fold-over); new operations run in
+  // target_version above it. Metadata-only — the flush is asynchronous.
+  const LogAddress boundary = log_.tail();
+  read_only_address_.store(boundary, std::memory_order_release);
+  version_.store(target_version, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> guard(flush_mu_);
+    flush_queue_.push_back(
+        FlushRequest{token, boundary, std::move(on_persist)});
+  }
+  flush_cv_.notify_all();
+  if (out_token != nullptr) *out_token = token;
+  return Status::OK();
+}
+
+Status FasterStore::FlushRange(LogAddress from, LogAddress to) {
+  // The range is immutable (below the read-only boundary); copy it out in
+  // page-sized chunks.
+  const uint64_t chunk = log_.page_size();
+  std::vector<char> buf;
+  LogAddress pos = from;
+  while (pos < to) {
+    const uint64_t page_end = (pos | (chunk - 1)) + 1;
+    const uint64_t n = std::min<uint64_t>(page_end, to) - pos;
+    buf.resize(n);
+    memcpy(buf.data(), log_.Resolve(pos), n);
+    DPR_RETURN_NOT_OK(options_.log_device->WriteAt(pos, buf.data(), n));
+    pos += n;
+  }
+  return options_.log_device->Flush();
+}
+
+Status FasterStore::AppendCheckpointMeta(uint8_t type, Version token,
+                                         LogAddress boundary) {
+  std::string rec(1, static_cast<char>(type));
+  PutFixed64(&rec, token);
+  PutFixed64(&rec, boundary);
+  DPR_RETURN_NOT_OK(meta_wal_.Append(rec));
+  return meta_wal_.Sync();
+}
+
+void FasterStore::FlushLoop() {
+  for (;;) {
+    FlushRequest req;
+    {
+      std::unique_lock<std::mutex> lock(flush_mu_);
+      flush_cv_.wait(lock,
+                     [this] { return stop_flush_ || !flush_queue_.empty(); });
+      if (stop_flush_ && flush_queue_.empty()) return;
+      req = std::move(flush_queue_.front());
+      flush_queue_.pop_front();
+      flush_in_progress_ = true;
+    }
+    const LogAddress from = flushed_until_.load(std::memory_order_acquire);
+    Status s = Status::OK();
+    if (req.boundary > from) s = FlushRange(from, req.boundary);
+    if (s.ok()) s = AppendCheckpointMeta(kMetaCheckpoint, req.token,
+                                         req.boundary);
+    if (s.ok()) {
+      {
+        std::lock_guard<std::mutex> guard(checkpoints_mu_);
+        checkpoints_[req.token] = req.boundary;
+      }
+      if (req.boundary > from) {
+        flushed_until_.store(req.boundary, std::memory_order_release);
+      }
+    } else {
+      DPR_ERROR("checkpoint v%llu flush failed: %s",
+                static_cast<unsigned long long>(req.token),
+                s.ToString().c_str());
+    }
+    // Fire the persistence callback before reporting idle, so
+    // WaitForCheckpoints() implies the commit was reported.
+    if (s.ok() && req.callback) req.callback(req.token);
+    {
+      std::lock_guard<std::mutex> guard(flush_mu_);
+      flush_in_progress_ = false;
+      if (flush_queue_.empty()) {
+        checkpoint_active_.store(false, std::memory_order_release);
+      }
+    }
+    flush_idle_cv_.notify_all();
+  }
+}
+
+void FasterStore::WaitForCheckpoints() {
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  flush_idle_cv_.wait(
+      lock, [this] { return flush_queue_.empty() && !flush_in_progress_; });
+}
+
+void FasterStore::Scan(
+    const std::function<void(uint64_t, Slice)>& visitor) const {
+  const LogAddress end = log_.tail();
+  const uint64_t page_mask = log_.page_size() - 1;
+  LogAddress pos = begin_.load(std::memory_order_acquire);
+  while (pos < end) {
+    if (log_.page_size() - (pos & page_mask) < sizeof(RecordHeader)) {
+      pos = (pos | page_mask) + 1;
+      continue;
+    }
+    const RecordHeader* rec = log_.RecordAt(pos);
+    if (rec->key == 0 && rec->version == 0 && rec->value_size == 0 &&
+        rec->LoadFlags() == 0) {
+      pos = (pos | page_mask) + 1;
+      continue;
+    }
+    // Emit only if this record is the newest visible one for its key.
+    if (!rec->pad() && !rec->tombstone() && Visible(rec) &&
+        FindRecord(rec->key, nullptr) == pos) {
+      visitor(rec->key, Slice(rec->value(), rec->value_size));
+    }
+    pos += rec->size();
+  }
+}
+
+Status FasterStore::StartCompaction(Version safe_token,
+                                    Version* compaction_token) {
+  LogAddress until = kNullAddress;
+  {
+    std::lock_guard<std::mutex> guard(checkpoints_mu_);
+    auto it = checkpoints_.find(safe_token);
+    if (it == checkpoints_.end()) {
+      return Status::NotFound("safe token has no durable checkpoint");
+    }
+    until = it->second;
+  }
+  const LogAddress begin = begin_.load(std::memory_order_acquire);
+  if (until <= begin) {
+    return Status::InvalidArgument("nothing to compact below safe token");
+  }
+  // Copy every live record in [begin, until) to the tail. Copies are
+  // ordinary writes in the current version: if they are later rolled back,
+  // the originals are still present (begin has not moved yet).
+  const uint64_t page_mask = log_.page_size() - 1;
+  LogAddress pos = begin;
+  while (pos < until) {
+    if (log_.page_size() - (pos & page_mask) < sizeof(RecordHeader)) {
+      pos = (pos | page_mask) + 1;
+      continue;
+    }
+    RecordHeader* rec = log_.RecordAt(pos);
+    if (rec->key == 0 && rec->version == 0 && rec->value_size == 0 &&
+        rec->LoadFlags() == 0) {
+      pos = (pos | page_mask) + 1;
+      continue;
+    }
+    const uint64_t key = rec->key;
+    if (!rec->pad() && !rec->tombstone() && Visible(rec)) {
+      // Conditional copy-to-tail: give up if a newer record for the key
+      // appears (a concurrent writer superseded the value being copied).
+      for (;;) {
+        LogAddress head;
+        if (FindRecord(key, &head) != pos) break;  // superseded or deleted
+        const uint64_t v = version_.load(std::memory_order_acquire);
+        LogAddress expected = head;
+        const LogAddress copy =
+            AppendRecord(key, Slice(rec->value(), rec->value_size),
+                         /*tombstone=*/false, expected,
+                         static_cast<uint32_t>(v));
+        if (index_.CasHead(key, &expected, copy)) {
+          record_count_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        log_.RecordAt(copy)->SetFlag(RecordHeader::kInvalid);
+      }
+    }
+    pos += rec->size();
+  }
+  // Checkpoint the copies; `token` is the compaction checkpoint.
+  Status s;
+  Version token = kInvalidVersion;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    s = PerformCheckpoint(CurrentVersion() + 1, nullptr, &token);
+    if (!s.IsBusy()) break;
+    WaitForCheckpoints();  // a timer-triggered checkpoint was in flight
+  }
+  DPR_RETURN_NOT_OK(s);
+  WaitForCheckpoints();
+  {
+    std::lock_guard<std::mutex> guard(checkpoints_mu_);
+    pending_compactions_[token] = until;
+  }
+  if (compaction_token != nullptr) *compaction_token = token;
+  return Status::OK();
+}
+
+Status FasterStore::FinishCompaction(Version compaction_token,
+                                     Version committed_watermark) {
+  if (committed_watermark < compaction_token) {
+    // GC only entries inside the DPR guarantee: the copies are not yet
+    // covered by the committed cut, so the originals must stay restorable.
+    return Status::Busy("DPR cut has not covered the compaction checkpoint");
+  }
+  LogAddress until = kNullAddress;
+  {
+    std::lock_guard<std::mutex> guard(checkpoints_mu_);
+    auto it = pending_compactions_.find(compaction_token);
+    if (it == pending_compactions_.end()) {
+      return Status::NotFound("unknown compaction token");
+    }
+    until = it->second;
+    pending_compactions_.erase(it);
+    // Checkpoints older than the compaction checkpoint can no longer be
+    // restored (their images reference the truncated region); DPR never
+    // rolls back below the committed cut, so dropping them is safe.
+    for (auto cit = checkpoints_.begin();
+         cit != checkpoints_.end() && cit->first < compaction_token;) {
+      cit = checkpoints_.erase(cit);
+    }
+  }
+  DPR_RETURN_NOT_OK(AppendCheckpointMeta(kMetaBegin, compaction_token,
+                                         until));
+  begin_.store(until, std::memory_order_release);
+  // Reclaim memory once every thread has observed the new begin address.
+  epoch_.BumpEpoch([this, until] { log_.ReleasePagesBelow(until); });
+  epoch_.TryDrain();
+  return Status::OK();
+}
+
+Version FasterStore::LargestDurableToken() const {
+  std::lock_guard<std::mutex> guard(checkpoints_mu_);
+  return checkpoints_.empty() ? kInvalidVersion : checkpoints_.rbegin()->first;
+}
+
+// ---------------------------------------------------------------- rollback
+
+Status FasterStore::RestoreCheckpoint(Version version,
+                                      Version* restored_token) {
+  // Quiesce the flush pipeline first so PURGE never races a checkpoint
+  // flush over the same byte range.
+  WaitForCheckpoints();
+
+  Version token = kInvalidVersion;
+  LogAddress boundary = LogAllocator::kBeginAddress;
+  {
+    std::lock_guard<std::mutex> guard(checkpoints_mu_);
+    // Restore to the largest durable token <= the requested version (cut
+    // entries from the approximate finder may not be exact local tokens).
+    for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it) {
+      if (it->first <= version) {
+        token = it->first;
+        boundary = it->second;
+        break;
+      }
+    }
+  }
+  Status s = crashed_.load(std::memory_order_acquire)
+                 ? ColdRecover(token, boundary)
+                 : InMemoryRollback(token, boundary);
+  if (s.ok() && restored_token != nullptr) *restored_token = token;
+  return s;
+}
+
+Status FasterStore::InMemoryRollback(Version token, LogAddress boundary) {
+  const uint64_t v_old = version_.load(std::memory_order_acquire);
+  if (token == v_old) return Status::OK();  // nothing above the target
+  // THROW (Fig. 8): hide versions (token, v_old] from every lookup, stop
+  // in-place updates, and move operations to v_old + 1.
+  ignore_low_.store(token, std::memory_order_release);
+  ignore_high_.store(v_old, std::memory_order_release);
+  rollback_state_.store(static_cast<int>(RollbackState::kThrow),
+                        std::memory_order_release);
+  version_.store(v_old + 1, std::memory_order_release);
+  // Fuzzy end of the lost versions: records appended from here on carry
+  // version v_old + 1 and are never purged.
+  const LogAddress purge_end = log_.tail();
+
+  // PURGE: mark every lost record invalid so the ignore window can be lifted.
+  rollback_state_.store(static_cast<int>(RollbackState::kPurge),
+                        std::memory_order_release);
+  LogAddress pos = std::max(boundary, begin_.load(std::memory_order_acquire));
+  const uint64_t page_mask = log_.page_size() - 1;
+  while (pos < purge_end) {
+    if (log_.page_size() - (pos & page_mask) < sizeof(RecordHeader)) {
+      pos = (pos | page_mask) + 1;  // zeroed page remainder
+      continue;
+    }
+    RecordHeader* rec = log_.RecordAt(pos);
+    if (rec->key == 0 && rec->version == 0 && rec->value_size == 0 &&
+        rec->LoadFlags() == 0) {
+      pos = (pos | page_mask) + 1;  // zeroed page remainder
+      continue;
+    }
+    if (rec->version > token && rec->version <= v_old) {
+      rec->SetFlag(RecordHeader::kInvalid);
+    }
+    pos += rec->size();
+  }
+
+  // If part of the purged range had already been flushed, rewrite it so the
+  // invalid marks are durable — otherwise a later crash-recovery of a
+  // post-rollback checkpoint would resurrect rolled-back records.
+  const LogAddress flushed = flushed_until_.load(std::memory_order_acquire);
+  if (flushed > boundary) {
+    DPR_RETURN_NOT_OK(FlushRange(boundary, flushed));
+  }
+
+  // Forget rolled-back checkpoints (durably), and cancel any in-flight
+  // compaction whose checkpoint was itself rolled back (its copies are now
+  // invalid; the originals below begin remain authoritative).
+  {
+    std::lock_guard<std::mutex> guard(checkpoints_mu_);
+    for (auto it = checkpoints_.upper_bound(token);
+         it != checkpoints_.end();) {
+      it = checkpoints_.erase(it);
+    }
+    for (auto it = pending_compactions_.upper_bound(token);
+         it != pending_compactions_.end();) {
+      it = pending_compactions_.erase(it);
+    }
+  }
+  DPR_RETURN_NOT_OK(AppendCheckpointMeta(kMetaRollback, token, boundary));
+
+  // Nothing pre-rollback may be updated in place anymore.
+  read_only_address_.store(purge_end, std::memory_order_release);
+  // Back to REST: the invalid flags now carry the information the ignore
+  // window provided.
+  ignore_high_.store(0, std::memory_order_release);
+  ignore_low_.store(0, std::memory_order_release);
+  rollback_state_.store(static_cast<int>(RollbackState::kRest),
+                        std::memory_order_release);
+  return Status::OK();
+}
+
+Status FasterStore::ColdRecover(Version token, LogAddress boundary) {
+  log_.Clear();
+  index_.Clear();
+  record_count_.store(0, std::memory_order_relaxed);
+  log_.RestoreTo(boundary);
+  // Bulk-load the durable log prefix, one log page at a time (Resolve()
+  // pointers are only contiguous within a page). A boundary at the begin
+  // address means no checkpoint ever flushed: restore to empty.
+  std::vector<char> buf;
+  LogAddress pos = begin_.load(std::memory_order_acquire);
+  if (boundary <= pos) pos = boundary;
+  while (pos < boundary) {
+    const uint64_t page_end = (pos | (log_.page_size() - 1)) + 1;
+    const uint64_t n = std::min<uint64_t>(page_end, boundary) - pos;
+    buf.resize(n);
+    DPR_RETURN_NOT_OK(options_.log_device->ReadAt(pos, buf.data(), n));
+    memcpy(log_.Resolve(pos), buf.data(), n);
+    pos += n;
+  }
+  // Rebuild the hash index by forward scan: the stored prev pointers are
+  // internally consistent within the restored prefix, so installing each
+  // record as its bucket's head in log order reproduces the chains.
+  const uint64_t page_mask = log_.page_size() - 1;
+  pos = begin_.load(std::memory_order_acquire);
+  uint64_t records = 0;
+  while (pos < boundary) {
+    if (log_.page_size() - (pos & page_mask) < sizeof(RecordHeader)) {
+      pos = (pos | page_mask) + 1;
+      continue;
+    }
+    RecordHeader* rec = log_.RecordAt(pos);
+    if (rec->key == 0 && rec->version == 0 && rec->value_size == 0 &&
+        rec->LoadFlags() == 0) {
+      pos = (pos | page_mask) + 1;
+      continue;
+    }
+    if (!rec->pad() && !rec->invalid() && rec->version <= token) {
+      index_.SetHead(rec->key, pos);
+      ++records;
+    }
+    pos += rec->size();
+  }
+  record_count_.store(records, std::memory_order_relaxed);
+  flushed_until_.store(boundary, std::memory_order_release);
+  read_only_address_.store(boundary, std::memory_order_release);
+  version_.store(token + 1, std::memory_order_release);
+  crashed_.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+void FasterStore::SimulateCrash() {
+  WaitForCheckpoints();
+  crashed_.store(true, std::memory_order_release);
+  options_.log_device->SimulateCrash();
+  meta_wal_.device()->SimulateCrash();
+  log_.Clear();
+  index_.Clear();
+  // Reload durable checkpoint metadata as a restarted process would.
+  {
+    std::lock_guard<std::mutex> guard(checkpoints_mu_);
+    checkpoints_.clear();
+    pending_compactions_.clear();
+    begin_.store(LogAllocator::kBeginAddress, std::memory_order_release);
+    Status s = meta_wal_.Replay([this](uint64_t, Slice record) {
+      Decoder dec(record);
+      uint8_t type;
+      uint64_t token;
+      uint64_t boundary;
+      if (!dec.GetBytes(&type, 1) || !dec.GetFixed64(&token) ||
+          !dec.GetFixed64(&boundary)) {
+        return;
+      }
+      if (type == kMetaCheckpoint) {
+        checkpoints_[token] = boundary;
+      } else if (type == kMetaRollback) {
+        for (auto it = checkpoints_.upper_bound(token);
+             it != checkpoints_.end();) {
+          it = checkpoints_.erase(it);
+        }
+      } else if (type == kMetaBegin) {
+        // token = compaction checkpoint; boundary = new begin address.
+        begin_.store(boundary, std::memory_order_release);
+        for (auto it = checkpoints_.begin();
+             it != checkpoints_.end() && it->first < token;) {
+          it = checkpoints_.erase(it);
+        }
+      }
+    });
+    DPR_CHECK_MSG(s.ok(), "meta WAL replay: %s", s.ToString().c_str());
+  }
+}
+
+}  // namespace dpr

@@ -1,0 +1,195 @@
+#ifndef DPR_FASTER_FASTER_STORE_H_
+#define DPR_FASTER_FASTER_STORE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "dpr/state_object.h"
+#include "epoch/light_epoch.h"
+#include "faster/hash_index.h"
+#include "faster/log_allocator.h"
+#include "storage/device.h"
+#include "storage/wal.h"
+
+namespace dpr {
+
+struct FasterOptions {
+  /// Hash buckets (rounded up to a power of two). The paper sizes this at
+  /// #keys / 2.
+  uint64_t index_buckets = 1 << 16;
+  /// log2 of the log page size.
+  uint32_t page_bits = 20;
+  /// Durable image of the record log (fold-over checkpoint target).
+  std::unique_ptr<Device> log_device;
+  /// Small device holding the checkpoint-metadata WAL.
+  std::unique_ptr<Device> meta_device;
+};
+
+/// FASTER-style single-node key-value store (paper §5.1): a latch-free hash
+/// index over a HybridLog with in-place updates in the mutable region,
+/// read-copy-update below the read-only boundary, CPR-style fold-over
+/// checkpoints, and the paper's non-blocking rollback state machine
+/// REST -> THROW -> PURGE (§5.5, Fig. 8).
+///
+/// Checkpoint/version protocol (StateObject contract): operations execute in
+/// the current version; PerformCheckpoint(target) stamps the boundary — a
+/// metadata-only step — and flushes the log prefix asynchronously on the
+/// background flush thread. Callers (DprWorker) must guarantee no operation
+/// is mid-flight across the PerformCheckpoint call itself (the worker's
+/// version latch does); everything else — flushing, committing, rolling
+/// back with concurrent readers — is non-blocking.
+class FasterStore : public StateObject {
+ public:
+  explicit FasterStore(FasterOptions options);
+  ~FasterStore() override;
+
+  FasterStore(const FasterStore&) = delete;
+  FasterStore& operator=(const FasterStore&) = delete;
+
+  /// A session pins an epoch slot and is the unit of thread access; use one
+  /// session per thread. Sessions are invalidated by SimulateCrash.
+  class Session {
+   public:
+    ~Session();
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    Status Read(uint64_t key, std::string* value);
+    Status Read(uint64_t key, uint64_t* value);
+    Status Upsert(uint64_t key, Slice value);
+    Status Upsert(uint64_t key, uint64_t value);
+    /// Atomic add for 8-byte values; inserts `delta` when absent.
+    Status Rmw(uint64_t key, uint64_t delta, uint64_t* result = nullptr);
+    Status Delete(uint64_t key);
+
+    /// Re-publishes the epoch; call periodically from long-running loops.
+    void Refresh();
+
+   private:
+    friend class FasterStore;
+    explicit Session(FasterStore* store);
+    FasterStore* store_;
+    uint32_t ops_since_refresh_ = 0;
+  };
+
+  std::unique_ptr<Session> NewSession();
+
+  // --- StateObject (libDPR) interface ---
+  Status PerformCheckpoint(Version target_version, PersistCallback on_persist,
+                           Version* out_token) override;
+  Status RestoreCheckpoint(Version version, Version* restored_token) override;
+  Version CurrentVersion() const override {
+    return version_.load(std::memory_order_acquire);
+  }
+  void SimulateCrash() override;
+
+  // --- introspection ---
+  LogAddress tail_address() const { return log_.tail(); }
+  LogAddress read_only_address() const {
+    return read_only_address_.load(std::memory_order_acquire);
+  }
+  /// Largest checkpoint token whose image is durable.
+  Version LargestDurableToken() const;
+
+  /// Visits the newest visible version of every live key (tombstones are
+  /// skipped). Concurrent-safe but sees a fuzzy snapshot; used for key
+  /// migration during ownership transfer.
+  void Scan(const std::function<void(uint64_t key, Slice value)>& visitor)
+      const;
+
+  // --- log compaction / garbage collection ---
+  // The paper requires that only entries inside the DPR guarantee are
+  // garbage-collected. Compaction is two-phase:
+  //  1. StartCompaction(safe_token): copies every live record below
+  //     boundary(safe_token) to the tail (as ordinary writes in the current
+  //     version) and takes a checkpoint containing the copies; returns that
+  //     checkpoint's token.
+  //  2. FinishCompaction(token, committed_watermark): once the DPR cut
+  //     covers `token`, durably advances the log begin address, drops the
+  //     now-unrestorable older checkpoints, and reclaims memory via an
+  //     epoch-protected drain. Rejected while the cut lags.
+  Status StartCompaction(Version safe_token, Version* compaction_token);
+  Status FinishCompaction(Version compaction_token,
+                          Version committed_watermark);
+  LogAddress begin_address() const {
+    return begin_.load(std::memory_order_acquire);
+  }
+  /// Blocks until no checkpoint flush is in flight (test helper).
+  void WaitForCheckpoints();
+  uint64_t approximate_record_count() const {
+    return record_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum class RollbackState : int { kRest = 0, kThrow = 1, kPurge = 2 };
+
+  struct FlushRequest {
+    Version token;
+    LogAddress boundary;
+    PersistCallback callback;
+  };
+
+  Status ReadInternal(uint64_t key, std::string* out_str, uint64_t* out_int);
+  Status UpsertInternal(uint64_t key, Slice value);
+  // Walks `key`'s chain; returns the first visible matching record address
+  // (kNullAddress if none) and the chain head observed.
+  LogAddress FindRecord(uint64_t key, LogAddress* head_out) const;
+  bool Visible(const RecordHeader* rec) const;
+  LogAddress AppendRecord(uint64_t key, Slice value, bool tombstone,
+                          LogAddress prev, uint32_t version);
+
+  void FlushLoop();
+  Status FlushRange(LogAddress from, LogAddress to);
+  Status ColdRecover(Version token, LogAddress boundary);
+  Status InMemoryRollback(Version token, LogAddress boundary);
+  Status AppendCheckpointMeta(uint8_t type, Version token,
+                              LogAddress boundary);
+
+  FasterOptions options_;
+  LightEpoch epoch_;
+  LogAllocator log_;
+  HashIndex index_;
+  WriteAheadLog meta_wal_;
+
+  std::atomic<uint64_t> version_{1};
+  std::atomic<LogAddress> begin_{LogAllocator::kBeginAddress};
+  std::atomic<LogAddress> read_only_address_{LogAllocator::kBeginAddress};
+  std::atomic<LogAddress> flushed_until_{LogAllocator::kBeginAddress};
+  std::atomic<int> rollback_state_{static_cast<int>(RollbackState::kRest)};
+  // Records with version in (ignore_low, ignore_high] are being rolled back
+  // and must be ignored by all lookups (Fig. 8). Disabled when high == 0.
+  std::atomic<uint64_t> ignore_low_{0};
+  std::atomic<uint64_t> ignore_high_{0};
+  std::atomic<bool> crashed_{false};
+  std::atomic<uint64_t> record_count_{0};
+
+  // Durable checkpoints: token -> log boundary.
+  mutable std::mutex checkpoints_mu_;
+  std::map<Version, LogAddress> checkpoints_;
+  // In-flight compactions: compaction checkpoint token -> new begin address.
+  std::map<Version, LogAddress> pending_compactions_;
+
+  // Flush pipeline.
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  std::condition_variable flush_idle_cv_;
+  std::deque<FlushRequest> flush_queue_;
+  bool flush_in_progress_ = false;
+  std::atomic<bool> checkpoint_active_{false};
+  std::thread flush_thread_;
+  bool stop_flush_ = false;
+};
+
+}  // namespace dpr
+
+#endif  // DPR_FASTER_FASTER_STORE_H_

@@ -1,0 +1,56 @@
+#ifndef DPR_FASTER_HASH_INDEX_H_
+#define DPR_FASTER_HASH_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/hash.h"
+#include "faster/record.h"
+
+namespace dpr {
+
+/// Latch-free hash index mapping keys to the newest record of their chain on
+/// the log. Each bucket holds the head address; records reached through
+/// `prev` pointers form the chain (records of different keys may share a
+/// bucket's chain, as in FASTER). Updates install a new head with CAS.
+class HashIndex {
+ public:
+  /// `bucket_count` is rounded up to a power of two.
+  explicit HashIndex(uint64_t bucket_count);
+
+  HashIndex(const HashIndex&) = delete;
+  HashIndex& operator=(const HashIndex&) = delete;
+
+  uint64_t BucketFor(uint64_t key) const {
+    return Mix64(key) & (bucket_count_ - 1);
+  }
+
+  LogAddress Head(uint64_t key) const {
+    return buckets_[BucketFor(key)].load(std::memory_order_acquire);
+  }
+
+  /// CAS the bucket head from `expected` to `desired`; on failure `expected`
+  /// holds the observed head.
+  bool CasHead(uint64_t key, LogAddress* expected, LogAddress desired) {
+    return buckets_[BucketFor(key)].compare_exchange_strong(
+        *expected, desired, std::memory_order_acq_rel);
+  }
+
+  /// Unconditionally sets a bucket head (single-threaded recovery rebuild).
+  void SetHead(uint64_t key, LogAddress address) {
+    buckets_[BucketFor(key)].store(address, std::memory_order_release);
+  }
+
+  void Clear();
+
+  uint64_t bucket_count() const { return bucket_count_; }
+
+ private:
+  uint64_t bucket_count_;
+  std::unique_ptr<std::atomic<LogAddress>[]> buckets_;
+};
+
+}  // namespace dpr
+
+#endif  // DPR_FASTER_HASH_INDEX_H_

@@ -1,0 +1,357 @@
+#include "harness/cluster.h"
+
+#include <utility>
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace dpr {
+
+namespace {
+
+std::unique_ptr<DprFinder> MakeFinder(FinderKind kind,
+                                      MetadataStore* metadata) {
+  switch (kind) {
+    case FinderKind::kSimple:
+      return std::make_unique<SimpleDprFinder>(metadata);
+    case FinderKind::kGraph:
+      return std::make_unique<GraphDprFinder>(metadata);
+    case FinderKind::kHybrid:
+      return std::make_unique<HybridDprFinder>(metadata);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ DFasterCluster
+
+DFasterCluster::DFasterCluster(ClusterOptions options)
+    : options_(std::move(options)) {}
+
+DFasterCluster::~DFasterCluster() { Stop(); }
+
+Status DFasterCluster::Start() {
+  InMemoryNetOptions net_options;
+  net_options.server_threads = options_.server_threads;
+  net_options.latency_us = options_.net_latency_us;
+  net_ = std::make_unique<InMemoryNetwork>(net_options);
+
+  metadata_ = std::make_unique<MetadataStore>(
+      MakeDevice(options_.backend == StorageBackend::kNull
+                     ? StorageBackend::kNull
+                     : StorageBackend::kLocal,
+                 options_.storage_dir, "metadata.wal"));
+  DPR_RETURN_NOT_OK(metadata_->Recover());
+  finder_ = MakeFinder(options_.finder, metadata_.get());
+  cluster_manager_ = std::make_unique<ClusterManager>(finder_.get());
+
+  // Seed the durable ownership table with the default assignment so every
+  // later lookup (clients, transfers, elastic joins) reads complete truth.
+  if (metadata_->GetOwnership().empty()) {
+    for (uint32_t vp = 0; vp < YcsbWorkload::kNumPartitions; ++vp) {
+      DPR_RETURN_NOT_OK(metadata_->SetOwner(
+          vp, YcsbWorkload::DefaultOwner(vp, options_.num_workers)));
+    }
+  }
+
+  for (uint32_t i = 0; i < options_.num_workers; ++i) {
+    DFasterWorkerConfig config;
+    config.id = i;
+    config.num_workers = options_.num_workers;
+    config.mode = options_.mode;
+    config.faster.index_buckets = options_.index_buckets;
+    config.faster.log_device =
+        MakeDevice(options_.backend, options_.storage_dir,
+                   "worker" + std::to_string(i) + ".log");
+    config.faster.meta_device =
+        MakeDevice(options_.backend == StorageBackend::kNull
+                       ? StorageBackend::kNull
+                       : StorageBackend::kLocal,
+                   options_.storage_dir,
+                   "worker" + std::to_string(i) + ".meta");
+    config.dpr.finder = finder_.get();
+    config.dpr.checkpoint_interval_us = options_.checkpoint_interval_us;
+    auto worker = std::make_unique<DFasterWorker>(std::move(config));
+
+    std::unique_ptr<RpcServer> server;
+    if (options_.transport == TransportKind::kTcp) {
+      server = MakeTcpServer(0);
+    } else {
+      server = net_->CreateServer("worker" + std::to_string(i));
+    }
+    DPR_RETURN_NOT_OK(worker->Start(std::move(server)));
+    addresses_.push_back(worker->address());
+    if (options_.mode == RecoverabilityMode::kDpr) {
+      cluster_manager_->RegisterWorker(worker->dpr_worker());
+    }
+    workers_.push_back(std::move(worker));
+  }
+  if (options_.mode == RecoverabilityMode::kDpr) {
+    finder_->StartCoordinator(options_.finder_interval_us);
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+void DFasterCluster::Stop() {
+  if (!started_) return;
+  started_ = false;
+  if (finder_ != nullptr) finder_->StopCoordinator();
+  for (auto& worker : workers_) worker->Stop();
+}
+
+std::unique_ptr<DFasterClient> DFasterCluster::NewClient(uint32_t batch_size,
+                                                         uint32_t window) {
+  DFasterClientConfig config;
+  config.num_workers = options_.num_workers;
+  config.batch_size = batch_size;
+  config.window = window;
+  config.cluster_manager = cluster_manager_.get();
+  config.metadata = metadata_.get();
+  auto client = std::make_unique<DFasterClient>(config);
+  for (uint32_t i = 0; i < options_.num_workers; ++i) {
+    std::unique_ptr<RpcConnection> conn;
+    if (options_.transport == TransportKind::kTcp) {
+      Status s = ConnectTcp(addresses_[i], &conn);
+      DPR_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+    } else {
+      conn = net_->Connect(addresses_[i]);
+    }
+    client->AddRemoteWorker(i, std::move(conn));
+  }
+  return client;
+}
+
+std::unique_ptr<DFasterClient> DFasterCluster::NewColocatedClient(
+    WorkerId local_worker, uint32_t batch_size, uint32_t window) {
+  auto client = NewClient(batch_size, window);
+  client->AddLocalWorker(workers_[local_worker].get());
+  return client;
+}
+
+Status DFasterCluster::InjectFailure(const std::vector<WorkerId>& failed) {
+  return cluster_manager_->HandleFailure(failed);
+}
+
+WorkerId DFasterCluster::OwnerOf(uint32_t partition) const {
+  const auto ownership = metadata_->GetOwnership();
+  auto it = ownership.find(partition);
+  if (it != ownership.end()) return it->second;
+  return YcsbWorkload::DefaultOwner(partition, options_.num_workers);
+}
+
+Status DFasterCluster::TransferPartition(uint32_t partition, WorkerId to) {
+  const WorkerId from = OwnerOf(partition);
+  if (from == to) return Status::OK();
+  if (to >= options_.num_workers) {
+    return Status::InvalidArgument("no such worker");
+  }
+  DFasterWorker* src = workers_[from].get();
+  DFasterWorker* dst = workers_[to].get();
+
+  // 1. Draw a checkpoint boundary on the source so ownership is static
+  //    within versions (paper 5.3), then renounce locally. Ops racing the
+  //    transfer are rejected and the clients retry.
+  if (src->dpr_worker() != nullptr) {
+    Status s = src->dpr_worker()->TryCommit();
+    if (!s.ok() && !s.IsBusy()) return s;
+  }
+  src->DisownPartition(partition);
+
+  // 2. Migrate the partition's keys. The writes run through the
+  //    destination's DPR admission on a migration session, so the moved
+  //    data commits under the same guarantees as client writes.
+  KvBatchRequest migration;
+  src->store()->Scan([&](uint64_t key, Slice value) {
+    if (YcsbWorkload::PartitionOf(key) != partition) return;
+    uint64_t v = 0;
+    if (value.size() == 8) memcpy(&v, value.data(), 8);
+    migration.ops.push_back(KvOp{KvOp::Type::kUpsert, key, v});
+  });
+  DprSession migration_session(0xfeed0000 + partition);
+  if (dst->dpr_worker() != nullptr) {
+    // Align the session with the destination's world-line.
+    DprResponseHeader probe;
+    dst->dpr_worker()->FillResponse(
+        kInvalidVersion, DprResponseHeader::BatchStatus::kOk, &probe);
+    migration_session.ObserveWatermark(to, probe);
+    if (migration_session.needs_failure_handling()) {
+      DprCut cut;
+      cluster_manager_->GetRecoveryInfo(nullptr, &cut);
+      (void)migration_session.HandleFailure(
+          migration_session.observed_world_line(), cut);
+    }
+  }
+  migration.header = migration_session.MakeHeader();
+  KvBatchResponse response;
+  if (!migration.ops.empty()) {
+    DPR_RETURN_NOT_OK(dst->InstallMigratedData(migration, &response));
+  }
+
+  // 3. Durably record the new owner, then start serving.
+  DPR_RETURN_NOT_OK(metadata_->SetOwner(partition, to));
+  dst->AdoptPartition(partition);
+  return Status::OK();
+}
+
+Status DFasterCluster::AddWorker(WorkerId* new_id) {
+  const WorkerId id = static_cast<WorkerId>(workers_.size());
+  DFasterWorkerConfig config;
+  config.id = id;
+  config.num_workers = options_.num_workers;
+  config.start_empty = true;  // partitions arrive via TransferPartition
+  config.mode = options_.mode;
+  config.faster.index_buckets = options_.index_buckets;
+  config.faster.log_device =
+      MakeDevice(options_.backend, options_.storage_dir,
+                 "worker" + std::to_string(id) + ".log");
+  config.faster.meta_device =
+      MakeDevice(options_.backend == StorageBackend::kNull
+                     ? StorageBackend::kNull
+                     : StorageBackend::kLocal,
+                 options_.storage_dir,
+                 "worker" + std::to_string(id) + ".meta");
+  config.dpr.finder = finder_.get();
+  config.dpr.checkpoint_interval_us = options_.checkpoint_interval_us;
+  auto worker = std::make_unique<DFasterWorker>(std::move(config));
+  std::unique_ptr<RpcServer> server;
+  if (options_.transport == TransportKind::kTcp) {
+    server = MakeTcpServer(0);
+  } else {
+    server = net_->CreateServer("worker" + std::to_string(id));
+  }
+  DPR_RETURN_NOT_OK(worker->Start(std::move(server)));
+  addresses_.push_back(worker->address());
+  if (options_.mode == RecoverabilityMode::kDpr) {
+    cluster_manager_->RegisterWorker(worker->dpr_worker());
+  }
+  workers_.push_back(std::move(worker));
+  options_.num_workers += 1;
+  if (new_id != nullptr) *new_id = id;
+  return Status::OK();
+}
+
+Status DFasterCluster::RemoveWorker(WorkerId id) {
+  if (id >= workers_.size() || workers_[id] == nullptr) {
+    return Status::InvalidArgument("no such worker");
+  }
+  if (workers_[id]->OwnedPartitionCount() > 0) {
+    return Status::InvalidArgument(
+        "worker still owns partitions; transfer them first");
+  }
+  // Dropping the row removes the worker from every future DPR cut.
+  DPR_RETURN_NOT_OK(finder_->RemoveWorker(id));
+  cluster_manager_->UnregisterWorker(id);
+  workers_[id]->Stop();
+  return Status::OK();
+}
+
+// ------------------------------------------------------------- DRedisCluster
+
+DRedisCluster::DRedisCluster(RedisClusterOptions options)
+    : options_(std::move(options)) {}
+
+DRedisCluster::~DRedisCluster() { Stop(); }
+
+Status DRedisCluster::Start() {
+  InMemoryNetOptions net_options;
+  net_options.server_threads = options_.server_threads;
+  net_ = std::make_unique<InMemoryNetwork>(net_options);
+
+  if (options_.deployment == RedisDeployment::kDpr) {
+    metadata_ =
+        std::make_unique<MetadataStore>(std::make_unique<MemoryDevice>());
+    DPR_RETURN_NOT_OK(metadata_->Recover());
+    finder_ = std::make_unique<SimpleDprFinder>(metadata_.get());
+    cluster_manager_ = std::make_unique<ClusterManager>(finder_.get());
+  }
+
+  for (uint32_t i = 0; i < options_.num_shards; ++i) {
+    RespStoreOptions store_options;
+    store_options.aof_enabled = options_.aof_sync;
+    auto store = std::make_unique<RespStore>(std::move(store_options));
+    auto store_server = std::make_unique<RespStoreServer>(
+        store.get(), net_->CreateServer("redis" + std::to_string(i)));
+    DPR_RETURN_NOT_OK(store_server->Start());
+
+    switch (options_.deployment) {
+      case RedisDeployment::kDirect:
+        client_addresses_.push_back(store_server->address());
+        break;
+      case RedisDeployment::kPassThrough: {
+        auto proxy = std::make_unique<PassThroughProxy>(
+            net_->Connect(store_server->address()),
+            net_->CreateServer("proxy" + std::to_string(i)));
+        DPR_RETURN_NOT_OK(proxy->Start());
+        client_addresses_.push_back(proxy->address());
+        pass_proxies_.push_back(std::move(proxy));
+        break;
+      }
+      case RedisDeployment::kDpr: {
+        DRedisProxy::Options proxy_options;
+        proxy_options.id = i;
+        proxy_options.dpr.finder = finder_.get();
+        proxy_options.dpr.checkpoint_interval_us =
+            options_.checkpoint_interval_us;
+        auto proxy = std::make_unique<DRedisProxy>(
+            proxy_options, net_->Connect(store_server->address()),
+            net_->CreateServer("dredis" + std::to_string(i)), store.get());
+        DPR_RETURN_NOT_OK(proxy->Start());
+        cluster_manager_->RegisterWorker(proxy->dpr_worker());
+        client_addresses_.push_back(proxy->address());
+        dpr_proxies_.push_back(std::move(proxy));
+        break;
+      }
+    }
+    store_servers_.push_back(std::move(store_server));
+    stores_.push_back(std::move(store));
+  }
+  if (finder_ != nullptr) {
+    finder_->StartCoordinator(options_.finder_interval_us);
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+void DRedisCluster::Stop() {
+  if (!started_) return;
+  started_ = false;
+  if (finder_ != nullptr) finder_->StopCoordinator();
+  for (auto& proxy : dpr_proxies_) proxy->Stop();
+  for (auto& proxy : pass_proxies_) proxy->Stop();
+  for (auto& server : store_servers_) server->Stop();
+}
+
+Status DRedisCluster::InjectFailure(
+    const std::vector<uint32_t>& failed_shards) {
+  if (cluster_manager_ == nullptr) {
+    return Status::NotSupported("failure injection requires kDpr deployment");
+  }
+  // Crash the backing stores first (volatile state is gone), then run the
+  // DPR recovery protocol; the proxies restore via the stores' snapshot
+  // reload (RemoteRespStateObject::RestoreCheckpoint).
+  std::vector<WorkerId> failed;
+  for (uint32_t shard : failed_shards) {
+    stores_[shard]->SimulateCrash();
+    failed.push_back(shard);
+  }
+  return cluster_manager_->HandleFailure(failed);
+}
+
+std::unique_ptr<DRedisClient> DRedisCluster::NewClient(uint32_t batch_size,
+                                                       uint32_t window) {
+  DRedisClientConfig config;
+  config.num_shards = options_.num_shards;
+  config.batch_size = batch_size;
+  config.window = window;
+  config.use_dpr = options_.deployment == RedisDeployment::kDpr;
+  auto client = std::make_unique<DRedisClient>(config);
+  for (uint32_t i = 0; i < options_.num_shards; ++i) {
+    client->AddShard(i, net_->Connect(client_addresses_[i]));
+  }
+  return client;
+}
+
+}  // namespace dpr

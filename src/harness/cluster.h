@@ -1,0 +1,153 @@
+#ifndef DPR_HARNESS_CLUSTER_H_
+#define DPR_HARNESS_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dfaster/client.h"
+#include "dfaster/worker.h"
+#include "dpr/cluster_manager.h"
+#include "dpr/finder.h"
+#include "dredis/client.h"
+#include "dredis/dredis.h"
+#include "metadata/metadata_store.h"
+#include "net/inmemory_net.h"
+#include "net/tcp_net.h"
+#include "storage/device.h"
+
+namespace dpr {
+
+enum class FinderKind { kSimple, kGraph, kHybrid };
+enum class TransportKind { kInMemory, kTcp };
+
+struct ClusterOptions {
+  uint32_t num_workers = 2;
+  RecoverabilityMode mode = RecoverabilityMode::kDpr;
+  StorageBackend backend = StorageBackend::kNull;
+  uint64_t checkpoint_interval_us = 100000;  // paper default: 100 ms
+  FinderKind finder = FinderKind::kSimple;   // paper's eval default (§7.1)
+  uint64_t finder_interval_us = 10000;
+  TransportKind transport = TransportKind::kInMemory;
+  uint64_t net_latency_us = 0;  // in-memory transport only
+  uint32_t server_threads = 2;
+  uint64_t index_buckets = 1 << 16;
+  /// Directory for file-backed devices; empty = memory-backed devices.
+  std::string storage_dir;
+};
+
+/// Brings up a whole D-FASTER deployment in-process: metadata store, DPR
+/// finder + coordinator, cluster manager, N workers with RPC endpoints.
+/// The single-box equivalent of the paper's 8-VM Azure cluster.
+class DFasterCluster {
+ public:
+  explicit DFasterCluster(ClusterOptions options);
+  ~DFasterCluster();
+
+  DFasterCluster(const DFasterCluster&) = delete;
+  DFasterCluster& operator=(const DFasterCluster&) = delete;
+
+  Status Start();
+  void Stop();
+
+  /// Client with remote connections to every worker (dedicated-client mode).
+  std::unique_ptr<DFasterClient> NewClient(uint32_t batch_size,
+                                           uint32_t window);
+
+  /// Client co-located with `local_worker`: local keys run through shared
+  /// memory, remote keys over the transport (paper §7.3).
+  std::unique_ptr<DFasterClient> NewColocatedClient(WorkerId local_worker,
+                                                    uint32_t batch_size,
+                                                    uint32_t window);
+
+  /// Injects a failure of `failed` workers and runs the recovery protocol.
+  Status InjectFailure(const std::vector<WorkerId>& failed);
+
+  /// Moves virtual partition `partition` to worker `to` (paper 5.3):
+  /// renounce at a checkpoint boundary, migrate the keys, update the
+  /// durable ownership table, adopt. Clients chase the move via kNotOwner
+  /// retries; the partition is briefly unowned in between.
+  Status TransferPartition(uint32_t partition, WorkerId to);
+
+  /// Current owner of a partition per the durable ownership table.
+  WorkerId OwnerOf(uint32_t partition) const;
+
+  /// Elasticity (§5.3): adds a new, empty worker to the running cluster
+  /// (a new row in the DPR table). Move partitions to it with
+  /// TransferPartition. Returns the new worker's id. Note: clients created
+  /// before the join must AddRemoteWorker() to reach it.
+  Status AddWorker(WorkerId* new_id);
+
+  /// Removes an *empty* worker (drops its DPR-table row). Fails if the
+  /// worker still owns partitions.
+  Status RemoveWorker(WorkerId id);
+
+  DFasterWorker* worker(uint32_t i) { return workers_[i].get(); }
+  uint32_t num_workers() const { return options_.num_workers; }
+  ClusterManager* cluster_manager() { return cluster_manager_.get(); }
+  DprFinder* finder() { return finder_.get(); }
+  MetadataStore* metadata() { return metadata_.get(); }
+
+ private:
+  ClusterOptions options_;
+  std::unique_ptr<InMemoryNetwork> net_;
+  std::unique_ptr<MetadataStore> metadata_;
+  std::unique_ptr<DprFinder> finder_;
+  std::unique_ptr<ClusterManager> cluster_manager_;
+  std::vector<std::unique_ptr<DFasterWorker>> workers_;
+  std::vector<std::string> addresses_;
+  bool started_ = false;
+};
+
+/// The three Redis-style deployments of §7.5, each with `num_shards` stores:
+///  * kDirect      — clients talk straight to the stores ("Redis");
+///  * kPassThrough — clients talk to forwarding proxies ("Redis + proxy");
+///  * kDpr         — clients talk to D-Redis proxies (libDPR).
+enum class RedisDeployment { kDirect, kPassThrough, kDpr };
+
+struct RedisClusterOptions {
+  uint32_t num_shards = 2;
+  RedisDeployment deployment = RedisDeployment::kDpr;
+  uint64_t checkpoint_interval_us = 100000;
+  uint64_t finder_interval_us = 10000;
+  bool aof_sync = false;  // appendfsync=always (synchronous recoverability)
+  uint32_t server_threads = 2;
+};
+
+class DRedisCluster {
+ public:
+  explicit DRedisCluster(RedisClusterOptions options);
+  ~DRedisCluster();
+
+  Status Start();
+  void Stop();
+
+  std::unique_ptr<DRedisClient> NewClient(uint32_t batch_size,
+                                          uint32_t window);
+
+  /// Crashes the given shards' stores and runs the DPR recovery protocol
+  /// across all proxies (kDpr deployment only).
+  Status InjectFailure(const std::vector<uint32_t>& failed_shards);
+
+  RespStore* store(uint32_t i) { return stores_[i].get(); }
+  DRedisProxy* proxy(uint32_t i) { return dpr_proxies_[i].get(); }
+  DprFinder* finder() { return finder_.get(); }
+  ClusterManager* cluster_manager() { return cluster_manager_.get(); }
+
+ private:
+  RedisClusterOptions options_;
+  std::unique_ptr<InMemoryNetwork> net_;
+  std::unique_ptr<MetadataStore> metadata_;
+  std::unique_ptr<DprFinder> finder_;
+  std::unique_ptr<ClusterManager> cluster_manager_;
+  std::vector<std::unique_ptr<RespStore>> stores_;
+  std::vector<std::unique_ptr<RespStoreServer>> store_servers_;
+  std::vector<std::unique_ptr<PassThroughProxy>> pass_proxies_;
+  std::vector<std::unique_ptr<DRedisProxy>> dpr_proxies_;
+  std::vector<std::string> client_addresses_;
+  bool started_ = false;
+};
+
+}  // namespace dpr
+
+#endif  // DPR_HARNESS_CLUSTER_H_

@@ -1,0 +1,84 @@
+#ifndef DPR_METADATA_METADATA_STORE_H_
+#define DPR_METADATA_METADATA_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/status.h"
+#include "dpr/types.h"
+#include "storage/wal.h"
+
+namespace dpr {
+
+/// Durable, fault-tolerant metadata service — the stand-in for the paper's
+/// Azure SQL database (Fig. 4). Holds exactly the tables DPR needs:
+///
+///  * the `dpr` table: worker id -> persisted version (approximate algorithm
+///    rows; also the source of truth for cluster membership, §5.3);
+///  * precedence-graph rows (exact algorithm): (worker, version) -> deps;
+///  * the current DPR cut + world-line, updated atomically so the cut is
+///    never partially read;
+///  * the ownership table: virtual partition -> owner worker.
+///
+/// Every mutation is WAL-logged and fsync'd before returning, so the service
+/// survives SimulateCrash() (which drops all volatile state and unsynced WAL
+/// suffix, then replays). All methods are thread-safe.
+class MetadataStore {
+ public:
+  explicit MetadataStore(std::unique_ptr<Device> wal_device);
+
+  /// Rebuilds tables from the WAL. Call once after construction (and after
+  /// SimulateCrash, which invokes it internally).
+  Status Recover();
+
+  // --- dpr table (approximate algorithm + membership) ---
+  Status UpsertWorker(WorkerId worker, Version persisted_version);
+  Status RemoveWorker(WorkerId worker);
+  std::map<WorkerId, Version> GetPersistedVersions() const;
+  /// SELECT min(persistedVersion) FROM dpr — kInvalidVersion if empty.
+  Version MinPersistedVersion() const;
+  /// SELECT max(persistedVersion) FROM dpr — used for Vmax fast-forward.
+  Version MaxPersistedVersion() const;
+
+  // --- precedence graph (exact algorithm) ---
+  Status AddGraphNode(WorkerVersion wv, const DependencySet& deps);
+  std::map<WorkerVersion, DependencySet> GetGraph() const;
+  /// Garbage-collects graph nodes at or below the cut.
+  Status PruneGraph(const DprCut& cut);
+
+  // --- cut + world-line ---
+  Status SetCut(WorldLine world_line, const DprCut& cut);
+  void GetCut(WorldLine* world_line, DprCut* cut) const;
+  Status SetWorldLine(WorldLine world_line);
+  WorldLine GetWorldLine() const;
+
+  // --- ownership ---
+  Status SetOwner(uint64_t virtual_partition, WorkerId worker);
+  std::map<uint64_t, WorkerId> GetOwnership() const;
+
+  /// Drops volatile state and the unsynced WAL suffix, then recovers;
+  /// models a metadata-service crash + restart.
+  void SimulateCrash();
+
+  /// Number of WAL bytes written (observability for scalability benches).
+  uint64_t WalBytes() const;
+
+ private:
+  Status LogAndApply(const std::string& record);
+  void ApplyRecord(Slice record);
+
+  mutable std::mutex mu_;
+  WriteAheadLog wal_;
+  std::map<WorkerId, Version> persisted_;               // dpr table
+  std::map<WorkerVersion, DependencySet> graph_;        // precedence graph
+  DprCut cut_;
+  WorldLine cut_world_line_ = kInitialWorldLine;
+  WorldLine world_line_ = kInitialWorldLine;
+  std::map<uint64_t, WorkerId> ownership_;
+};
+
+}  // namespace dpr
+
+#endif  // DPR_METADATA_METADATA_STORE_H_

@@ -1,0 +1,182 @@
+#include "net/inmemory_net.h"
+
+#include <future>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace dpr {
+
+Status RpcConnection::Call(Slice request, std::string* response) {
+  std::promise<Status> done;
+  auto future = done.get_future();
+  CallAsync(request.ToString(), [&](Status s, Slice resp) {
+    if (s.ok() && response != nullptr) response->assign(resp.data(),
+                                                        resp.size());
+    done.set_value(std::move(s));
+  });
+  return future.get();
+}
+
+// ------------------------------------------------------------------- Server
+
+class InMemoryNetwork::Server : public RpcServer {
+ public:
+  Server(InMemoryNetwork* net, std::string name, InMemoryNetOptions options)
+      : net_(net), name_(std::move(name)), options_(options) {}
+
+  ~Server() override {
+    Stop();
+    std::lock_guard<std::mutex> guard(net_->mu_);
+    net_->servers_.erase(name_);
+  }
+
+  Status Start(RpcHandler handler) override {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (running_) return Status::Busy("server already started");
+    handler_ = std::move(handler);
+    running_ = true;
+    stop_ = false;
+    for (uint32_t i = 0; i < options_.server_threads; ++i) {
+      threads_.emplace_back([this] { DispatchLoop(); });
+    }
+    return Status::OK();
+  }
+
+  void Stop() override {
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      if (!running_) return;
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+    threads_.clear();
+    // Fail any stragglers so callers do not hang.
+    std::deque<Item> leftover;
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      leftover.swap(queue_);
+      running_ = false;
+    }
+    for (auto& item : leftover) {
+      item.callback(Status::Unavailable("server stopped"), Slice());
+    }
+  }
+
+  std::string address() const override { return name_; }
+
+  void Enqueue(std::string request, RpcConnection::ResponseCallback callback,
+               uint64_t deliver_at_us) {
+    bool accepted = false;
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      if (running_ && !stop_) {
+        queue_.push_back(Item{std::move(request), std::move(callback),
+                              deliver_at_us});
+        accepted = true;
+      }
+    }
+    if (!accepted) {
+      callback(Status::Unavailable("server not running"), Slice());
+      return;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  struct Item {
+    std::string request;
+    RpcConnection::ResponseCallback callback;
+    uint64_t deliver_at_us;
+  };
+
+  void DispatchLoop() {
+    std::string response;
+    for (;;) {
+      Item item;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (stop_) return;
+        item = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      // Injected one-way latency: wait out the remaining delivery delay.
+      const uint64_t now = NowMicros();
+      if (item.deliver_at_us > now) SleepMicros(item.deliver_at_us - now);
+      response.clear();
+      handler_(Slice(item.request), &response);
+      item.callback(Status::OK(), Slice(response));
+    }
+  }
+
+  InMemoryNetwork* net_;
+  const std::string name_;
+  const InMemoryNetOptions options_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Item> queue_;
+  std::vector<std::thread> threads_;
+  RpcHandler handler_;
+  bool running_ = false;
+  bool stop_ = false;
+};
+
+// --------------------------------------------------------------- Connection
+
+class InMemoryNetwork::Connection : public RpcConnection {
+ public:
+  Connection(InMemoryNetwork* net, std::string name, uint64_t latency_us)
+      : net_(net), name_(std::move(name)), latency_us_(latency_us) {}
+
+  void CallAsync(std::string request, ResponseCallback callback) override {
+    Server* server = nullptr;
+    {
+      std::lock_guard<std::mutex> guard(net_->mu_);
+      auto it = net_->servers_.find(name_);
+      if (it != net_->servers_.end()) server = it->second;
+    }
+    if (server == nullptr) {
+      callback(Status::Unavailable("no such endpoint: " + name_), Slice());
+      return;
+    }
+    // Model the full round trip as a single pre-handling delay.
+    const uint64_t deliver_at =
+        latency_us_ > 0 ? NowMicros() + 2 * latency_us_ : 0;
+    server->Enqueue(std::move(request), std::move(callback), deliver_at);
+  }
+
+ private:
+  InMemoryNetwork* net_;
+  const std::string name_;
+  const uint64_t latency_us_;
+};
+
+// ------------------------------------------------------------------ Network
+
+InMemoryNetwork::InMemoryNetwork(InMemoryNetOptions options)
+    : options_(options) {}
+
+InMemoryNetwork::~InMemoryNetwork() {
+  std::lock_guard<std::mutex> guard(mu_);
+  DPR_CHECK_MSG(servers_.empty(),
+                "InMemoryNetwork destroyed with live servers");
+}
+
+std::unique_ptr<RpcServer> InMemoryNetwork::CreateServer(
+    const std::string& name) {
+  auto server = std::make_unique<Server>(this, name, options_);
+  std::lock_guard<std::mutex> guard(mu_);
+  DPR_CHECK_MSG(servers_.emplace(name, server.get()).second,
+                "duplicate endpoint %s", name.c_str());
+  return server;
+}
+
+std::unique_ptr<RpcConnection> InMemoryNetwork::Connect(
+    const std::string& name) {
+  return std::make_unique<Connection>(this, name, options_.latency_us);
+}
+
+}  // namespace dpr

@@ -1,0 +1,54 @@
+#ifndef DPR_NET_INMEMORY_NET_H_
+#define DPR_NET_INMEMORY_NET_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/rpc.h"
+
+namespace dpr {
+
+struct InMemoryNetOptions {
+  /// Dispatcher threads per server (models server-side request execution
+  /// threads decoupled from the client).
+  uint32_t server_threads = 2;
+  /// One-way latency injected before a request is handled, in microseconds
+  /// (0 = none). Models datacenter RTT without real sockets.
+  uint64_t latency_us = 0;
+};
+
+/// A process-local message fabric: named endpoints with queue-decoupled
+/// dispatcher threads and optional injected latency. The default transport
+/// for tests and single-box cluster benches; the same client/server code
+/// runs unchanged over TcpNet (see tcp_net.h).
+class InMemoryNetwork {
+ public:
+  explicit InMemoryNetwork(InMemoryNetOptions options = {});
+  ~InMemoryNetwork();
+
+  /// Creates a server endpoint bound to `name` (must be unique).
+  std::unique_ptr<RpcServer> CreateServer(const std::string& name);
+
+  /// Connects to the server bound to `name` (which must be Start()ed before
+  /// the first call is made).
+  std::unique_ptr<RpcConnection> Connect(const std::string& name);
+
+ private:
+  class Server;
+  class Connection;
+
+  InMemoryNetOptions options_;
+  std::mutex mu_;
+  std::map<std::string, Server*> servers_;
+};
+
+}  // namespace dpr
+
+#endif  // DPR_NET_INMEMORY_NET_H_

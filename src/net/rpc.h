@@ -1,0 +1,48 @@
+#ifndef DPR_NET_RPC_H_
+#define DPR_NET_RPC_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace dpr {
+
+/// Request handler invoked by a server for each incoming message; fills
+/// `response`. Handlers may be invoked concurrently from multiple transport
+/// threads.
+using RpcHandler = std::function<void(Slice request, std::string* response)>;
+
+/// One message endpoint (a D-FASTER worker or D-Redis proxy listens here).
+class RpcServer {
+ public:
+  virtual ~RpcServer() = default;
+  virtual Status Start(RpcHandler handler) = 0;
+  virtual void Stop() = 0;
+  /// Transport-specific address clients can connect to.
+  virtual std::string address() const = 0;
+};
+
+/// Client connection supporting pipelined asynchronous calls; responses are
+/// matched to requests internally (windowing/batching policy lives in the
+/// store client library, not here).
+class RpcConnection {
+ public:
+  virtual ~RpcConnection() = default;
+
+  using ResponseCallback = std::function<void(Status, Slice response)>;
+
+  /// Sends `request`; `callback` fires exactly once (from a transport
+  /// thread) with the response or an error.
+  virtual void CallAsync(std::string request, ResponseCallback callback) = 0;
+
+  /// Blocking convenience wrapper over CallAsync.
+  Status Call(Slice request, std::string* response);
+};
+
+}  // namespace dpr
+
+#endif  // DPR_NET_RPC_H_

@@ -1,0 +1,287 @@
+#include "net/tcp_net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace dpr {
+
+namespace {
+
+constexpr size_t kFrameHeader = 12;  // u32 length + u64 request id
+
+Status ReadFully(int fd, void* buf, size_t n) {
+  char* p = static_cast<char*>(buf);
+  while (n > 0) {
+    const ssize_t got = recv(fd, p, n, 0);
+    if (got == 0) return Status::Unavailable("connection closed");
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + strerror(errno));
+    }
+    p += got;
+    n -= static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+Status WriteFully(int fd, const void* buf, size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    const ssize_t sent = send(fd, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + strerror(errno));
+    }
+    p += sent;
+    n -= static_cast<size_t>(sent);
+  }
+  return Status::OK();
+}
+
+Status WriteFrame(int fd, std::mutex& write_mu, uint64_t id, Slice payload) {
+  std::string frame;
+  frame.reserve(kFrameHeader + payload.size());
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  PutFixed64(&frame, id);
+  frame.append(payload.data(), payload.size());
+  std::lock_guard<std::mutex> guard(write_mu);
+  return WriteFully(fd, frame.data(), frame.size());
+}
+
+Status ReadFrame(int fd, uint64_t* id, std::string* payload) {
+  char header[kFrameHeader];
+  DPR_RETURN_NOT_OK(ReadFully(fd, header, kFrameHeader));
+  const uint32_t len = DecodeFixed32(header);
+  *id = DecodeFixed64(header + 4);
+  payload->resize(len);
+  if (len > 0) DPR_RETURN_NOT_OK(ReadFully(fd, payload->data(), len));
+  return Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// ------------------------------------------------------------------- server
+
+class TcpServer : public RpcServer {
+ public:
+  explicit TcpServer(uint16_t port) : requested_port_(port) {}
+
+  ~TcpServer() override { Stop(); }
+
+  Status Start(RpcHandler handler) override {
+    handler_ = std::move(handler);
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return Status::IOError("socket failed");
+    int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(requested_port_);
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      return Status::IOError(std::string("bind: ") + strerror(errno));
+    }
+    socklen_t len = sizeof(addr);
+    getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    bound_port_ = ntohs(addr.sin_port);
+    if (listen(listen_fd_, 128) != 0) {
+      return Status::IOError(std::string("listen: ") + strerror(errno));
+    }
+    stop_.store(false);
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+    return Status::OK();
+  }
+
+  void Stop() override {
+    if (stop_.exchange(true)) return;
+    if (listen_fd_ >= 0) {
+      shutdown(listen_fd_, SHUT_RDWR);
+      close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    if (accept_thread_.joinable()) accept_thread_.join();
+    std::vector<int> fds;
+    {
+      std::lock_guard<std::mutex> guard(conns_mu_);
+      fds = conn_fds_;
+    }
+    for (int fd : fds) shutdown(fd, SHUT_RDWR);
+    for (auto& t : conn_threads_) {
+      if (t.joinable()) t.join();
+    }
+    for (int fd : fds) close(fd);
+  }
+
+  std::string address() const override {
+    return "127.0.0.1:" + std::to_string(bound_port_);
+  }
+
+ private:
+  void AcceptLoop() {
+    while (!stop_.load()) {
+      const int fd = accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (stop_.load()) return;
+        continue;
+      }
+      SetNoDelay(fd);
+      std::lock_guard<std::mutex> guard(conns_mu_);
+      conn_fds_.push_back(fd);
+      conn_threads_.emplace_back([this, fd] { ConnLoop(fd); });
+    }
+  }
+
+  void ConnLoop(int fd) {
+    std::mutex write_mu;  // one writer thread today, but keep frames atomic
+    std::string request;
+    std::string response;
+    uint64_t id = 0;
+    while (!stop_.load()) {
+      if (!ReadFrame(fd, &id, &request).ok()) return;
+      response.clear();
+      handler_(Slice(request), &response);
+      if (!WriteFrame(fd, write_mu, id, Slice(response)).ok()) return;
+    }
+  }
+
+  uint16_t requested_port_;
+  uint16_t bound_port_ = 0;
+  int listen_fd_ = -1;
+  RpcHandler handler_;
+  std::atomic<bool> stop_{true};
+  std::thread accept_thread_;
+  std::mutex conns_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+// ------------------------------------------------------------------- client
+
+class TcpConnection : public RpcConnection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd) {
+    reader_ = std::thread([this] { ReadLoop(); });
+  }
+
+  ~TcpConnection() override {
+    shutdown(fd_, SHUT_RDWR);
+    if (reader_.joinable()) reader_.join();
+    close(fd_);
+    FailPending(Status::Unavailable("connection destroyed"));
+  }
+
+  void CallAsync(std::string request, ResponseCallback callback) override {
+    const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> guard(pending_mu_);
+      pending_[id] = std::move(callback);
+    }
+    Status s = WriteFrame(fd_, write_mu_, id, Slice(request));
+    if (!s.ok()) {
+      ResponseCallback cb;
+      {
+        std::lock_guard<std::mutex> guard(pending_mu_);
+        auto it = pending_.find(id);
+        if (it != pending_.end()) {
+          cb = std::move(it->second);
+          pending_.erase(it);
+        }
+      }
+      if (cb) cb(s, Slice());
+    }
+  }
+
+ private:
+  void ReadLoop() {
+    std::string payload;
+    uint64_t id = 0;
+    for (;;) {
+      Status s = ReadFrame(fd_, &id, &payload);
+      if (!s.ok()) {
+        FailPending(s);
+        return;
+      }
+      ResponseCallback cb;
+      {
+        std::lock_guard<std::mutex> guard(pending_mu_);
+        auto it = pending_.find(id);
+        if (it != pending_.end()) {
+          cb = std::move(it->second);
+          pending_.erase(it);
+        }
+      }
+      if (cb) cb(Status::OK(), Slice(payload));
+    }
+  }
+
+  void FailPending(const Status& s) {
+    std::map<uint64_t, ResponseCallback> orphans;
+    {
+      std::lock_guard<std::mutex> guard(pending_mu_);
+      orphans.swap(pending_);
+    }
+    for (auto& [id, cb] : orphans) {
+      (void)id;
+      cb(s, Slice());
+    }
+  }
+
+  int fd_;
+  std::mutex write_mu_;
+  std::thread reader_;
+  std::atomic<uint64_t> next_id_{1};
+  std::mutex pending_mu_;
+  std::map<uint64_t, ResponseCallback> pending_;
+};
+
+}  // namespace
+
+std::unique_ptr<RpcServer> MakeTcpServer(uint16_t port) {
+  return std::make_unique<TcpServer>(port);
+}
+
+Status ConnectTcp(const std::string& address,
+                  std::unique_ptr<RpcConnection>* out) {
+  const size_t colon = address.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("address must be host:port");
+  }
+  const std::string host = address.substr(0, colon);
+  const int port = atoi(address.c_str() + colon + 1);
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return Status::IOError(std::string("connect: ") + strerror(errno));
+  }
+  SetNoDelay(fd);
+  *out = std::make_unique<TcpConnection>(fd);
+  return Status::OK();
+}
+
+}  // namespace dpr

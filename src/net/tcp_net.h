@@ -1,0 +1,27 @@
+#ifndef DPR_NET_TCP_NET_H_
+#define DPR_NET_TCP_NET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/rpc.h"
+
+namespace dpr {
+
+/// Real-socket transport (loopback on one box reproduces the paper's
+/// multi-process shard deployment). Frames are
+/// [u32 payload-length][u64 request-id][payload]; requests pipeline freely
+/// and responses are matched by id.
+
+/// Creates a TCP server bound to 127.0.0.1:`port` (0 picks an ephemeral
+/// port; address() reports the bound "host:port").
+std::unique_ptr<RpcServer> MakeTcpServer(uint16_t port = 0);
+
+/// Connects to "host:port" as produced by RpcServer::address().
+Status ConnectTcp(const std::string& address,
+                  std::unique_ptr<RpcConnection>* out);
+
+}  // namespace dpr
+
+#endif  // DPR_NET_TCP_NET_H_

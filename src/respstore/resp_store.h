@@ -1,0 +1,118 @@
+#ifndef DPR_RESPSTORE_RESP_STORE_H_
+#define DPR_RESPSTORE_RESP_STORE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/wal.h"
+
+namespace dpr {
+
+/// Command set of the Redis stand-in. Commands are length-prefixed binary
+/// (equivalent in role to RESP); batches are concatenations of commands.
+enum class RespOp : uint8_t {
+  kGet = 1,
+  kSet = 2,
+  kDel = 3,
+  kIncr = 4,      // 8-byte little-endian integer add
+  kBgSave = 5,    // argument: version token; starts a background snapshot
+  kLastSave = 6,  // returns the largest durable snapshot token
+  kRestore = 7,   // argument: version; reload largest snapshot <= version
+};
+
+struct RespCommand {
+  RespOp op;
+  std::string key;
+  std::string value;  // also carries the u64 argument for BGSAVE/RESTORE
+
+  void EncodeTo(std::string* dst) const;
+  bool DecodeFrom(Slice input, size_t* consumed);
+};
+
+struct RespReply {
+  Status status;
+  std::string value;
+
+  void EncodeTo(std::string* dst) const;
+  bool DecodeFrom(Slice input, size_t* consumed);
+};
+
+struct RespStoreOptions {
+  /// Device holding snapshot images (BGSAVE target).
+  std::unique_ptr<Device> snapshot_device;
+  /// When set, every write is appended to this append-only file and fsync'd
+  /// before the command returns — Redis's appendfsync=always, used for the
+  /// "synchronous recoverability" comparison (paper §7.6).
+  std::unique_ptr<Device> aof_device;
+  bool aof_enabled = false;
+};
+
+/// Unmodified-cache-store stand-in for Redis (paper §6): a single-threaded
+/// in-memory hash map with BGSAVE-style background snapshots, LASTSAVE
+/// polling, and restart-based restore. It knows nothing about DPR — the
+/// D-Redis wrapper adds that from the outside via libDPR.
+class RespStore {
+ public:
+  explicit RespStore(RespStoreOptions options);
+  ~RespStore();
+
+  RespStore(const RespStore&) = delete;
+  RespStore& operator=(const RespStore&) = delete;
+
+  /// Executes one command (serialized internally; Redis is single-threaded).
+  RespReply Execute(const RespCommand& command);
+
+  /// Executes an encoded command batch, appending encoded replies.
+  Status ExecuteBatch(Slice batch, std::string* replies);
+
+  /// Largest durable snapshot token (LASTSAVE).
+  uint64_t LastSave() const;
+
+  /// Drops all volatile state and unsynced storage, as a crash would;
+  /// the caller restores via a kRestore command afterwards.
+  void SimulateCrash();
+
+  /// Blocks until no background save is running (test helper).
+  void WaitForSave();
+
+  uint64_t size() const;
+
+ private:
+  RespReply DoBgSave(uint64_t token);
+  RespReply DoRestore(uint64_t version);
+  void SaveLoop();
+  Status AppendAof(const RespCommand& command);
+  void LoadDurableSnapshots();
+
+  RespStoreOptions options_;
+  mutable std::mutex mu_;  // protects map_ (single-threaded-store emulation)
+  std::unordered_map<std::string, std::string> map_;
+
+  // Snapshot pipeline.
+  WriteAheadLog snap_log_;
+  mutable std::mutex save_mu_;
+  std::condition_variable save_cv_;
+  std::condition_variable save_done_cv_;
+  struct SaveJob {
+    uint64_t token;
+    std::string payload;  // serialized map image
+  };
+  std::deque<SaveJob> save_queue_;
+  bool save_in_progress_ = false;
+  bool stop_save_ = false;
+  std::thread save_thread_;
+  std::map<uint64_t, uint64_t> durable_snapshots_;  // token -> log offset
+};
+
+}  // namespace dpr
+
+#endif  // DPR_RESPSTORE_RESP_STORE_H_

@@ -1,0 +1,30 @@
+#ifndef DPR_STORAGE_CHECKPOINT_FILE_H_
+#define DPR_STORAGE_CHECKPOINT_FILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/device.h"
+
+namespace dpr {
+
+/// Helpers for whole-blob checkpoint images: a fixed header (magic, version
+/// token, length, CRC) followed by the serialized store snapshot. A blob is
+/// valid only if fully written and checksummed, so a crash during Commit()
+/// leaves the previous checkpoint intact (callers alternate between blob
+/// slots or separate devices per version).
+struct CheckpointBlob {
+  static Status Write(Device* device, uint64_t offset, uint64_t version_token,
+                      Slice payload);
+
+  /// Reads and validates the blob at `offset`; on success fills `payload` and
+  /// `version_token`. Returns NotFound if there is no valid blob.
+  static Status Read(Device* device, uint64_t offset, std::string* payload,
+                     uint64_t* version_token);
+};
+
+}  // namespace dpr
+
+#endif  // DPR_STORAGE_CHECKPOINT_FILE_H_

@@ -1,0 +1,145 @@
+#ifndef DPR_STORAGE_DEVICE_H_
+#define DPR_STORAGE_DEVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace dpr {
+
+/// Abstraction over a durable byte-addressable device backing a HybridLog
+/// segment, a WAL, or a checkpoint file. Implementations must be thread-safe
+/// for concurrent WriteAt/ReadAt on disjoint ranges.
+///
+/// Durability model: data is guaranteed to survive a (simulated) crash only
+/// after a Flush() that follows the write returns. `SimulateCrash()` discards
+/// all writes that were not covered by a completed Flush(), which lets tests
+/// exercise real recovery code paths in-process.
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  virtual Status WriteAt(uint64_t offset, const void* data, size_t n) = 0;
+  virtual Status ReadAt(uint64_t offset, void* buf, size_t n) = 0;
+
+  /// Makes all completed writes durable.
+  virtual Status Flush() = 0;
+
+  /// Current size in bytes (high-water mark of writes).
+  virtual uint64_t Size() const = 0;
+
+  /// Drops all non-durable data, as a crash would.
+  virtual void SimulateCrash() = 0;
+
+  /// Deletes all content (durable included); used to reset between runs.
+  virtual void Truncate(uint64_t new_size) = 0;
+};
+
+/// Discards writes instantly and cannot be read back. Models the paper's
+/// "null" storage backend: a theoretical upper bound that pays all of the
+/// checkpointing/DPR CPU cost but none of the I/O cost.
+class NullDevice : public Device {
+ public:
+  Status WriteAt(uint64_t offset, const void* data, size_t n) override;
+  Status ReadAt(uint64_t offset, void* buf, size_t n) override;
+  Status Flush() override { return Status::OK(); }
+  uint64_t Size() const override {
+    return size_.load(std::memory_order_relaxed);
+  }
+  void SimulateCrash() override {}
+  void Truncate(uint64_t new_size) override {
+    size_.store(new_size, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> size_{0};
+};
+
+/// Memory-backed device with an explicit durable watermark: writes land in a
+/// volatile buffer, Flush() copies the dirty range to the durable image.
+/// Used as the "local SSD" stand-in in unit tests (fast, deterministic) and
+/// as the base layer for LatencyDevice.
+class MemoryDevice : public Device {
+ public:
+  Status WriteAt(uint64_t offset, const void* data, size_t n) override;
+  Status ReadAt(uint64_t offset, void* buf, size_t n) override;
+  Status Flush() override;
+  uint64_t Size() const override;
+  void SimulateCrash() override;
+  void Truncate(uint64_t new_size) override;
+
+ private:
+  mutable std::mutex mu_;
+  std::string volatile_;  // contiguous image of all writes
+  std::string durable_;   // image as of the last Flush()
+};
+
+/// Real file-backed device using pwrite/pread/fdatasync. SimulateCrash()
+/// truncates the file back to the last-synced high-water mark (writes beyond
+/// it may or may not have hit media on a real crash; we model the worst
+/// case of losing everything unsynced).
+class FileDevice : public Device {
+ public:
+  /// Creates (or truncates, if `reset`) the file at `path`.
+  static Status Open(const std::string& path, bool reset,
+                     std::unique_ptr<FileDevice>* out);
+  ~FileDevice() override;
+
+  Status WriteAt(uint64_t offset, const void* data, size_t n) override;
+  Status ReadAt(uint64_t offset, void* buf, size_t n) override;
+  Status Flush() override;
+  uint64_t Size() const override;
+  void SimulateCrash() override;
+  void Truncate(uint64_t new_size) override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  FileDevice(std::string path, int fd);
+
+  std::string path_;
+  int fd_;
+  mutable std::mutex mu_;
+  uint64_t size_ = 0;          // high-water mark of writes
+  uint64_t durable_size_ = 0;  // high-water mark covered by Flush()
+};
+
+/// Wraps another device and injects latency, modeling remote/cloud storage
+/// (the paper's Azure Premium SSD backend where checkpoint persistence takes
+/// ~50 ms, 2-3x local SSD). Flush blocks for `flush_latency_us` plus
+/// `per_mb_us` for each MiB written since the previous flush.
+class LatencyDevice : public Device {
+ public:
+  LatencyDevice(std::unique_ptr<Device> base, uint64_t flush_latency_us,
+                uint64_t per_mb_us);
+
+  Status WriteAt(uint64_t offset, const void* data, size_t n) override;
+  Status ReadAt(uint64_t offset, void* buf, size_t n) override;
+  Status Flush() override;
+  uint64_t Size() const override { return base_->Size(); }
+  void SimulateCrash() override { base_->SimulateCrash(); }
+  void Truncate(uint64_t new_size) override { base_->Truncate(new_size); }
+
+ private:
+  std::unique_ptr<Device> base_;
+  uint64_t flush_latency_us_;
+  uint64_t per_mb_us_;
+  std::atomic<uint64_t> bytes_since_flush_{0};
+};
+
+/// The paper's three storage backends.
+enum class StorageBackend { kNull, kLocal, kCloud };
+
+/// Factory: kNull -> NullDevice; kLocal -> MemoryDevice (or FileDevice when
+/// `dir` is non-empty); kCloud -> LatencyDevice over the local device.
+std::unique_ptr<Device> MakeDevice(StorageBackend backend,
+                                   const std::string& dir = "",
+                                   const std::string& name = "");
+
+}  // namespace dpr
+
+#endif  // DPR_STORAGE_DEVICE_H_

@@ -1,0 +1,67 @@
+#include "storage/wal.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace dpr {
+
+namespace {
+constexpr size_t kHeaderSize = 8;  // u32 length + u32 crc
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(std::unique_ptr<Device> device)
+    : device_(std::move(device)), tail_(device_->Size()) {}
+
+Status WriteAheadLog::Append(Slice record, uint64_t* offset) {
+  std::lock_guard<std::mutex> guard(mu_);
+  char header[kHeaderSize];
+  const uint32_t len = static_cast<uint32_t>(record.size());
+  const uint32_t crc = Crc32c(record.data(), record.size());
+  memcpy(header, &len, 4);
+  memcpy(header + 4, &crc, 4);
+  const uint64_t start = tail_;
+  DPR_RETURN_NOT_OK(device_->WriteAt(start, header, kHeaderSize));
+  DPR_RETURN_NOT_OK(
+      device_->WriteAt(start + kHeaderSize, record.data(), record.size()));
+  tail_ = start + kHeaderSize + record.size();
+  if (offset != nullptr) *offset = start;
+  return Status::OK();
+}
+
+Status WriteAheadLog::Sync() { return device_->Flush(); }
+
+Status WriteAheadLog::Replay(
+    const std::function<void(uint64_t, Slice)>& visitor) {
+  std::lock_guard<std::mutex> guard(mu_);
+  const uint64_t end = device_->Size();
+  uint64_t pos = 0;
+  std::vector<char> buf;
+  while (pos + kHeaderSize <= end) {
+    char header[kHeaderSize];
+    DPR_RETURN_NOT_OK(device_->ReadAt(pos, header, kHeaderSize));
+    uint32_t len;
+    uint32_t crc;
+    memcpy(&len, header, 4);
+    memcpy(&crc, header + 4, 4);
+    if (pos + kHeaderSize + len > end) break;  // torn tail record
+    buf.resize(len);
+    DPR_RETURN_NOT_OK(device_->ReadAt(pos + kHeaderSize, buf.data(), len));
+    if (Crc32c(buf.data(), len) != crc) break;  // corrupt tail record
+    visitor(pos, Slice(buf.data(), len));
+    pos += kHeaderSize + len;
+  }
+  tail_ = pos;
+  return Status::OK();
+}
+
+Status WriteAheadLog::Reset() {
+  std::lock_guard<std::mutex> guard(mu_);
+  device_->Truncate(0);
+  DPR_RETURN_NOT_OK(device_->Flush());
+  tail_ = 0;
+  return Status::OK();
+}
+
+}  // namespace dpr

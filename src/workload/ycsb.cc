@@ -1,0 +1,42 @@
+#include "workload/ycsb.h"
+
+namespace dpr {
+
+YcsbWorkload::YcsbWorkload(const YcsbOptions& options)
+    : options_(options), rng_(options.seed) {
+  if (options_.zipf_theta > 0.0) {
+    zipf_ = std::make_unique<ZipfianGenerator>(options_.num_keys,
+                                               options_.zipf_theta,
+                                               options_.seed ^ 0x21bfDEADULL);
+  }
+}
+
+uint64_t YcsbWorkload::NextKey() {
+  if (zipf_ != nullptr) return zipf_->Next();
+  return rng_.Uniform(options_.num_keys);
+}
+
+YcsbOp YcsbWorkload::Next() {
+  YcsbOp op;
+  op.key = NextKey();
+  op.value = rng_.Next();
+  const double roll = rng_.NextDouble();
+  if (roll < options_.read_fraction) {
+    op.type = YcsbOp::Type::kRead;
+  } else if (roll < options_.read_fraction + options_.rmw_fraction) {
+    op.type = YcsbOp::Type::kRmw;
+  } else {
+    op.type = YcsbOp::Type::kUpsert;
+  }
+  return op;
+}
+
+uint64_t YcsbWorkload::NextKeyOnShard(uint32_t shard, uint32_t num_shards) {
+  // Rejection-sample; with hash sharding each draw hits with p = 1/shards.
+  for (;;) {
+    const uint64_t key = NextKey();
+    if (ShardOf(key, num_shards) == shard) return key;
+  }
+}
+
+}  // namespace dpr

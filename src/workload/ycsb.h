@@ -1,0 +1,69 @@
+#ifndef DPR_WORKLOAD_YCSB_H_
+#define DPR_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace dpr {
+
+/// YCSB-style single-key workload generator (paper §7.1: YCSB-A with 8-byte
+/// keys and values, described as R:BU read/blind-update mixes, uniform or
+/// Zipfian(theta) key popularity). Deterministic from the seed.
+struct YcsbOptions {
+  uint64_t num_keys = 1 << 20;
+  double read_fraction = 0.5;   // YCSB-A: 50:50
+  double rmw_fraction = 0.0;    // carve read-modify-writes out of the updates
+  double zipf_theta = 0.0;      // 0 = uniform; paper's skew: 0.99
+  uint64_t seed = 42;
+};
+
+struct YcsbOp {
+  enum class Type : uint8_t { kRead, kUpsert, kRmw };
+  Type type;
+  uint64_t key;
+  uint64_t value;
+};
+
+class YcsbWorkload {
+ public:
+  explicit YcsbWorkload(const YcsbOptions& options);
+
+  YcsbOp Next();
+
+  const YcsbOptions& options() const { return options_; }
+
+  /// Keys group into virtual partitions (paper §5.3); a partition is the
+  /// unit of ownership and migration.
+  static constexpr uint32_t kNumPartitions = 64;
+  static uint32_t PartitionOf(uint64_t key) {
+    return static_cast<uint32_t>(Mix64(key ^ 0x5bd1e995) % kNumPartitions);
+  }
+
+  /// Default (pre-migration) owner of a partition.
+  static uint32_t DefaultOwner(uint32_t partition, uint32_t num_shards) {
+    return partition % num_shards;
+  }
+
+  /// The paper shards the key space by hash into equal chunks; with the
+  /// default ownership assignment this is the shard of `key`.
+  static uint32_t ShardOf(uint64_t key, uint32_t num_shards) {
+    return DefaultOwner(PartitionOf(key), num_shards);
+  }
+
+  /// A key guaranteed to live on `shard` (for co-located local traffic).
+  uint64_t NextKeyOnShard(uint32_t shard, uint32_t num_shards);
+
+ private:
+  uint64_t NextKey();
+
+  YcsbOptions options_;
+  Random rng_;
+  std::unique_ptr<ZipfianGenerator> zipf_;
+};
+
+}  // namespace dpr
+
+#endif  // DPR_WORKLOAD_YCSB_H_

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "baseline/commitlog_store.h"
+#include "common/clock.h"
+#include "workload/ycsb.h"
+
+namespace dpr {
+namespace {
+
+// ----------------------------------------------------------- CommitLogStore
+
+CommitLogStoreOptions WithSync(CommitLogSync sync) {
+  CommitLogStoreOptions options;
+  options.sync = sync;
+  options.sync_period_us = 2000;
+  return options;
+}
+
+TEST(CommitLogStoreTest, PutGetAllModes) {
+  for (CommitLogSync sync : {CommitLogSync::kNone, CommitLogSync::kPeriodic,
+                             CommitLogSync::kGroup}) {
+    CommitLogStore store(WithSync(sync));
+    ASSERT_TRUE(store.Put("k", "v").ok());
+    std::string value;
+    ASSERT_TRUE(store.Get("k", &value).ok());
+    EXPECT_EQ(value, "v");
+    EXPECT_TRUE(store.Get("missing", nullptr).IsNotFound());
+  }
+}
+
+TEST(CommitLogStoreTest, GroupCommitSurvivesCrashImmediately) {
+  CommitLogStore store(WithSync(CommitLogSync::kGroup));
+  ASSERT_TRUE(store.Put("k", "v").ok());  // returns only after fsync
+  store.SimulateCrash();
+  ASSERT_TRUE(store.Recover().ok());
+  std::string value;
+  ASSERT_TRUE(store.Get("k", &value).ok());
+  EXPECT_EQ(value, "v");
+}
+
+TEST(CommitLogStoreTest, PeriodicModeEventuallyDurable) {
+  CommitLogStore store(WithSync(CommitLogSync::kPeriodic));
+  ASSERT_TRUE(store.Put("k", "v").ok());
+  // Wait out a few sync periods, then crash: the write must survive.
+  SleepMicros(20000);
+  store.SimulateCrash();
+  ASSERT_TRUE(store.Recover().ok());
+  std::string value;
+  EXPECT_TRUE(store.Get("k", &value).ok());
+}
+
+TEST(CommitLogStoreTest, NoneModeLosesEverything) {
+  CommitLogStore store(WithSync(CommitLogSync::kNone));
+  ASSERT_TRUE(store.Put("k", "v").ok());
+  store.SimulateCrash();
+  ASSERT_TRUE(store.Recover().ok());
+  EXPECT_TRUE(store.Get("k", nullptr).IsNotFound());
+}
+
+TEST(CommitLogStoreTest, RecoverReplaysInOrder) {
+  CommitLogStore store(WithSync(CommitLogSync::kGroup));
+  ASSERT_TRUE(store.Put("k", "v1").ok());
+  ASSERT_TRUE(store.Put("k", "v2").ok());
+  store.SimulateCrash();
+  ASSERT_TRUE(store.Recover().ok());
+  std::string value;
+  ASSERT_TRUE(store.Get("k", &value).ok());
+  EXPECT_EQ(value, "v2");  // last write wins
+}
+
+// --------------------------------------------------------------------- YCSB
+
+TEST(YcsbTest, DeterministicFromSeed) {
+  YcsbOptions options;
+  options.seed = 5;
+  YcsbWorkload a(options);
+  YcsbWorkload b(options);
+  for (int i = 0; i < 1000; ++i) {
+    const YcsbOp x = a.Next();
+    const YcsbOp y = b.Next();
+    EXPECT_EQ(x.key, y.key);
+    EXPECT_EQ(static_cast<int>(x.type), static_cast<int>(y.type));
+  }
+}
+
+TEST(YcsbTest, MixMatchesConfiguredFractions) {
+  YcsbOptions options;
+  options.read_fraction = 0.9;
+  options.rmw_fraction = 0.05;
+  YcsbWorkload workload(options);
+  std::map<YcsbOp::Type, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[workload.Next().type]++;
+  EXPECT_NEAR(counts[YcsbOp::Type::kRead] / double(n), 0.9, 0.02);
+  EXPECT_NEAR(counts[YcsbOp::Type::kRmw] / double(n), 0.05, 0.01);
+  EXPECT_NEAR(counts[YcsbOp::Type::kUpsert] / double(n), 0.05, 0.01);
+}
+
+TEST(YcsbTest, KeysWithinKeyspace) {
+  YcsbOptions options;
+  options.num_keys = 1000;
+  options.zipf_theta = 0.99;
+  YcsbWorkload workload(options);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(workload.Next().key, 1000u);
+  }
+}
+
+TEST(YcsbTest, ShardingIsBalancedAndStable) {
+  std::map<uint32_t, int> counts;
+  for (uint64_t k = 0; k < 80000; ++k) {
+    const uint32_t shard = YcsbWorkload::ShardOf(k, 8);
+    ASSERT_LT(shard, 8u);
+    ASSERT_EQ(shard, YcsbWorkload::ShardOf(k, 8));  // stable
+    counts[shard]++;
+  }
+  for (const auto& [shard, count] : counts) {
+    EXPECT_NEAR(count, 10000, 1000) << "shard " << shard;
+  }
+}
+
+TEST(YcsbTest, NextKeyOnShardRespectsShard) {
+  YcsbOptions options;
+  YcsbWorkload workload(options);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t key = workload.NextKeyOnShard(3, 8);
+    ASSERT_EQ(YcsbWorkload::ShardOf(key, 8), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace dpr

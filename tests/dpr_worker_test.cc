@@ -1,0 +1,216 @@
+#include "dpr/worker.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <memory>
+#include <mutex>
+
+#include "dpr/finder.h"
+
+namespace dpr {
+namespace {
+
+/// Deterministic StateObject for protocol tests: versioned counter with
+/// manually-released checkpoints.
+class FakeStateObject : public StateObject {
+ public:
+  Status PerformCheckpoint(Version target, PersistCallback cb,
+                           Version* out_token) override {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (pending_.has_value()) return Status::Busy("in flight");
+    const Version token = version_;
+    if (target <= token) return Status::InvalidArgument("bad target");
+    version_ = target;
+    pending_ = std::make_pair(token, std::move(cb));
+    if (out_token != nullptr) *out_token = token;
+    return Status::OK();
+  }
+
+  /// Makes the in-flight checkpoint durable.
+  void ReleaseCheckpoint() {
+    std::pair<Version, PersistCallback> job;
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      if (!pending_.has_value()) return;
+      job = std::move(*pending_);
+      pending_.reset();
+      durable_ = job.first;
+    }
+    if (job.second) job.second(job.first);
+  }
+
+  Status RestoreCheckpoint(Version version, Version* restored) override {
+    // Note: an in-flight checkpoint is deliberately left pending so tests
+    // can exercise stale persistence callbacks that land after a rollback.
+    std::lock_guard<std::mutex> guard(mu_);
+    restored_to_ = std::min(version, durable_);
+    version_ = version_ + 1;
+    if (restored != nullptr) *restored = restored_to_;
+    return Status::OK();
+  }
+
+  Version CurrentVersion() const override {
+    std::lock_guard<std::mutex> guard(mu_);
+    return version_;
+  }
+
+  void SimulateCrash() override {
+    std::lock_guard<std::mutex> guard(mu_);
+    crashed_ = true;
+  }
+
+  Version restored_to() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return restored_to_;
+  }
+  bool crashed() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return crashed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Version version_ = 1;
+  Version durable_ = 0;
+  Version restored_to_ = 0;
+  bool crashed_ = false;
+  std::optional<std::pair<Version, PersistCallback>> pending_;
+};
+
+class DprWorkerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metadata_ =
+        std::make_unique<MetadataStore>(std::make_unique<MemoryDevice>());
+    ASSERT_TRUE(metadata_->Recover().ok());
+    finder_ = std::make_unique<GraphDprFinder>(metadata_.get());
+    DprWorkerOptions options;
+    options.worker_id = 0;
+    options.finder = finder_.get();
+    options.checkpoint_interval_us = 0;  // manual commits
+    options.vmax_fast_forward = false;
+    worker_ = std::make_unique<DprWorker>(&state_, options);
+    ASSERT_TRUE(worker_->Start().ok());
+  }
+
+  DprRequestHeader Header(WorldLine wl = kInitialWorldLine,
+                          Version version = 0, DependencySet deps = {}) {
+    DprRequestHeader h;
+    h.session_id = 1;
+    h.world_line = wl;
+    h.version = version;
+    h.deps = std::move(deps);
+    return h;
+  }
+
+  FakeStateObject state_;
+  std::unique_ptr<MetadataStore> metadata_;
+  std::unique_ptr<DprFinder> finder_;
+  std::unique_ptr<DprWorker> worker_;
+};
+
+TEST_F(DprWorkerTest, BatchExecutesInCurrentVersion) {
+  Version v;
+  ASSERT_TRUE(worker_->BeginBatch(Header(), &v).ok());
+  EXPECT_EQ(v, 1u);
+  worker_->EndBatch();
+}
+
+TEST_F(DprWorkerTest, FastForwardsToClientVersion) {
+  // Progress rule (§3.2): a client that has seen v5 forces this worker to
+  // commit up to v5 before executing.
+  Version v;
+  ASSERT_TRUE(worker_->BeginBatch(Header(kInitialWorldLine, 5), &v).ok());
+  EXPECT_GE(v, 5u);
+  worker_->EndBatch();
+  state_.ReleaseCheckpoint();  // token 1 becomes durable
+  EXPECT_EQ(finder_->MaxPersistedVersion(), 1u);
+}
+
+TEST_F(DprWorkerTest, CommitReportsVersionAndDeps) {
+  Version v;
+  ASSERT_TRUE(
+      worker_->BeginBatch(Header(kInitialWorldLine, 0, {{2, 3}}), &v).ok());
+  worker_->EndBatch();
+  ASSERT_TRUE(worker_->TryCommit().ok());
+  state_.ReleaseCheckpoint();
+  // The dependency on worker 2's v3 must be in the durable graph.
+  const auto graph = metadata_->GetGraph();
+  ASSERT_TRUE(graph.count(WorkerVersion{0, 1}));
+  EXPECT_EQ(graph.at(WorkerVersion{0, 1}).at(2), 3u);
+}
+
+TEST_F(DprWorkerTest, WatermarkAdvancesAfterCutIncludesUs) {
+  Version v;
+  ASSERT_TRUE(worker_->BeginBatch(Header(), &v).ok());
+  worker_->EndBatch();
+  ASSERT_TRUE(worker_->TryCommit().ok());
+  state_.ReleaseCheckpoint();
+  ASSERT_TRUE(finder_->ComputeCut().ok());
+  worker_->RefreshPersistedWatermark();
+  EXPECT_EQ(worker_->persisted_watermark(), 1u);
+  DprResponseHeader resp;
+  worker_->FillResponse(2, DprResponseHeader::BatchStatus::kOk, &resp);
+  EXPECT_EQ(resp.persisted_version, 1u);
+  EXPECT_EQ(resp.executed_version, 2u);
+}
+
+TEST_F(DprWorkerTest, StaleWorldLineBatchAborted) {
+  ASSERT_TRUE(worker_->Rollback(2, 0).ok());
+  Version v;
+  Status s = worker_->BeginBatch(Header(/*wl=*/1), &v);
+  EXPECT_TRUE(s.IsAborted());
+}
+
+TEST_F(DprWorkerTest, FutureWorldLineBatchDelayed) {
+  Version v;
+  Status s = worker_->BeginBatch(Header(/*wl=*/3), &v);
+  EXPECT_TRUE(s.IsUnavailable());
+}
+
+TEST_F(DprWorkerTest, RollbackRestoresAndAdvancesWorldLine) {
+  Version v;
+  ASSERT_TRUE(worker_->BeginBatch(Header(), &v).ok());
+  worker_->EndBatch();
+  ASSERT_TRUE(worker_->TryCommit().ok());
+  state_.ReleaseCheckpoint();
+  ASSERT_TRUE(worker_->Rollback(2, 1).ok());
+  EXPECT_EQ(worker_->world_line(), 2u);
+  EXPECT_EQ(state_.restored_to(), 1u);
+  // Post-rollback batches on the new world-line are admitted.
+  ASSERT_TRUE(worker_->BeginBatch(Header(/*wl=*/2), &v).ok());
+  worker_->EndBatch();
+}
+
+TEST_F(DprWorkerTest, CrashAndRestoreDropsVolatileState) {
+  ASSERT_TRUE(worker_->CrashAndRestore(2, 0).ok());
+  EXPECT_TRUE(state_.crashed());
+  EXPECT_EQ(worker_->world_line(), 2u);
+}
+
+TEST_F(DprWorkerTest, CommitWhileCheckpointInFlightIsBusy) {
+  ASSERT_TRUE(worker_->TryCommit().ok());
+  EXPECT_TRUE(worker_->TryCommit().IsBusy());
+  state_.ReleaseCheckpoint();
+  EXPECT_TRUE(worker_->TryCommit().ok());
+  state_.ReleaseCheckpoint();
+}
+
+TEST_F(DprWorkerTest, StaleCheckpointReportRejectedAfterRollback) {
+  // Checkpoint starts pre-failure, persists post-rollback: its report must
+  // be ignored by the finder (it carries the old world-line).
+  ASSERT_TRUE(worker_->TryCommit().ok());
+  WorldLine new_wl;
+  DprCut cut;
+  ASSERT_TRUE(finder_->BeginRecovery(&new_wl, &cut).ok());
+  ASSERT_TRUE(finder_->EndRecovery().ok());
+  ASSERT_TRUE(worker_->Rollback(new_wl, 0).ok());
+  state_.ReleaseCheckpoint();  // fires the stale persistence callback
+  EXPECT_EQ(finder_->MaxPersistedVersion(), 0u);
+}
+
+}  // namespace
+}  // namespace dpr

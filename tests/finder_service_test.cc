@@ -1,0 +1,118 @@
+// The DPR finder RPC service: a RemoteDprFinder stub must behave exactly
+// like the in-process finder it proxies (used by multi-process shards).
+#include "dpr/finder_service.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/inmemory_net.h"
+#include "net/tcp_net.h"
+
+namespace dpr {
+namespace {
+
+class FinderServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metadata_ =
+        std::make_unique<MetadataStore>(std::make_unique<MemoryDevice>());
+    ASSERT_TRUE(metadata_->Recover().ok());
+    local_ = std::make_unique<SimpleDprFinder>(metadata_.get());
+    server_ = std::make_unique<DprFinderServer>(local_.get(),
+                                                net_.CreateServer("finder"));
+    ASSERT_TRUE(server_->Start().ok());
+    remote_ = std::make_unique<RemoteDprFinder>(net_.Connect("finder"));
+  }
+
+  InMemoryNetwork net_;
+  std::unique_ptr<MetadataStore> metadata_;
+  std::unique_ptr<SimpleDprFinder> local_;
+  std::unique_ptr<DprFinderServer> server_;
+  std::unique_ptr<RemoteDprFinder> remote_;
+};
+
+TEST_F(FinderServiceTest, AddReportComputeGetCut) {
+  ASSERT_TRUE(remote_->AddWorker(0, 0).ok());
+  ASSERT_TRUE(remote_->AddWorker(1, 0).ok());
+  ASSERT_TRUE(remote_
+                  ->ReportPersistedVersion(kInitialWorldLine,
+                                           WorkerVersion{0, 2}, {{1, 1}})
+                  .ok());
+  ASSERT_TRUE(remote_
+                  ->ReportPersistedVersion(kInitialWorldLine,
+                                           WorkerVersion{1, 2}, {})
+                  .ok());
+  ASSERT_TRUE(remote_->ComputeCut().ok());
+  WorldLine wl = 0;
+  DprCut cut;
+  remote_->GetCut(&wl, &cut);
+  EXPECT_EQ(wl, kInitialWorldLine);
+  EXPECT_EQ(CutVersion(cut, 0), 2u);
+  EXPECT_EQ(CutVersion(cut, 1), 2u);
+  // The remote stub and the local finder agree.
+  DprCut local_cut;
+  local_->GetCut(nullptr, &local_cut);
+  EXPECT_EQ(cut, local_cut);
+}
+
+TEST_F(FinderServiceTest, AggregatesAndWorldLine) {
+  ASSERT_TRUE(remote_->AddWorker(0, 0).ok());
+  ASSERT_TRUE(remote_
+                  ->ReportPersistedVersion(kInitialWorldLine,
+                                           WorkerVersion{0, 9}, {})
+                  .ok());
+  EXPECT_EQ(remote_->MaxPersistedVersion(), 9u);
+  EXPECT_EQ(remote_->CurrentWorldLine(), kInitialWorldLine);
+}
+
+TEST_F(FinderServiceTest, StaleReportStatusPropagates) {
+  ASSERT_TRUE(remote_->AddWorker(0, 0).ok());
+  Status s = remote_->ReportPersistedVersion(kInitialWorldLine + 5,
+                                             WorkerVersion{0, 1}, {});
+  EXPECT_TRUE(s.IsAborted());
+}
+
+TEST_F(FinderServiceTest, RecoverySequenceOverRpc) {
+  ASSERT_TRUE(remote_->AddWorker(0, 0).ok());
+  ASSERT_TRUE(remote_
+                  ->ReportPersistedVersion(kInitialWorldLine,
+                                           WorkerVersion{0, 3}, {})
+                  .ok());
+  ASSERT_TRUE(remote_->ComputeCut().ok());
+  WorldLine new_wl = 0;
+  DprCut recovery;
+  ASSERT_TRUE(remote_->BeginRecovery(&new_wl, &recovery).ok());
+  EXPECT_EQ(new_wl, kInitialWorldLine + 1);
+  EXPECT_EQ(CutVersion(recovery, 0), 3u);
+  ASSERT_TRUE(remote_->EndRecovery().ok());
+  EXPECT_EQ(remote_->CurrentWorldLine(), new_wl);
+}
+
+TEST_F(FinderServiceTest, RemoveWorker) {
+  ASSERT_TRUE(remote_->AddWorker(0, 0).ok());
+  ASSERT_TRUE(remote_->AddWorker(1, 0).ok());
+  ASSERT_TRUE(remote_->RemoveWorker(1).ok());
+  EXPECT_EQ(metadata_->GetPersistedVersions().size(), 1u);
+}
+
+TEST(FinderServiceTcpTest, WorksOverRealSockets) {
+  MetadataStore metadata(std::make_unique<MemoryDevice>());
+  ASSERT_TRUE(metadata.Recover().ok());
+  SimpleDprFinder local(&metadata);
+  DprFinderServer server(&local, MakeTcpServer(0));
+  ASSERT_TRUE(server.Start().ok());
+  std::unique_ptr<RpcConnection> conn;
+  ASSERT_TRUE(ConnectTcp(server.address(), &conn).ok());
+  RemoteDprFinder remote(std::move(conn));
+  ASSERT_TRUE(remote.AddWorker(0, 0).ok());
+  ASSERT_TRUE(remote
+                  .ReportPersistedVersion(kInitialWorldLine,
+                                          WorkerVersion{0, 1}, {})
+                  .ok());
+  ASSERT_TRUE(remote.ComputeCut().ok());
+  EXPECT_EQ(remote.SafeVersion(0), 1u);
+}
+
+}  // namespace
+}  // namespace dpr

@@ -1,0 +1,132 @@
+// Whole-stack soak: concurrent client threads drive a D-FASTER cluster under
+// periodic checkpoints while failures are injected; every session must see
+// monotone commit points, recover cleanly, and finish with a fully-committed
+// suffix. Exercises the full path: client batching/windowing -> transport ->
+// DPR admission -> FASTER -> checkpoints -> finder -> rollback.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "harness/cluster.h"
+
+namespace dpr {
+namespace {
+
+struct SoakParams {
+  FinderKind finder;
+  TransportKind transport;
+  bool colocated;
+};
+
+class SoakTest : public ::testing::TestWithParam<SoakParams> {};
+
+TEST_P(SoakTest, ConcurrentSessionsSurviveFailures) {
+  const SoakParams params = GetParam();
+  ClusterOptions options;
+  options.num_workers = 2;
+  options.backend = StorageBackend::kLocal;
+  options.checkpoint_interval_us = 15000;
+  options.finder_interval_us = 5000;
+  options.finder = params.finder;
+  options.transport = params.transport;
+  DFasterCluster cluster(options);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  constexpr int kClientThreads = 3;
+  constexpr uint64_t kRunMs = 1200;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> total_completed{0};
+  std::atomic<int> recoveries{0};
+  std::atomic<bool> violation{false};
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      auto client = params.colocated
+                        ? cluster.NewColocatedClient(t % 2, 4, 64)
+                        : cluster.NewClient(4, 64);
+      auto session = client->NewSession(100 + t);
+      Random rng(t);
+      uint64_t last_commit = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int i = 0; i < 64; ++i) {
+          const uint64_t key = rng.Uniform(2048);
+          if (rng.Bernoulli(0.5)) {
+            session->Upsert(key, rng.Next(), [&](KvResult, uint64_t) {
+              total_completed.fetch_add(1, std::memory_order_relaxed);
+            });
+          } else {
+            session->Read(key, [&](KvResult, uint64_t) {
+              total_completed.fetch_add(1, std::memory_order_relaxed);
+            });
+          }
+        }
+        if (!session->WaitForAll(20000).ok()) break;
+        if (session->needs_failure_handling()) {
+          DprSession::CommitPoint survivors;
+          if (session->RecoverFromFailure(&survivors).ok()) {
+            if (survivors.prefix_end < last_commit) violation.store(true);
+            last_commit = survivors.prefix_end;
+            recoveries.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          const uint64_t point = session->dpr().GetCommitPoint().prefix_end;
+          if (point < last_commit) violation.store(true);
+          last_commit = point;
+        }
+      }
+      (void)session->WaitForAll(20000);
+      if (session->needs_failure_handling()) {
+        DprSession::CommitPoint survivors;
+        (void)session->RecoverFromFailure(&survivors);
+      }
+    });
+  }
+
+  // Inject two failures mid-run.
+  SleepMicros(kRunMs * 1000 / 3);
+  ASSERT_TRUE(cluster.InjectFailure({0}).ok());
+  SleepMicros(kRunMs * 1000 / 3);
+  ASSERT_TRUE(cluster.InjectFailure({1}).ok());
+  SleepMicros(kRunMs * 1000 / 3);
+  stop.store(true);
+  for (auto& t : clients) t.join();
+
+  EXPECT_FALSE(violation.load()) << "commit point regressed";
+  EXPECT_GT(total_completed.load(), 1000u);
+  // At least one session observed each failure (they all interact steadily).
+  EXPECT_GE(recoveries.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stacks, SoakTest,
+    ::testing::Values(
+        SoakParams{FinderKind::kSimple, TransportKind::kInMemory, false},
+        SoakParams{FinderKind::kGraph, TransportKind::kInMemory, false},
+        SoakParams{FinderKind::kHybrid, TransportKind::kInMemory, false},
+        SoakParams{FinderKind::kSimple, TransportKind::kTcp, false},
+        SoakParams{FinderKind::kSimple, TransportKind::kInMemory, true}),
+    [](const auto& info) {
+      std::string name;
+      switch (info.param.finder) {
+        case FinderKind::kSimple:
+          name = "Simple";
+          break;
+        case FinderKind::kGraph:
+          name = "Graph";
+          break;
+        case FinderKind::kHybrid:
+          name = "Hybrid";
+          break;
+      }
+      name += info.param.transport == TransportKind::kTcp ? "Tcp" : "InMem";
+      if (info.param.colocated) name += "Colocated";
+      return name;
+    });
+
+}  // namespace
+}  // namespace dpr

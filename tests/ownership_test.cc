@@ -1,0 +1,231 @@
+// Ownership validation and transfer (paper §5.3): virtual partitions,
+// worker-local validation, checkpoint-boundary transfers, key migration,
+// and transparent client re-routing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "common/clock.h"
+#include "harness/cluster.h"
+
+namespace dpr {
+namespace {
+
+ClusterOptions Opts() {
+  ClusterOptions options;
+  options.num_workers = 2;
+  options.backend = StorageBackend::kLocal;
+  options.checkpoint_interval_us = 20000;
+  options.finder_interval_us = 5000;
+  return options;
+}
+
+uint32_t PartitionOnWorker(WorkerId worker, uint32_t num_workers) {
+  for (uint32_t vp = 0; vp < YcsbWorkload::kNumPartitions; ++vp) {
+    if (YcsbWorkload::DefaultOwner(vp, num_workers) == worker) return vp;
+  }
+  ADD_FAILURE() << "no partition on worker " << worker;
+  return 0;
+}
+
+uint64_t KeyInPartition(uint32_t partition) {
+  uint64_t key = 0;
+  while (YcsbWorkload::PartitionOf(key) != partition) key++;
+  return key;
+}
+
+TEST(OwnershipTest, WorkersValidateAgainstLocalView) {
+  DFasterCluster cluster(Opts());
+  ASSERT_TRUE(cluster.Start().ok());
+  const uint32_t vp = PartitionOnWorker(0, 2);
+  const uint64_t key = KeyInPartition(vp);
+  EXPECT_TRUE(cluster.worker(0)->OwnsPartition(vp));
+  EXPECT_FALSE(cluster.worker(1)->OwnsPartition(vp));
+
+  // An op sent to the wrong worker is rejected per-op with kNotOwner.
+  KvBatchRequest req;
+  req.ops.push_back(KvOp{KvOp::Type::kUpsert, key, 1});
+  KvBatchResponse resp;
+  cluster.worker(1)->ExecuteBatch(req, &resp);
+  ASSERT_EQ(resp.results.size(), 1u);
+  EXPECT_EQ(resp.results[0].result, KvResult::kNotOwner);
+}
+
+TEST(OwnershipTest, TransferMigratesDataAndOwnership) {
+  DFasterCluster cluster(Opts());
+  ASSERT_TRUE(cluster.Start().ok());
+  const uint32_t vp = PartitionOnWorker(0, 2);
+  auto client = cluster.NewClient(4, 32);
+  auto session = client->NewSession(1);
+  // Write several keys of the partition.
+  std::map<uint64_t, uint64_t> expected;
+  uint64_t key = 0;
+  while (expected.size() < 10) {
+    if (YcsbWorkload::PartitionOf(key) == vp) {
+      session->Upsert(key, key + 7);
+      expected[key] = key + 7;
+    }
+    ++key;
+  }
+  ASSERT_TRUE(session->WaitForAll().ok());
+
+  ASSERT_TRUE(cluster.TransferPartition(vp, 1).ok());
+  EXPECT_EQ(cluster.OwnerOf(vp), 1u);
+  EXPECT_FALSE(cluster.worker(0)->OwnsPartition(vp));
+  EXPECT_TRUE(cluster.worker(1)->OwnsPartition(vp));
+
+  // The data followed the partition; the client re-routes transparently.
+  std::map<uint64_t, uint64_t> observed;
+  std::mutex mu;
+  for (const auto& [k, v] : expected) {
+    (void)v;
+    session->Read(k, [&, k = k](KvResult r, uint64_t value) {
+      std::lock_guard<std::mutex> guard(mu);
+      if (r == KvResult::kOk) observed[k] = value;
+    });
+  }
+  ASSERT_TRUE(session->WaitForAll().ok());
+  EXPECT_EQ(observed, expected);
+}
+
+TEST(OwnershipTest, TransferBackAndForth) {
+  DFasterCluster cluster(Opts());
+  ASSERT_TRUE(cluster.Start().ok());
+  const uint32_t vp = PartitionOnWorker(0, 2);
+  const uint64_t key = KeyInPartition(vp);
+  auto client = cluster.NewClient(1, 8);
+  auto session = client->NewSession(1);
+  session->Upsert(key, 1);
+  ASSERT_TRUE(session->WaitForAll().ok());
+  ASSERT_TRUE(cluster.TransferPartition(vp, 1).ok());
+  session->Upsert(key, 2);
+  ASSERT_TRUE(session->WaitForAll().ok());
+  ASSERT_TRUE(cluster.TransferPartition(vp, 0).ok());
+  std::atomic<uint64_t> value{0};
+  session->Read(key, [&](KvResult r, uint64_t v) {
+    if (r == KvResult::kOk) value.store(v);
+  });
+  ASSERT_TRUE(session->WaitForAll().ok());
+  EXPECT_EQ(value.load(), 2u);  // write at interim owner survived the moves
+}
+
+TEST(OwnershipTest, WritesDuringTransferAreNotLost) {
+  DFasterCluster cluster(Opts());
+  ASSERT_TRUE(cluster.Start().ok());
+  const uint32_t vp = PartitionOnWorker(0, 2);
+  const uint64_t key = KeyInPartition(vp);
+  auto client = cluster.NewClient(1, 8);
+  auto session = client->NewSession(1);
+  session->Upsert(key, 1);
+  ASSERT_TRUE(session->WaitForAll().ok());
+
+  // Writer keeps updating while the transfer happens; every op must land
+  // (possibly after re-route retries) and the last value must win.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> last_written{1};
+  std::thread writer([&] {
+    auto wclient = cluster.NewClient(1, 4);
+    auto wsession = wclient->NewSession(2);
+    for (uint64_t i = 2; !stop.load(); ++i) {
+      std::atomic<bool> ok{false};
+      wsession->Upsert(key, i, [&](KvResult r, uint64_t) {
+        if (r == KvResult::kOk) ok.store(true);
+      });
+      (void)wsession->WaitForAll();
+      if (ok.load()) last_written.store(i);
+      SleepMicros(500);
+    }
+  });
+  SleepMicros(5000);
+  ASSERT_TRUE(cluster.TransferPartition(vp, 1).ok());
+  SleepMicros(5000);
+  stop.store(true);
+  writer.join();
+
+  std::atomic<uint64_t> value{0};
+  session->Read(key, [&](KvResult r, uint64_t v) {
+    if (r == KvResult::kOk) value.store(v);
+  });
+  ASSERT_TRUE(session->WaitForAll().ok());
+  // The final read must see a value at least as new as the last
+  // acknowledged write that happened strictly after the transfer.
+  EXPECT_GE(value.load(), last_written.load());
+}
+
+TEST(OwnershipTest, CommitsContinueAfterTransfer) {
+  DFasterCluster cluster(Opts());
+  ASSERT_TRUE(cluster.Start().ok());
+  const uint32_t vp = PartitionOnWorker(0, 2);
+  ASSERT_TRUE(cluster.TransferPartition(vp, 1).ok());
+  auto client = cluster.NewClient(4, 32);
+  auto session = client->NewSession(1);
+  const uint64_t key = KeyInPartition(vp);
+  for (int i = 0; i < 20; ++i) session->Upsert(key, i);
+  EXPECT_TRUE(session->WaitForCommit(20000).ok());
+}
+
+}  // namespace
+}  // namespace dpr
+
+namespace dpr {
+namespace {
+
+TEST(MembershipTest, ScaleOutThenDrainAndRemove) {
+  DFasterCluster cluster(Opts());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  // Seed some data across the original two workers.
+  {
+    auto client = cluster.NewClient(8, 64);
+    auto session = client->NewSession(1);
+    for (uint64_t k = 0; k < 200; ++k) session->Upsert(k, k + 1);
+    ASSERT_TRUE(session->WaitForAll().ok());
+  }
+
+  // Scale out: add an empty worker and move every partition of worker 0
+  // onto it.
+  WorkerId new_id = kInvalidWorker;
+  ASSERT_TRUE(cluster.AddWorker(&new_id).ok());
+  EXPECT_EQ(new_id, 2u);
+  EXPECT_EQ(cluster.worker(new_id)->OwnedPartitionCount(), 0u);
+  for (uint32_t vp = 0; vp < YcsbWorkload::kNumPartitions; ++vp) {
+    if (cluster.OwnerOf(vp) == 0) {
+      ASSERT_TRUE(cluster.TransferPartition(vp, new_id).ok());
+    }
+  }
+  EXPECT_EQ(cluster.worker(0)->OwnedPartitionCount(), 0u);
+  EXPECT_GT(cluster.worker(new_id)->OwnedPartitionCount(), 0u);
+
+  // A fresh client reads everything back through the new topology and gets
+  // commits that include the new worker.
+  auto client = cluster.NewClient(8, 64);
+  auto session = client->NewSession(2);
+  std::atomic<uint64_t> sum{0};
+  for (uint64_t k = 0; k < 200; ++k) {
+    session->Read(k, [&](KvResult r, uint64_t v) {
+      if (r == KvResult::kOk) sum.fetch_add(v);
+    });
+  }
+  ASSERT_TRUE(session->WaitForAll().ok());
+  EXPECT_EQ(sum.load(), 200u * 201 / 2);
+  for (uint64_t k = 0; k < 50; ++k) session->Upsert(k, k);
+  ASSERT_TRUE(session->WaitForCommit(20000).ok());
+
+  // The drained worker is now empty and can leave the cluster.
+  ASSERT_TRUE(cluster.RemoveWorker(0).ok());
+  // DPR progress continues without it.
+  for (uint64_t k = 0; k < 50; ++k) session->Upsert(k, k * 2);
+  ASSERT_TRUE(session->WaitForCommit(20000).ok());
+}
+
+TEST(MembershipTest, RemoveRefusedWhileOwningPartitions) {
+  DFasterCluster cluster(Opts());
+  ASSERT_TRUE(cluster.Start().ok());
+  Status s = cluster.RemoveWorker(0);
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dpr

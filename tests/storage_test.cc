@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/clock.h"
+#include "storage/checkpoint_file.h"
+#include "storage/device.h"
+#include "storage/wal.h"
+
+namespace dpr {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/dpr_storage_test_" + name;
+}
+
+TEST(NullDeviceTest, AcceptsWritesTracksSize) {
+  NullDevice dev;
+  EXPECT_TRUE(dev.WriteAt(100, "hello", 5).ok());
+  EXPECT_EQ(dev.Size(), 105u);
+  char buf[5];
+  EXPECT_TRUE(dev.ReadAt(100, buf, 5).ok());
+  EXPECT_EQ(std::string(buf, 5), std::string(5, '\0'));
+}
+
+TEST(MemoryDeviceTest, ReadBackAndCrashSemantics) {
+  MemoryDevice dev;
+  ASSERT_TRUE(dev.WriteAt(0, "durable", 7).ok());
+  ASSERT_TRUE(dev.Flush().ok());
+  ASSERT_TRUE(dev.WriteAt(7, "volatile", 8).ok());
+  dev.SimulateCrash();
+  EXPECT_EQ(dev.Size(), 7u);
+  char buf[7];
+  ASSERT_TRUE(dev.ReadAt(0, buf, 7).ok());
+  EXPECT_EQ(std::string(buf, 7), "durable");
+  EXPECT_FALSE(dev.ReadAt(0, buf, 8).ok());  // past end
+}
+
+TEST(MemoryDeviceTest, OverwriteBeforeFlushSurvivesOnlyAfterFlush) {
+  MemoryDevice dev;
+  ASSERT_TRUE(dev.WriteAt(0, "aaaa", 4).ok());
+  ASSERT_TRUE(dev.Flush().ok());
+  ASSERT_TRUE(dev.WriteAt(0, "bbbb", 4).ok());
+  dev.SimulateCrash();
+  char buf[4];
+  ASSERT_TRUE(dev.ReadAt(0, buf, 4).ok());
+  EXPECT_EQ(std::string(buf, 4), "aaaa");
+}
+
+TEST(FileDeviceTest, PersistsAcrossReopen) {
+  const std::string path = TempPath("file_reopen");
+  {
+    std::unique_ptr<FileDevice> dev;
+    ASSERT_TRUE(FileDevice::Open(path, /*reset=*/true, &dev).ok());
+    ASSERT_TRUE(dev->WriteAt(0, "persist me", 10).ok());
+    ASSERT_TRUE(dev->Flush().ok());
+  }
+  {
+    std::unique_ptr<FileDevice> dev;
+    ASSERT_TRUE(FileDevice::Open(path, /*reset=*/false, &dev).ok());
+    EXPECT_EQ(dev->Size(), 10u);
+    char buf[10];
+    ASSERT_TRUE(dev->ReadAt(0, buf, 10).ok());
+    EXPECT_EQ(std::string(buf, 10), "persist me");
+  }
+  remove(path.c_str());
+}
+
+TEST(FileDeviceTest, CrashDropsUnsyncedTail) {
+  const std::string path = TempPath("file_crash");
+  std::unique_ptr<FileDevice> dev;
+  ASSERT_TRUE(FileDevice::Open(path, /*reset=*/true, &dev).ok());
+  ASSERT_TRUE(dev->WriteAt(0, "12345678", 8).ok());
+  ASSERT_TRUE(dev->Flush().ok());
+  ASSERT_TRUE(dev->WriteAt(8, "rest", 4).ok());
+  dev->SimulateCrash();
+  EXPECT_EQ(dev->Size(), 8u);
+  remove(path.c_str());
+}
+
+TEST(LatencyDeviceTest, FlushIsDelayed) {
+  auto dev = std::make_unique<LatencyDevice>(
+      std::make_unique<MemoryDevice>(), /*flush_latency_us=*/20000,
+      /*per_mb_us=*/0);
+  ASSERT_TRUE(dev->WriteAt(0, "x", 1).ok());
+  Stopwatch timer;
+  ASSERT_TRUE(dev->Flush().ok());
+  EXPECT_GE(timer.ElapsedMicros(), 15000u);
+}
+
+TEST(MakeDeviceTest, FactoryProducesWorkingDevices) {
+  for (StorageBackend backend :
+       {StorageBackend::kNull, StorageBackend::kLocal,
+        StorageBackend::kCloud}) {
+    auto dev = MakeDevice(backend);
+    ASSERT_NE(dev, nullptr);
+    EXPECT_TRUE(dev->WriteAt(0, "probe", 5).ok());
+    EXPECT_TRUE(dev->Flush().ok());
+  }
+}
+
+TEST(WalTest, AppendReplayRoundTrip) {
+  WriteAheadLog wal(std::make_unique<MemoryDevice>());
+  ASSERT_TRUE(wal.Append("first").ok());
+  ASSERT_TRUE(wal.Append("second").ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  std::vector<std::string> seen;
+  ASSERT_TRUE(wal.Replay([&](uint64_t, Slice rec) {
+    seen.push_back(rec.ToString());
+  }).ok());
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "first");
+  EXPECT_EQ(seen[1], "second");
+}
+
+TEST(WalTest, CrashLosesUnsyncedSuffixOnly) {
+  WriteAheadLog wal(std::make_unique<MemoryDevice>());
+  ASSERT_TRUE(wal.Append("durable").ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  ASSERT_TRUE(wal.Append("lost").ok());
+  wal.device()->SimulateCrash();
+  std::vector<std::string> seen;
+  ASSERT_TRUE(wal.Replay([&](uint64_t, Slice rec) {
+    seen.push_back(rec.ToString());
+  }).ok());
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "durable");
+}
+
+TEST(WalTest, TornTailRecordIsDropped) {
+  auto device = std::make_unique<MemoryDevice>();
+  MemoryDevice* raw = device.get();
+  WriteAheadLog wal(std::move(device));
+  ASSERT_TRUE(wal.Append("good").ok());
+  uint64_t offset = 0;
+  ASSERT_TRUE(wal.Append("to be torn", &offset).ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  // Corrupt one byte of the second record's payload.
+  char byte = 'X';
+  ASSERT_TRUE(raw->WriteAt(offset + 9, &byte, 1).ok());
+  std::vector<std::string> seen;
+  ASSERT_TRUE(wal.Replay([&](uint64_t, Slice rec) {
+    seen.push_back(rec.ToString());
+  }).ok());
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "good");
+}
+
+TEST(WalTest, AppendAfterReplayContinuesAtTail) {
+  WriteAheadLog wal(std::make_unique<MemoryDevice>());
+  ASSERT_TRUE(wal.Append("a").ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  ASSERT_TRUE(wal.Replay([](uint64_t, Slice) {}).ok());
+  ASSERT_TRUE(wal.Append("b").ok());
+  std::vector<std::string> seen;
+  ASSERT_TRUE(wal.Replay([&](uint64_t, Slice rec) {
+    seen.push_back(rec.ToString());
+  }).ok());
+  ASSERT_EQ(seen.size(), 2u);
+}
+
+TEST(WalTest, ResetDiscardsEverything) {
+  WriteAheadLog wal(std::make_unique<MemoryDevice>());
+  ASSERT_TRUE(wal.Append("gone").ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  ASSERT_TRUE(wal.Reset().ok());
+  int count = 0;
+  ASSERT_TRUE(wal.Replay([&](uint64_t, Slice) { count++; }).ok());
+  EXPECT_EQ(count, 0);
+}
+
+TEST(CheckpointBlobTest, RoundTripWithToken) {
+  MemoryDevice dev;
+  ASSERT_TRUE(CheckpointBlob::Write(&dev, 0, 42, "snapshot bytes").ok());
+  std::string payload;
+  uint64_t token = 0;
+  ASSERT_TRUE(CheckpointBlob::Read(&dev, 0, &payload, &token).ok());
+  EXPECT_EQ(payload, "snapshot bytes");
+  EXPECT_EQ(token, 42u);
+}
+
+TEST(CheckpointBlobTest, MissingBlobIsNotFound) {
+  MemoryDevice dev;
+  std::string payload;
+  EXPECT_TRUE(CheckpointBlob::Read(&dev, 0, &payload, nullptr).IsNotFound());
+}
+
+TEST(CheckpointBlobTest, CorruptionDetected) {
+  MemoryDevice dev;
+  ASSERT_TRUE(CheckpointBlob::Write(&dev, 0, 7, "payload").ok());
+  char byte = 'Z';
+  ASSERT_TRUE(dev.WriteAt(30, &byte, 1).ok());  // inside the payload
+  std::string payload;
+  Status s = CheckpointBlob::Read(&dev, 0, &payload, nullptr);
+  EXPECT_EQ(s.code(), Status::Code::kCorruption);
+}
+
+}  // namespace
+}  // namespace dpr
