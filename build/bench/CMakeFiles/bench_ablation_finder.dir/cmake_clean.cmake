@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_finder.dir/bench_ablation_finder.cc.o"
+  "CMakeFiles/bench_ablation_finder.dir/bench_ablation_finder.cc.o.d"
+  "bench_ablation_finder"
+  "bench_ablation_finder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

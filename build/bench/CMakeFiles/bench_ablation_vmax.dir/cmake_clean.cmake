@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vmax.dir/bench_ablation_vmax.cc.o"
+  "CMakeFiles/bench_ablation_vmax.dir/bench_ablation_vmax.cc.o.d"
+  "bench_ablation_vmax"
+  "bench_ablation_vmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

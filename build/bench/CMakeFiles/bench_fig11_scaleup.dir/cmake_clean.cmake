@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_scaleup.dir/bench_fig11_scaleup.cc.o"
+  "CMakeFiles/bench_fig11_scaleup.dir/bench_fig11_scaleup.cc.o.d"
+  "bench_fig11_scaleup"
+  "bench_fig11_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

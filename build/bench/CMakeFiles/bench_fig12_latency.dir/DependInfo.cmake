@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig12_latency.cc" "bench/CMakeFiles/bench_fig12_latency.dir/bench_fig12_latency.cc.o" "gcc" "bench/CMakeFiles/bench_fig12_latency.dir/bench_fig12_latency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/dpr_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/dpr_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfaster/CMakeFiles/dpr_dfaster.dir/DependInfo.cmake"
+  "/root/repo/build/src/faster/CMakeFiles/dpr_faster.dir/DependInfo.cmake"
+  "/root/repo/build/src/epoch/CMakeFiles/dpr_epoch.dir/DependInfo.cmake"
+  "/root/repo/build/src/dredis/CMakeFiles/dpr_dredis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpr/CMakeFiles/dpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/dpr_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/respstore/CMakeFiles/dpr_respstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/dpr_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dpr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dpr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dpr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

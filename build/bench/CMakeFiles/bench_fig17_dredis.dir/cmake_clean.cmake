@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_dredis.dir/bench_fig17_dredis.cc.o"
+  "CMakeFiles/bench_fig17_dredis.dir/bench_fig17_dredis.cc.o.d"
+  "bench_fig17_dredis"
+  "bench_fig17_dredis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_dredis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

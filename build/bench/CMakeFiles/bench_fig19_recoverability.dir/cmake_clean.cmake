@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_recoverability.dir/bench_fig19_recoverability.cc.o"
+  "CMakeFiles/bench_fig19_recoverability.dir/bench_fig19_recoverability.cc.o.d"
+  "bench_fig19_recoverability"
+  "bench_fig19_recoverability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_recoverability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

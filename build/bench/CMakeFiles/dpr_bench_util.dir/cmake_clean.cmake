@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/dpr_bench_util.dir/bench_util.cc.o.d"
+  "libdpr_bench_util.a"
+  "libdpr_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dredis_wrap.dir/dredis_wrap.cpp.o"
+  "CMakeFiles/dredis_wrap.dir/dredis_wrap.cpp.o.d"
+  "dredis_wrap"
+  "dredis_wrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dredis_wrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serverless_workflow.dir/serverless_workflow.cpp.o"
+  "CMakeFiles/serverless_workflow.dir/serverless_workflow.cpp.o.d"
+  "serverless_workflow"
+  "serverless_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serverless_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("epoch")
+subdirs("storage")
+subdirs("metadata")
+subdirs("dpr")
+subdirs("faster")
+subdirs("net")
+subdirs("respstore")
+subdirs("baseline")
+subdirs("dfaster")
+subdirs("dredis")
+subdirs("workload")
+subdirs("harness")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_baseline.dir/commitlog_store.cc.o"
+  "CMakeFiles/dpr_baseline.dir/commitlog_store.cc.o.d"
+  "libdpr_baseline.a"
+  "libdpr_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

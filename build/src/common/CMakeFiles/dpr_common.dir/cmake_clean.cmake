@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_common.dir/flags.cc.o"
+  "CMakeFiles/dpr_common.dir/flags.cc.o.d"
+  "CMakeFiles/dpr_common.dir/hash.cc.o"
+  "CMakeFiles/dpr_common.dir/hash.cc.o.d"
+  "CMakeFiles/dpr_common.dir/histogram.cc.o"
+  "CMakeFiles/dpr_common.dir/histogram.cc.o.d"
+  "CMakeFiles/dpr_common.dir/logging.cc.o"
+  "CMakeFiles/dpr_common.dir/logging.cc.o.d"
+  "CMakeFiles/dpr_common.dir/random.cc.o"
+  "CMakeFiles/dpr_common.dir/random.cc.o.d"
+  "CMakeFiles/dpr_common.dir/status.cc.o"
+  "CMakeFiles/dpr_common.dir/status.cc.o.d"
+  "libdpr_common.a"
+  "libdpr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_dfaster.dir/client.cc.o"
+  "CMakeFiles/dpr_dfaster.dir/client.cc.o.d"
+  "CMakeFiles/dpr_dfaster.dir/protocol.cc.o"
+  "CMakeFiles/dpr_dfaster.dir/protocol.cc.o.d"
+  "CMakeFiles/dpr_dfaster.dir/worker.cc.o"
+  "CMakeFiles/dpr_dfaster.dir/worker.cc.o.d"
+  "libdpr_dfaster.a"
+  "libdpr_dfaster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_dfaster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpr/cluster_manager.cc" "src/dpr/CMakeFiles/dpr_core.dir/cluster_manager.cc.o" "gcc" "src/dpr/CMakeFiles/dpr_core.dir/cluster_manager.cc.o.d"
+  "/root/repo/src/dpr/finder.cc" "src/dpr/CMakeFiles/dpr_core.dir/finder.cc.o" "gcc" "src/dpr/CMakeFiles/dpr_core.dir/finder.cc.o.d"
+  "/root/repo/src/dpr/finder_service.cc" "src/dpr/CMakeFiles/dpr_core.dir/finder_service.cc.o" "gcc" "src/dpr/CMakeFiles/dpr_core.dir/finder_service.cc.o.d"
+  "/root/repo/src/dpr/header.cc" "src/dpr/CMakeFiles/dpr_core.dir/header.cc.o" "gcc" "src/dpr/CMakeFiles/dpr_core.dir/header.cc.o.d"
+  "/root/repo/src/dpr/session.cc" "src/dpr/CMakeFiles/dpr_core.dir/session.cc.o" "gcc" "src/dpr/CMakeFiles/dpr_core.dir/session.cc.o.d"
+  "/root/repo/src/dpr/worker.cc" "src/dpr/CMakeFiles/dpr_core.dir/worker.cc.o" "gcc" "src/dpr/CMakeFiles/dpr_core.dir/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/dpr_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dpr_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

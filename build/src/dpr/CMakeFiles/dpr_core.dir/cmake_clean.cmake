@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_core.dir/cluster_manager.cc.o"
+  "CMakeFiles/dpr_core.dir/cluster_manager.cc.o.d"
+  "CMakeFiles/dpr_core.dir/finder.cc.o"
+  "CMakeFiles/dpr_core.dir/finder.cc.o.d"
+  "CMakeFiles/dpr_core.dir/finder_service.cc.o"
+  "CMakeFiles/dpr_core.dir/finder_service.cc.o.d"
+  "CMakeFiles/dpr_core.dir/header.cc.o"
+  "CMakeFiles/dpr_core.dir/header.cc.o.d"
+  "CMakeFiles/dpr_core.dir/session.cc.o"
+  "CMakeFiles/dpr_core.dir/session.cc.o.d"
+  "CMakeFiles/dpr_core.dir/worker.cc.o"
+  "CMakeFiles/dpr_core.dir/worker.cc.o.d"
+  "libdpr_core.a"
+  "libdpr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dpr_core.
+# This may be replaced when dependencies are built.

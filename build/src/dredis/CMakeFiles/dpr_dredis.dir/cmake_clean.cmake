@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_dredis.dir/client.cc.o"
+  "CMakeFiles/dpr_dredis.dir/client.cc.o.d"
+  "CMakeFiles/dpr_dredis.dir/dredis.cc.o"
+  "CMakeFiles/dpr_dredis.dir/dredis.cc.o.d"
+  "libdpr_dredis.a"
+  "libdpr_dredis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_dredis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_epoch.dir/light_epoch.cc.o"
+  "CMakeFiles/dpr_epoch.dir/light_epoch.cc.o.d"
+  "libdpr_epoch.a"
+  "libdpr_epoch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

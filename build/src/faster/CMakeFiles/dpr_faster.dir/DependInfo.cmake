@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faster/faster_store.cc" "src/faster/CMakeFiles/dpr_faster.dir/faster_store.cc.o" "gcc" "src/faster/CMakeFiles/dpr_faster.dir/faster_store.cc.o.d"
+  "/root/repo/src/faster/hash_index.cc" "src/faster/CMakeFiles/dpr_faster.dir/hash_index.cc.o" "gcc" "src/faster/CMakeFiles/dpr_faster.dir/hash_index.cc.o.d"
+  "/root/repo/src/faster/log_allocator.cc" "src/faster/CMakeFiles/dpr_faster.dir/log_allocator.cc.o" "gcc" "src/faster/CMakeFiles/dpr_faster.dir/log_allocator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/epoch/CMakeFiles/dpr_epoch.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dpr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpr/CMakeFiles/dpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/dpr_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpr_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

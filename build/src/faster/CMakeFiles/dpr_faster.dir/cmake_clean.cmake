@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_faster.dir/faster_store.cc.o"
+  "CMakeFiles/dpr_faster.dir/faster_store.cc.o.d"
+  "CMakeFiles/dpr_faster.dir/hash_index.cc.o"
+  "CMakeFiles/dpr_faster.dir/hash_index.cc.o.d"
+  "CMakeFiles/dpr_faster.dir/log_allocator.cc.o"
+  "CMakeFiles/dpr_faster.dir/log_allocator.cc.o.d"
+  "libdpr_faster.a"
+  "libdpr_faster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_faster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dpr_faster.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_harness.dir/cluster.cc.o"
+  "CMakeFiles/dpr_harness.dir/cluster.cc.o.d"
+  "CMakeFiles/dpr_harness.dir/stats.cc.o"
+  "CMakeFiles/dpr_harness.dir/stats.cc.o.d"
+  "libdpr_harness.a"
+  "libdpr_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

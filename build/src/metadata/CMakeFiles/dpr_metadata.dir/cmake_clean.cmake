@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_metadata.dir/metadata_store.cc.o"
+  "CMakeFiles/dpr_metadata.dir/metadata_store.cc.o.d"
+  "libdpr_metadata.a"
+  "libdpr_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_net.dir/inmemory_net.cc.o"
+  "CMakeFiles/dpr_net.dir/inmemory_net.cc.o.d"
+  "CMakeFiles/dpr_net.dir/tcp_net.cc.o"
+  "CMakeFiles/dpr_net.dir/tcp_net.cc.o.d"
+  "libdpr_net.a"
+  "libdpr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_respstore.dir/resp_store.cc.o"
+  "CMakeFiles/dpr_respstore.dir/resp_store.cc.o.d"
+  "libdpr_respstore.a"
+  "libdpr_respstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_respstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

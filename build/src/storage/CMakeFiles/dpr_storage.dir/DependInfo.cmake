@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/checkpoint_file.cc" "src/storage/CMakeFiles/dpr_storage.dir/checkpoint_file.cc.o" "gcc" "src/storage/CMakeFiles/dpr_storage.dir/checkpoint_file.cc.o.d"
+  "/root/repo/src/storage/device.cc" "src/storage/CMakeFiles/dpr_storage.dir/device.cc.o" "gcc" "src/storage/CMakeFiles/dpr_storage.dir/device.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/storage/CMakeFiles/dpr_storage.dir/wal.cc.o" "gcc" "src/storage/CMakeFiles/dpr_storage.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_storage.dir/checkpoint_file.cc.o"
+  "CMakeFiles/dpr_storage.dir/checkpoint_file.cc.o.d"
+  "CMakeFiles/dpr_storage.dir/device.cc.o"
+  "CMakeFiles/dpr_storage.dir/device.cc.o.d"
+  "CMakeFiles/dpr_storage.dir/wal.cc.o"
+  "CMakeFiles/dpr_storage.dir/wal.cc.o.d"
+  "libdpr_storage.a"
+  "libdpr_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

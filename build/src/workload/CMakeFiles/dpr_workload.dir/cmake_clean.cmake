@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_workload.dir/ycsb.cc.o"
+  "CMakeFiles/dpr_workload.dir/ycsb.cc.o.d"
+  "libdpr_workload.a"
+  "libdpr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

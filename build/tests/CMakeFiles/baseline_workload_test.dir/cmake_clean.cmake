@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_workload_test.dir/baseline_workload_test.cc.o"
+  "CMakeFiles/baseline_workload_test.dir/baseline_workload_test.cc.o.d"
+  "baseline_workload_test"
+  "baseline_workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfaster_test.dir/dfaster_test.cc.o"
+  "CMakeFiles/dfaster_test.dir/dfaster_test.cc.o.d"
+  "dfaster_test"
+  "dfaster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfaster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_property_test.dir/dpr_property_test.cc.o"
+  "CMakeFiles/dpr_property_test.dir/dpr_property_test.cc.o.d"
+  "dpr_property_test"
+  "dpr_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

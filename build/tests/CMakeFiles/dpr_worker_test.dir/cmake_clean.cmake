@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_worker_test.dir/dpr_worker_test.cc.o"
+  "CMakeFiles/dpr_worker_test.dir/dpr_worker_test.cc.o.d"
+  "dpr_worker_test"
+  "dpr_worker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_worker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

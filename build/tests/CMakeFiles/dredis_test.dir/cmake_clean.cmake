@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dredis_test.dir/dredis_test.cc.o"
+  "CMakeFiles/dredis_test.dir/dredis_test.cc.o.d"
+  "dredis_test"
+  "dredis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dredis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faster_internals_test.dir/faster_internals_test.cc.o"
+  "CMakeFiles/faster_internals_test.dir/faster_internals_test.cc.o.d"
+  "faster_internals_test"
+  "faster_internals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faster_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/faster_model_test.cc" "tests/CMakeFiles/faster_model_test.dir/faster_model_test.cc.o" "gcc" "tests/CMakeFiles/faster_model_test.dir/faster_model_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/faster/CMakeFiles/dpr_faster.dir/DependInfo.cmake"
+  "/root/repo/build/src/epoch/CMakeFiles/dpr_epoch.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpr/CMakeFiles/dpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/dpr_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dpr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dpr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

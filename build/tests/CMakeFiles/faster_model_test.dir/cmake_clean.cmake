@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faster_model_test.dir/faster_model_test.cc.o"
+  "CMakeFiles/faster_model_test.dir/faster_model_test.cc.o.d"
+  "faster_model_test"
+  "faster_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faster_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

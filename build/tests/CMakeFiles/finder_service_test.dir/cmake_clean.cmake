@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finder_service_test.dir/finder_service_test.cc.o"
+  "CMakeFiles/finder_service_test.dir/finder_service_test.cc.o.d"
+  "finder_service_test"
+  "finder_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finder_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

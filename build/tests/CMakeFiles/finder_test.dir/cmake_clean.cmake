@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finder_test.dir/finder_test.cc.o"
+  "CMakeFiles/finder_test.dir/finder_test.cc.o.d"
+  "finder_test"
+  "finder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

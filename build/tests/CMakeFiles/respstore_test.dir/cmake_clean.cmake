@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/respstore_test.dir/respstore_test.cc.o"
+  "CMakeFiles/respstore_test.dir/respstore_test.cc.o.d"
+  "respstore_test"
+  "respstore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/respstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
