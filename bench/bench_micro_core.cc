@@ -6,10 +6,13 @@
 
 #include "common/hash.h"
 #include "common/random.h"
+#include "dpr/dep_tracker.h"
 #include "dpr/finder.h"
+#include "dpr/finder_service.h"
 #include "dpr/header.h"
 #include "epoch/light_epoch.h"
 #include "faster/faster_store.h"
+#include "net/inmemory_net.h"
 
 namespace dpr {
 namespace {
@@ -127,6 +130,69 @@ void BM_FinderReportAndCut(benchmark::State& state) {
 BENCHMARK_TEMPLATE(BM_FinderReportAndCut, SimpleDprFinder)->Arg(8)->Arg(64);
 BENCHMARK_TEMPLATE(BM_FinderReportAndCut, GraphDprFinder)->Arg(8)->Arg(64);
 BENCHMARK_TEMPLATE(BM_FinderReportAndCut, HybridDprFinder)->Arg(8)->Arg(64);
+
+// Sharded dependency tracking under concurrent batch admission (the
+// BeginBatch hot path). Each thread plays a distinct client session, so
+// records spread across stripes; the tracker is periodically drained the
+// way a checkpoint would.
+void BM_DepTrackerRecord(benchmark::State& state) {
+  static VersionDependencyTracker tracker(16);
+  const uint64_t session = 0x9e3779b97f4a7c15ull *
+                           static_cast<uint64_t>(state.thread_index() + 1);
+  DependencySet deps;
+  deps[1] = 5;  // one cross-worker dependency: the locked (striped) path
+  Version v = 1;
+  for (auto _ : state) {
+    tracker.Record(session + (v & 7), v, deps, /*self=*/0);
+    if ((++v & 4095) == 0) {
+      benchmark::DoNotOptimize(tracker.DrainUpTo(v));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DepTrackerRecord)->Threads(1)->Threads(8);
+
+// Batches with no cross-worker dependencies take the lock-free path.
+void BM_DepTrackerRecordNoDeps(benchmark::State& state) {
+  static VersionDependencyTracker tracker(16);
+  const uint64_t session = 0x9e3779b97f4a7c15ull *
+                           static_cast<uint64_t>(state.thread_index() + 1);
+  const DependencySet empty;
+  Version v = 1;
+  for (auto _ : state) {
+    tracker.Record(session, v++, empty, /*self=*/0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DepTrackerRecordNoDeps)->Threads(1)->Threads(8);
+
+// Asynchronous batched reporting through the remote finder client: reports
+// enqueue locally and the background flusher coalesces them into
+// kReportBatch RPCs; reports_per_batch > 1 means batching is effective.
+void BM_RemoteFinderBatchedReport(benchmark::State& state) {
+  MetadataStore metadata(std::make_unique<NullDevice>());
+  (void)metadata.Recover();
+  SimpleDprFinder local(&metadata);
+  InMemoryNetOptions net_options;
+  InMemoryNetwork net(net_options);
+  DprFinderServer server(&local, net.CreateServer("finder"));
+  (void)server.Start();
+  RemoteDprFinderOptions remote_options;
+  remote_options.flush_interval_us = 200;
+  RemoteDprFinder remote(net.Connect(server.address()), remote_options);
+  (void)remote.AddWorker(0, 0);
+  Version v = 1;
+  for (auto _ : state) {
+    (void)remote.ReportPersistedVersion(kInitialWorldLine,
+                                        WorkerVersion{0, v++},
+                                        DependencySet());
+  }
+  (void)remote.Flush();
+  const RemoteFinderStats stats = remote.stats();
+  state.counters["reports_per_batch"] = stats.ReportsPerBatch();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RemoteFinderBatchedReport);
 
 }  // namespace
 }  // namespace dpr

@@ -269,6 +269,7 @@ DriverResult RunYcsbDriver(DFasterCluster* cluster,
     result.op_latency_us.Merge(drivers[t]->op_latency());
     result.commit_latency_us.Merge(drivers[t]->commit_latency());
   }
+  result.tracking = cluster->tracking_stats();
   return result;
 }
 

@@ -1,0 +1,99 @@
+#include "dpr/dep_tracker.h"
+
+#include <utility>
+
+namespace dpr {
+
+namespace {
+
+uint32_t RoundUpPow2(uint32_t n) {
+  if (n < 2) return 1;
+  uint32_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+VersionDependencyTracker::VersionDependencyTracker(uint32_t shards) {
+  const uint32_t count = RoundUpPow2(shards == 0 ? kDefaultShards : shards);
+  shard_mask_ = count - 1;
+  shards_ = std::make_unique<Shard[]>(count);
+}
+
+void VersionDependencyTracker::Record(uint64_t session_id, Version version,
+                                      const DependencySet& deps,
+                                      WorkerId self) {
+  // Fast path: a batch with no cross-worker dependencies records nothing
+  // (self-deps are implied by the version chain) and takes no lock.
+  bool any = false;
+  for (const auto& [dw, dv] : deps) {
+    (void)dv;
+    if (dw != self) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) {
+    empty_records_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Shard& shard = shards_[ShardOf(session_id)];
+  {
+    SpinLatchGuard guard(shard.latch);
+    auto [it, inserted] = shard.deps.try_emplace(version);
+    if (inserted) live_entries_.fetch_add(1, std::memory_order_relaxed);
+    for (const auto& [dw, dv] : deps) {
+      if (dw == self) continue;
+      MergeDependency(&it->second, WorkerVersion{dw, dv});
+    }
+  }
+  records_.fetch_add(1, std::memory_order_relaxed);
+}
+
+DependencySet VersionDependencyTracker::DrainUpTo(Version token) {
+  DependencySet merged;
+  const uint32_t count = shard_mask_ + 1;
+  for (uint32_t i = 0; i < count; ++i) {
+    Shard& shard = shards_[i];
+    SpinLatchGuard guard(shard.latch);
+    auto it = shard.deps.begin();
+    int64_t removed = 0;
+    while (it != shard.deps.end() && it->first <= token) {
+      MergeDependencies(&merged, it->second);
+      it = shard.deps.erase(it);
+      ++removed;
+    }
+    if (removed != 0) {
+      live_entries_.fetch_sub(removed, std::memory_order_relaxed);
+    }
+  }
+  drains_.fetch_add(1, std::memory_order_relaxed);
+  return merged;
+}
+
+void VersionDependencyTracker::Clear() {
+  const uint32_t count = shard_mask_ + 1;
+  for (uint32_t i = 0; i < count; ++i) {
+    Shard& shard = shards_[i];
+    SpinLatchGuard guard(shard.latch);
+    const int64_t removed = static_cast<int64_t>(shard.deps.size());
+    shard.deps.clear();
+    if (removed != 0) {
+      live_entries_.fetch_sub(removed, std::memory_order_relaxed);
+    }
+  }
+}
+
+DepTrackerStats VersionDependencyTracker::stats() const {
+  DepTrackerStats s;
+  s.records = records_.load(std::memory_order_relaxed);
+  s.empty_records = empty_records_.load(std::memory_order_relaxed);
+  s.drains = drains_.load(std::memory_order_relaxed);
+  const int64_t live = live_entries_.load(std::memory_order_relaxed);
+  s.live_entries = live > 0 ? static_cast<uint64_t>(live) : 0;
+  s.shards = shard_mask_ + 1;
+  return s;
+}
+
+}  // namespace dpr

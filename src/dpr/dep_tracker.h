@@ -1,0 +1,83 @@
+#ifndef DPR_DPR_DEP_TRACKER_H_
+#define DPR_DPR_DEP_TRACKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "common/hash.h"
+#include "common/latch.h"
+#include "dpr/types.h"
+
+namespace dpr {
+
+/// Counters exported through harness/stats (all monotonically increasing
+/// except `live_entries`, a point-in-time gauge).
+struct DepTrackerStats {
+  uint64_t records = 0;        // Record() calls that carried cross-worker deps
+  uint64_t empty_records = 0;  // Record() calls with nothing to merge (no lock)
+  uint64_t drains = 0;         // DrainUpTo() calls
+  uint64_t live_entries = 0;   // (version -> deps) entries currently staged
+  uint32_t shards = 0;
+};
+
+/// Lock-striped accumulator of per-version dependency sets, the worker-side
+/// ingest half of the DPR tracking plane (paper §3.3: tracking must stay off
+/// the critical path).
+///
+/// Request batches call Record() concurrently under the worker's *shared*
+/// version latch; striping by client-session hash means two sessions only
+/// contend when they hash to the same shard, so there is no process-global
+/// mutex on the batch admission path. Batches that carry no cross-worker
+/// dependencies (the common case for single-shard sessions) touch no lock at
+/// all. The per-version sets are merged across shards only at
+/// checkpoint-persist time (DrainUpTo), which runs on the persistence
+/// callback thread — already off the critical path.
+class VersionDependencyTracker {
+ public:
+  static constexpr uint32_t kDefaultShards = 16;
+
+  explicit VersionDependencyTracker(uint32_t shards = kDefaultShards);
+
+  VersionDependencyTracker(const VersionDependencyTracker&) = delete;
+  VersionDependencyTracker& operator=(const VersionDependencyTracker&) =
+      delete;
+
+  /// Merges `deps` (ignoring entries on `self`, which are implicit) into the
+  /// dependency set accumulated for `version`. Striped by `session_id`.
+  void Record(uint64_t session_id, Version version, const DependencySet& deps,
+              WorkerId self);
+
+  /// Folds together and removes every recorded set with version <= `token`
+  /// across all shards — the checkpoint-persist-time merge. The returned set
+  /// covers all versions the checkpoint physically contains.
+  DependencySet DrainUpTo(Version token);
+
+  /// Discards everything (rollback: uncommitted dependency state is void).
+  void Clear();
+
+  DepTrackerStats stats() const;
+
+ private:
+  // Padded to a cache line so shard latches never false-share.
+  struct alignas(64) Shard {
+    SpinLatch latch;
+    std::map<Version, DependencySet> deps;
+  };
+
+  uint32_t ShardOf(uint64_t session_id) const {
+    return static_cast<uint32_t>(Mix64(session_id)) & shard_mask_;
+  }
+
+  uint32_t shard_mask_;  // shard count rounded up to a power of two, minus 1
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> records_{0};
+  std::atomic<uint64_t> empty_records_{0};
+  std::atomic<uint64_t> drains_{0};
+  std::atomic<int64_t> live_entries_{0};
+};
+
+}  // namespace dpr
+
+#endif  // DPR_DPR_DEP_TRACKER_H_

@@ -2,38 +2,15 @@
 
 #include <utility>
 
-#include "common/clock.h"
 #include "common/logging.h"
 
 namespace dpr {
 
-DprFinder::~DprFinder() { StopCoordinator(); }
-
-void DprFinder::StartCoordinator(uint64_t interval_us) {
-  stop_.store(false, std::memory_order_relaxed);
-  coordinator_ = std::thread([this, interval_us] {
-    while (!stop_.load(std::memory_order_relaxed)) {
-      Status s = ComputeCut();
-      if (!s.ok()) {
-        DPR_WARN("coordinator ComputeCut: %s", s.ToString().c_str());
-      }
-      SleepMicros(interval_us);
-    }
-  });
-}
-
-void DprFinder::StopCoordinator() {
-  stop_.store(true, std::memory_order_relaxed);
-  if (coordinator_.joinable()) coordinator_.join();
-}
-
 // ------------------------------------------------------------ GraphDprFinder
 
 GraphDprFinder::GraphDprFinder(MetadataStore* metadata, bool persist_graph)
-    : metadata_(metadata), persist_graph_(persist_graph) {
-  world_line_ = metadata_->GetWorldLine();
-  WorldLine cut_wl;
-  metadata_->GetCut(&cut_wl, &cut_);
+    : FinderCore(metadata, /*stage_reports=*/true),
+      persist_graph_(persist_graph) {
   if (persist_graph_) {
     // Reload durably-stored graph nodes (coordinator restart).
     for (const auto& [wv, deps] : metadata_->GetGraph()) {
@@ -45,39 +22,20 @@ GraphDprFinder::GraphDprFinder(MetadataStore* metadata, bool persist_graph)
   }
 }
 
-Status GraphDprFinder::AddWorker(WorkerId worker, Version start_version) {
-  std::lock_guard<std::mutex> guard(mu_);
-  DPR_RETURN_NOT_OK(metadata_->UpsertWorker(worker, start_version));
-  max_reported_[worker] = start_version;
-  if (cut_.find(worker) == cut_.end()) cut_[worker] = start_version;
-  return Status::OK();
-}
-
-Status GraphDprFinder::RemoveWorker(WorkerId worker) {
-  std::lock_guard<std::mutex> guard(mu_);
-  DPR_RETURN_NOT_OK(metadata_->RemoveWorker(worker));
-  max_reported_.erase(worker);
-  graph_.erase(worker);
-  cut_.erase(worker);
-  return Status::OK();
-}
-
-Status GraphDprFinder::ReportPersistedVersion(WorldLine world_line,
-                                              WorkerVersion wv,
-                                              const DependencySet& deps) {
-  std::lock_guard<std::mutex> guard(mu_);
-  if (world_line != world_line_) {
-    return Status::Aborted("report from stale world-line");
-  }
-  graph_[wv.worker][wv.version] = deps;
-  auto& reported = max_reported_[wv.worker];
-  if (wv.version > reported) reported = wv.version;
+Status GraphDprFinder::PersistReportDurable(const WorkerVersion& wv,
+                                            const DependencySet& deps) {
   if (persist_graph_) {
     DPR_RETURN_NOT_OK(metadata_->AddGraphNode(wv, deps));
   }
   // Rows are maintained even in pure-exact mode; they double as the
   // membership table and power MaxPersistedVersion().
   return metadata_->UpsertWorker(wv.worker, wv.version);
+}
+
+void GraphDprFinder::ApplyReportLocked(StagedReport&& report) {
+  auto& reported = max_reported_[report.wv.worker];
+  if (report.wv.version > reported) reported = report.wv.version;
+  graph_[report.wv.worker][report.wv.version] = std::move(report.deps);
 }
 
 DprCut GraphDprFinder::ComputeExactCutLocked() const {
@@ -128,20 +86,12 @@ DprCut GraphDprFinder::ComputeExactCutLocked() const {
   return candidate;
 }
 
-Status GraphDprFinder::ComputeCut() {
-  std::lock_guard<std::mutex> guard(mu_);
-  if (in_recovery_) return Status::OK();
-  DprCut next = ComputeExactCutLocked();
-  bool advanced = false;
-  for (const auto& [w, v] : next) {
-    if (v > CutVersion(cut_, w)) {
-      advanced = true;
-      break;
-    }
-  }
-  if (!advanced) return Status::OK();
-  DPR_RETURN_NOT_OK(metadata_->SetCut(world_line_, next));
-  cut_ = std::move(next);
+Status GraphDprFinder::ComputeCandidateLocked(DprCut* next) {
+  *next = ComputeExactCutLocked();
+  return Status::OK();
+}
+
+Status GraphDprFinder::OnCutAdvancedLocked() {
   if (persist_graph_) {
     DPR_RETURN_NOT_OK(metadata_->PruneGraph(cut_));
   }
@@ -154,61 +104,32 @@ Status GraphDprFinder::ComputeCut() {
   return Status::OK();
 }
 
-void GraphDprFinder::GetCut(WorldLine* world_line, DprCut* cut) const {
-  std::lock_guard<std::mutex> guard(mu_);
-  if (world_line != nullptr) *world_line = world_line_;
-  if (cut != nullptr) *cut = cut_;
+void GraphDprFinder::OnWorkerAddedLocked(WorkerId worker,
+                                         Version start_version) {
+  max_reported_[worker] = start_version;
 }
 
-Version GraphDprFinder::MaxPersistedVersion() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  Version max = kInvalidVersion;
-  for (const auto& [w, v] : max_reported_) {
-    (void)w;
-    if (v > max) max = v;
-  }
-  return max;
+void GraphDprFinder::OnWorkerRemovedLocked(WorkerId worker) {
+  max_reported_.erase(worker);
+  graph_.erase(worker);
 }
 
-WorldLine GraphDprFinder::CurrentWorldLine() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return world_line_;
-}
-
-Status GraphDprFinder::BeginRecovery(WorldLine* new_world_line, DprCut* cut) {
-  std::lock_guard<std::mutex> guard(mu_);
-  in_recovery_ = true;
-  world_line_ += 1;
-  DPR_RETURN_NOT_OK(metadata_->SetWorldLine(world_line_));
-  // The committed cut is the recovery target; everything reported above it
-  // is lost to the rollback.
+Status GraphDprFinder::OnBeginRecoveryLocked() {
+  // Reported state above the frozen cut is lost to the rollback.
   for (auto& [w, versions] : graph_) {
     const Version cv = CutVersion(cut_, w);
     versions.erase(versions.upper_bound(cv), versions.end());
   }
   for (auto& [w, v] : max_reported_) {
     const Version cv = CutVersion(cut_, w);
-    if (v > cv) {
-      v = cv;
-      DPR_RETURN_NOT_OK(metadata_->UpsertWorker(w, cv));
-    }
+    if (v > cv) v = cv;
   }
-  // Re-persist the cut under the new world-line so a finder restart recovers
-  // into the post-failure world.
-  DPR_RETURN_NOT_OK(metadata_->SetCut(world_line_, cut_));
-  if (new_world_line != nullptr) *new_world_line = world_line_;
-  if (cut != nullptr) *cut = cut_;
-  return Status::OK();
-}
-
-Status GraphDprFinder::EndRecovery() {
-  std::lock_guard<std::mutex> guard(mu_);
-  in_recovery_ = false;
   return Status::OK();
 }
 
 void GraphDprFinder::SimulateCoordinatorCrash() {
   std::lock_guard<std::mutex> guard(mu_);
+  DiscardStagedLocked();
   graph_.clear();
   if (persist_graph_) {
     // Pure exact mode keeps the graph durable; a restarted coordinator
@@ -225,132 +146,41 @@ void GraphDprFinder::SimulateCoordinatorCrash() {
 // ----------------------------------------------------------- SimpleDprFinder
 
 SimpleDprFinder::SimpleDprFinder(MetadataStore* metadata)
-    : metadata_(metadata) {
-  world_line_ = metadata_->GetWorldLine();
-  WorldLine cut_wl;
-  metadata_->GetCut(&cut_wl, &cut_);
-}
+    : FinderCore(metadata, /*stage_reports=*/false) {}
 
-Status SimpleDprFinder::AddWorker(WorkerId worker, Version start_version) {
-  std::lock_guard<std::mutex> guard(mu_);
-  DPR_RETURN_NOT_OK(metadata_->UpsertWorker(worker, start_version));
-  if (cut_.find(worker) == cut_.end()) cut_[worker] = start_version;
-  return Status::OK();
-}
-
-Status SimpleDprFinder::RemoveWorker(WorkerId worker) {
-  std::lock_guard<std::mutex> guard(mu_);
-  DPR_RETURN_NOT_OK(metadata_->RemoveWorker(worker));
-  cut_.erase(worker);
-  return Status::OK();
-}
-
-Status SimpleDprFinder::ReportPersistedVersion(WorldLine world_line,
-                                               WorkerVersion wv,
-                                               const DependencySet& /*deps*/) {
-  std::lock_guard<std::mutex> guard(mu_);
-  if (world_line != world_line_) {
-    return Status::Aborted("report from stale world-line");
-  }
+Status SimpleDprFinder::PersistReportDurable(const WorkerVersion& wv,
+                                             const DependencySet& /*deps*/) {
   return metadata_->UpsertWorker(wv.worker, wv.version);
 }
 
-Status SimpleDprFinder::ComputeCut() {
-  std::lock_guard<std::mutex> guard(mu_);
-  if (in_recovery_) return Status::OK();
+Status SimpleDprFinder::ComputeCandidateLocked(DprCut* next) {
   // SELECT min(persistedVersion) FROM dpr: by monotonicity no version can
   // depend on a larger version, so every worker's prefix through Vmin is a
   // closed set (paper §3.4).
+  *next = cut_;
   const Version vmin = metadata_->MinPersistedVersion();
   if (vmin == kInvalidVersion) return Status::OK();
-  DprCut next = cut_;
-  bool advanced = false;
   for (const auto& [w, v] : metadata_->GetPersistedVersions()) {
     (void)v;
-    Version& entry = next[w];
-    if (vmin > entry) {
-      entry = vmin;
-      advanced = true;
-    }
+    Version& entry = (*next)[w];
+    if (vmin > entry) entry = vmin;
   }
-  if (!advanced) return Status::OK();
-  DPR_RETURN_NOT_OK(metadata_->SetCut(world_line_, next));
-  cut_ = std::move(next);
-  return Status::OK();
-}
-
-void SimpleDprFinder::GetCut(WorldLine* world_line, DprCut* cut) const {
-  std::lock_guard<std::mutex> guard(mu_);
-  if (world_line != nullptr) *world_line = world_line_;
-  if (cut != nullptr) *cut = cut_;
-}
-
-Version SimpleDprFinder::MaxPersistedVersion() const {
-  return metadata_->MaxPersistedVersion();
-}
-
-WorldLine SimpleDprFinder::CurrentWorldLine() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return world_line_;
-}
-
-Status SimpleDprFinder::BeginRecovery(WorldLine* new_world_line, DprCut* cut) {
-  std::lock_guard<std::mutex> guard(mu_);
-  in_recovery_ = true;
-  world_line_ += 1;
-  DPR_RETURN_NOT_OK(metadata_->SetWorldLine(world_line_));
-  for (const auto& [w, v] : metadata_->GetPersistedVersions()) {
-    const Version cv = CutVersion(cut_, w);
-    if (v > cv) {
-      DPR_RETURN_NOT_OK(metadata_->UpsertWorker(w, cv));
-    }
-  }
-  DPR_RETURN_NOT_OK(metadata_->SetCut(world_line_, cut_));
-  if (new_world_line != nullptr) *new_world_line = world_line_;
-  if (cut != nullptr) *cut = cut_;
-  return Status::OK();
-}
-
-Status SimpleDprFinder::EndRecovery() {
-  std::lock_guard<std::mutex> guard(mu_);
-  in_recovery_ = false;
   return Status::OK();
 }
 
 // ----------------------------------------------------------- HybridDprFinder
 
-Status HybridDprFinder::ReportPersistedVersion(WorldLine world_line,
-                                               WorkerVersion wv,
-                                               const DependencySet& deps) {
-  // Base class keeps the graph in memory (persist_graph=false) and durably
-  // upserts the approximate row — exactly the hybrid split.
-  return GraphDprFinder::ReportPersistedVersion(world_line, wv, deps);
-}
-
-Status HybridDprFinder::ComputeCut() {
-  std::lock_guard<std::mutex> guard(mu_);
-  if (in_recovery_) return Status::OK();
+Status HybridDprFinder::ComputeCandidateLocked(DprCut* next) {
   DprCut exact = ComputeExactCutLocked();
   // Approximate fallback: Vmin across durable rows. The union of two closed
   // token sets is closed, so the element-wise max of the exact and
   // approximate cuts is itself a valid cut.
   const Version vmin = metadata_->MinPersistedVersion();
-  DprCut next = cut_;
-  bool advanced = false;
-  for (auto& [w, v] : next) {
+  *next = cut_;
+  for (auto& [w, v] : *next) {
     Version target = CutVersion(exact, w);
     if (vmin != kInvalidVersion && vmin > target) target = vmin;
-    if (target > v) {
-      v = target;
-      advanced = true;
-    }
-  }
-  if (!advanced) return Status::OK();
-  DPR_RETURN_NOT_OK(metadata_->SetCut(world_line_, next));
-  cut_ = std::move(next);
-  for (auto& [w, versions] : graph_) {
-    const Version cv = CutVersion(cut_, w);
-    versions.erase(versions.begin(), versions.lower_bound(cv));
+    if (target > v) v = target;
   }
   return Status::OK();
 }

@@ -1,22 +1,19 @@
 #ifndef DPR_DPR_FINDER_H_
 #define DPR_DPR_FINDER_H_
 
-#include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <thread>
 
 #include "common/status.h"
+#include "dpr/finder_core.h"
 #include "dpr/types.h"
 #include "metadata/metadata_store.h"
 
 namespace dpr {
 
-/// The DPR-tracking service (paper §3.3–3.4, Fig. 4): workers report
-/// persisted versions (with their cross-worker dependency sets), and the
-/// finder computes ever-advancing DPR cuts that it persists in the metadata
-/// store. Implementations differ in what they persist:
+/// Concrete DPR finders (paper §3.3–3.4, Fig. 4), all built on the shared
+/// FinderCore state machine (world-line, recovery, cut, ingest/compute
+/// split — see finder_core.h). Implementations differ in what they persist:
 ///
 ///  * GraphDprFinder  — exact: durably stores the precedence graph, computes
 ///    the maximal transitive closure of durable versions;
@@ -26,127 +23,54 @@ namespace dpr {
 ///  * HybridDprFinder — exact cut from an in-memory graph (cheap), with the
 ///    approximate algorithm running durably underneath as the fault-tolerant
 ///    fallback after a coordinator crash.
-///
-/// All implementations are thread-safe. Cut computation can run inline via
-/// ComputeCut() (tests) or on the background coordinator thread
-/// (StartCoordinator).
-class DprFinder {
- public:
-  virtual ~DprFinder();
-
-  /// Registers a worker (joins the cluster at version `start_version`).
-  virtual Status AddWorker(WorkerId worker, Version start_version = 0) = 0;
-  /// Removes an (empty) worker from the cluster.
-  virtual Status RemoveWorker(WorkerId worker) = 0;
-
-  /// Reports that `wv.worker` made `wv.version` durable; `deps` holds, for
-  /// each other worker this version's operations depend on, the largest
-  /// version number depended upon.
-  virtual Status ReportPersistedVersion(WorldLine world_line, WorkerVersion wv,
-                                        const DependencySet& deps) = 0;
-
-  /// Runs one round of cut computation and persists any advance.
-  virtual Status ComputeCut() = 0;
-
-  /// Latest committed cut and its world-line.
-  virtual void GetCut(WorldLine* world_line, DprCut* cut) const = 0;
-
-  /// Largest persisted version across all workers (Vmax, §3.4); workers
-  /// fast-forward their next checkpoint to at least this.
-  virtual Version MaxPersistedVersion() const = 0;
-
-  /// Current world-line (advanced by BeginRecovery).
-  virtual WorldLine CurrentWorldLine() const = 0;
-
-  /// Failure handling: advances the world-line, freezes the cut as the
-  /// recovery target, and discards reported state above it. Returns the cut
-  /// every surviving worker must roll back to. Progress is halted until
-  /// EndRecovery() is called (paper §4.1).
-  virtual Status BeginRecovery(WorldLine* new_world_line,
-                               DprCut* recovery_cut) = 0;
-  virtual Status EndRecovery() = 0;
-
-  /// Convenience: committed version of one worker in the latest cut.
-  Version SafeVersion(WorkerId worker) const {
-    WorldLine wl;
-    DprCut cut;
-    GetCut(&wl, &cut);
-    return CutVersion(cut, worker);
-  }
-
-  /// Runs ComputeCut() every `interval_us` on a background thread.
-  void StartCoordinator(uint64_t interval_us);
-  void StopCoordinator();
-
- private:
-  std::thread coordinator_;
-  std::atomic<bool> stop_{false};
-};
 
 /// Exact algorithm (Fig. 4 top). `persist_graph` controls whether graph nodes
 /// are durably written to the metadata store (true for the pure exact
 /// algorithm; the hybrid keeps the graph in memory only).
-class GraphDprFinder : public DprFinder {
+class GraphDprFinder : public FinderCore {
  public:
   explicit GraphDprFinder(MetadataStore* metadata, bool persist_graph = true);
 
-  Status AddWorker(WorkerId worker, Version start_version) override;
-  Status RemoveWorker(WorkerId worker) override;
-  Status ReportPersistedVersion(WorldLine world_line, WorkerVersion wv,
-                                const DependencySet& deps) override;
-  Status ComputeCut() override;
-  void GetCut(WorldLine* world_line, DprCut* cut) const override;
-  Version MaxPersistedVersion() const override;
-  WorldLine CurrentWorldLine() const override;
-  Status BeginRecovery(WorldLine* new_world_line, DprCut* cut) override;
-  Status EndRecovery() override;
-
   /// Simulates losing the coordinator process: the in-memory precedence
-  /// graph is discarded (durably persisted rows survive). With
-  /// persist_graph=false this stalls exact progress until the approximate
-  /// fallback (hybrid) catches up past the lost subgraph.
+  /// graph (and any staged-but-unapplied reports) is discarded; durably
+  /// persisted rows survive. With persist_graph=false this stalls exact
+  /// progress until the approximate fallback (hybrid) catches up past the
+  /// lost subgraph.
   void SimulateCoordinatorCrash();
 
  protected:
+  Status PersistReportDurable(const WorkerVersion& wv,
+                              const DependencySet& deps) override;
+  void ApplyReportLocked(StagedReport&& report) override;
+  Status ComputeCandidateLocked(DprCut* next) override;
+  Status OnCutAdvancedLocked() override;
+  void OnWorkerAddedLocked(WorkerId worker, Version start_version) override;
+  void OnWorkerRemovedLocked(WorkerId worker) override;
+  Status OnBeginRecoveryLocked() override;
+
   /// Computes the maximal closed cut from the in-memory graph; no I/O.
   DprCut ComputeExactCutLocked() const;
 
-  MetadataStore* metadata_;
   const bool persist_graph_;
-
-  mutable std::mutex mu_;
   // Per worker: persisted versions (sorted) with their dependency sets.
+  // Guarded by FinderCore::mu_.
   std::map<WorkerId, std::map<Version, DependencySet>> graph_;
-  // Versions reported while the in-memory graph was lost; their dependency
-  // sets are unknown, so exact computation cannot advance past them.
+  // Largest version each worker has reported (guarded by mu_; applied at
+  // drain time). After a coordinator crash, versions in here without graph
+  // nodes have unknown dependency sets, so exact computation cannot advance
+  // past them.
   std::map<WorkerId, Version> max_reported_;
-  DprCut cut_;
-  WorldLine world_line_ = kInitialWorldLine;
-  bool in_recovery_ = false;
 };
 
 /// Approximate algorithm (Fig. 4 bottom).
-class SimpleDprFinder : public DprFinder {
+class SimpleDprFinder : public FinderCore {
  public:
   explicit SimpleDprFinder(MetadataStore* metadata);
 
-  Status AddWorker(WorkerId worker, Version start_version) override;
-  Status RemoveWorker(WorkerId worker) override;
-  Status ReportPersistedVersion(WorldLine world_line, WorkerVersion wv,
-                                const DependencySet& deps) override;
-  Status ComputeCut() override;
-  void GetCut(WorldLine* world_line, DprCut* cut) const override;
-  Version MaxPersistedVersion() const override;
-  WorldLine CurrentWorldLine() const override;
-  Status BeginRecovery(WorldLine* new_world_line, DprCut* cut) override;
-  Status EndRecovery() override;
-
- private:
-  MetadataStore* metadata_;
-  mutable std::mutex mu_;
-  DprCut cut_;
-  WorldLine world_line_ = kInitialWorldLine;
-  bool in_recovery_ = false;
+ protected:
+  Status PersistReportDurable(const WorkerVersion& wv,
+                              const DependencySet& deps) override;
+  Status ComputeCandidateLocked(DprCut* next) override;
 };
 
 /// Hybrid (§3.4): exact cut from an in-memory graph, approximate rows
@@ -158,9 +82,8 @@ class HybridDprFinder : public GraphDprFinder {
   explicit HybridDprFinder(MetadataStore* metadata)
       : GraphDprFinder(metadata, /*persist_graph=*/false) {}
 
-  Status ReportPersistedVersion(WorldLine world_line, WorkerVersion wv,
-                                const DependencySet& deps) override;
-  Status ComputeCut() override;
+ protected:
+  Status ComputeCandidateLocked(DprCut* next) override;
 };
 
 }  // namespace dpr

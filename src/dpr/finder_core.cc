@@ -1,0 +1,223 @@
+#include "dpr/finder_core.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace dpr {
+
+// ---------------------------------------------------------------- DprFinder
+
+DprFinder::~DprFinder() { StopCoordinator(); }
+
+void DprFinder::StartCoordinator(uint64_t interval_us) {
+  stop_.store(false, std::memory_order_relaxed);
+  coordinator_ = std::thread([this, interval_us] {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      Status s = ComputeCut();
+      if (!s.ok()) {
+        DPR_WARN("coordinator ComputeCut: %s", s.ToString().c_str());
+      }
+      SleepMicros(interval_us);
+    }
+  });
+}
+
+void DprFinder::StopCoordinator() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (coordinator_.joinable()) coordinator_.join();
+}
+
+Version DprFinder::SafeVersion(WorkerId worker) const {
+  WorldLine wl;
+  DprCut cut;
+  GetCut(&wl, &cut);
+  return CutVersion(cut, worker);
+}
+
+// ---------------------------------------------------------------- FinderCore
+
+FinderCore::FinderCore(MetadataStore* metadata, bool stage_reports)
+    : metadata_(metadata), stage_reports_(stage_reports) {
+  world_line_.store(metadata_->GetWorldLine(), std::memory_order_release);
+  WorldLine cut_wl;
+  metadata_->GetCut(&cut_wl, &cut_);
+  vmax_.store(metadata_->MaxPersistedVersion(), std::memory_order_release);
+}
+
+Status FinderCore::AddWorker(WorkerId worker, Version start_version) {
+  std::lock_guard<std::mutex> guard(mu_);
+  DPR_RETURN_NOT_OK(metadata_->UpsertWorker(worker, start_version));
+  if (cut_.find(worker) == cut_.end()) cut_[worker] = start_version;
+  Version cur = vmax_.load(std::memory_order_relaxed);
+  while (start_version > cur &&
+         !vmax_.compare_exchange_weak(cur, start_version,
+                                      std::memory_order_release)) {
+  }
+  OnWorkerAddedLocked(worker, start_version);
+  return Status::OK();
+}
+
+Status FinderCore::RemoveWorker(WorkerId worker) {
+  std::lock_guard<std::mutex> guard(mu_);
+  DPR_RETURN_NOT_OK(metadata_->RemoveWorker(worker));
+  cut_.erase(worker);
+  OnWorkerRemovedLocked(worker);
+  return Status::OK();
+}
+
+Status FinderCore::ReportPersistedVersion(WorldLine world_line,
+                                          WorkerVersion wv,
+                                          const DependencySet& deps) {
+  std::shared_lock<std::shared_mutex> gate(ingest_gate_);
+  if (world_line != world_line_.load(std::memory_order_acquire)) {
+    reports_stale_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Aborted("report from stale world-line");
+  }
+  DPR_RETURN_NOT_OK(PersistReportDurable(wv, deps));
+  Version cur = vmax_.load(std::memory_order_relaxed);
+  while (wv.version > cur &&
+         !vmax_.compare_exchange_weak(cur, wv.version,
+                                      std::memory_order_release)) {
+  }
+  if (stage_reports_) {
+    size_t depth;
+    {
+      std::lock_guard<std::mutex> guard(stage_mu_);
+      staged_.push_back(StagedReport{wv, deps});
+      depth = staged_.size();
+    }
+    uint64_t peak = staged_peak_.load(std::memory_order_relaxed);
+    while (depth > peak &&
+           !staged_peak_.compare_exchange_weak(peak, depth,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+  reports_ingested_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void FinderCore::ApplyReportLocked(StagedReport&& /*report*/) {}
+
+Status FinderCore::OnCutAdvancedLocked() { return Status::OK(); }
+
+void FinderCore::OnWorkerAddedLocked(WorkerId /*worker*/,
+                                     Version /*start_version*/) {}
+
+void FinderCore::OnWorkerRemovedLocked(WorkerId /*worker*/) {}
+
+Status FinderCore::OnBeginRecoveryLocked() { return Status::OK(); }
+
+void FinderCore::DrainStagedLocked() {
+  std::vector<StagedReport> batch;
+  {
+    std::lock_guard<std::mutex> guard(stage_mu_);
+    batch.swap(staged_);
+  }
+  for (auto& report : batch) {
+    ApplyReportLocked(std::move(report));
+  }
+}
+
+void FinderCore::DiscardStagedLocked() {
+  std::lock_guard<std::mutex> guard(stage_mu_);
+  staged_.clear();
+}
+
+Status FinderCore::ComputeCut() {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (in_recovery_) return Status::OK();
+  DrainStagedLocked();
+  DprCut next;
+  DPR_RETURN_NOT_OK(ComputeCandidateLocked(&next));
+  bool advanced = false;
+  for (const auto& [w, v] : next) {
+    if (v > CutVersion(cut_, w)) {
+      advanced = true;
+      break;
+    }
+  }
+  if (!advanced) return Status::OK();
+  DPR_RETURN_NOT_OK(
+      metadata_->SetCut(world_line_.load(std::memory_order_acquire), next));
+  cut_ = std::move(next);
+  cut_advances_.fetch_add(1, std::memory_order_relaxed);
+  return OnCutAdvancedLocked();
+}
+
+void FinderCore::GetCut(WorldLine* world_line, DprCut* cut) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (world_line != nullptr) {
+    *world_line = world_line_.load(std::memory_order_acquire);
+  }
+  if (cut != nullptr) *cut = cut_;
+}
+
+Version FinderCore::MaxPersistedVersion() const {
+  return vmax_.load(std::memory_order_acquire);
+}
+
+WorldLine FinderCore::CurrentWorldLine() const {
+  return world_line_.load(std::memory_order_acquire);
+}
+
+Version FinderCore::SafeVersion(WorkerId worker) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return CutVersion(cut_, worker);
+}
+
+Status FinderCore::BeginRecovery(WorldLine* new_world_line, DprCut* cut) {
+  // Close the ingest gate: no report may slip a durable row in between the
+  // world-line bump and the above-cut trim below.
+  std::unique_lock<std::shared_mutex> gate(ingest_gate_);
+  std::lock_guard<std::mutex> guard(mu_);
+  in_recovery_ = true;
+  const WorldLine next_wl =
+      world_line_.load(std::memory_order_relaxed) + 1;
+  DPR_RETURN_NOT_OK(metadata_->SetWorldLine(next_wl));
+  world_line_.store(next_wl, std::memory_order_release);
+  // The committed cut is the recovery target; everything reported above it —
+  // staged, in-memory, or durable rows — is lost to the rollback.
+  DiscardStagedLocked();
+  DPR_RETURN_NOT_OK(OnBeginRecoveryLocked());
+  Version max_row = kInvalidVersion;
+  for (const auto& [w, v] : metadata_->GetPersistedVersions()) {
+    const Version cv = CutVersion(cut_, w);
+    if (v > cv) {
+      DPR_RETURN_NOT_OK(metadata_->UpsertWorker(w, cv));
+      max_row = std::max(max_row, cv);
+    } else {
+      max_row = std::max(max_row, v);
+    }
+  }
+  vmax_.store(max_row, std::memory_order_release);
+  // Re-persist the cut under the new world-line so a finder restart recovers
+  // into the post-failure world.
+  DPR_RETURN_NOT_OK(metadata_->SetCut(next_wl, cut_));
+  if (new_world_line != nullptr) *new_world_line = next_wl;
+  if (cut != nullptr) *cut = cut_;
+  return Status::OK();
+}
+
+Status FinderCore::EndRecovery() {
+  std::lock_guard<std::mutex> guard(mu_);
+  in_recovery_ = false;
+  return Status::OK();
+}
+
+FinderCoreStats FinderCore::core_stats() const {
+  FinderCoreStats s;
+  s.reports_ingested = reports_ingested_.load(std::memory_order_relaxed);
+  s.reports_stale = reports_stale_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> guard(stage_mu_);
+    s.staged_depth = staged_.size();
+  }
+  s.staged_peak = staged_peak_.load(std::memory_order_relaxed);
+  s.cut_advances = cut_advances_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace dpr

@@ -1,0 +1,181 @@
+#ifndef DPR_DPR_FINDER_CORE_H_
+#define DPR_DPR_FINDER_CORE_H_
+
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "dpr/types.h"
+#include "metadata/metadata_store.h"
+
+namespace dpr {
+
+/// The DPR-tracking service (paper §3.3–3.4, Fig. 4): workers report
+/// persisted versions (with their cross-worker dependency sets), and the
+/// finder computes ever-advancing DPR cuts that it persists in the metadata
+/// store.
+///
+/// All implementations are thread-safe. Cut computation can run inline via
+/// ComputeCut() (tests) or on the background coordinator thread
+/// (StartCoordinator).
+class DprFinder {
+ public:
+  virtual ~DprFinder();
+
+  /// Registers a worker (joins the cluster at version `start_version`).
+  virtual Status AddWorker(WorkerId worker, Version start_version = 0) = 0;
+  /// Removes an (empty) worker from the cluster.
+  virtual Status RemoveWorker(WorkerId worker) = 0;
+
+  /// Reports that `wv.worker` made `wv.version` durable; `deps` holds, for
+  /// each other worker this version's operations depend on, the largest
+  /// version number depended upon.
+  virtual Status ReportPersistedVersion(WorldLine world_line, WorkerVersion wv,
+                                        const DependencySet& deps) = 0;
+
+  /// Runs one round of cut computation and persists any advance.
+  virtual Status ComputeCut() = 0;
+
+  /// Latest committed cut and its world-line.
+  virtual void GetCut(WorldLine* world_line, DprCut* cut) const = 0;
+
+  /// Largest persisted version across all workers (Vmax, §3.4); workers
+  /// fast-forward their next checkpoint to at least this.
+  virtual Version MaxPersistedVersion() const = 0;
+
+  /// Current world-line (advanced by BeginRecovery).
+  virtual WorldLine CurrentWorldLine() const = 0;
+
+  /// Failure handling: advances the world-line, freezes the cut as the
+  /// recovery target, and discards reported state above it. Returns the cut
+  /// every surviving worker must roll back to. Progress is halted until
+  /// EndRecovery() is called (paper §4.1).
+  virtual Status BeginRecovery(WorldLine* new_world_line,
+                               DprCut* recovery_cut) = 0;
+  virtual Status EndRecovery() = 0;
+
+  /// Convenience: committed version of one worker in the latest cut.
+  /// Implementations override this with a fast path that avoids
+  /// materializing the whole cut.
+  virtual Version SafeVersion(WorkerId worker) const;
+
+  /// Runs ComputeCut() every `interval_us` on a background thread.
+  void StartCoordinator(uint64_t interval_us);
+  void StopCoordinator();
+
+ private:
+  std::thread coordinator_;
+  std::atomic<bool> stop_{false};
+};
+
+/// One worker report staged by the ingest side, awaiting application to the
+/// compute side's in-memory structures.
+struct StagedReport {
+  WorkerVersion wv;
+  DependencySet deps;
+};
+
+/// Observability counters for the finder's ingest/compute split.
+struct FinderCoreStats {
+  uint64_t reports_ingested = 0;  // accepted ReportPersistedVersion calls
+  uint64_t reports_stale = 0;     // rejected: world-line mismatch
+  uint64_t staged_depth = 0;      // reports staged, not yet drained (gauge)
+  uint64_t staged_peak = 0;       // max staged_depth observed
+  uint64_t cut_advances = 0;      // ComputeCut rounds that advanced the cut
+};
+
+/// The state machine shared by all local finder implementations: world-line
+/// and recovery handling, the committed cut, Vmax tracking, and the
+/// ingest/compute split.
+///
+/// Ingest side (ReportPersistedVersion): validates the report's world-line
+/// against an atomic, performs the algorithm's durable write
+/// (PersistReportDurable — the metadata store serializes internally), bumps
+/// the atomic Vmax, and appends the report to a small staging buffer. It
+/// never takes the compute lock, so reports do not serialize against cut
+/// computation.
+///
+/// Compute side (ComputeCut): under the compute lock `mu_`, drains the
+/// staging buffer into the algorithm's in-memory structures
+/// (ApplyReportLocked) and asks the algorithm for a candidate cut
+/// (ComputeCandidateLocked); any advance is persisted and garbage-collection
+/// hooks run.
+///
+/// Recovery closes the ingest gate exclusively (a shared_mutex reports pass
+/// through in shared mode) so no report can interleave with the world-line
+/// bump and the above-cut trim.
+class FinderCore : public DprFinder {
+ public:
+  Status AddWorker(WorkerId worker, Version start_version) override;
+  Status RemoveWorker(WorkerId worker) override;
+  Status ReportPersistedVersion(WorldLine world_line, WorkerVersion wv,
+                                const DependencySet& deps) override;
+  Status ComputeCut() override;
+  void GetCut(WorldLine* world_line, DprCut* cut) const override;
+  Version MaxPersistedVersion() const override;
+  WorldLine CurrentWorldLine() const override;
+  Version SafeVersion(WorkerId worker) const override;
+  Status BeginRecovery(WorldLine* new_world_line, DprCut* cut) override;
+  Status EndRecovery() override;
+
+  FinderCoreStats core_stats() const;
+
+ protected:
+  /// `stage_reports` is false for algorithms with no in-memory per-report
+  /// state (the approximate finder computes from durable rows only).
+  FinderCore(MetadataStore* metadata, bool stage_reports);
+
+  // --- algorithm hooks -----------------------------------------------------
+  /// Ingest side, no lock held: the report's durable write (graph node row,
+  /// dpr-table row). Must be safe to run concurrently with the compute side.
+  virtual Status PersistReportDurable(const WorkerVersion& wv,
+                                      const DependencySet& deps) = 0;
+  /// Compute side, mu_ held: folds one staged report into in-memory state.
+  virtual void ApplyReportLocked(StagedReport&& report);
+  /// Compute side, mu_ held: the algorithm's candidate next cut.
+  virtual Status ComputeCandidateLocked(DprCut* next) = 0;
+  /// Compute side, mu_ held: GC after the cut advanced to the new `cut_`.
+  virtual Status OnCutAdvancedLocked();
+  /// mu_ held: membership changes.
+  virtual void OnWorkerAddedLocked(WorkerId worker, Version start_version);
+  virtual void OnWorkerRemovedLocked(WorkerId worker);
+  /// mu_ held, ingest gate closed: discard in-memory state above the frozen
+  /// cut. (Durable dpr-table rows are trimmed by the core.)
+  virtual Status OnBeginRecoveryLocked();
+
+  // --- helpers for subclasses (mu_ held) -----------------------------------
+  /// Applies all staged reports to in-memory state via ApplyReportLocked.
+  void DrainStagedLocked();
+  /// Drops staged reports without applying them (recovery, coordinator
+  /// crash: they are lost to the rollback / the lost process).
+  void DiscardStagedLocked();
+
+  MetadataStore* metadata_;
+  /// Compute lock: guards cut_, in_recovery_, and subclass in-memory state.
+  mutable std::mutex mu_;
+  DprCut cut_;
+  bool in_recovery_ = false;
+
+ private:
+  const bool stage_reports_;
+  std::atomic<WorldLine> world_line_;
+  std::atomic<Version> vmax_{kInvalidVersion};
+  /// Reports pass in shared mode; BeginRecovery closes it exclusively.
+  mutable std::shared_mutex ingest_gate_;
+  /// Staging buffer (MPSC): its lock is held only for an append or a swap,
+  /// never during cut computation or metadata I/O.
+  mutable std::mutex stage_mu_;
+  std::vector<StagedReport> staged_;
+
+  std::atomic<uint64_t> reports_ingested_{0};
+  std::atomic<uint64_t> reports_stale_{0};
+  std::atomic<uint64_t> staged_peak_{0};
+  std::atomic<uint64_t> cut_advances_{0};
+};
+
+}  // namespace dpr
+
+#endif  // DPR_DPR_FINDER_CORE_H_

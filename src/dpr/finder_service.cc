@@ -1,7 +1,11 @@
 #include "dpr/finder_service.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
+#include <vector>
 
+#include "common/clock.h"
 #include "common/coding.h"
 #include "common/logging.h"
 
@@ -19,6 +23,8 @@ enum Method : uint8_t {
   kWorldLine = 7,
   kBeginRecovery = 8,
   kEndRecovery = 9,
+  kReportBatch = 10,
+  kSnapshot = 11,
 };
 
 void EncodeCut(std::string* dst, const DprCut& cut) {
@@ -102,6 +108,41 @@ void DprFinderServer::Handle(Slice request, std::string* response) {
       }
       break;
     }
+    case kReportBatch: {
+      // [u64 world_line][u32 count] count × ([u32 w][u64 v][deps]).
+      // Response payload: [u32 processed][u32 rejected]. Stale reports are
+      // rejected individually (counted), not an error for the batch.
+      uint64_t wl;
+      uint32_t count;
+      if (!dec.GetFixed64(&wl) || !dec.GetFixed32(&count)) {
+        status = Status::InvalidArgument("bad ReportBatch");
+        break;
+      }
+      uint32_t processed = 0;
+      uint32_t rejected = 0;
+      for (uint32_t i = 0; i < count && status.ok(); ++i) {
+        uint32_t w;
+        uint64_t v;
+        DprCut deps;
+        if (!dec.GetFixed32(&w) || !dec.GetFixed64(&v) ||
+            !DecodeCut(&dec, &deps)) {
+          status = Status::InvalidArgument("bad ReportBatch entry");
+          break;
+        }
+        Status r =
+            finder_->ReportPersistedVersion(wl, WorkerVersion{w, v}, deps);
+        if (r.ok()) {
+          ++processed;
+        } else if (r.IsAborted()) {
+          ++rejected;
+        } else {
+          status = r;
+        }
+      }
+      PutFixed32(&payload, processed);
+      PutFixed32(&payload, rejected);
+      break;
+    }
     case kComputeCut:
       status = finder_->ComputeCut();
       break;
@@ -119,6 +160,16 @@ void DprFinderServer::Handle(Slice request, std::string* response) {
     case kWorldLine:
       PutFixed64(&payload, finder_->CurrentWorldLine());
       break;
+    case kSnapshot: {
+      // World-line, cut, and Vmax in one round trip; clients cache this.
+      WorldLine wl;
+      DprCut cut;
+      finder_->GetCut(&wl, &cut);
+      PutFixed64(&payload, wl);
+      EncodeCut(&payload, cut);
+      PutFixed64(&payload, finder_->MaxPersistedVersion());
+      break;
+    }
     case kBeginRecovery: {
       WorldLine wl;
       DprCut cut;
@@ -141,8 +192,20 @@ void DprFinderServer::Handle(Slice request, std::string* response) {
 
 // ------------------------------------------------------------ client side
 
-RemoteDprFinder::RemoteDprFinder(std::unique_ptr<RpcConnection> conn)
-    : conn_(std::move(conn)) {}
+RemoteDprFinder::RemoteDprFinder(std::unique_ptr<RpcConnection> conn,
+                                 RemoteDprFinderOptions options)
+    : conn_(std::move(conn)), options_(options) {
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+RemoteDprFinder::~RemoteDprFinder() {
+  {
+    std::lock_guard<std::mutex> guard(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
 
 Status RemoteDprFinder::Call(uint8_t method, Slice payload,
                              std::string* response) const {
@@ -157,67 +220,240 @@ Status RemoteDprFinder::Call(uint8_t method, Slice payload,
   return Status::OK();
 }
 
+Status RemoteDprFinder::SendBatch(
+    const std::vector<PendingReport>& batch) const {
+  std::string request(1, static_cast<char>(kReportBatch));
+  PutFixed64(&request, batch.front().world_line);
+  PutFixed32(&request, static_cast<uint32_t>(batch.size()));
+  for (const PendingReport& r : batch) {
+    PutFixed32(&request, r.wv.worker);
+    PutFixed64(&request, r.wv.version);
+    EncodeCut(&request, r.deps);
+  }
+  // Transport errors are retried with bounded exponential backoff.
+  // Re-sending is safe: reports are idempotent upserts server-side, so a
+  // batch whose response was lost can be applied twice without harm.
+  uint64_t backoff = options_.retry_backoff_us;
+  Status last = Status::OK();
+  const int attempts = std::max(1, options_.max_send_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      send_retries_.fetch_add(1, std::memory_order_relaxed);
+      SleepMicros(backoff);
+      backoff = std::min(backoff * 2, options_.retry_backoff_max_us);
+    }
+    std::string raw;
+    last = conn_->Call(request, &raw);
+    if (!last.ok()) continue;  // transport error: retry
+    if (raw.empty()) return Status::Corruption("empty finder response");
+    const auto code = static_cast<Status::Code>(raw[0]);
+    if (code != Status::Code::kOk) {
+      // Server-side error: retrying will not help.
+      return Status(code, "finder error");
+    }
+    Decoder dec(Slice(raw.data() + 1, raw.size() - 1));
+    uint32_t processed = 0;
+    uint32_t rejected = 0;
+    if (!dec.GetFixed32(&processed) || !dec.GetFixed32(&rejected)) {
+      return Status::Corruption("bad ReportBatch response");
+    }
+    batches_sent_.fetch_add(1, std::memory_order_relaxed);
+    reports_sent_.fetch_add(batch.size(), std::memory_order_relaxed);
+    reports_rejected_.fetch_add(rejected, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  return Status::Unavailable("finder report batch not delivered: " +
+                             last.ToString());
+}
+
+Status RemoteDprFinder::FlushPending() const {
+  std::lock_guard<std::mutex> flush_guard(flush_mu_);
+  bool sent_any = false;
+  Status result = Status::OK();
+  while (true) {
+    std::vector<PendingReport> batch;
+    {
+      std::lock_guard<std::mutex> guard(queue_mu_);
+      if (pending_.empty()) break;
+      // One batch carries one world-line (reports spanning a recovery are
+      // split; the stale half gets rejected server-side).
+      const WorldLine wl = pending_.front().world_line;
+      while (!pending_.empty() && batch.size() < options_.max_batch_size &&
+             pending_.front().world_line == wl) {
+        batch.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+      }
+    }
+    Status s = SendBatch(batch);
+    if (!s.ok()) {
+      // Undelivered: re-queue at the front, preserving report order. No
+      // WorkerVersion is ever dropped on a transport failure.
+      std::lock_guard<std::mutex> guard(queue_mu_);
+      for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+        pending_.push_front(std::move(*it));
+      }
+      result = s;
+      break;
+    }
+    sent_any = true;
+  }
+  // Anything the server just ingested may move Vmax/cut; drop the cached
+  // snapshot so the next read observes our own reports.
+  if (sent_any) InvalidateSnapshot();
+  return result;
+}
+
+Status RemoteDprFinder::Flush() { return FlushPending(); }
+
+Status RemoteDprFinder::RefreshSnapshot(bool force) const {
+  std::lock_guard<std::mutex> guard(snap_mu_);
+  const uint64_t now = NowMicros();
+  if (!force && snapshot_.fetched_us != 0 &&
+      now - snapshot_.fetched_us < options_.snapshot_ttl_us) {
+    return Status::OK();
+  }
+  std::string payload;
+  DPR_RETURN_NOT_OK(Call(kSnapshot, Slice(), &payload));
+  Decoder dec(payload);
+  uint64_t wl;
+  DprCut cut;
+  uint64_t vmax;
+  if (!dec.GetFixed64(&wl) || !DecodeCut(&dec, &cut) ||
+      !dec.GetFixed64(&vmax)) {
+    return Status::Corruption("bad Snapshot response");
+  }
+  snapshot_.world_line = wl;
+  snapshot_.cut = std::move(cut);
+  snapshot_.vmax = vmax;
+  snapshot_.fetched_us = NowMicros();
+  snapshot_refreshes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void RemoteDprFinder::InvalidateSnapshot() const {
+  std::lock_guard<std::mutex> guard(snap_mu_);
+  snapshot_.fetched_us = 0;
+}
+
+void RemoteDprFinder::FlusherLoop() {
+  while (true) {
+    bool stopping;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait_for(
+          lock, std::chrono::microseconds(options_.flush_interval_us),
+          [this] {
+            return stop_ || pending_.size() >= options_.max_batch_size;
+          });
+      stopping = stop_;
+    }
+    // On persistent transport failure FlushPending leaves the batch queued
+    // and we come back around — the wait above doubles as pacing.
+    Status s = FlushPending();
+    if (!s.ok() && !stopping) {
+      DPR_WARN("finder report flush: %s", s.ToString().c_str());
+    }
+    if (stopping) return;  // final drain done
+  }
+}
+
 Status RemoteDprFinder::AddWorker(WorkerId worker, Version start_version) {
+  DPR_RETURN_NOT_OK(FlushPending());
   std::string payload;
   PutFixed32(&payload, worker);
   PutFixed64(&payload, start_version);
-  return Call(kAddWorker, payload, nullptr);
+  DPR_RETURN_NOT_OK(Call(kAddWorker, payload, nullptr));
+  InvalidateSnapshot();
+  return Status::OK();
 }
 
 Status RemoteDprFinder::RemoveWorker(WorkerId worker) {
+  DPR_RETURN_NOT_OK(FlushPending());
   std::string payload;
   PutFixed32(&payload, worker);
-  return Call(kRemoveWorker, payload, nullptr);
+  DPR_RETURN_NOT_OK(Call(kRemoveWorker, payload, nullptr));
+  InvalidateSnapshot();
+  return Status::OK();
 }
 
 Status RemoteDprFinder::ReportPersistedVersion(WorldLine world_line,
                                                WorkerVersion wv,
                                                const DependencySet& deps) {
-  std::string payload;
-  PutFixed64(&payload, world_line);
-  PutFixed32(&payload, wv.worker);
-  PutFixed64(&payload, wv.version);
-  EncodeCut(&payload, deps);
-  return Call(kReport, payload, nullptr);
+  // Validate the world-line client-side against the cached snapshot so a
+  // stale reporter learns synchronously, like with a local finder. A report
+  // from a world-line the snapshot has not caught up to forces one refresh
+  // before the verdict.
+  Status s = RefreshSnapshot(/*force=*/false);
+  WorldLine known;
+  {
+    std::lock_guard<std::mutex> guard(snap_mu_);
+    known = snapshot_.world_line;
+  }
+  if (world_line != known || !s.ok()) {
+    DPR_RETURN_NOT_OK(RefreshSnapshot(/*force=*/true));
+    std::lock_guard<std::mutex> guard(snap_mu_);
+    if (world_line != snapshot_.world_line) {
+      reports_stale_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Aborted("report from stale world-line");
+    }
+  }
+  size_t depth;
+  {
+    std::lock_guard<std::mutex> guard(queue_mu_);
+    pending_.push_back(PendingReport{world_line, wv, deps});
+    depth = pending_.size();
+  }
+  reports_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  // The timer flushes small queues; a full batch is worth waking the
+  // flusher for immediately.
+  if (depth >= options_.max_batch_size) queue_cv_.notify_one();
+  return Status::OK();
 }
 
 Status RemoteDprFinder::ComputeCut() {
-  return Call(kComputeCut, Slice(), nullptr);
+  DPR_RETURN_NOT_OK(FlushPending());
+  DPR_RETURN_NOT_OK(Call(kComputeCut, Slice(), nullptr));
+  InvalidateSnapshot();
+  return Status::OK();
 }
 
 void RemoteDprFinder::GetCut(WorldLine* world_line, DprCut* cut) const {
-  std::string payload;
-  if (!Call(kGetCut, Slice(), &payload).ok()) {
+  if (!FlushPending().ok() || !RefreshSnapshot(/*force=*/false).ok()) {
     if (cut != nullptr) cut->clear();
     return;
   }
-  Decoder dec(payload);
-  uint64_t wl = kInitialWorldLine;
-  DprCut parsed;
-  if (dec.GetFixed64(&wl) && DecodeCut(&dec, &parsed)) {
-    if (world_line != nullptr) *world_line = wl;
-    if (cut != nullptr) *cut = std::move(parsed);
-  }
+  std::lock_guard<std::mutex> guard(snap_mu_);
+  if (world_line != nullptr) *world_line = snapshot_.world_line;
+  if (cut != nullptr) *cut = snapshot_.cut;
 }
 
 Version RemoteDprFinder::MaxPersistedVersion() const {
-  std::string payload;
-  if (!Call(kMaxPersisted, Slice(), &payload).ok() || payload.size() < 8) {
+  if (!FlushPending().ok() || !RefreshSnapshot(/*force=*/false).ok()) {
     return kInvalidVersion;
   }
-  return DecodeFixed64(payload.data());
+  std::lock_guard<std::mutex> guard(snap_mu_);
+  return snapshot_.vmax;
 }
 
 WorldLine RemoteDprFinder::CurrentWorldLine() const {
-  std::string payload;
-  if (!Call(kWorldLine, Slice(), &payload).ok() || payload.size() < 8) {
-    return kInitialWorldLine;
-  }
-  return DecodeFixed64(payload.data());
+  if (!RefreshSnapshot(/*force=*/true).ok()) return kInitialWorldLine;
+  std::lock_guard<std::mutex> guard(snap_mu_);
+  return snapshot_.world_line;
+}
+
+Version RemoteDprFinder::SafeVersion(WorkerId worker) const {
+  // The fast path: no flush, snapshot served within its TTL. Watermarks lag
+  // reality anyway; a slightly stale cut only delays commit acks.
+  (void)RefreshSnapshot(/*force=*/false);
+  std::lock_guard<std::mutex> guard(snap_mu_);
+  return CutVersion(snapshot_.cut, worker);
 }
 
 Status RemoteDprFinder::BeginRecovery(WorldLine* new_world_line,
                                       DprCut* cut) {
+  // Best-effort flush: anything still queued is from the failing world-line
+  // and is about to be lost to the rollback regardless.
+  (void)FlushPending();
   std::string payload;
   DPR_RETURN_NOT_OK(Call(kBeginRecovery, Slice(), &payload));
   Decoder dec(payload);
@@ -226,6 +462,19 @@ Status RemoteDprFinder::BeginRecovery(WorldLine* new_world_line,
   if (!dec.GetFixed64(&wl) || !DecodeCut(&dec, &parsed)) {
     return Status::Corruption("bad BeginRecovery response");
   }
+  {
+    // Pending reports all predate the new world-line: drop them instead of
+    // shipping them to certain rejection.
+    std::lock_guard<std::mutex> guard(queue_mu_);
+    pending_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> guard(snap_mu_);
+    snapshot_.world_line = wl;
+    snapshot_.cut = parsed;
+    snapshot_.vmax = kInvalidVersion;
+    snapshot_.fetched_us = 0;  // force a refresh before the next read
+  }
   if (new_world_line != nullptr) *new_world_line = wl;
   if (cut != nullptr) *cut = std::move(parsed);
   return Status::OK();
@@ -233,6 +482,22 @@ Status RemoteDprFinder::BeginRecovery(WorldLine* new_world_line,
 
 Status RemoteDprFinder::EndRecovery() {
   return Call(kEndRecovery, Slice(), nullptr);
+}
+
+RemoteFinderStats RemoteDprFinder::stats() const {
+  RemoteFinderStats s;
+  s.reports_enqueued = reports_enqueued_.load(std::memory_order_relaxed);
+  s.reports_stale = reports_stale_.load(std::memory_order_relaxed);
+  s.batches_sent = batches_sent_.load(std::memory_order_relaxed);
+  s.reports_sent = reports_sent_.load(std::memory_order_relaxed);
+  s.reports_rejected = reports_rejected_.load(std::memory_order_relaxed);
+  s.send_retries = send_retries_.load(std::memory_order_relaxed);
+  s.snapshot_refreshes = snapshot_refreshes_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> guard(queue_mu_);
+    s.pending_depth = pending_.size();
+  }
+  return s;
 }
 
 }  // namespace dpr

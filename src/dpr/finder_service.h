@@ -1,7 +1,12 @@
 #ifndef DPR_DPR_FINDER_SERVICE_H_
 #define DPR_DPR_FINDER_SERVICE_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
+#include <mutex>
+#include <thread>
 
 #include "dpr/finder.h"
 #include "net/rpc.h"
@@ -13,9 +18,10 @@ namespace dpr {
 /// separate machines; here, separate processes on one box over TCP).
 ///
 /// Wire format: [u8 method][method-specific payload]; responses are
-/// [u8 status-code][payload]. Small and synchronous: every call is off the
-/// workers' critical path by construction (reports happen at checkpoint
-/// completion, cut reads on a timer).
+/// [u8 status-code][payload]. Reports arrive batched (kReportBatch) and
+/// cut/world-line/Vmax reads are served as one combined snapshot (kSnapshot),
+/// so a loaded cluster costs the finder a handful of RPCs per flush interval
+/// rather than one per checkpoint.
 class DprFinderServer {
  public:
   DprFinderServer(DprFinder* finder, std::unique_ptr<RpcServer> server);
@@ -33,12 +39,59 @@ class DprFinderServer {
   std::string address_;
 };
 
+struct RemoteDprFinderOptions {
+  /// Background flush cadence; a flush also fires as soon as
+  /// `max_batch_size` reports are pending.
+  uint64_t flush_interval_us = 2'000;
+  /// Reports per kReportBatch RPC.
+  size_t max_batch_size = 256;
+  /// How long SafeVersion() may serve from the cached snapshot before
+  /// refreshing it. Watermarks are published lazily anyway (paper §4.2), so
+  /// staleness here only delays commit acknowledgement, never correctness.
+  uint64_t snapshot_ttl_us = 2'000;
+  /// Transport-error handling: a failed batch send is retried with bounded
+  /// exponential backoff; the batch is never dropped (reports re-queue at
+  /// the front on exhaustion).
+  int max_send_attempts = 8;
+  uint64_t retry_backoff_us = 200;
+  uint64_t retry_backoff_max_us = 50'000;
+};
+
+/// Observability counters for the client-side report path.
+struct RemoteFinderStats {
+  uint64_t reports_enqueued = 0;   // ReportPersistedVersion calls accepted
+  uint64_t reports_stale = 0;      // rejected client-side: world-line mismatch
+  uint64_t batches_sent = 0;       // successful kReportBatch RPCs
+  uint64_t reports_sent = 0;       // reports carried by those batches
+  uint64_t reports_rejected = 0;   // rejected server-side (stale at arrival)
+  uint64_t send_retries = 0;       // transport errors retried
+  uint64_t snapshot_refreshes = 0; // kSnapshot RPCs issued
+  uint64_t pending_depth = 0;      // reports queued, not yet flushed (gauge)
+
+  double ReportsPerBatch() const {
+    return batches_sent == 0
+               ? 0.0
+               : static_cast<double>(reports_sent) / batches_sent;
+  }
+};
+
 /// Client-side stub: a DprFinder implementation backed by a connection to a
-/// DprFinderServer. Cut reads are cached briefly (watermarks are published
-/// lazily anyway), everything else is a synchronous RPC.
+/// DprFinderServer.
+///
+/// Reports are asynchronous: ReportPersistedVersion validates the world-line
+/// against the cached snapshot, enqueues the report, and returns; a
+/// background flusher drains the queue in kReportBatch RPCs with
+/// retry/backoff on transport errors. Reads (GetCut, MaxPersistedVersion,
+/// CurrentWorldLine) flush pending reports and refresh the snapshot first,
+/// so read-after-report behaves exactly like the local finder; SafeVersion
+/// is the fast path and serves from the snapshot within its TTL. Control
+/// operations (AddWorker, recovery) are synchronous RPCs preceded by a
+/// flush.
 class RemoteDprFinder : public DprFinder {
  public:
-  explicit RemoteDprFinder(std::unique_ptr<RpcConnection> conn);
+  explicit RemoteDprFinder(std::unique_ptr<RpcConnection> conn,
+                           RemoteDprFinderOptions options = {});
+  ~RemoteDprFinder() override;
 
   Status AddWorker(WorkerId worker, Version start_version) override;
   Status RemoveWorker(WorkerId worker) override;
@@ -48,13 +101,70 @@ class RemoteDprFinder : public DprFinder {
   void GetCut(WorldLine* world_line, DprCut* cut) const override;
   Version MaxPersistedVersion() const override;
   WorldLine CurrentWorldLine() const override;
+  Version SafeVersion(WorkerId worker) const override;
   Status BeginRecovery(WorldLine* new_world_line, DprCut* cut) override;
   Status EndRecovery() override;
 
+  /// Synchronously drains the pending-report queue (retrying transport
+  /// errors). Called internally before every read/control RPC; public so
+  /// tests and shutdown paths can force the queue empty.
+  Status Flush();
+
+  RemoteFinderStats stats() const;
+
  private:
+  struct PendingReport {
+    WorldLine world_line;
+    WorkerVersion wv;
+    DependencySet deps;
+  };
+
+  struct Snapshot {
+    WorldLine world_line = kInitialWorldLine;
+    DprCut cut;
+    Version vmax = kInvalidVersion;
+    uint64_t fetched_us = 0;  // 0 = never fetched / invalidated
+  };
+
   Status Call(uint8_t method, Slice payload, std::string* response) const;
+  /// Sends one encoded batch, retrying transport errors with backoff.
+  /// Returns the server's status (OK even when some reports were rejected as
+  /// stale — those are counted, not errors) or Unavailable after exhausting
+  /// attempts.
+  Status SendBatch(const std::vector<PendingReport>& batch) const;
+  /// Drains the queue under flush_mu_; on failure re-queues the unsent batch
+  /// at the front so no report is lost.
+  Status FlushPending() const;
+  /// Re-fetches the snapshot (kSnapshot RPC) if `force` or the TTL expired.
+  Status RefreshSnapshot(bool force) const;
+  void InvalidateSnapshot() const;
+  void FlusherLoop();
 
   std::unique_ptr<RpcConnection> conn_;
+  const RemoteDprFinderOptions options_;
+
+  /// Pending-report queue (append under queue_mu_, drained by flushes).
+  mutable std::mutex queue_mu_;
+  mutable std::condition_variable queue_cv_;
+  mutable std::deque<PendingReport> pending_;
+  bool stop_ = false;
+
+  /// Serializes batch sending so the background flusher and explicit
+  /// Flush() calls cannot reorder or double-send reports.
+  mutable std::mutex flush_mu_;
+
+  mutable std::mutex snap_mu_;
+  mutable Snapshot snapshot_;
+
+  mutable std::atomic<uint64_t> reports_enqueued_{0};
+  mutable std::atomic<uint64_t> reports_stale_{0};
+  mutable std::atomic<uint64_t> batches_sent_{0};
+  mutable std::atomic<uint64_t> reports_sent_{0};
+  mutable std::atomic<uint64_t> reports_rejected_{0};
+  mutable std::atomic<uint64_t> send_retries_{0};
+  mutable std::atomic<uint64_t> snapshot_refreshes_{0};
+
+  std::thread flusher_;
 };
 
 }  // namespace dpr

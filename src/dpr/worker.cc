@@ -1,5 +1,6 @@
 #include "dpr/worker.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/clock.h"
@@ -7,9 +8,41 @@
 
 namespace dpr {
 
+namespace {
+
+/// Admission-control retry policy for BeginBatch. Attempts are consumed by
+/// benign races (a checkpoint or rollback slipping in between the world-line
+/// check and the latch) and by version fast-forwards; the first few retries
+/// just yield, after which the wait backs off exponentially so a worker
+/// stuck mid-recovery is not hammered by a busy loop.
+constexpr int kAdmissionMaxAttempts = 256;
+constexpr int kAdmissionYieldAttempts = 16;
+constexpr uint64_t kAdmissionBackoffInitialUs = 10;
+constexpr uint64_t kAdmissionBackoffMaxUs = 1000;
+
+void AdmissionBackoff(int attempt) {
+  if (attempt < kAdmissionYieldAttempts) {
+    std::this_thread::yield();
+    return;
+  }
+  uint64_t delay = kAdmissionBackoffInitialUs;
+  for (int i = kAdmissionYieldAttempts; i < attempt; ++i) {
+    delay *= 2;
+    if (delay >= kAdmissionBackoffMaxUs) {
+      delay = kAdmissionBackoffMaxUs;
+      break;
+    }
+  }
+  SleepMicros(delay);
+}
+
+}  // namespace
+
 DprWorker::DprWorker(StateObject* state_object,
                      const DprWorkerOptions& options)
-    : state_object_(state_object), options_(options) {
+    : state_object_(state_object),
+      options_(options),
+      deps_(options.dep_tracker_shards) {
   DPR_CHECK(state_object_ != nullptr);
   DPR_CHECK(options_.finder != nullptr);
   DPR_CHECK(options_.worker_id != kInvalidWorker);
@@ -29,14 +62,26 @@ Status DprWorker::Start() {
 }
 
 void DprWorker::Stop() {
-  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> guard(timer_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  timer_cv_.notify_all();
   if (timer_.joinable()) timer_.join();
 }
 
 void DprWorker::TimerLoop() {
-  while (!stop_.load(std::memory_order_acquire)) {
-    SleepMicros(options_.checkpoint_interval_us);
-    if (stop_.load(std::memory_order_acquire)) break;
+  while (true) {
+    {
+      // Interruptible wait: Stop() flips stop_ under timer_mu_ and notifies,
+      // so shutdown returns immediately instead of sleeping out the interval.
+      std::unique_lock<std::mutex> lock(timer_mu_);
+      timer_cv_.wait_for(
+          lock, std::chrono::microseconds(options_.checkpoint_interval_us),
+          [this] { return stop_.load(std::memory_order_acquire); });
+      if (stop_.load(std::memory_order_acquire)) return;
+    }
+    // Work runs outside timer_mu_ so Stop() never blocks on a checkpoint.
     Status s = TryCommit(0);
     if (!s.ok() && !s.IsBusy() && !s.IsUnavailable()) {
       DPR_WARN("worker %u commit: %s", options_.worker_id,
@@ -48,7 +93,7 @@ void DprWorker::TimerLoop() {
 
 Status DprWorker::BeginBatch(const DprRequestHeader& header,
                              Version* out_version) {
-  for (int attempt = 0; attempt < 4096; ++attempt) {
+  for (int attempt = 0; attempt < kAdmissionMaxAttempts; ++attempt) {
     const WorldLine my_wl = world_line_.load(std::memory_order_acquire);
     if (header.world_line < my_wl) {
       // Client is on a pre-failure world-line; it must compute its surviving
@@ -64,6 +109,7 @@ Status DprWorker::BeginBatch(const DprRequestHeader& header,
     if (in_recovery_.load(std::memory_order_acquire) ||
         world_line_.load(std::memory_order_acquire) != my_wl) {
       version_latch_.UnlockShared();
+      AdmissionBackoff(attempt);
       continue;
     }
     const Version v = state_object_->CurrentVersion();
@@ -73,21 +119,19 @@ Status DprWorker::BeginBatch(const DprRequestHeader& header,
       version_latch_.UnlockShared();
       Status s = TryCommit(header.version);
       if (!s.ok() && !s.IsBusy()) return s;
-      std::this_thread::yield();
+      AdmissionBackoff(attempt);
       continue;
     }
-    {
-      std::lock_guard<std::mutex> guard(deps_mu_);
-      DependencySet& deps = version_deps_[v];
-      for (const auto& [dw, dv] : header.deps) {
-        if (dw == options_.worker_id) continue;  // self-deps are implicit
-        MergeDependency(&deps, WorkerVersion{dw, dv});
-      }
-    }
+    // Record the batch's cross-worker dependencies against the version it
+    // executes in. Striped by session — no global mutex on the hot path.
+    deps_.Record(header.session_id, v, header.deps, options_.worker_id);
     *out_version = v;
     return Status::OK();  // caller executes the batch, then EndBatch()
   }
-  return Status::Unavailable("could not admit batch");
+  if (in_recovery_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("batch admission timed out during recovery");
+  }
+  return Status::Unavailable("batch admission timed out");
 }
 
 void DprWorker::EndBatch() { version_latch_.UnlockShared(); }
@@ -130,17 +174,12 @@ Status DprWorker::TryCommit(Version target_version) {
 }
 
 void DprWorker::OnCheckpointPersistent(WorldLine world_line, Version token) {
-  DependencySet deps;
-  {
-    std::lock_guard<std::mutex> guard(deps_mu_);
-    // The report covers every version in (last_reported, token]; fold their
-    // dependency sets together (versions are cumulative prefixes).
-    auto it = version_deps_.begin();
-    while (it != version_deps_.end() && it->first <= token) {
-      MergeDependencies(&deps, it->second);
-      it = version_deps_.erase(it);
-    }
-    if (token > last_reported_) last_reported_ = token;
+  // The report covers every version in (last_reported, token]; fold their
+  // dependency sets together (versions are cumulative prefixes).
+  DependencySet deps = deps_.DrainUpTo(token);
+  Version reported = last_reported_.load(std::memory_order_relaxed);
+  while (token > reported && !last_reported_.compare_exchange_weak(
+                                 reported, token, std::memory_order_release)) {
   }
   Status s = options_.finder->ReportPersistedVersion(
       world_line, WorkerVersion{options_.worker_id, token}, deps);
@@ -179,11 +218,9 @@ Status DprWorker::RollbackInternal(WorldLine new_world_line,
   Version restored = kInvalidVersion;
   Status s = state_object_->RestoreCheckpoint(safe_version, &restored);
   if (s.ok()) {
-    {
-      std::lock_guard<std::mutex> guard(deps_mu_);
-      version_deps_.clear();
-      last_reported_ = restored;
-    }
+    // Tracked dependencies belong to the rolled-back world-line.
+    deps_.Clear();
+    last_reported_.store(restored, std::memory_order_release);
     world_line_.store(new_world_line, std::memory_order_release);
   }
   version_latch_.UnlockExclusive();

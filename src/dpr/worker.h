@@ -2,12 +2,13 @@
 #define DPR_DPR_WORKER_H_
 
 #include <atomic>
-#include <map>
+#include <condition_variable>
 #include <mutex>
 #include <thread>
 
 #include "common/latch.h"
 #include "common/status.h"
+#include "dpr/dep_tracker.h"
 #include "dpr/finder.h"
 #include "dpr/header.h"
 #include "dpr/state_object.h"
@@ -24,6 +25,10 @@ struct DprWorkerOptions {
   /// Enable Vmax fast-forwarding (§3.4): each timer tick targets at least the
   /// global max persisted version so a lagging worker catches up.
   bool vmax_fast_forward = true;
+  /// Lock stripes in the per-version dependency tracker (rounded up to a
+  /// power of two); sessions hash to stripes, so admission of concurrent
+  /// batches from different sessions never contends on one lock.
+  uint32_t dep_tracker_shards = VersionDependencyTracker::kDefaultShards;
 };
 
 /// Server-side libDPR (paper §6): wraps any StateObject with the DPR
@@ -36,6 +41,11 @@ struct DprWorkerOptions {
 ///    (checkpoints take it exclusively, briefly, to draw the boundary).
 /// A background timer triggers Commit() periodically; persistence callbacks
 /// report (version, deps) to the DprFinder off the critical path.
+///
+/// Dependency bookkeeping is sharded (VersionDependencyTracker): BeginBatch
+/// records into a lock-striped structure keyed by session hash and takes no
+/// process-global mutex; the stripes are merged only when a checkpoint
+/// persists and the folded set is reported to the finder.
 class DprWorker {
  public:
   DprWorker(StateObject* state_object, const DprWorkerOptions& options);
@@ -88,6 +98,13 @@ class DprWorker {
   }
   void RefreshPersistedWatermark();
 
+  /// Largest token reported to the finder on the current world-line.
+  Version last_reported() const {
+    return last_reported_.load(std::memory_order_acquire);
+  }
+  /// Counters from the sharded dependency tracker.
+  DepTrackerStats dep_tracker_stats() const { return deps_.stats(); }
+
  private:
   void TimerLoop();
   Status RollbackInternal(WorldLine new_world_line, Version safe_version,
@@ -102,13 +119,17 @@ class DprWorker {
   std::atomic<uint64_t> persisted_watermark_{kInvalidVersion};
   std::atomic<bool> in_recovery_{false};
 
-  // Dependency sets accumulated per (uncommitted) version, and the largest
-  // token already reported to the finder.
-  std::mutex deps_mu_;
-  std::map<Version, DependencySet> version_deps_;
-  Version last_reported_ = kInvalidVersion;
+  /// Dependency sets accumulated per (uncommitted) version, striped by
+  /// session; merged only at checkpoint-persist time.
+  VersionDependencyTracker deps_;
+  /// Largest token already reported to the finder.
+  std::atomic<uint64_t> last_reported_{kInvalidVersion};
 
+  /// Commit-timer thread, woken early by Stop() so shutdown does not wait
+  /// out a full checkpoint interval.
   std::thread timer_;
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
   std::atomic<bool> stop_{true};
 };
 

@@ -45,7 +45,32 @@ Status DFasterCluster::Start() {
                  options_.storage_dir, "metadata.wal"));
   DPR_RETURN_NOT_OK(metadata_->Recover());
   finder_ = MakeFinder(options_.finder, metadata_.get());
-  cluster_manager_ = std::make_unique<ClusterManager>(finder_.get());
+
+  // With remote_finder, the tracking plane is deployed as its own service:
+  // workers and the cluster manager reach the finder through one shared
+  // batching client; the local instance stays authoritative (it owns the
+  // metadata store and runs the coordinator).
+  DprFinder* plane = finder_.get();
+  if (options_.remote_finder && options_.mode == RecoverabilityMode::kDpr) {
+    std::unique_ptr<RpcServer> finder_rpc;
+    if (options_.transport == TransportKind::kTcp) {
+      finder_rpc = MakeTcpServer(0);
+    } else {
+      finder_rpc = net_->CreateServer("finder");
+    }
+    finder_server_ = std::make_unique<DprFinderServer>(finder_.get(),
+                                                       std::move(finder_rpc));
+    DPR_RETURN_NOT_OK(finder_server_->Start());
+    std::unique_ptr<RpcConnection> finder_conn;
+    if (options_.transport == TransportKind::kTcp) {
+      DPR_RETURN_NOT_OK(ConnectTcp(finder_server_->address(), &finder_conn));
+    } else {
+      finder_conn = net_->Connect(finder_server_->address());
+    }
+    remote_finder_ = std::make_unique<RemoteDprFinder>(std::move(finder_conn));
+    plane = remote_finder_.get();
+  }
+  cluster_manager_ = std::make_unique<ClusterManager>(plane);
 
   // Seed the durable ownership table with the default assignment so every
   // later lookup (clients, transfers, elastic joins) reads complete truth.
@@ -71,7 +96,7 @@ Status DFasterCluster::Start() {
                        : StorageBackend::kLocal,
                    options_.storage_dir,
                    "worker" + std::to_string(i) + ".meta");
-    config.dpr.finder = finder_.get();
+    config.dpr.finder = plane;
     config.dpr.checkpoint_interval_us = options_.checkpoint_interval_us;
     auto worker = std::make_unique<DFasterWorker>(std::move(config));
 
@@ -100,6 +125,39 @@ void DFasterCluster::Stop() {
   started_ = false;
   if (finder_ != nullptr) finder_->StopCoordinator();
   for (auto& worker : workers_) worker->Stop();
+  // Drain any reports the workers enqueued before tearing down the service.
+  if (remote_finder_ != nullptr) (void)remote_finder_->Flush();
+  if (finder_server_ != nullptr) finder_server_->Stop();
+}
+
+TrackingPlaneStats DFasterCluster::tracking_stats() {
+  TrackingPlaneStats t;
+  for (auto& worker : workers_) {
+    DprWorker* dw = worker->dpr_worker();
+    if (dw == nullptr) continue;
+    const DepTrackerStats d = dw->dep_tracker_stats();
+    t.dep_records += d.records;
+    t.dep_empty_records += d.empty_records;
+    t.dep_drains += d.drains;
+    t.dep_live_entries += d.live_entries;
+  }
+  if (auto* core = dynamic_cast<FinderCore*>(finder_.get())) {
+    const FinderCoreStats f = core->core_stats();
+    t.reports_ingested = f.reports_ingested;
+    t.reports_stale = f.reports_stale;
+    t.staged_peak = f.staged_peak;
+    t.cut_advances = f.cut_advances;
+  }
+  if (remote_finder_ != nullptr) {
+    const RemoteFinderStats r = remote_finder_->stats();
+    t.remote_reports_enqueued = r.reports_enqueued;
+    t.remote_batches_sent = r.batches_sent;
+    t.remote_reports_sent = r.reports_sent;
+    t.remote_reports_rejected = r.reports_rejected;
+    t.remote_send_retries = r.send_retries;
+    t.remote_snapshot_refreshes = r.snapshot_refreshes;
+  }
+  return t;
 }
 
 std::unique_ptr<DFasterClient> DFasterCluster::NewClient(uint32_t batch_size,
@@ -213,7 +271,9 @@ Status DFasterCluster::AddWorker(WorkerId* new_id) {
                      : StorageBackend::kLocal,
                  options_.storage_dir,
                  "worker" + std::to_string(id) + ".meta");
-  config.dpr.finder = finder_.get();
+  config.dpr.finder = remote_finder_ != nullptr
+                          ? static_cast<DprFinder*>(remote_finder_.get())
+                          : finder_.get();
   config.dpr.checkpoint_interval_us = options_.checkpoint_interval_us;
   auto worker = std::make_unique<DFasterWorker>(std::move(config));
   std::unique_ptr<RpcServer> server;
@@ -322,6 +382,27 @@ void DRedisCluster::Stop() {
   for (auto& proxy : dpr_proxies_) proxy->Stop();
   for (auto& proxy : pass_proxies_) proxy->Stop();
   for (auto& server : store_servers_) server->Stop();
+}
+
+TrackingPlaneStats DRedisCluster::tracking_stats() {
+  TrackingPlaneStats t;
+  for (auto& proxy : dpr_proxies_) {
+    DprWorker* dw = proxy->dpr_worker();
+    if (dw == nullptr) continue;
+    const DepTrackerStats d = dw->dep_tracker_stats();
+    t.dep_records += d.records;
+    t.dep_empty_records += d.empty_records;
+    t.dep_drains += d.drains;
+    t.dep_live_entries += d.live_entries;
+  }
+  if (auto* core = dynamic_cast<FinderCore*>(finder_.get())) {
+    const FinderCoreStats f = core->core_stats();
+    t.reports_ingested = f.reports_ingested;
+    t.reports_stale = f.reports_stale;
+    t.staged_peak = f.staged_peak;
+    t.cut_advances = f.cut_advances;
+  }
+  return t;
 }
 
 Status DRedisCluster::InjectFailure(

@@ -9,7 +9,9 @@
 #include "dfaster/worker.h"
 #include "dpr/cluster_manager.h"
 #include "dpr/finder.h"
+#include "dpr/finder_service.h"
 #include "dredis/client.h"
+#include "harness/stats.h"
 #include "dredis/dredis.h"
 #include "metadata/metadata_store.h"
 #include "net/inmemory_net.h"
@@ -30,6 +32,11 @@ struct ClusterOptions {
   uint64_t finder_interval_us = 10000;
   TransportKind transport = TransportKind::kInMemory;
   uint64_t net_latency_us = 0;  // in-memory transport only
+  /// Run the finder behind a DprFinderServer and have workers + cluster
+  /// manager reach it through a shared batching RemoteDprFinder — the
+  /// paper's deployment shape, where the tracking plane is its own service.
+  /// The coordinator still runs on the local finder (it owns the metadata).
+  bool remote_finder = false;
   uint32_t server_threads = 2;
   uint64_t index_buckets = 1 << 16;
   /// Directory for file-backed devices; empty = memory-backed devices.
@@ -85,14 +92,24 @@ class DFasterCluster {
   DFasterWorker* worker(uint32_t i) { return workers_[i].get(); }
   uint32_t num_workers() const { return options_.num_workers; }
   ClusterManager* cluster_manager() { return cluster_manager_.get(); }
+  /// The authoritative (local) finder; with remote_finder enabled this is
+  /// the instance behind the RPC server.
   DprFinder* finder() { return finder_.get(); }
+  /// The shared batching client, or nullptr when remote_finder is off.
+  RemoteDprFinder* remote_finder() { return remote_finder_.get(); }
   MetadataStore* metadata() { return metadata_.get(); }
+
+  /// Aggregated tracking-plane counters across workers, finder, and (if
+  /// deployed) the remote-finder client.
+  TrackingPlaneStats tracking_stats();
 
  private:
   ClusterOptions options_;
   std::unique_ptr<InMemoryNetwork> net_;
   std::unique_ptr<MetadataStore> metadata_;
   std::unique_ptr<DprFinder> finder_;
+  std::unique_ptr<DprFinderServer> finder_server_;
+  std::unique_ptr<RemoteDprFinder> remote_finder_;
   std::unique_ptr<ClusterManager> cluster_manager_;
   std::vector<std::unique_ptr<DFasterWorker>> workers_;
   std::vector<std::string> addresses_;
@@ -133,6 +150,9 @@ class DRedisCluster {
   DRedisProxy* proxy(uint32_t i) { return dpr_proxies_[i].get(); }
   DprFinder* finder() { return finder_.get(); }
   ClusterManager* cluster_manager() { return cluster_manager_.get(); }
+
+  /// Aggregated tracking-plane counters across proxies and the finder.
+  TrackingPlaneStats tracking_stats();
 
  private:
   RedisClusterOptions options_;

@@ -87,22 +87,23 @@ class TcpServer : public RpcServer {
 
   Status Start(RpcHandler handler) override {
     handler_ = std::move(handler);
-    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) return Status::IOError("socket failed");
+    const int listen_fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0) return Status::IOError("socket failed");
+    listen_fd_.store(listen_fd);
     int one = 1;
-    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(requested_port_);
-    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+    if (bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
         0) {
       return Status::IOError(std::string("bind: ") + strerror(errno));
     }
     socklen_t len = sizeof(addr);
-    getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
     bound_port_ = ntohs(addr.sin_port);
-    if (listen(listen_fd_, 128) != 0) {
+    if (listen(listen_fd, 128) != 0) {
       return Status::IOError(std::string("listen: ") + strerror(errno));
     }
     stop_.store(false);
@@ -112,10 +113,10 @@ class TcpServer : public RpcServer {
 
   void Stop() override {
     if (stop_.exchange(true)) return;
-    if (listen_fd_ >= 0) {
-      shutdown(listen_fd_, SHUT_RDWR);
-      close(listen_fd_);
-      listen_fd_ = -1;
+    const int listen_fd = listen_fd_.exchange(-1);
+    if (listen_fd >= 0) {
+      shutdown(listen_fd, SHUT_RDWR);
+      close(listen_fd);
     }
     if (accept_thread_.joinable()) accept_thread_.join();
     std::vector<int> fds;
@@ -137,7 +138,9 @@ class TcpServer : public RpcServer {
  private:
   void AcceptLoop() {
     while (!stop_.load()) {
-      const int fd = accept(listen_fd_, nullptr, nullptr);
+      const int listen_fd = listen_fd_.load();
+      if (listen_fd < 0) return;
+      const int fd = accept(listen_fd, nullptr, nullptr);
       if (fd < 0) {
         if (stop_.load()) return;
         continue;
@@ -164,7 +167,8 @@ class TcpServer : public RpcServer {
 
   uint16_t requested_port_;
   uint16_t bound_port_ = 0;
-  int listen_fd_ = -1;
+  // Atomic: Stop() invalidates it while AcceptLoop is blocked in accept().
+  std::atomic<int> listen_fd_{-1};
   RpcHandler handler_;
   std::atomic<bool> stop_{true};
   std::thread accept_thread_;

@@ -1,0 +1,145 @@
+// VersionDependencyTracker: the lock-striped worker-side ingest half of the
+// tracking plane must be observationally equivalent to the single-map
+// tracker it replaced — no recorded dependency may be lost or weakened, no
+// matter how Record() and DrainUpTo() interleave across threads.
+#include "dpr/dep_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dpr/types.h"
+
+namespace dpr {
+namespace {
+
+TEST(DepTrackerTest, DrainMergesVersionsUpToToken) {
+  VersionDependencyTracker tracker(4);
+  tracker.Record(1, 5, {{1, 3}}, /*self=*/0);
+  tracker.Record(2, 6, {{1, 7}, {2, 2}}, /*self=*/0);
+  tracker.Record(3, 9, {{3, 1}}, /*self=*/0);
+
+  DependencySet drained = tracker.DrainUpTo(6);
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[1], 7u);
+  EXPECT_EQ(drained[2], 2u);
+
+  // Version 9 stays staged until a later checkpoint covers it.
+  EXPECT_EQ(tracker.stats().live_entries, 1u);
+  drained = tracker.DrainUpTo(10);
+  EXPECT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[3], 1u);
+  EXPECT_EQ(tracker.stats().live_entries, 0u);
+}
+
+TEST(DepTrackerTest, SelfDependenciesAreImplicit) {
+  VersionDependencyTracker tracker(4);
+  tracker.Record(1, 2, {{0, 9}, {1, 4}}, /*self=*/0);
+  DependencySet drained = tracker.DrainUpTo(2);
+  EXPECT_EQ(drained.count(0), 0u);
+  EXPECT_EQ(drained[1], 4u);
+}
+
+TEST(DepTrackerTest, BatchesWithoutCrossWorkerDepsTakeLockFreePath) {
+  VersionDependencyTracker tracker(4);
+  tracker.Record(1, 2, {}, /*self=*/0);
+  tracker.Record(1, 2, {{0, 1}}, /*self=*/0);  // self-only: nothing to merge
+  DepTrackerStats stats = tracker.stats();
+  EXPECT_EQ(stats.empty_records, 2u);
+  EXPECT_EQ(stats.records, 0u);
+  EXPECT_EQ(stats.live_entries, 0u);
+  EXPECT_TRUE(tracker.DrainUpTo(100).empty());
+}
+
+TEST(DepTrackerTest, ClearDiscardsEverything) {
+  VersionDependencyTracker tracker(2);
+  tracker.Record(1, 3, {{1, 1}}, /*self=*/0);
+  tracker.Record(2, 4, {{2, 5}}, /*self=*/0);
+  tracker.Clear();
+  EXPECT_EQ(tracker.stats().live_entries, 0u);
+  EXPECT_TRUE(tracker.DrainUpTo(100).empty());
+}
+
+// Shard count rounds up to a power of two; 1 shard degenerates to the old
+// single-map tracker and must still work.
+TEST(DepTrackerTest, SingleShardStillCorrect) {
+  VersionDependencyTracker tracker(1);
+  EXPECT_EQ(tracker.stats().shards, 1u);
+  tracker.Record(17, 1, {{1, 2}}, /*self=*/0);
+  tracker.Record(99, 1, {{1, 5}}, /*self=*/0);
+  DependencySet drained = tracker.DrainUpTo(1);
+  EXPECT_EQ(drained[1], 5u);
+}
+
+// The equivalence check: N threads record random-ish dependency sets into
+// both the striped tracker and a mutex-guarded reference map (the seed's
+// data structure), while a drainer thread concurrently drains the tracker.
+// Folding every drain together with a max-merge must yield exactly what the
+// reference map folds to — dependencies can move between drains, but none
+// may be lost or weakened.
+TEST(DepTrackerTest, ConcurrentRecordAndDrainLosesNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4000;
+  constexpr Version kMaxVersion = 64;
+
+  VersionDependencyTracker tracker(8);
+  std::mutex ref_mu;
+  std::map<Version, DependencySet> reference;
+  std::atomic<bool> done{false};
+
+  DependencySet collected;
+  std::thread drainer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      MergeDependencies(&collected, tracker.DrainUpTo(kMaxVersion));
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&, t] {
+      const uint64_t session = 0x9e3779b9ull * static_cast<uint64_t>(t + 1);
+      for (int i = 0; i < kPerThread; ++i) {
+        const Version v = 1 + ((t * kPerThread + i) % kMaxVersion);
+        DependencySet deps;
+        if (i % 11 == 0) {
+          deps[0] = static_cast<Version>(i + 1);  // self-only: lock-free path
+        } else {
+          deps[1 + (t % 3)] = static_cast<Version>((i % 97) + 1);
+          if (i % 5 == 0) deps[7] = static_cast<Version>(i + 1);
+        }
+        tracker.Record(session + (i & 15), v, deps, /*self=*/0);
+        {
+          std::lock_guard<std::mutex> guard(ref_mu);
+          for (const auto& [dw, dv] : deps) {
+            if (dw == 0) continue;
+            MergeDependency(&reference[v], WorkerVersion{dw, dv});
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : recorders) th.join();
+  done.store(true, std::memory_order_release);
+  drainer.join();
+  MergeDependencies(&collected, tracker.DrainUpTo(kMaxVersion));
+
+  DependencySet expected;
+  for (const auto& [v, deps] : reference) {
+    (void)v;
+    MergeDependencies(&expected, deps);
+  }
+  EXPECT_EQ(collected, expected);
+
+  DepTrackerStats stats = tracker.stats();
+  EXPECT_EQ(stats.live_entries, 0u);
+  EXPECT_GT(stats.records, 0u);
+  EXPECT_GT(stats.empty_records, 0u);  // the i % 11 self-only batches
+}
+
+}  // namespace
+}  // namespace dpr

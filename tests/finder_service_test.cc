@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <utility>
 
 #include "net/inmemory_net.h"
 #include "net/tcp_net.h"
@@ -94,6 +96,110 @@ TEST_F(FinderServiceTest, RemoveWorker) {
   ASSERT_TRUE(remote_->AddWorker(1, 0).ok());
   ASSERT_TRUE(remote_->RemoveWorker(1).ok());
   EXPECT_EQ(metadata_->GetPersistedVersions().size(), 1u);
+}
+
+// Wraps a real connection and fails the next N calls with a transport
+// error before they reach the wire — the retry loop in SendBatch must ride
+// through without dropping a report.
+class FlakyConnection : public RpcConnection {
+ public:
+  explicit FlakyConnection(std::unique_ptr<RpcConnection> inner)
+      : inner_(std::move(inner)) {}
+
+  void FailNext(int n) { fail_remaining_.store(n); }
+  int failures_injected() const { return failures_injected_.load(); }
+
+  void CallAsync(std::string request, ResponseCallback callback) override {
+    int remaining = fail_remaining_.load();
+    while (remaining > 0 &&
+           !fail_remaining_.compare_exchange_weak(remaining, remaining - 1)) {
+    }
+    if (remaining > 0) {
+      failures_injected_.fetch_add(1);
+      callback(Status::Unavailable("injected transport failure"), Slice());
+      return;
+    }
+    inner_->CallAsync(std::move(request), std::move(callback));
+  }
+
+ private:
+  std::unique_ptr<RpcConnection> inner_;
+  std::atomic<int> fail_remaining_{0};
+  std::atomic<int> failures_injected_{0};
+};
+
+TEST_F(FinderServiceTest, BatchedReportsSurviveTransportFailure) {
+  auto owned = std::make_unique<FlakyConnection>(net_.Connect("finder"));
+  FlakyConnection* flaky = owned.get();
+  RemoteDprFinderOptions options;
+  options.flush_interval_us = 10 * 1000 * 1000;  // manual Flush only
+  options.retry_backoff_us = 50;
+  options.max_send_attempts = 8;
+  RemoteDprFinder remote(std::move(owned), options);
+  ASSERT_TRUE(remote.AddWorker(0, 0).ok());
+  ASSERT_TRUE(remote.AddWorker(1, 0).ok());
+  for (Version v = 1; v <= 6; ++v) {
+    ASSERT_TRUE(remote
+                    .ReportPersistedVersion(kInitialWorldLine,
+                                            WorkerVersion{0, v}, {})
+                    .ok());
+    ASSERT_TRUE(remote
+                    .ReportPersistedVersion(kInitialWorldLine,
+                                            WorkerVersion{1, v}, {})
+                    .ok());
+  }
+  flaky->FailNext(3);
+  ASSERT_TRUE(remote.Flush().ok());
+  EXPECT_EQ(flaky->failures_injected(), 3);
+
+  const RemoteFinderStats stats = remote.stats();
+  EXPECT_GE(stats.send_retries, 3u);
+  EXPECT_EQ(stats.reports_enqueued, 12u);
+  EXPECT_EQ(stats.reports_sent, 12u);
+  EXPECT_EQ(stats.reports_rejected, 0u);
+  EXPECT_EQ(stats.pending_depth, 0u);
+  // The 12 reports coalesced rather than going one RPC each.
+  EXPECT_GT(stats.ReportsPerBatch(), 1.0);
+
+  // Every WorkerVersion arrived: the finder's cut reaches v=6 on both rows.
+  ASSERT_TRUE(local_->ComputeCut().ok());
+  DprCut cut;
+  local_->GetCut(nullptr, &cut);
+  EXPECT_EQ(CutVersion(cut, 0), 6u);
+  EXPECT_EQ(CutVersion(cut, 1), 6u);
+}
+
+TEST_F(FinderServiceTest, ExhaustedRetriesRequeueWithoutLoss) {
+  auto owned = std::make_unique<FlakyConnection>(net_.Connect("finder"));
+  FlakyConnection* flaky = owned.get();
+  RemoteDprFinderOptions options;
+  options.flush_interval_us = 10 * 1000 * 1000;
+  options.retry_backoff_us = 50;
+  options.max_send_attempts = 2;
+  RemoteDprFinder remote(std::move(owned), options);
+  ASSERT_TRUE(remote.AddWorker(0, 0).ok());
+  for (Version v = 1; v <= 5; ++v) {
+    ASSERT_TRUE(remote
+                    .ReportPersistedVersion(kInitialWorldLine,
+                                            WorkerVersion{0, v}, {})
+                    .ok());
+  }
+  // More consecutive failures than one flush's attempt budget: the flush
+  // reports Unavailable but re-queues everything instead of dropping it.
+  flaky->FailNext(4);
+  Status s = remote.Flush();
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(remote.stats().pending_depth, 5u);
+  s = remote.Flush();
+  EXPECT_TRUE(s.IsUnavailable());
+  // Transport healed: the next flush delivers the full backlog.
+  ASSERT_TRUE(remote.Flush().ok());
+  EXPECT_EQ(remote.stats().pending_depth, 0u);
+  EXPECT_EQ(remote.stats().reports_sent, 5u);
+  ASSERT_TRUE(local_->ComputeCut().ok());
+  DprCut cut;
+  local_->GetCut(nullptr, &cut);
+  EXPECT_EQ(CutVersion(cut, 0), 5u);
 }
 
 TEST(FinderServiceTcpTest, WorksOverRealSockets) {
