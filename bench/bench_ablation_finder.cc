@@ -19,9 +19,16 @@ namespace {
 
 std::unique_ptr<DprFinder> Make(const std::string& kind,
                                 MetadataStore* metadata) {
-  if (kind == "exact") return std::make_unique<GraphDprFinder>(metadata);
-  if (kind == "approx") return std::make_unique<SimpleDprFinder>(metadata);
-  return std::make_unique<HybridDprFinder>(metadata);
+  FinderOptions options;
+  options.metadata = metadata;
+  if (kind == "exact") {
+    options.kind = FinderKind::kExact;
+  } else if (kind == "approx") {
+    options.kind = FinderKind::kApprox;
+  } else {
+    options.kind = FinderKind::kHybrid;
+  }
+  return MakeDprFinder(options);
 }
 
 void Run(const Flags& flags) {

@@ -29,8 +29,10 @@ void Run(const Flags& flags) {
   for (bool vmax : {false, true}) {
     MetadataStore metadata(std::make_unique<MemoryDevice>());
     DPR_CHECK(metadata.Recover().ok());
-    SimpleDprFinder finder(&metadata);
-    finder.StartCoordinator(5000);
+    auto finder = MakeDprFinder({.kind = FinderKind::kApprox,
+                                 .metadata = &metadata,
+                                 .vmax_fastforward = vmax});
+    finder->StartCoordinator(5000);
 
     std::vector<std::unique_ptr<FasterStore>> stores;
     std::vector<std::unique_ptr<DprWorker>> workers;
@@ -40,7 +42,7 @@ void Run(const Flags& flags) {
       stores.push_back(std::make_unique<FasterStore>(std::move(fo)));
       DprWorkerOptions wo;
       wo.worker_id = i;
-      wo.finder = &finder;
+      wo.finder = finder.get();
       wo.checkpoint_interval_us =
           i == 0 ? fast_interval_us : slow_interval_us;
       wo.vmax_fast_forward = vmax;
@@ -60,11 +62,11 @@ void Run(const Flags& flags) {
     }
     for (auto& w : workers) w->Stop();
     for (auto& st : stores) st->WaitForCheckpoints();
-    DPR_CHECK(finder.ComputeCut().ok());
-    finder.StopCoordinator();
+    DPR_CHECK(finder->ComputeCut().ok());
+    finder->StopCoordinator();
 
     DprCut cut;
-    finder.GetCut(nullptr, &cut);
+    finder->GetCut(nullptr, &cut);
     const Version fast_persisted = stores[0]->LargestDurableToken();
     const Version fast_cut = CutVersion(cut, 0);
     table.AddRow({vmax ? "on" : "off", std::to_string(fast_cut),

@@ -106,30 +106,36 @@ void BM_HeaderEncodeDecode(benchmark::State& state) {
 BENCHMARK(BM_HeaderEncodeDecode)->Arg(2)->Arg(8);
 
 // DPR finder report+cut cycle: the per-checkpoint protocol cost.
-template <typename FinderT>
+template <FinderKind kKind>
 void BM_FinderReportAndCut(benchmark::State& state) {
   MetadataStore metadata(std::make_unique<NullDevice>());
   (void)metadata.Recover();
-  FinderT finder(&metadata);
+  auto finder = MakeDprFinder({.kind = kKind, .metadata = &metadata});
   const int workers = static_cast<int>(state.range(0));
-  for (int w = 0; w < workers; ++w) (void)finder.AddWorker(w, 0);
+  for (int w = 0; w < workers; ++w) (void)finder->AddWorker(w, 0);
   Version version = 1;
   for (auto _ : state) {
     for (int w = 0; w < workers; ++w) {
       DependencySet deps;
       if (version > 1) deps[(w + 1) % workers] = version - 1;
-      (void)finder.ReportPersistedVersion(
-          finder.CurrentWorldLine(), WorkerVersion{uint32_t(w), version},
+      (void)finder->ReportPersistedVersion(
+          finder->CurrentWorldLine(), WorkerVersion{uint32_t(w), version},
           deps);
     }
-    (void)finder.ComputeCut();
+    (void)finder->ComputeCut();
     ++version;
   }
   state.SetItemsProcessed(state.iterations() * workers);
 }
-BENCHMARK_TEMPLATE(BM_FinderReportAndCut, SimpleDprFinder)->Arg(8)->Arg(64);
-BENCHMARK_TEMPLATE(BM_FinderReportAndCut, GraphDprFinder)->Arg(8)->Arg(64);
-BENCHMARK_TEMPLATE(BM_FinderReportAndCut, HybridDprFinder)->Arg(8)->Arg(64);
+BENCHMARK_TEMPLATE(BM_FinderReportAndCut, FinderKind::kApprox)
+    ->Arg(8)
+    ->Arg(64);
+BENCHMARK_TEMPLATE(BM_FinderReportAndCut, FinderKind::kExact)
+    ->Arg(8)
+    ->Arg(64);
+BENCHMARK_TEMPLATE(BM_FinderReportAndCut, FinderKind::kHybrid)
+    ->Arg(8)
+    ->Arg(64);
 
 // Sharded dependency tracking under concurrent batch admission (the
 // BeginBatch hot path). Each thread plays a distinct client session, so
@@ -172,10 +178,11 @@ BENCHMARK(BM_DepTrackerRecordNoDeps)->Threads(1)->Threads(8);
 void BM_RemoteFinderBatchedReport(benchmark::State& state) {
   MetadataStore metadata(std::make_unique<NullDevice>());
   (void)metadata.Recover();
-  SimpleDprFinder local(&metadata);
+  auto local =
+      MakeDprFinder({.kind = FinderKind::kApprox, .metadata = &metadata});
   InMemoryNetOptions net_options;
   InMemoryNetwork net(net_options);
-  DprFinderServer server(&local, net.CreateServer("finder"));
+  DprFinderServer server(local.get(), net.CreateServer("finder"));
   (void)server.Start();
   RemoteDprFinderOptions remote_options;
   remote_options.flush_interval_us = 200;

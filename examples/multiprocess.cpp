@@ -28,10 +28,11 @@ namespace {
 int RunCoordinator(uint16_t port) {
   MetadataStore metadata(std::make_unique<MemoryDevice>());
   if (!metadata.Recover().ok()) return 1;
-  SimpleDprFinder finder(&metadata);
-  DprFinderServer server(&finder, MakeTcpServer(port));
+  auto finder =
+      MakeDprFinder({.kind = FinderKind::kApprox, .metadata = &metadata});
+  DprFinderServer server(finder.get(), MakeTcpServer(port));
   if (!server.Start().ok()) return 1;
-  finder.StartCoordinator(10000);
+  finder->StartCoordinator(10000);
   fprintf(stderr, "[coordinator] serving DPR finder on %s\n",
           server.address().c_str());
   for (;;) SleepMillis(1000);  // killed by the parent

@@ -27,6 +27,8 @@ const char* CodeName(Status::Code code) {
       return "NotOwner";
     case Status::Code::kUnavailable:
       return "Unavailable";
+    case Status::Code::kTransient:
+      return "Transient";
   }
   return "Unknown";
 }

@@ -24,6 +24,7 @@ class Status {
     kTimedOut = 8,
     kNotOwner = 9,        // key not owned by the contacted worker
     kUnavailable = 10,    // transient failure; retry later
+    kTransient = 11,      // retryable transport/service hiccup
   };
 
   Status() : code_(Code::kOk) {}
@@ -66,6 +67,9 @@ class Status {
   static Status Unavailable(std::string_view msg = "") {
     return Status(Code::kUnavailable, std::string(msg));
   }
+  static Status Transient(std::string_view msg = "") {
+    return Status(Code::kTransient, std::string(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -73,6 +77,15 @@ class Status {
   bool IsBusy() const { return code_ == Code::kBusy; }
   bool IsNotOwner() const { return code_ == Code::kNotOwner; }
   bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsTransient() const { return code_ == Code::kTransient; }
+  /// True for codes a caller may retry verbatim: the operation failed for a
+  /// reason expected to clear on its own (contention, slow peer, dropped
+  /// packet), as opposed to a fatal or semantic rejection.
+  bool IsRetryable() const {
+    return code_ == Code::kBusy || code_ == Code::kTimedOut ||
+           code_ == Code::kUnavailable || code_ == Code::kTransient;
+  }
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
 

@@ -157,10 +157,13 @@ void DFasterClient::Session::FinishBatch(WorkerId /*worker*/,
         }
       }
       {
+        // Notify under mu_: ~Session's WaitForAll may destroy the cv the
+        // instant its predicate holds, so the broadcast must complete before
+        // the waiter can re-acquire the mutex and return.
         std::lock_guard<std::mutex> guard(mu_);
         outstanding_ -= finished;
+        window_cv_.notify_all();
       }
-      window_cv_.notify_all();
       // Back off slightly: mid-transfer the partition has no owner yet.
       if (!reroutes.empty()) SleepMicros(500);
       for (auto& [target, rb] : reroutes) {
@@ -179,10 +182,12 @@ void DFasterClient::Session::FinishBatch(WorkerId /*worker*/,
   }
   if (!ok) ops_failed_.fetch_add(batch.ops.size(), std::memory_order_relaxed);
   {
+    // Notify under mu_ (see above): keeps the cv alive across the broadcast
+    // when ~Session is waiting on it.
     std::lock_guard<std::mutex> guard(mu_);
     outstanding_ -= batch.ops.size();
+    window_cv_.notify_all();
   }
-  window_cv_.notify_all();
 }
 
 void DFasterClient::Session::ExecuteLocal(WorkerId worker,

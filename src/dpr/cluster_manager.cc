@@ -2,9 +2,37 @@
 
 #include <algorithm>
 
+#include "common/clock.h"
 #include "common/logging.h"
+#include "fault/fault_plane.h"
 
 namespace dpr {
+
+namespace {
+
+/// Retry a finder recovery RPC while it fails with a retryable code. The
+/// finder may sit behind a flaky transport (RemoteDprFinder) or shed load
+/// under an injected error burst; giving up mid-recovery would leave the
+/// finder wedged in_recovery with no one to complete the sequence, so this
+/// rides out bounded bursts before surfacing the error.
+constexpr int kRecoveryRpcAttempts = 64;
+constexpr uint64_t kRecoveryBackoffInitialUs = 100;
+constexpr uint64_t kRecoveryBackoffMaxUs = 5000;
+
+template <typename Fn>
+Status RetryRecoveryRpc(Fn&& fn) {
+  uint64_t backoff = kRecoveryBackoffInitialUs;
+  Status s;
+  for (int attempt = 0; attempt < kRecoveryRpcAttempts; ++attempt) {
+    s = fn();
+    if (s.ok() || !s.IsRetryable()) return s;
+    SleepMicros(backoff);
+    backoff = std::min(backoff * 2, kRecoveryBackoffMaxUs);
+  }
+  return s;
+}
+
+}  // namespace
 
 void ClusterManager::RegisterWorker(DprWorker* worker) {
   std::lock_guard<std::mutex> guard(mu_);
@@ -23,7 +51,8 @@ Status ClusterManager::HandleFailure(const std::vector<WorkerId>& failed) {
 
   WorldLine new_world_line;
   DprCut recovery_cut;
-  DPR_RETURN_NOT_OK(finder_->BeginRecovery(&new_world_line, &recovery_cut));
+  DPR_RETURN_NOT_OK(RetryRecoveryRpc(
+      [&] { return finder_->BeginRecovery(&new_world_line, &recovery_cut); }));
   {
     std::lock_guard<std::mutex> guard(mu_);
     recovery_cuts_[new_world_line] = recovery_cut;
@@ -40,8 +69,16 @@ Status ClusterManager::HandleFailure(const std::vector<WorkerId>& failed) {
   Status result = Status::OK();
   for (DprWorker* worker : workers) {
     const Version safe = CutVersion(recovery_cut, worker->id());
-    const bool crashed = std::find(failed.begin(), failed.end(),
-                                   worker->id()) != failed.end();
+    bool crashed = std::find(failed.begin(), failed.end(), worker->id()) !=
+                   failed.end();
+    // Injected escalation: a survivor dies mid-recovery (e.g. the rollback
+    // races a power loss). Crash-and-restore is strictly stronger than a
+    // rollback — the cut contains only durably-reported versions — so the
+    // recovery sequence absorbs the escalation without a new world-line.
+    if (!crashed && FaultPlane::Instance().ShouldFire(
+                        faults::kClusterRollbackCrash, worker->id())) {
+      crashed = true;
+    }
     Status s = crashed ? worker->CrashAndRestore(new_world_line, safe)
                        : worker->Rollback(new_world_line, safe);
     if (!s.ok()) {
@@ -51,7 +88,7 @@ Status ClusterManager::HandleFailure(const std::vector<WorkerId>& failed) {
     }
   }
 
-  DPR_RETURN_NOT_OK(finder_->EndRecovery());
+  DPR_RETURN_NOT_OK(RetryRecoveryRpc([&] { return finder_->EndRecovery(); }));
   return result;
 }
 

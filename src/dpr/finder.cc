@@ -8,8 +8,9 @@ namespace dpr {
 
 // ------------------------------------------------------------ GraphDprFinder
 
-GraphDprFinder::GraphDprFinder(MetadataStore* metadata, bool persist_graph)
-    : FinderCore(metadata, /*stage_reports=*/true),
+GraphDprFinder::GraphDprFinder(MetadataStore* metadata, bool persist_graph,
+                               bool serve_vmax)
+    : FinderCore(metadata, /*stage_reports=*/true, serve_vmax),
       persist_graph_(persist_graph) {
   if (persist_graph_) {
     // Reload durably-stored graph nodes (coordinator restart).
@@ -59,9 +60,14 @@ DprCut GraphDprFinder::ComputeExactCutLocked() const {
       const Version floor = CutVersion(cut_, w);
       auto git = graph_.find(w);
       Version best = floor;
-      if (git != graph_.end()) {
+      const auto bit = blind_until_.find(w);
+      const bool blind = bit != blind_until_.end() && bit->second > floor;
+      if (git != graph_.end() && !blind) {
         // Walk tokens in (floor, cand] ascending; all must validate, since a
         // later token's checkpoint physically contains earlier versions.
+        // A blind region ((floor, blind_until]: dependency sets lost in a
+        // coordinator crash) pins the walk at the floor — a post-crash node
+        // above the region would implicitly include the unknown tokens.
         for (auto it = git->second.upper_bound(floor); it != git->second.end();
              ++it) {
           if (it->first > cand) break;
@@ -101,6 +107,15 @@ Status GraphDprFinder::OnCutAdvancedLocked() {
     // Keep the node at the cut itself: it is the worker's restore point.
     versions.erase(versions.begin(), versions.lower_bound(cv));
   }
+  // The approximate fallback caught up past a blind region: exact precision
+  // resumes from the new floor.
+  for (auto it = blind_until_.begin(); it != blind_until_.end();) {
+    if (CutVersion(cut_, it->first) >= it->second) {
+      it = blind_until_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   return Status::OK();
 }
 
@@ -112,6 +127,7 @@ void GraphDprFinder::OnWorkerAddedLocked(WorkerId worker,
 void GraphDprFinder::OnWorkerRemovedLocked(WorkerId worker) {
   max_reported_.erase(worker);
   graph_.erase(worker);
+  blind_until_.erase(worker);
 }
 
 Status GraphDprFinder::OnBeginRecoveryLocked() {
@@ -124,6 +140,9 @@ Status GraphDprFinder::OnBeginRecoveryLocked() {
     const Version cv = CutVersion(cut_, w);
     if (v > cv) v = cv;
   }
+  // The rollback erases every reported-but-uncommitted version, blind ones
+  // included: the regions dissolve with the state they described.
+  blind_until_.clear();
   return Status::OK();
 }
 
@@ -137,16 +156,27 @@ void GraphDprFinder::SimulateCoordinatorCrash() {
     for (const auto& [wv, deps] : metadata_->GetGraph()) {
       graph_[wv.worker][wv.version] = deps;
     }
+  } else {
+    // Hybrid: dependency info for every reported-but-uncommitted version is
+    // gone. Mark the blind region per worker so ComputeExactCutLocked stalls
+    // at the cut until the approximate fallback carries it past. The durable
+    // rows — not max_reported_, which lags until drain time — are the
+    // crash-surviving record of what was reported: a report staged but not
+    // yet drained has already bumped its row.
+    for (const auto& [w, v] : metadata_->GetPersistedVersions()) {
+      const Version cv = CutVersion(cut_, w);
+      if (v > cv) {
+        Version& blind = blind_until_[w];
+        if (v > blind) blind = v;
+      }
+    }
   }
-  // With persist_graph=false (hybrid), dependency info above the cut is now
-  // unknown; ComputeExactCutLocked cannot advance past it until the
-  // approximate fallback does.
 }
 
 // ----------------------------------------------------------- SimpleDprFinder
 
-SimpleDprFinder::SimpleDprFinder(MetadataStore* metadata)
-    : FinderCore(metadata, /*stage_reports=*/false) {}
+SimpleDprFinder::SimpleDprFinder(MetadataStore* metadata, bool serve_vmax)
+    : FinderCore(metadata, /*stage_reports=*/false, serve_vmax) {}
 
 Status SimpleDprFinder::PersistReportDurable(const WorkerVersion& wv,
                                              const DependencySet& /*deps*/) {
@@ -183,6 +213,25 @@ Status HybridDprFinder::ComputeCandidateLocked(DprCut* next) {
     if (target > v) v = target;
   }
   return Status::OK();
+}
+
+// -------------------------------------------------------------------- factory
+
+std::unique_ptr<DprFinder> MakeDprFinder(const FinderOptions& options) {
+  DPR_CHECK_MSG(options.metadata != nullptr,
+                "FinderOptions::metadata is required");
+  switch (options.kind) {
+    case FinderKind::kExact:
+      return std::unique_ptr<DprFinder>(new GraphDprFinder(
+          options.metadata, /*persist_graph=*/true, options.vmax_fastforward));
+    case FinderKind::kApprox:
+      return std::unique_ptr<DprFinder>(
+          new SimpleDprFinder(options.metadata, options.vmax_fastforward));
+    case FinderKind::kHybrid:
+      return std::unique_ptr<DprFinder>(
+          new HybridDprFinder(options.metadata, options.vmax_fastforward));
+  }
+  return nullptr;
 }
 
 }  // namespace dpr

@@ -15,30 +15,56 @@ namespace dpr {
 /// FinderCore state machine (world-line, recovery, cut, ingest/compute
 /// split — see finder_core.h). Implementations differ in what they persist:
 ///
-///  * GraphDprFinder  — exact: durably stores the precedence graph, computes
-///    the maximal transitive closure of durable versions;
-///  * SimpleDprFinder — approximate: stores only per-worker persisted version
+///  * kExact  (GraphDprFinder)  — durably stores the precedence graph,
+///    computes the maximal transitive closure of durable versions;
+///  * kApprox (SimpleDprFinder) — stores only per-worker persisted version
 ///    numbers; the cut is min(persistedVersion), with Vmax fast-forward to
 ///    bound the skew a lagging worker causes;
-///  * HybridDprFinder — exact cut from an in-memory graph (cheap), with the
-///    approximate algorithm running durably underneath as the fault-tolerant
-///    fallback after a coordinator crash.
+///  * kHybrid (HybridDprFinder) — exact cut from an in-memory graph (cheap),
+///    with the approximate algorithm running durably underneath as the
+///    fault-tolerant fallback after a coordinator crash.
+///
+/// Construction goes through MakeDprFinder(FinderOptions); the concrete
+/// classes are not constructible directly.
+enum class FinderKind {
+  kExact,
+  kApprox,
+  kHybrid,
+};
+
+struct FinderOptions {
+  FinderKind kind = FinderKind::kApprox;
+  /// Durable store for cuts, world-lines, rows, and (kExact) graph nodes.
+  /// Required; must outlive the finder.
+  MetadataStore* metadata = nullptr;
+  /// Serve Vmax to workers so their next checkpoint fast-forwards past the
+  /// cluster's largest persisted version (§3.4). Disable for the ablation
+  /// that measures approximate-cut skew without fast-forward.
+  bool vmax_fastforward = true;
+};
+
+/// Factory for all local finder algorithms. Dies (DPR_CHECK) on a null
+/// metadata store — every algorithm needs the durable table.
+std::unique_ptr<DprFinder> MakeDprFinder(const FinderOptions& options);
 
 /// Exact algorithm (Fig. 4 top). `persist_graph` controls whether graph nodes
 /// are durably written to the metadata store (true for the pure exact
 /// algorithm; the hybrid keeps the graph in memory only).
 class GraphDprFinder : public FinderCore {
  public:
-  explicit GraphDprFinder(MetadataStore* metadata, bool persist_graph = true);
-
   /// Simulates losing the coordinator process: the in-memory precedence
   /// graph (and any staged-but-unapplied reports) is discarded; durably
   /// persisted rows survive. With persist_graph=false this stalls exact
   /// progress until the approximate fallback (hybrid) catches up past the
   /// lost subgraph.
-  void SimulateCoordinatorCrash();
+  void SimulateCoordinatorCrash() override;
 
  protected:
+  friend std::unique_ptr<DprFinder> MakeDprFinder(const FinderOptions&);
+
+  GraphDprFinder(MetadataStore* metadata, bool persist_graph,
+                 bool serve_vmax);
+
   Status PersistReportDurable(const WorkerVersion& wv,
                               const DependencySet& deps) override;
   void ApplyReportLocked(StagedReport&& report) override;
@@ -60,14 +86,22 @@ class GraphDprFinder : public FinderCore {
   // nodes have unknown dependency sets, so exact computation cannot advance
   // past them.
   std::map<WorkerId, Version> max_reported_;
+  // With persist_graph=false, a coordinator crash loses the dependency sets
+  // of every reported-but-uncommitted version: tokens in
+  // (cut, blind_until_[w]] are blind. The exact walk must not cross a blind
+  // region — later (post-crash) nodes would validate while silently
+  // including the unknown-dep tokens beneath them. The region dissolves
+  // once the approximate fallback raises the cut past it. Guarded by mu_.
+  std::map<WorkerId, Version> blind_until_;
 };
 
 /// Approximate algorithm (Fig. 4 bottom).
 class SimpleDprFinder : public FinderCore {
- public:
-  explicit SimpleDprFinder(MetadataStore* metadata);
-
  protected:
+  friend std::unique_ptr<DprFinder> MakeDprFinder(const FinderOptions&);
+
+  SimpleDprFinder(MetadataStore* metadata, bool serve_vmax);
+
   Status PersistReportDurable(const WorkerVersion& wv,
                               const DependencySet& deps) override;
   Status ComputeCandidateLocked(DprCut* next) override;
@@ -78,11 +112,12 @@ class SimpleDprFinder : public FinderCore {
 /// blind to the lost subgraph, but the cut still advances at the approximate
 /// algorithm's pace, and exact precision resumes past the lost region.
 class HybridDprFinder : public GraphDprFinder {
- public:
-  explicit HybridDprFinder(MetadataStore* metadata)
-      : GraphDprFinder(metadata, /*persist_graph=*/false) {}
-
  protected:
+  friend std::unique_ptr<DprFinder> MakeDprFinder(const FinderOptions&);
+
+  HybridDprFinder(MetadataStore* metadata, bool serve_vmax)
+      : GraphDprFinder(metadata, /*persist_graph=*/false, serve_vmax) {}
+
   Status ComputeCandidateLocked(DprCut* next) override;
 };
 

@@ -39,8 +39,11 @@ Version DprFinder::SafeVersion(WorkerId worker) const {
 
 // ---------------------------------------------------------------- FinderCore
 
-FinderCore::FinderCore(MetadataStore* metadata, bool stage_reports)
-    : metadata_(metadata), stage_reports_(stage_reports) {
+FinderCore::FinderCore(MetadataStore* metadata, bool stage_reports,
+                       bool serve_vmax)
+    : metadata_(metadata),
+      stage_reports_(stage_reports),
+      serve_vmax_(serve_vmax) {
   world_line_.store(metadata_->GetWorldLine(), std::memory_order_release);
   WorldLine cut_wl;
   metadata_->GetCut(&cut_wl, &cut_);
@@ -156,6 +159,7 @@ void FinderCore::GetCut(WorldLine* world_line, DprCut* cut) const {
 }
 
 Version FinderCore::MaxPersistedVersion() const {
+  if (!serve_vmax_) return kInvalidVersion;
   return vmax_.load(std::memory_order_acquire);
 }
 

@@ -62,6 +62,12 @@ class DprFinder {
   /// materializing the whole cut.
   virtual Version SafeVersion(WorkerId worker) const;
 
+  /// Chaos hook: models losing the coordinator process without losing the
+  /// durable metadata. Implementations that keep per-report in-memory state
+  /// discard it (see GraphDprFinder); the default is a no-op because an
+  /// algorithm computing from durable rows alone loses nothing.
+  virtual void SimulateCoordinatorCrash() {}
+
   /// Runs ComputeCut() every `interval_us` on a background thread.
   void StartCoordinator(uint64_t interval_us);
   void StopCoordinator();
@@ -126,7 +132,12 @@ class FinderCore : public DprFinder {
  protected:
   /// `stage_reports` is false for algorithms with no in-memory per-report
   /// state (the approximate finder computes from durable rows only).
-  FinderCore(MetadataStore* metadata, bool stage_reports);
+  /// `serve_vmax` implements FinderOptions::vmax_fastforward: when false,
+  /// MaxPersistedVersion() reports kInvalidVersion so workers never
+  /// fast-forward (§3.4 ablation), though Vmax is still tracked internally
+  /// for recovery bookkeeping.
+  FinderCore(MetadataStore* metadata, bool stage_reports,
+             bool serve_vmax = true);
 
   // --- algorithm hooks -----------------------------------------------------
   /// Ingest side, no lock held: the report's durable write (graph node row,
@@ -161,6 +172,7 @@ class FinderCore : public DprFinder {
 
  private:
   const bool stage_reports_;
+  const bool serve_vmax_;
   std::atomic<WorldLine> world_line_;
   std::atomic<Version> vmax_{kInvalidVersion};
   /// Reports pass in shared mode; BeginRecovery closes it exclusively.

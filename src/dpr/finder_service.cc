@@ -8,6 +8,7 @@
 #include "common/clock.h"
 #include "common/coding.h"
 #include "common/logging.h"
+#include "fault/fault_plane.h"
 
 namespace dpr {
 
@@ -73,6 +74,13 @@ void DprFinderServer::Stop() {
 }
 
 void DprFinderServer::Handle(Slice request, std::string* response) {
+  // Injected RPC error burst: the request reaches the service but fails
+  // before dispatch, as if an overloaded coordinator shed it. Clients see a
+  // retryable code, exercising every caller's retry policy.
+  if (FaultPlane::Instance().ShouldFire(faults::kFinderRpcError)) {
+    response->push_back(static_cast<char>(Status::Code::kTransient));
+    return;
+  }
   Decoder dec(Slice(request.data() + 1, request.size() - 1));
   uint8_t method = request.empty() ? 0 : static_cast<uint8_t>(request.data()[0]);
   Status status;
@@ -248,8 +256,12 @@ Status RemoteDprFinder::SendBatch(
     if (raw.empty()) return Status::Corruption("empty finder response");
     const auto code = static_cast<Status::Code>(raw[0]);
     if (code != Status::Code::kOk) {
-      // Server-side error: retrying will not help.
-      return Status(code, "finder error");
+      last = Status(code, "finder error");
+      // A retryable server-side code (busy/overloaded coordinator) rides
+      // the same backoff loop as a transport error; anything else is a
+      // semantic rejection that retrying will not fix.
+      if (last.IsRetryable()) continue;
+      return last;
     }
     Decoder dec(Slice(raw.data() + 1, raw.size() - 1));
     uint32_t processed = 0;
@@ -262,8 +274,8 @@ Status RemoteDprFinder::SendBatch(
     reports_rejected_.fetch_add(rejected, std::memory_order_relaxed);
     return Status::OK();
   }
-  return Status::Unavailable("finder report batch not delivered: " +
-                             last.ToString());
+  return Status::Transient("finder report batch not delivered: " +
+                           last.ToString());
 }
 
 Status RemoteDprFinder::FlushPending() const {

@@ -127,10 +127,10 @@ class RemoteDprFinder : public DprFinder {
   };
 
   Status Call(uint8_t method, Slice payload, std::string* response) const;
-  /// Sends one encoded batch, retrying transport errors with backoff.
-  /// Returns the server's status (OK even when some reports were rejected as
-  /// stale — those are counted, not errors) or Unavailable after exhausting
-  /// attempts.
+  /// Sends one encoded batch, retrying transport errors and retryable
+  /// server-side codes with backoff. Returns the server's status (OK even
+  /// when some reports were rejected as stale — those are counted, not
+  /// errors) or Transient after exhausting attempts.
   Status SendBatch(const std::vector<PendingReport>& batch) const;
   /// Drains the queue under flush_mu_; on failure re-queues the unsent batch
   /// at the front so no report is lost.

@@ -6,8 +6,14 @@
 
 namespace dpr {
 
-DprSession::DprSession(uint64_t session_id, bool strict)
-    : session_id_(session_id), strict_(strict) {}
+DprSession::DprSession(uint64_t session_id, SessionOptions options)
+    : session_id_(session_id), options_(options) {}
+
+bool DprSession::IsStaleResponseLocked(const DprResponseHeader& resp) const {
+  return options_.world_line_policy ==
+             SessionOptions::WorldLinePolicy::kReject &&
+         resp.world_line < world_line_;
+}
 
 DprRequestHeader DprSession::MakeHeader() const {
   std::lock_guard<std::mutex> guard(mu_);
@@ -24,6 +30,10 @@ void DprSession::AbsorbLocked(WorkerId worker, const DprResponseHeader& resp) {
     observed_world_line_ = resp.world_line;
   }
   if (resp.status != DprResponseHeader::BatchStatus::kOk) return;
+  // A pre-recovery straggler's watermark and version clock describe a
+  // world-line the rollback already erased; absorbing them would mix
+  // pre- and post-recovery state (§4.2, Fig. 5).
+  if (IsStaleResponseLocked(resp)) return;
   if (resp.executed_version > version_clock_) {
     version_clock_ = resp.executed_version;
   }
@@ -46,9 +56,14 @@ uint64_t DprSession::RecordBatch(WorkerId worker, uint64_t n,
   std::lock_guard<std::mutex> guard(mu_);
   const uint64_t start = next_seqno_;
   next_seqno_ += n;
-  segments_.push_back(Segment{start, n, worker, resp.executed_version,
-                              /*resolved=*/true});
-  MergeDependency(&deps_, WorkerVersion{worker, resp.executed_version});
+  // A stale (pre-recovery) response records vacuously: the rollback erased
+  // any effect, so the segment carries no version and no dependency.
+  const Version version =
+      IsStaleResponseLocked(resp) ? kInvalidVersion : resp.executed_version;
+  segments_.push_back(Segment{start, n, worker, version, /*resolved=*/true});
+  if (version != kInvalidVersion) {
+    MergeDependency(&deps_, WorkerVersion{worker, version});
+  }
   AbsorbLocked(worker, resp);
   return start;
 }
@@ -72,9 +87,11 @@ void DprSession::ResolvePending(uint64_t start_seqno,
     Segment& seg = *rit;
     if (seg.start == start_seqno && !seg.resolved) {
       seg.resolved = true;
-      seg.version = resp.executed_version;
-      // Failed/rejected ops resolve with version 0: they had no effect, so
-      // they commit vacuously and contribute no dependency.
+      seg.version = IsStaleResponseLocked(resp) ? kInvalidVersion
+                                                : resp.executed_version;
+      // Failed/rejected ops (and pre-recovery stragglers) resolve with
+      // version 0: they had no surviving effect, so they commit vacuously
+      // and contribute no dependency.
       if (seg.version != kInvalidVersion) {
         MergeDependency(&deps_, WorkerVersion{seg.worker, seg.version});
       }
@@ -99,6 +116,10 @@ DprSession::CommitPoint DprSession::ComputePointLocked(
   // it; an unresolved (PENDING) segment is skipped per relaxed DPR — ops
   // after it cannot depend on it, so the prefix may exclude it.
   uint64_t frontier = reported_prefix_;
+  // Strict CPR/DPR is a zero cap: an unresolved operation gates everything
+  // after it, so operations commit in start order with no exception list.
+  const uint64_t cap = options_.strict ? 0 : options_.exception_list_cap;
+  uint64_t skipped = 0;
   for (const auto& seg : segments_) {
     if (seg.resolved) {
       if (CutVersion(committed, seg.worker) >= seg.version) {
@@ -106,12 +127,12 @@ DprSession::CommitPoint DprSession::ComputePointLocked(
       } else {
         break;
       }
-    } else if (strict_) {
-      // Strict CPR/DPR: operations commit in start order; an unresolved
-      // operation gates everything after it.
-      break;
+    } else {
+      // relaxed: unresolved segments are skipped (exception list), up to
+      // the configured cap of skipped-over operations.
+      skipped += seg.count;
+      if (skipped > cap) break;
     }
-    // relaxed: unresolved segments are skipped (exception list)
   }
   // Never regress a previously-reported prefix (a segment that has since
   // resolved into an uncommitted version must not pull it back).

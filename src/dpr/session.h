@@ -12,6 +12,35 @@
 
 namespace dpr {
 
+/// Client-side session policies, swept by chaos schedules.
+struct SessionOptions {
+  /// Strict CPR/DPR ordering (§5.4): the commit point never passes over an
+  /// unresolved PENDING operation, so recovered prefixes have no exception
+  /// list (at the cost of blocking commits on stragglers). Default is
+  /// relaxed DPR, the FASTER default. Equivalent to exception_list_cap = 0.
+  bool strict = false;
+
+  /// Relaxed DPR only: the largest number of unresolved operations the
+  /// committed prefix may skip over. Once the scan has skipped this many,
+  /// the prefix stops advancing until they resolve — bounding the exception
+  /// list the application must reconcile after a failure.
+  uint64_t exception_list_cap = ~0ull;
+
+  /// What to do with a response carrying an OLDER world-line than the
+  /// session's (a pre-recovery straggler arriving after HandleFailure).
+  enum class WorldLinePolicy : uint8_t {
+    /// Record the operation vacuously: the rollback already erased any
+    /// effect it had, so it must contribute neither dependencies nor
+    /// watermark/version-clock advances. This prevents pre-/post-recovery
+    /// mixing (§4.2, Fig. 5).
+    kReject,
+    /// Absorb it as if current — the pre-world-line-check legacy behavior,
+    /// kept only so tests can demonstrate the mixing anomaly.
+    kTrusting,
+  };
+  WorldLinePolicy world_line_policy = WorldLinePolicy::kReject;
+};
+
 /// Client-side libDPR: tracks one session's SessionOrder, version clock,
 /// dependency set, commit watermarks, and world-line (paper §3, §5.4, §6).
 ///
@@ -25,14 +54,11 @@ namespace dpr {
 /// completion thread may resolve pendings while the session issues new ops.
 class DprSession {
  public:
-  /// `strict`: strict CPR/DPR ordering (§5.4) — the commit point never
-  /// passes over an unresolved PENDING operation, so recovered prefixes
-  /// have no exception list (at the cost of blocking commits on stragglers).
-  /// Default is relaxed DPR, the FASTER default.
-  explicit DprSession(uint64_t session_id, bool strict = false);
+  explicit DprSession(uint64_t session_id, SessionOptions options = {});
 
   uint64_t session_id() const { return session_id_; }
-  bool strict() const { return strict_; }
+  bool strict() const { return options_.strict; }
+  const SessionOptions& options() const { return options_; }
 
   /// Header to attach to the next outgoing batch.
   DprRequestHeader MakeHeader() const;
@@ -92,9 +118,12 @@ class DprSession {
   CommitPoint ComputePointLocked(const DprCut& committed,
                                  bool drop_committed);
   void AbsorbLocked(WorkerId worker, const DprResponseHeader& resp);
+  /// True when `resp` is a pre-recovery straggler the session must not
+  /// absorb (world_line_policy == kReject).
+  bool IsStaleResponseLocked(const DprResponseHeader& resp) const;
 
   const uint64_t session_id_;
-  const bool strict_;
+  const SessionOptions options_;
   mutable std::mutex mu_;
   uint64_t next_seqno_ = 0;
   WorldLine world_line_ = kInitialWorldLine;

@@ -83,7 +83,7 @@ void DprWorker::TimerLoop() {
     }
     // Work runs outside timer_mu_ so Stop() never blocks on a checkpoint.
     Status s = TryCommit(0);
-    if (!s.ok() && !s.IsBusy() && !s.IsUnavailable()) {
+    if (!s.ok() && !s.IsRetryable()) {
       DPR_WARN("worker %u commit: %s", options_.worker_id,
                s.ToString().c_str());
     }
@@ -103,7 +103,7 @@ Status DprWorker::BeginBatch(const DprRequestHeader& header,
     if (header.world_line > my_wl || in_recovery_.load()) {
       // This worker has not rolled back yet; make the client retry instead
       // of mixing world-lines.
-      return Status::Unavailable("worker behind client world-line");
+      return Status::Transient("worker behind client world-line");
     }
     version_latch_.LockShared();
     if (in_recovery_.load(std::memory_order_acquire) ||
@@ -129,9 +129,9 @@ Status DprWorker::BeginBatch(const DprRequestHeader& header,
     return Status::OK();  // caller executes the batch, then EndBatch()
   }
   if (in_recovery_.load(std::memory_order_acquire)) {
-    return Status::Unavailable("batch admission timed out during recovery");
+    return Status::TimedOut("batch admission timed out during recovery");
   }
-  return Status::Unavailable("batch admission timed out");
+  return Status::TimedOut("batch admission timed out");
 }
 
 void DprWorker::EndBatch() { version_latch_.UnlockShared(); }

@@ -61,9 +61,9 @@ class DprWorker {
   /// Admission control for one request batch. On OK, `*out_version` is the
   /// version every operation of the batch executes in, and the caller must
   /// execute the batch and then call EndBatch(). Failure modes:
-  ///  * Aborted    — client world-line is stale; respond kWorldLineShift.
-  ///  * Unavailable— worker mid-recovery or behind the client's world-line;
-  ///                 respond kRetryLater.
+  ///  * Aborted   — client world-line is stale; respond kWorldLineShift.
+  ///  * Transient — worker mid-recovery or behind the client's world-line;
+  ///                respond kRetryLater.
   Status BeginBatch(const DprRequestHeader& header, Version* out_version);
   void EndBatch();
 

@@ -523,6 +523,7 @@ Status FasterStore::RestoreCheckpoint(Version version,
 
   Version token = kInvalidVersion;
   LogAddress boundary = LogAllocator::kBeginAddress;
+  LogAddress cover_boundary = LogAllocator::kBeginAddress;
   {
     std::lock_guard<std::mutex> guard(checkpoints_mu_);
     // Restore to the largest durable token <= the requested version (cut
@@ -534,15 +535,30 @@ Status FasterStore::RestoreCheckpoint(Version version,
         break;
       }
     }
+    cover_boundary = boundary;
+    if (token != version) {
+      // The requested version sits in a token gap (its own checkpoint flush
+      // failed). The cut only ever contains reported versions, so a later
+      // durable checkpoint exists whose flushed prefix contains every record
+      // with version <= the request (records are version-tagged): restore
+      // from it and purge the (version, cover] overshoot, instead of
+      // undershooting to `token` and losing committed writes.
+      auto cover = checkpoints_.upper_bound(version);
+      if (cover != checkpoints_.end()) {
+        token = version;
+        cover_boundary = cover->second;
+      }
+    }
   }
   Status s = crashed_.load(std::memory_order_acquire)
-                 ? ColdRecover(token, boundary)
-                 : InMemoryRollback(token, boundary);
+                 ? ColdRecover(token, boundary, cover_boundary)
+                 : InMemoryRollback(token, boundary, cover_boundary);
   if (s.ok() && restored_token != nullptr) *restored_token = token;
   return s;
 }
 
-Status FasterStore::InMemoryRollback(Version token, LogAddress boundary) {
+Status FasterStore::InMemoryRollback(Version token, LogAddress boundary,
+                                     LogAddress cover_boundary) {
   const uint64_t v_old = version_.load(std::memory_order_acquire);
   if (token == v_old) return Status::OK();  // nothing above the target
   // THROW (Fig. 8): hide versions (token, v_old] from every lookup, stop
@@ -601,6 +617,18 @@ Status FasterStore::InMemoryRollback(Version token, LogAddress boundary) {
     }
   }
   DPR_RETURN_NOT_OK(AppendCheckpointMeta(kMetaRollback, token, boundary));
+  if (cover_boundary != boundary) {
+    // Mid-gap restore point: the covering checkpoint's flushed prefix plus
+    // the now-durable invalid marks form a consistent durable checkpoint at
+    // the restore point itself — register it, or a second crash would
+    // undershoot to `boundary` and lose the (boundary, cover] prefix again.
+    {
+      std::lock_guard<std::mutex> guard(checkpoints_mu_);
+      checkpoints_[token] = cover_boundary;
+    }
+    DPR_RETURN_NOT_OK(
+        AppendCheckpointMeta(kMetaCheckpoint, token, cover_boundary));
+  }
 
   // Nothing pre-rollback may be updated in place anymore.
   read_only_address_.store(purge_end, std::memory_order_release);
@@ -613,20 +641,21 @@ Status FasterStore::InMemoryRollback(Version token, LogAddress boundary) {
   return Status::OK();
 }
 
-Status FasterStore::ColdRecover(Version token, LogAddress boundary) {
+Status FasterStore::ColdRecover(Version token, LogAddress boundary,
+                                LogAddress cover_boundary) {
   log_.Clear();
   index_.Clear();
   record_count_.store(0, std::memory_order_relaxed);
-  log_.RestoreTo(boundary);
+  log_.RestoreTo(cover_boundary);
   // Bulk-load the durable log prefix, one log page at a time (Resolve()
   // pointers are only contiguous within a page). A boundary at the begin
   // address means no checkpoint ever flushed: restore to empty.
   std::vector<char> buf;
   LogAddress pos = begin_.load(std::memory_order_acquire);
-  if (boundary <= pos) pos = boundary;
-  while (pos < boundary) {
+  if (cover_boundary <= pos) pos = cover_boundary;
+  while (pos < cover_boundary) {
     const uint64_t page_end = (pos | (log_.page_size() - 1)) + 1;
-    const uint64_t n = std::min<uint64_t>(page_end, boundary) - pos;
+    const uint64_t n = std::min<uint64_t>(page_end, cover_boundary) - pos;
     buf.resize(n);
     DPR_RETURN_NOT_OK(options_.log_device->ReadAt(pos, buf.data(), n));
     memcpy(log_.Resolve(pos), buf.data(), n);
@@ -634,11 +663,13 @@ Status FasterStore::ColdRecover(Version token, LogAddress boundary) {
   }
   // Rebuild the hash index by forward scan: the stored prev pointers are
   // internally consistent within the restored prefix, so installing each
-  // record as its bucket's head in log order reproduces the chains.
+  // record as its bucket's head in log order reproduces the chains. Records
+  // in the (token, cover] overshoot get invalid marks instead — they must
+  // never resurrect once post-recovery versions reuse the same numbers.
   const uint64_t page_mask = log_.page_size() - 1;
   pos = begin_.load(std::memory_order_acquire);
   uint64_t records = 0;
-  while (pos < boundary) {
+  while (pos < cover_boundary) {
     if (log_.page_size() - (pos & page_mask) < sizeof(RecordHeader)) {
       pos = (pos | page_mask) + 1;
       continue;
@@ -649,16 +680,51 @@ Status FasterStore::ColdRecover(Version token, LogAddress boundary) {
       pos = (pos | page_mask) + 1;
       continue;
     }
-    if (!rec->pad() && !rec->invalid() && rec->version <= token) {
+    if (!rec->pad() && rec->version > token) {
+      rec->SetFlag(RecordHeader::kInvalid);
+    } else if (!rec->pad() && !rec->invalid() && rec->version <= token) {
       index_.SetHead(rec->key, pos);
       ++records;
     }
     pos += rec->size();
   }
   record_count_.store(records, std::memory_order_relaxed);
-  flushed_until_.store(boundary, std::memory_order_release);
-  read_only_address_.store(boundary, std::memory_order_release);
+  if (cover_boundary > boundary) {
+    // Persist the overshoot's invalid marks before trusting the restore.
+    const LogAddress mark_base =
+        std::max(boundary, begin_.load(std::memory_order_acquire));
+    if (cover_boundary > mark_base) {
+      DPR_RETURN_NOT_OK(FlushRange(mark_base, cover_boundary));
+    }
+  }
+  flushed_until_.store(cover_boundary, std::memory_order_release);
+  read_only_address_.store(cover_boundary, std::memory_order_release);
   version_.store(token + 1, std::memory_order_release);
+  // Forget rolled-back checkpoints durably: their boundaries point above the
+  // restored tail, into a region future flushes rewrite, so a later restore
+  // picking one up would parse garbage. The mid-gap restore point itself
+  // becomes a checkpoint (its prefix is durable below cover, overshoot marks
+  // included).
+  {
+    std::lock_guard<std::mutex> guard(checkpoints_mu_);
+    for (auto it = checkpoints_.upper_bound(token);
+         it != checkpoints_.end();) {
+      it = checkpoints_.erase(it);
+    }
+    if (cover_boundary > boundary) checkpoints_[token] = cover_boundary;
+  }
+  DPR_RETURN_NOT_OK(AppendCheckpointMeta(kMetaRollback, token, boundary));
+  if (cover_boundary > boundary) {
+    DPR_RETURN_NOT_OK(
+        AppendCheckpointMeta(kMetaCheckpoint, token, cover_boundary));
+  }
+  // The rebuilt state carries no pending purge — clear the rollback machine
+  // even if a failed in-memory rollback left it mid-THROW/PURGE before the
+  // crash escalated to a cold restore.
+  ignore_high_.store(0, std::memory_order_release);
+  ignore_low_.store(0, std::memory_order_release);
+  rollback_state_.store(static_cast<int>(RollbackState::kRest),
+                        std::memory_order_release);
   crashed_.store(false, std::memory_order_release);
   return Status::OK();
 }

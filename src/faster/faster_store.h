@@ -150,8 +150,17 @@ class FasterStore : public StateObject {
 
   void FlushLoop();
   Status FlushRange(LogAddress from, LogAddress to);
-  Status ColdRecover(Version token, LogAddress boundary);
-  Status InMemoryRollback(Version token, LogAddress boundary);
+  // `token` is the logical restore point; `boundary` is the flush boundary
+  // of the largest durable checkpoint <= token (records below it all have
+  // version <= token). When the restore point's own flush failed,
+  // `cover_boundary` is the boundary of the next durable checkpoint above —
+  // its flushed prefix still contains every record with version <= token —
+  // and records in (token, cover] get purged. cover_boundary == boundary for
+  // an exact-token restore.
+  Status ColdRecover(Version token, LogAddress boundary,
+                     LogAddress cover_boundary);
+  Status InMemoryRollback(Version token, LogAddress boundary,
+                          LogAddress cover_boundary);
   Status AppendCheckpointMeta(uint8_t type, Version token,
                               LogAddress boundary);
 

@@ -1,0 +1,129 @@
+#include "fault/fault_plane.h"
+
+#include "common/hash.h"
+
+namespace dpr {
+
+namespace {
+
+// Pure fire decision for hit number `idx` of a (seed, point, scope) stream:
+// a threshold test on a mixed 64-bit hash, so each hit index draws an
+// independent uniform variate that is reproducible from the seed alone.
+bool HashDecision(uint64_t seed, uint64_t point_hash, uint64_t scope,
+                  uint64_t idx, double probability) {
+  if (probability >= 1.0) return true;
+  if (probability <= 0.0) return false;
+  const uint64_t mixed =
+      Mix64(seed ^ Mix64(point_hash) ^ Mix64(scope * 0x9e3779b97f4a7c15ULL) ^
+            idx);
+  const double u = static_cast<double>(mixed >> 11) * 0x1.0p-53;
+  return u < probability;
+}
+
+}  // namespace
+
+FaultPlane& FaultPlane::Instance() {
+  static FaultPlane* plane = new FaultPlane();
+  return *plane;
+}
+
+void FaultPlane::Enable(uint64_t seed) {
+  std::lock_guard<std::mutex> guard(mu_);
+  seed_ = seed;
+  rules_.clear();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void FaultPlane::Disable() {
+  enabled_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> guard(mu_);
+  rules_.clear();
+}
+
+void FaultPlane::Arm(FaultRule rule) {
+  std::lock_guard<std::mutex> guard(mu_);
+  rules_.push_back(std::make_unique<ArmedRule>(std::move(rule)));
+}
+
+void FaultPlane::Disarm(std::string_view point) {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto it = rules_.begin(); it != rules_.end();) {
+    if ((*it)->spec.point == point) {
+      it = rules_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FaultPlane::DisarmAll() {
+  std::lock_guard<std::mutex> guard(mu_);
+  rules_.clear();
+}
+
+bool FaultPlane::ShouldFire(std::string_view point, uint64_t scope,
+                            uint64_t* param) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> guard(mu_);
+  const uint64_t point_hash = HashBytes(point.data(), point.size());
+  for (auto& rule : rules_) {
+    const FaultRule& spec = rule->spec;
+    if (spec.point != point) continue;
+    if (spec.scope != kAnyScope && scope != kAnyScope && spec.scope != scope) {
+      continue;
+    }
+    const uint64_t idx = rule->hits.fetch_add(1, std::memory_order_relaxed);
+    if (idx < spec.skip) continue;
+    if (rule->fires.load(std::memory_order_relaxed) >= spec.max_fires) {
+      continue;
+    }
+    if (!HashDecision(seed_, point_hash, spec.scope, idx, spec.probability)) {
+      continue;
+    }
+    rule->fires.fetch_add(1, std::memory_order_relaxed);
+    if (param != nullptr) *param = spec.param;
+    return true;
+  }
+  return false;
+}
+
+uint64_t FaultPlane::hits(std::string_view point) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  uint64_t total = 0;
+  for (const auto& rule : rules_) {
+    if (rule->spec.point == point) {
+      total += rule->hits.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+uint64_t FaultPlane::fires(std::string_view point) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  uint64_t total = 0;
+  for (const auto& rule : rules_) {
+    if (rule->spec.point == point) {
+      total += rule->fires.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+std::string FaultPlane::ReportString() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::string out;
+  for (const auto& rule : rules_) {
+    const FaultRule& spec = rule->spec;
+    out += spec.point;
+    if (spec.scope != kAnyScope) {
+      out += " scope=" + std::to_string(spec.scope);
+    }
+    out += " p=" + std::to_string(spec.probability);
+    out += " hits=" + std::to_string(rule->hits.load());
+    out += " fires=" + std::to_string(rule->fires.load());
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dpr

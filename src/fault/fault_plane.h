@@ -1,0 +1,132 @@
+#ifndef DPR_FAULT_FAULT_PLANE_H_
+#define DPR_FAULT_FAULT_PLANE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpr {
+
+/// Canonical injection-point names. Each point is a probe compiled into a
+/// production code path; a point fires only when the FaultPlane is enabled
+/// AND a matching FaultRule is armed, so the disabled fast path is a single
+/// relaxed atomic load. The full inventory (with the meaning of `scope` and
+/// `param` at each point) is documented in DESIGN.md §4d.
+namespace faults {
+// Transports (scope = HashBytes of the peer name / address).
+inline constexpr const char* kNetDrop = "net.drop";
+inline constexpr const char* kNetDuplicate = "net.duplicate";
+inline constexpr const char* kNetDelay = "net.delay";  // param = extra us
+inline constexpr const char* kNetPartition = "net.partition";
+// Storage devices (scope = HashBytes of the device name / worker id).
+inline constexpr const char* kDevWriteFail = "device.write_fail";
+inline constexpr const char* kDevTornWrite = "device.torn_write";
+inline constexpr const char* kDevSlowFsync = "device.slow_fsync";  // param=us
+// DPR finder service (scope = kAnyScope; the server is a singleton).
+inline constexpr const char* kFinderRpcError = "finder.rpc_error";
+// Cluster manager (scope = worker id): escalate a survivor's rollback into
+// a full crash-and-restore mid-recovery.
+inline constexpr const char* kClusterRollbackCrash = "cluster.rollback_crash";
+}  // namespace faults
+
+/// One armed fault. A rule matches an injection-point probe when the point
+/// name is equal and the scope matches (kAnyScope matches everything).
+/// Semantics of a matched probe, in order:
+///   - the first `skip` hits pass through unharmed,
+///   - at most `max_fires` hits fire,
+///   - each remaining hit fires with `probability`.
+struct FaultRule {
+  std::string point;
+  uint64_t scope = ~0ull;  // FaultPlane::kAnyScope
+  double probability = 1.0;
+  uint64_t skip = 0;
+  uint64_t max_fires = ~0ull;
+  uint64_t param = 0;  // point-specific knob (e.g. delay in microseconds)
+};
+
+/// Process-wide, seed-deterministic fault injector.
+///
+/// Determinism model: every rule keeps an atomic hit counter per matched
+/// probe. The fire decision for hit number i is a pure hash of
+/// (seed, point, scope, i), so the SET of hit indices that fire at a given
+/// point is a function of the seed alone, independent of thread
+/// interleaving. (Which thread draws which hit index still depends on the
+/// schedule; chaos replay therefore compares generated fault *schedules*,
+/// which are byte-identical, not per-thread execution traces.)
+///
+/// Usage:
+///   ScopedFaultPlane plane(seed);
+///   FaultPlane::Instance().Arm({.point = faults::kNetDrop,
+///                               .probability = 0.2, .max_fires = 10});
+/// and in the probed code path:
+///   uint64_t delay_us = 0;
+///   if (FaultPlane::Instance().ShouldFire(faults::kNetDelay, scope,
+///                                         &delay_us)) { ... }
+class FaultPlane {
+ public:
+  static constexpr uint64_t kAnyScope = ~0ull;
+
+  static FaultPlane& Instance();
+
+  /// Enables injection and resets all rules, counters, and the seed.
+  void Enable(uint64_t seed);
+  /// Disables injection; probes return to the zero-overhead fast path.
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  uint64_t seed() const { return seed_; }
+
+  void Arm(FaultRule rule);
+  /// Removes every rule armed for `point`.
+  void Disarm(std::string_view point);
+  void DisarmAll();
+
+  /// The probe: returns true when an armed rule matching (point, scope)
+  /// decides to fire for this hit. On fire, `*param` (if non-null) receives
+  /// the matched rule's param. Never fires while disabled.
+  bool ShouldFire(std::string_view point, uint64_t scope = kAnyScope,
+                  uint64_t* param = nullptr);
+
+  /// Total probe hits / fires for a point since Enable (all rules summed).
+  uint64_t hits(std::string_view point) const;
+  uint64_t fires(std::string_view point) const;
+
+  /// One line per armed rule: "point scope=S p=P hits=H fires=F".
+  std::string ReportString() const;
+
+ private:
+  FaultPlane() = default;
+
+  struct ArmedRule {
+    explicit ArmedRule(FaultRule s) : spec(std::move(s)) {}
+    FaultRule spec;
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> fires{0};
+  };
+
+  std::atomic<bool> enabled_{false};
+  uint64_t seed_ = 0;
+  mutable std::mutex mu_;
+  // unique_ptr: ArmedRule holds atomics and must not relocate while probe
+  // threads hold a reference.
+  std::vector<std::unique_ptr<ArmedRule>> rules_;
+};
+
+/// RAII Enable/Disable, for tests and the chaos harness.
+class ScopedFaultPlane {
+ public:
+  explicit ScopedFaultPlane(uint64_t seed) {
+    FaultPlane::Instance().Enable(seed);
+  }
+  ~ScopedFaultPlane() { FaultPlane::Instance().Disable(); }
+
+  ScopedFaultPlane(const ScopedFaultPlane&) = delete;
+  ScopedFaultPlane& operator=(const ScopedFaultPlane&) = delete;
+};
+
+}  // namespace dpr
+
+#endif  // DPR_FAULT_FAULT_PLANE_H_

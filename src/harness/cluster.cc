@@ -8,23 +8,6 @@
 
 namespace dpr {
 
-namespace {
-
-std::unique_ptr<DprFinder> MakeFinder(FinderKind kind,
-                                      MetadataStore* metadata) {
-  switch (kind) {
-    case FinderKind::kSimple:
-      return std::make_unique<SimpleDprFinder>(metadata);
-    case FinderKind::kGraph:
-      return std::make_unique<GraphDprFinder>(metadata);
-    case FinderKind::kHybrid:
-      return std::make_unique<HybridDprFinder>(metadata);
-  }
-  return nullptr;
-}
-
-}  // namespace
-
 // ------------------------------------------------------------ DFasterCluster
 
 DFasterCluster::DFasterCluster(ClusterOptions options)
@@ -44,7 +27,8 @@ Status DFasterCluster::Start() {
                      : StorageBackend::kLocal,
                  options_.storage_dir, "metadata.wal"));
   DPR_RETURN_NOT_OK(metadata_->Recover());
-  finder_ = MakeFinder(options_.finder, metadata_.get());
+  finder_ = MakeDprFinder(
+      {.kind = options_.finder, .metadata = metadata_.get()});
 
   // With remote_finder, the tracking plane is deployed as its own service:
   // workers and the cluster manager reach the finder through one shared
@@ -324,7 +308,8 @@ Status DRedisCluster::Start() {
     metadata_ =
         std::make_unique<MetadataStore>(std::make_unique<MemoryDevice>());
     DPR_RETURN_NOT_OK(metadata_->Recover());
-    finder_ = std::make_unique<SimpleDprFinder>(metadata_.get());
+    finder_ = MakeDprFinder(
+        {.kind = FinderKind::kApprox, .metadata = metadata_.get()});
     cluster_manager_ = std::make_unique<ClusterManager>(finder_.get());
   }
 

@@ -20,7 +20,6 @@
 
 namespace dpr {
 
-enum class FinderKind { kSimple, kGraph, kHybrid };
 enum class TransportKind { kInMemory, kTcp };
 
 struct ClusterOptions {
@@ -28,7 +27,7 @@ struct ClusterOptions {
   RecoverabilityMode mode = RecoverabilityMode::kDpr;
   StorageBackend backend = StorageBackend::kNull;
   uint64_t checkpoint_interval_us = 100000;  // paper default: 100 ms
-  FinderKind finder = FinderKind::kSimple;   // paper's eval default (§7.1)
+  FinderKind finder = FinderKind::kApprox;   // paper's eval default (§7.1)
   uint64_t finder_interval_us = 10000;
   TransportKind transport = TransportKind::kInMemory;
   uint64_t net_latency_us = 0;  // in-memory transport only

@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "common/clock.h"
+#include "common/hash.h"
 #include "common/logging.h"
+#include "fault/fault_plane.h"
 
 namespace dpr {
 
@@ -143,8 +145,30 @@ class InMemoryNetwork::Connection : public RpcConnection {
       return;
     }
     // Model the full round trip as a single pre-handling delay.
-    const uint64_t deliver_at =
-        latency_us_ > 0 ? NowMicros() + 2 * latency_us_ : 0;
+    uint64_t deliver_at = latency_us_ > 0 ? NowMicros() + 2 * latency_us_ : 0;
+    FaultPlane& plane = FaultPlane::Instance();
+    if (plane.enabled()) {
+      const uint64_t scope = HashBytes(name_.data(), name_.size());
+      if (plane.ShouldFire(faults::kNetPartition, scope)) {
+        callback(Status::Transient("injected partition to " + name_),
+                 Slice());
+        return;
+      }
+      if (plane.ShouldFire(faults::kNetDrop, scope)) {
+        callback(Status::TimedOut("injected drop to " + name_), Slice());
+        return;
+      }
+      uint64_t extra_us = 0;
+      if (plane.ShouldFire(faults::kNetDelay, scope, &extra_us)) {
+        if (deliver_at == 0) deliver_at = NowMicros();
+        deliver_at += extra_us;
+      }
+      if (plane.ShouldFire(faults::kNetDuplicate, scope)) {
+        // The duplicate is handled by the server but its response goes
+        // nowhere, mirroring a retransmit whose reply loses the id race.
+        server->Enqueue(request, [](Status, Slice) {}, deliver_at);
+      }
+    }
     server->Enqueue(std::move(request), std::move(callback), deliver_at);
   }
 

@@ -14,8 +14,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/coding.h"
+#include "common/hash.h"
 #include "common/logging.h"
+#include "fault/fault_plane.h"
 
 namespace dpr {
 
@@ -23,14 +26,34 @@ namespace {
 
 constexpr size_t kFrameHeader = 12;  // u32 length + u64 request id
 
+// Classify a socket errno: peer resets and unreachable routes are transient
+// (reconnect and retry), timeouts carry their own code, anything else is a
+// hard I/O error.
+Status MapSocketError(const char* op, int err) {
+  const std::string msg = std::string(op) + ": " + strerror(err);
+  switch (err) {
+    case ECONNRESET:
+    case EPIPE:
+    case ECONNREFUSED:
+    case ECONNABORTED:
+    case ENETUNREACH:
+    case EHOSTUNREACH:
+      return Status::Transient(msg);
+    case ETIMEDOUT:
+      return Status::TimedOut(msg);
+    default:
+      return Status::IOError(msg);
+  }
+}
+
 Status ReadFully(int fd, void* buf, size_t n) {
   char* p = static_cast<char*>(buf);
   while (n > 0) {
     const ssize_t got = recv(fd, p, n, 0);
-    if (got == 0) return Status::Unavailable("connection closed");
+    if (got == 0) return Status::Transient("connection closed");
     if (got < 0) {
       if (errno == EINTR) continue;
-      return Status::IOError(std::string("recv: ") + strerror(errno));
+      return MapSocketError("recv", errno);
     }
     p += got;
     n -= static_cast<size_t>(got);
@@ -44,7 +67,7 @@ Status WriteFully(int fd, const void* buf, size_t n) {
     const ssize_t sent = send(fd, p, n, MSG_NOSIGNAL);
     if (sent < 0) {
       if (errno == EINTR) continue;
-      return Status::IOError(std::string("send: ") + strerror(errno));
+      return MapSocketError("send", errno);
     }
     p += sent;
     n -= static_cast<size_t>(sent);
@@ -181,7 +204,8 @@ class TcpServer : public RpcServer {
 
 class TcpConnection : public RpcConnection {
  public:
-  explicit TcpConnection(int fd) : fd_(fd) {
+  TcpConnection(int fd, std::string peer)
+      : fd_(fd), peer_scope_(HashBytes(peer.data(), peer.size())) {
     reader_ = std::thread([this] { ReadLoop(); });
   }
 
@@ -193,10 +217,36 @@ class TcpConnection : public RpcConnection {
   }
 
   void CallAsync(std::string request, ResponseCallback callback) override {
+    FaultPlane& plane = FaultPlane::Instance();
+    bool duplicate = false;
+    if (plane.enabled()) {
+      if (plane.ShouldFire(faults::kNetPartition, peer_scope_)) {
+        callback(Status::Transient("injected partition"), Slice());
+        return;
+      }
+      if (plane.ShouldFire(faults::kNetDrop, peer_scope_)) {
+        callback(Status::TimedOut("injected drop"), Slice());
+        return;
+      }
+      uint64_t delay_us = 0;
+      if (plane.ShouldFire(faults::kNetDelay, peer_scope_, &delay_us)) {
+        // Delays the caller rather than the frame: the in-order byte stream
+        // has no per-frame timer, and every DPR client issues from a
+        // dedicated flusher/retry thread that tolerates blocking.
+        SleepMicros(delay_us);
+      }
+      duplicate = plane.ShouldFire(faults::kNetDuplicate, peer_scope_);
+    }
     const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> guard(pending_mu_);
       pending_[id] = std::move(callback);
+    }
+    if (duplicate) {
+      // Retransmit with the same id: the server handles the frame twice,
+      // the first response resolves the call, and ReadLoop drops the loser
+      // (unknown ids are ignored), exactly like a duplicated datagram.
+      (void)WriteFrame(fd_, write_mu_, id, Slice(request));
     }
     Status s = WriteFrame(fd_, write_mu_, id, Slice(request));
     if (!s.ok()) {
@@ -249,6 +299,7 @@ class TcpConnection : public RpcConnection {
   }
 
   int fd_;
+  const uint64_t peer_scope_;
   std::mutex write_mu_;
   std::thread reader_;
   std::atomic<uint64_t> next_id_{1};
@@ -280,11 +331,12 @@ Status ConnectTcp(const std::string& address,
     return Status::InvalidArgument("bad host: " + host);
   }
   if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
     close(fd);
-    return Status::IOError(std::string("connect: ") + strerror(errno));
+    return MapSocketError("connect", err);
   }
   SetNoDelay(fd);
-  *out = std::make_unique<TcpConnection>(fd);
+  *out = std::make_unique<TcpConnection>(fd, address);
   return Status::OK();
 }
 

@@ -7,7 +7,9 @@
 #include <cstring>
 
 #include "common/clock.h"
+#include "common/hash.h"
 #include "common/logging.h"
+#include "fault/fault_plane.h"
 
 namespace dpr {
 
@@ -197,11 +199,50 @@ Status LatencyDevice::Flush() {
   return base_->Flush();
 }
 
+// --------------------------------------------------------------- FaultDevice
+
+FaultDevice::FaultDevice(std::unique_ptr<Device> base, uint64_t scope)
+    : base_(std::move(base)), scope_(scope) {}
+
+Status FaultDevice::WriteAt(uint64_t offset, const void* data, size_t n) {
+  FaultPlane& plane = FaultPlane::Instance();
+  if (plane.enabled()) {
+    if (plane.ShouldFire(faults::kDevWriteFail, scope_)) {
+      return Status::IOError("injected write failure");
+    }
+    if (n > 0 && plane.ShouldFire(faults::kDevTornWrite, scope_)) {
+      // A torn write persists a prefix and then reports failure, like a
+      // sector-aligned partial write at power loss. The caller must treat
+      // the range as garbage (checkpoint flushes do: an unregistered
+      // checkpoint is rewritten from scratch on retry).
+      const size_t half = n > 1 ? n / 2 : 1;
+      (void)base_->WriteAt(offset, data, half);
+      return Status::IOError("injected torn write");
+    }
+  }
+  return base_->WriteAt(offset, data, n);
+}
+
+Status FaultDevice::ReadAt(uint64_t offset, void* buf, size_t n) {
+  return base_->ReadAt(offset, buf, n);
+}
+
+Status FaultDevice::Flush() {
+  uint64_t stall_us = 0;
+  if (FaultPlane::Instance().ShouldFire(faults::kDevSlowFsync, scope_,
+                                        &stall_us)) {
+    SleepMicros(stall_us);
+  }
+  return base_->Flush();
+}
+
 // -------------------------------------------------------------------- factory
 
-std::unique_ptr<Device> MakeDevice(StorageBackend backend,
-                                   const std::string& dir,
-                                   const std::string& name) {
+namespace {
+
+std::unique_ptr<Device> MakeRawDevice(StorageBackend backend,
+                                      const std::string& dir,
+                                      const std::string& name) {
   switch (backend) {
     case StorageBackend::kNull:
       return std::make_unique<NullDevice>();
@@ -216,13 +257,29 @@ std::unique_ptr<Device> MakeDevice(StorageBackend backend,
     }
     case StorageBackend::kCloud: {
       // Paper: cloud checkpoints persist in ~50 ms, 2-3x local SSD.
-      auto base = MakeDevice(StorageBackend::kLocal, dir, name);
+      auto base = MakeRawDevice(StorageBackend::kLocal, dir, name);
       return std::make_unique<LatencyDevice>(std::move(base),
                                              /*flush_latency_us=*/50000,
                                              /*per_mb_us=*/2000);
     }
   }
   return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<Device> MakeDevice(StorageBackend backend,
+                                   const std::string& dir,
+                                   const std::string& name) {
+  auto device = MakeRawDevice(backend, dir, name);
+  // Under an enabled FaultPlane every factory-made device is probed, keyed
+  // by its name, so chaos schedules reach cluster-internal devices without
+  // plumbing through every construction site.
+  if (FaultPlane::Instance().enabled() && device != nullptr) {
+    const uint64_t scope = HashBytes(name.data(), name.size());
+    device = std::make_unique<FaultDevice>(std::move(device), scope);
+  }
+  return device;
 }
 
 }  // namespace dpr

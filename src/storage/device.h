@@ -131,6 +131,28 @@ class LatencyDevice : public Device {
   std::atomic<uint64_t> bytes_since_flush_{0};
 };
 
+/// Wraps another device and injects storage faults from the process-wide
+/// FaultPlane: failed writes (device.write_fail), torn writes that persist
+/// only a prefix of the range before erroring (device.torn_write), and slow
+/// fsync (device.slow_fsync, param = stall in microseconds). `scope` keys
+/// the injection points so a chaos schedule can target one worker's device.
+/// Zero overhead while the plane is disabled.
+class FaultDevice : public Device {
+ public:
+  FaultDevice(std::unique_ptr<Device> base, uint64_t scope);
+
+  Status WriteAt(uint64_t offset, const void* data, size_t n) override;
+  Status ReadAt(uint64_t offset, void* buf, size_t n) override;
+  Status Flush() override;
+  uint64_t Size() const override { return base_->Size(); }
+  void SimulateCrash() override { base_->SimulateCrash(); }
+  void Truncate(uint64_t new_size) override { base_->Truncate(new_size); }
+
+ private:
+  std::unique_ptr<Device> base_;
+  const uint64_t scope_;
+};
+
 /// The paper's three storage backends.
 enum class StorageBackend { kNull, kLocal, kCloud };
 

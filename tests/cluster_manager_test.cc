@@ -18,7 +18,8 @@ class ClusterManagerTest : public ::testing::Test {
     metadata_ =
         std::make_unique<MetadataStore>(std::make_unique<MemoryDevice>());
     ASSERT_TRUE(metadata_->Recover().ok());
-    finder_ = std::make_unique<SimpleDprFinder>(metadata_.get());
+    finder_ = MakeDprFinder(
+        {.kind = FinderKind::kApprox, .metadata = metadata_.get()});
     manager_ = std::make_unique<ClusterManager>(finder_.get());
     for (int i = 0; i < 2; ++i) {
       FasterOptions fo;
@@ -50,7 +51,7 @@ class ClusterManagerTest : public ::testing::Test {
   }
 
   std::unique_ptr<MetadataStore> metadata_;
-  std::unique_ptr<SimpleDprFinder> finder_;
+  std::unique_ptr<DprFinder> finder_;
   std::unique_ptr<ClusterManager> manager_;
   std::vector<std::unique_ptr<FasterStore>> stores_;
   std::vector<std::unique_ptr<DprWorker>> workers_;

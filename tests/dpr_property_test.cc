@@ -36,11 +36,9 @@ struct Rig {
     metadata = std::make_unique<MetadataStore>(
         std::make_unique<MemoryDevice>());
     EXPECT_TRUE(metadata->Recover().ok());
-    if (graph_finder) {
-      finder = std::make_unique<GraphDprFinder>(metadata.get());
-    } else {
-      finder = std::make_unique<SimpleDprFinder>(metadata.get());
-    }
+    finder = MakeDprFinder(
+        {.kind = graph_finder ? FinderKind::kExact : FinderKind::kApprox,
+         .metadata = metadata.get()});
     manager = std::make_unique<ClusterManager>(finder.get());
     for (int i = 0; i < n; ++i) {
       FasterOptions fo;

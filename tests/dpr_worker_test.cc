@@ -86,7 +86,8 @@ class DprWorkerTest : public ::testing::Test {
     metadata_ =
         std::make_unique<MetadataStore>(std::make_unique<MemoryDevice>());
     ASSERT_TRUE(metadata_->Recover().ok());
-    finder_ = std::make_unique<GraphDprFinder>(metadata_.get());
+    finder_ = MakeDprFinder(
+        {.kind = FinderKind::kExact, .metadata = metadata_.get()});
     DprWorkerOptions options;
     options.worker_id = 0;
     options.finder = finder_.get();
@@ -168,7 +169,7 @@ TEST_F(DprWorkerTest, StaleWorldLineBatchAborted) {
 TEST_F(DprWorkerTest, FutureWorldLineBatchDelayed) {
   Version v;
   Status s = worker_->BeginBatch(Header(/*wl=*/3), &v);
-  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_TRUE(s.IsTransient()) << s.ToString();
 }
 
 TEST_F(DprWorkerTest, RollbackRestoresAndAdvancesWorldLine) {

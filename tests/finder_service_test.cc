@@ -20,7 +20,8 @@ class FinderServiceTest : public ::testing::Test {
     metadata_ =
         std::make_unique<MetadataStore>(std::make_unique<MemoryDevice>());
     ASSERT_TRUE(metadata_->Recover().ok());
-    local_ = std::make_unique<SimpleDprFinder>(metadata_.get());
+    local_ = MakeDprFinder(
+        {.kind = FinderKind::kApprox, .metadata = metadata_.get()});
     server_ = std::make_unique<DprFinderServer>(local_.get(),
                                                 net_.CreateServer("finder"));
     ASSERT_TRUE(server_->Start().ok());
@@ -29,7 +30,7 @@ class FinderServiceTest : public ::testing::Test {
 
   InMemoryNetwork net_;
   std::unique_ptr<MetadataStore> metadata_;
-  std::unique_ptr<SimpleDprFinder> local_;
+  std::unique_ptr<DprFinder> local_;
   std::unique_ptr<DprFinderServer> server_;
   std::unique_ptr<RemoteDprFinder> remote_;
 };
@@ -188,10 +189,10 @@ TEST_F(FinderServiceTest, ExhaustedRetriesRequeueWithoutLoss) {
   // reports Unavailable but re-queues everything instead of dropping it.
   flaky->FailNext(4);
   Status s = remote.Flush();
-  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_TRUE(s.IsTransient()) << s.ToString();
   EXPECT_EQ(remote.stats().pending_depth, 5u);
   s = remote.Flush();
-  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_TRUE(s.IsTransient()) << s.ToString();
   // Transport healed: the next flush delivers the full backlog.
   ASSERT_TRUE(remote.Flush().ok());
   EXPECT_EQ(remote.stats().pending_depth, 0u);
@@ -202,11 +203,46 @@ TEST_F(FinderServiceTest, ExhaustedRetriesRequeueWithoutLoss) {
   EXPECT_EQ(CutVersion(cut, 0), 5u);
 }
 
+TEST_F(FinderServiceTest, SnapshotInvalidatedWhenRetriedFlushLands) {
+  auto owned = std::make_unique<FlakyConnection>(net_.Connect("finder"));
+  FlakyConnection* flaky = owned.get();
+  RemoteDprFinderOptions options;
+  options.flush_interval_us = 10 * 1000 * 1000;  // manual Flush only
+  options.snapshot_ttl_us = 10 * 1000 * 1000;    // cache never expires
+  options.retry_backoff_us = 50;
+  options.max_send_attempts = 8;
+  RemoteDprFinder remote(std::move(owned), options);
+  ASSERT_TRUE(remote.AddWorker(0, 0).ok());
+  ASSERT_TRUE(remote
+                  .ReportPersistedVersion(kInitialWorldLine,
+                                          WorkerVersion{0, 1}, {})
+                  .ok());
+  ASSERT_TRUE(remote.Flush().ok());
+  ASSERT_TRUE(local_->ComputeCut().ok());
+  // Warm the snapshot: within the TTL, SafeVersion serves v=1 from cache.
+  EXPECT_EQ(remote.SafeVersion(0), 1u);
+
+  // Report v=2; the flush rides out injected transport failures and lands.
+  ASSERT_TRUE(remote
+                  .ReportPersistedVersion(kInitialWorldLine,
+                                          WorkerVersion{0, 2}, {})
+                  .ok());
+  flaky->FailNext(3);
+  ASSERT_TRUE(remote.Flush().ok());
+  EXPECT_EQ(flaky->failures_injected(), 3);
+  ASSERT_TRUE(local_->ComputeCut().ok());
+  // The retried-but-successful send must invalidate the cached snapshot
+  // even though its TTL has not expired: a client must never read its own
+  // report as not-yet-persisted (stale read after own report).
+  EXPECT_EQ(remote.SafeVersion(0), 2u);
+}
+
 TEST(FinderServiceTcpTest, WorksOverRealSockets) {
   MetadataStore metadata(std::make_unique<MemoryDevice>());
   ASSERT_TRUE(metadata.Recover().ok());
-  SimpleDprFinder local(&metadata);
-  DprFinderServer server(&local, MakeTcpServer(0));
+  auto local =
+      MakeDprFinder({.kind = FinderKind::kApprox, .metadata = &metadata});
+  DprFinderServer server(local.get(), MakeTcpServer(0));
   ASSERT_TRUE(server.Start().ok());
   std::unique_ptr<RpcConnection> conn;
   ASSERT_TRUE(ConnectTcp(server.address(), &conn).ok());

@@ -7,25 +7,13 @@
 namespace dpr {
 namespace {
 
-enum class Kind { kSimple, kGraph, kHybrid };
-
-class FinderTest : public ::testing::TestWithParam<Kind> {
+class FinderTest : public ::testing::TestWithParam<FinderKind> {
  protected:
   void SetUp() override {
     metadata_ =
         std::make_unique<MetadataStore>(std::make_unique<MemoryDevice>());
     ASSERT_TRUE(metadata_->Recover().ok());
-    switch (GetParam()) {
-      case Kind::kSimple:
-        finder_ = std::make_unique<SimpleDprFinder>(metadata_.get());
-        break;
-      case Kind::kGraph:
-        finder_ = std::make_unique<GraphDprFinder>(metadata_.get());
-        break;
-      case Kind::kHybrid:
-        finder_ = std::make_unique<HybridDprFinder>(metadata_.get());
-        break;
-    }
+    finder_ = MakeDprFinder({.kind = GetParam(), .metadata = metadata_.get()});
   }
 
   Status Report(WorkerId w, Version v, DependencySet deps = {}) {
@@ -68,7 +56,7 @@ TEST_P(FinderTest, IndependentWorkersBoundedByApproximation) {
   ASSERT_TRUE(Report(0, 3).ok());
   ASSERT_TRUE(Report(1, 1).ok());
   const DprCut cut = Cut();
-  if (GetParam() == Kind::kSimple) {
+  if (GetParam() == FinderKind::kApprox) {
     EXPECT_EQ(CutVersion(cut, 0), 1u);
   } else {
     EXPECT_EQ(CutVersion(cut, 0), 3u);  // exact: no deps on worker 1
@@ -194,33 +182,24 @@ TEST_P(FinderTest, SurvivesMetadataCrash) {
   metadata_->SimulateCrash();
   // A freshly-constructed finder over the recovered metadata must see the
   // same committed cut (fault tolerance through the durable store).
-  std::unique_ptr<DprFinder> reborn;
-  switch (GetParam()) {
-    case Kind::kSimple:
-      reborn = std::make_unique<SimpleDprFinder>(metadata_.get());
-      break;
-    case Kind::kGraph:
-      reborn = std::make_unique<GraphDprFinder>(metadata_.get());
-      break;
-    case Kind::kHybrid:
-      reborn = std::make_unique<HybridDprFinder>(metadata_.get());
-      break;
-  }
+  std::unique_ptr<DprFinder> reborn =
+      MakeDprFinder({.kind = GetParam(), .metadata = metadata_.get()});
   DprCut after;
   reborn->GetCut(nullptr, &after);
   EXPECT_EQ(after, before);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllFinders, FinderTest,
-                         ::testing::Values(Kind::kSimple, Kind::kGraph,
-                                           Kind::kHybrid),
+                         ::testing::Values(FinderKind::kApprox,
+                                           FinderKind::kExact,
+                                           FinderKind::kHybrid),
                          [](const auto& info) {
                            switch (info.param) {
-                             case Kind::kSimple:
-                               return "Simple";
-                             case Kind::kGraph:
-                               return "Graph";
-                             case Kind::kHybrid:
+                             case FinderKind::kApprox:
+                               return "Approx";
+                             case FinderKind::kExact:
+                               return "Exact";
+                             case FinderKind::kHybrid:
                                return "Hybrid";
                            }
                            return "Unknown";
@@ -231,36 +210,41 @@ INSTANTIATE_TEST_SUITE_P(AllFinders, FinderTest,
 TEST(GraphFinderTest, CoordinatorCrashReloadsDurableGraph) {
   MetadataStore metadata(std::make_unique<MemoryDevice>());
   ASSERT_TRUE(metadata.Recover().ok());
-  GraphDprFinder finder(&metadata, /*persist_graph=*/true);
-  ASSERT_TRUE(finder.AddWorker(0, 0).ok());
-  ASSERT_TRUE(finder.AddWorker(1, 0).ok());
-  ASSERT_TRUE(finder.ReportPersistedVersion(1, WorkerVersion{0, 1},
-                                            {{1, 1}}).ok());
-  finder.SimulateCoordinatorCrash();  // reloads from durable graph rows
-  ASSERT_TRUE(finder.ReportPersistedVersion(1, WorkerVersion{1, 1}, {}).ok());
-  ASSERT_TRUE(finder.ComputeCut().ok());
+  auto finder =
+      MakeDprFinder({.kind = FinderKind::kExact, .metadata = &metadata});
+  ASSERT_TRUE(finder->AddWorker(0, 0).ok());
+  ASSERT_TRUE(finder->AddWorker(1, 0).ok());
+  ASSERT_TRUE(finder->ReportPersistedVersion(1, WorkerVersion{0, 1},
+                                             {{1, 1}}).ok());
+  finder->SimulateCoordinatorCrash();  // reloads from durable graph rows
+  ASSERT_TRUE(
+      finder->ReportPersistedVersion(1, WorkerVersion{1, 1}, {}).ok());
+  ASSERT_TRUE(finder->ComputeCut().ok());
   DprCut cut;
-  finder.GetCut(nullptr, &cut);
+  finder->GetCut(nullptr, &cut);
   EXPECT_EQ(CutVersion(cut, 0), 1u);  // dependency info survived the crash
 }
 
 TEST(HybridFinderTest, ApproximateFallbackUnsticksLostSubgraph) {
   MetadataStore metadata(std::make_unique<MemoryDevice>());
   ASSERT_TRUE(metadata.Recover().ok());
-  HybridDprFinder finder(&metadata);
-  ASSERT_TRUE(finder.AddWorker(0, 0).ok());
-  ASSERT_TRUE(finder.AddWorker(1, 0).ok());
-  ASSERT_TRUE(finder.ReportPersistedVersion(1, WorkerVersion{0, 2}, {}).ok());
-  finder.SimulateCoordinatorCrash();  // in-memory graph lost, rows survive
+  auto finder =
+      MakeDprFinder({.kind = FinderKind::kHybrid, .metadata = &metadata});
+  ASSERT_TRUE(finder->AddWorker(0, 0).ok());
+  ASSERT_TRUE(finder->AddWorker(1, 0).ok());
+  ASSERT_TRUE(
+      finder->ReportPersistedVersion(1, WorkerVersion{0, 2}, {}).ok());
+  finder->SimulateCoordinatorCrash();  // in-memory graph lost, rows survive
   // Exact computation is now blind to worker 0's v1..v2 dependency info and
   // cannot advance it; once worker 1 catches up, Vmin unsticks the cut.
-  ASSERT_TRUE(finder.ComputeCut().ok());
+  ASSERT_TRUE(finder->ComputeCut().ok());
   DprCut cut;
-  finder.GetCut(nullptr, &cut);
+  finder->GetCut(nullptr, &cut);
   EXPECT_EQ(CutVersion(cut, 0), 0u);
-  ASSERT_TRUE(finder.ReportPersistedVersion(1, WorkerVersion{1, 2}, {}).ok());
-  ASSERT_TRUE(finder.ComputeCut().ok());
-  finder.GetCut(nullptr, &cut);
+  ASSERT_TRUE(
+      finder->ReportPersistedVersion(1, WorkerVersion{1, 2}, {}).ok());
+  ASSERT_TRUE(finder->ComputeCut().ok());
+  finder->GetCut(nullptr, &cut);
   EXPECT_EQ(CutVersion(cut, 0), 2u);  // Vmin-based fallback advanced it
   EXPECT_EQ(CutVersion(cut, 1), 2u);
 }
@@ -271,16 +255,17 @@ TEST(SimpleFinderTest, UncoordinatedCommitsNeverFormCutWithoutClock) {
   // worker's version — the cut tracks the laggard, never the leader.
   MetadataStore metadata(std::make_unique<MemoryDevice>());
   ASSERT_TRUE(metadata.Recover().ok());
-  SimpleDprFinder finder(&metadata);
-  ASSERT_TRUE(finder.AddWorker(0, 0).ok());
-  ASSERT_TRUE(finder.AddWorker(1, 0).ok());
+  auto finder =
+      MakeDprFinder({.kind = FinderKind::kApprox, .metadata = &metadata});
+  ASSERT_TRUE(finder->AddWorker(0, 0).ok());
+  ASSERT_TRUE(finder->AddWorker(1, 0).ok());
   for (Version v = 1; v <= 10; ++v) {
-    ASSERT_TRUE(finder.ReportPersistedVersion(1, WorkerVersion{0, v},
-                                              {}).ok());
+    ASSERT_TRUE(finder->ReportPersistedVersion(1, WorkerVersion{0, v},
+                                               {}).ok());
   }
-  ASSERT_TRUE(finder.ComputeCut().ok());
+  ASSERT_TRUE(finder->ComputeCut().ok());
   DprCut cut;
-  finder.GetCut(nullptr, &cut);
+  finder->GetCut(nullptr, &cut);
   EXPECT_EQ(CutVersion(cut, 0), 0u);  // pinned by worker 1's silence
   EXPECT_EQ(CutVersion(cut, 1), 0u);
 }

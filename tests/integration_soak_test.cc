@@ -105,19 +105,19 @@ TEST_P(SoakTest, ConcurrentSessionsSurviveFailures) {
 INSTANTIATE_TEST_SUITE_P(
     Stacks, SoakTest,
     ::testing::Values(
-        SoakParams{FinderKind::kSimple, TransportKind::kInMemory, false},
-        SoakParams{FinderKind::kGraph, TransportKind::kInMemory, false},
+        SoakParams{FinderKind::kApprox, TransportKind::kInMemory, false},
+        SoakParams{FinderKind::kExact, TransportKind::kInMemory, false},
         SoakParams{FinderKind::kHybrid, TransportKind::kInMemory, false},
-        SoakParams{FinderKind::kSimple, TransportKind::kTcp, false},
-        SoakParams{FinderKind::kSimple, TransportKind::kInMemory, true}),
+        SoakParams{FinderKind::kApprox, TransportKind::kTcp, false},
+        SoakParams{FinderKind::kApprox, TransportKind::kInMemory, true}),
     [](const auto& info) {
       std::string name;
       switch (info.param.finder) {
-        case FinderKind::kSimple:
-          name = "Simple";
+        case FinderKind::kApprox:
+          name = "Approx";
           break;
-        case FinderKind::kGraph:
-          name = "Graph";
+        case FinderKind::kExact:
+          name = "Exact";
           break;
         case FinderKind::kHybrid:
           name = "Hybrid";

@@ -178,7 +178,7 @@ DprResponseHeader Committed(Version v) {
 }
 
 TEST(StrictDprSessionTest, PendingGatesThePrefix) {
-  DprSession session(1, /*strict=*/true);
+  DprSession session(1, {.strict = true});
   session.RecordBatch(0, 2, Committed(1));  // ops 0-1 committed
   const uint64_t p = session.IssuePending(1, 1);  // op 2 in flight
   session.RecordBatch(0, 2, Committed(1));  // ops 3-4 committed
@@ -193,8 +193,8 @@ TEST(StrictDprSessionTest, PendingGatesThePrefix) {
 }
 
 TEST(StrictDprSessionTest, RelaxedAndStrictAgreeWithoutPendings) {
-  DprSession strict(1, /*strict=*/true);
-  DprSession relaxed(2, /*strict=*/false);
+  DprSession strict(1, {.strict = true});
+  DprSession relaxed(2, {.strict = false});
   for (int i = 0; i < 10; ++i) {
     strict.RecordBatch(i % 2, 3, Committed(1 + i / 4));
     relaxed.RecordBatch(i % 2, 3, Committed(1 + i / 4));
@@ -206,13 +206,71 @@ TEST(StrictDprSessionTest, RelaxedAndStrictAgreeWithoutPendings) {
 }
 
 TEST(StrictDprSessionTest, FailureHandlingRespectsStrictOrder) {
-  DprSession session(1, /*strict=*/true);
+  DprSession session(1, {.strict = true});
   session.RecordBatch(0, 2, Committed(1));
   session.IssuePending(1, 1);               // lost in flight
   session.RecordBatch(0, 2, Committed(1));  // after the pending op
   const auto survivors = session.HandleFailure(2, DprCut{{0, 1}, {1, 1}});
   // Strictly, nothing after the lost op survives.
   EXPECT_EQ(survivors.prefix_end, 2u);
+}
+
+TEST(SessionOptionsTest, ExceptionListCapBoundsSkippedOps) {
+  DprSession session(1, {.exception_list_cap = 1});
+  session.RecordBatch(0, 1, Committed(1));        // op 0 committed
+  const uint64_t p1 = session.IssuePending(0, 1);  // op 1 pending
+  session.RecordBatch(0, 1, Committed(1));        // op 2 committed
+  const uint64_t p3 = session.IssuePending(0, 1);  // op 3 pending
+  session.RecordBatch(0, 1, Committed(1));        // op 4 committed
+  // The prefix may skip one unresolved op (op 1) but stops before skipping
+  // a second (op 3): the exception list is bounded at the cap.
+  auto point = session.GetCommitPoint();
+  EXPECT_EQ(point.prefix_end, 3u);
+  EXPECT_EQ(point.excluded, (std::vector<uint64_t>{1}));
+  // Resolving op 1 frees the budget: the prefix advances, skipping op 3.
+  session.ResolvePending(p1, Committed(1));
+  point = session.GetCommitPoint();
+  EXPECT_EQ(point.prefix_end, 5u);
+  EXPECT_EQ(point.excluded, (std::vector<uint64_t>{3}));
+  session.ResolvePending(p3, Committed(1));
+  point = session.GetCommitPoint();
+  EXPECT_EQ(point.prefix_end, 5u);
+  EXPECT_TRUE(point.excluded.empty());
+}
+
+TEST(SessionOptionsTest, ZeroCapEquivalentToStrict) {
+  DprSession session(1, {.exception_list_cap = 0});
+  session.RecordBatch(0, 2, Committed(1));        // ops 0-1 committed
+  const uint64_t p = session.IssuePending(0, 1);  // op 2 pending
+  session.RecordBatch(0, 2, Committed(1));        // ops 3-4 committed
+  auto point = session.GetCommitPoint();
+  EXPECT_EQ(point.prefix_end, 2u);
+  EXPECT_TRUE(point.excluded.empty());
+  session.ResolvePending(p, Committed(1));
+  EXPECT_EQ(session.GetCommitPoint().prefix_end, 5u);
+}
+
+TEST(SessionOptionsTest, RejectPolicyIgnoresPreRecoveryStragglers) {
+  DprSession session(1);  // default: WorldLinePolicy::kReject
+  session.HandleFailure(2, DprCut{{0, 0}});
+  session.RecordBatch(0, 1, Ok(/*executed=*/2, /*persisted=*/0, /*wl=*/2));
+  // A pre-recovery straggler claims v7 persisted — on the OLD world-line,
+  // which the rollback already erased. It must not advance anything.
+  session.ObserveWatermark(0, Ok(7, 7, kInitialWorldLine));
+  EXPECT_EQ(session.GetCommitPoint().prefix_end, 0u);
+  EXPECT_EQ(session.MakeHeader().version, 2u);
+}
+
+TEST(SessionOptionsTest, TrustingPolicyExhibitsPrefixMixingAnomaly) {
+  // The §4.2 (Fig. 5) anomaly the world-line check exists to prevent: with
+  // the legacy kTrusting policy, a pre-recovery watermark "commits" a
+  // post-recovery operation that nothing actually persisted.
+  DprSession session(
+      1, {.world_line_policy = SessionOptions::WorldLinePolicy::kTrusting});
+  session.HandleFailure(2, DprCut{{0, 0}});
+  session.RecordBatch(0, 1, Ok(/*executed=*/2, /*persisted=*/0, /*wl=*/2));
+  session.ObserveWatermark(0, Ok(7, 7, kInitialWorldLine));
+  EXPECT_EQ(session.GetCommitPoint().prefix_end, 1u);
 }
 
 }  // namespace
