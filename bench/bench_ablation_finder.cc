@@ -33,6 +33,8 @@ std::unique_ptr<DprFinder> Make(const std::string& kind,
 
 void Run(const Flags& flags) {
   const BenchConfig config = BenchConfig::FromFlags(flags);
+  BenchJsonOutput json(flags, "ablation_finder");
+  json.RecordConfig(config);
   const std::vector<uint32_t> cluster_sizes =
       config.quick ? std::vector<uint32_t>{8, 32}
                    : std::vector<uint32_t>{8, 32, 128, 512};
@@ -92,6 +94,13 @@ void Run(const Flags& flags) {
       // exact commits it immediately; approximate pins it at worker 0's pace
       // (the false dependency of §3.4).
       const uint64_t lag_uneven = (version + 9) - CutVersion(cut, 1);
+      if (json.enabled()) {
+        json.artifact().AddPoint(kind + ".us_per_round", workers,
+                                 us_per_round);
+        json.artifact().AddPoint(kind + ".metadata_kb", workers, metadata_kb);
+        json.artifact().AddPoint(kind + ".cut_lag_uneven", workers,
+                                 static_cast<double>(lag_uneven));
+      }
       table.AddRow({std::to_string(workers), kind,
                     ResultTable::Fmt(us_per_round, 1),
                     ResultTable::Fmt(metadata_kb, 0),
@@ -99,6 +108,7 @@ void Run(const Flags& flags) {
     }
   }
   table.Print();
+  json.Finish();
   printf("(cut-lag in versions; uneven-lag shows the approximate finder's "
          "false dependency on the slowest worker)\n");
 }

@@ -19,6 +19,8 @@ namespace {
 
 void Run(const Flags& flags) {
   const BenchConfig config = BenchConfig::FromFlags(flags);
+  BenchJsonOutput json(flags, "ablation_vmax");
+  json.RecordConfig(config);
   const uint64_t fast_interval_us = 10000;
   const uint64_t slow_interval_us = 100000;  // 10x laggard
   const uint64_t run_ms = config.quick ? 1500 : 6000;
@@ -69,12 +71,18 @@ void Run(const Flags& flags) {
     finder->GetCut(nullptr, &cut);
     const Version fast_persisted = stores[0]->LargestDurableToken();
     const Version fast_cut = CutVersion(cut, 0);
+    if (json.enabled()) {
+      json.artifact().AddPoint("fast_worker_cut_lag", vmax ? 1 : 0,
+                               static_cast<double>(fast_persisted - fast_cut),
+                               vmax ? "vmax-on" : "vmax-off");
+    }
     table.AddRow({vmax ? "on" : "off", std::to_string(fast_cut),
                   std::to_string(CutVersion(cut, 1)),
                   std::to_string(fast_persisted),
                   std::to_string(fast_persisted - fast_cut)});
   }
   table.Print();
+  json.Finish();
   printf("(without fast-forward the fast worker checkpoints ~10x more "
          "versions than commit; with it, version numbers re-align and the "
          "cut tracks the frontier)\n");

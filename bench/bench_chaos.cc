@@ -14,12 +14,33 @@
 #include "common/clock.h"
 #include "harness/chaos.h"
 #include "harness/stats.h"
+#include "obs/metrics.h"
 
 namespace dpr {
 namespace {
 
+/// On a violation the registry snapshot goes to disk next to the replay
+/// seed: CHAOS_METRICS_<seed>.json captures what the tracking plane looked
+/// like when the invariant broke (staged depths, cut age, retry counts).
+void DumpMetricsForSeed(uint64_t seed) {
+  const std::string path =
+      "CHAOS_METRICS_" + std::to_string(seed) + ".json";
+  const std::string json = MetricsRegistry::Default().Snapshot().ToJson();
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "could not write %s\n", path.c_str());
+    return;
+  }
+  fwrite(json.data(), 1, json.size(), f);
+  fputc('\n', f);
+  fclose(f);
+  fprintf(stderr, "metrics snapshot for seed %llu: %s\n",
+          static_cast<unsigned long long>(seed), path.c_str());
+}
+
 int Run(const Flags& flags) {
   const bool quick = flags.GetBool("quick", true);
+  BenchJsonOutput json(flags, "chaos");
   const uint64_t first_seed =
       static_cast<uint64_t>(flags.GetInt("seed", 1000));
   const uint64_t num_seeds = static_cast<uint64_t>(
@@ -45,9 +66,20 @@ int Run(const Flags& flags) {
     ops += report.ops;
     commits += report.commits;
     recoveries += report.recoveries;
+    if (json.enabled()) {
+      json.artifact().AddPoint("ops", seed, static_cast<double>(report.ops));
+      json.artifact().AddPoint("commits", seed,
+                               static_cast<double>(report.commits));
+      json.artifact().AddPoint("recoveries", seed,
+                               static_cast<double>(report.recoveries));
+    }
     if (!s.ok() || !report.violation.empty()) {
       ++violations;
       fprintf(stderr, "VIOLATION: %s\n", report.violation.c_str());
+      DumpMetricsForSeed(seed);
+      if (json.enabled()) {
+        json.artifact().AddPoint("violations", seed, 1, report.violation);
+      }
     }
   }
   table.AddRow({std::to_string(num_seeds), std::to_string(ops),
@@ -55,6 +87,13 @@ int Run(const Flags& flags) {
                 std::to_string(violations),
                 ResultTable::Fmt(timer.ElapsedMicros() / 1e6, 1)});
   table.Print();
+  if (json.enabled()) {
+    json.artifact().SetConfig("first_seed", first_seed);
+    json.artifact().SetConfig("seeds", num_seeds);
+    json.artifact().SetConfig("steps", static_cast<uint64_t>(steps));
+    json.artifact().AddCounter("chaos.violations", violations);
+  }
+  json.Finish();
   if (violations > 0) {
     printf("FAILED: %llu violating seed(s); replay with "
            "--seed=<printed seed> --seeds=1\n",

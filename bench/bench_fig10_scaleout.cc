@@ -24,6 +24,8 @@ struct BackendConfig {
 
 void Run(const Flags& flags) {
   const BenchConfig config = BenchConfig::FromFlags(flags);
+  BenchJsonOutput json(flags, "fig10_scaleout");
+  json.RecordConfig(config);
   std::vector<uint32_t> worker_counts =
       config.quick ? std::vector<uint32_t>{2, 4}
                    : std::vector<uint32_t>{2, 4, 6, 8};
@@ -58,6 +60,9 @@ void Run(const Flags& flags) {
         driver.workload.zipf_theta = theta;
         driver.track_commits = backend.mode == RecoverabilityMode::kDpr;
         const DriverResult result = RunYcsbDriver(&cluster, driver);
+        json.AddDriverResult(
+            (theta == 0.0 ? "uniform." : "zipf.") + backend.name, workers,
+            result);
         table.AddRow({std::to_string(workers), backend.name,
                       ResultTable::Fmt(result.Mops()),
                       backend.mode == RecoverabilityMode::kDpr
@@ -67,6 +72,7 @@ void Run(const Flags& flags) {
     }
     table.Print();
   }
+  json.Finish();
 }
 
 }  // namespace

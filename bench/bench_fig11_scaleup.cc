@@ -16,6 +16,8 @@ namespace {
 
 void Run(const Flags& flags) {
   const BenchConfig config = BenchConfig::FromFlags(flags);
+  BenchJsonOutput json(flags, "fig11_scaleup");
+  json.RecordConfig(config);
   const std::vector<uint32_t> thread_counts =
       config.quick ? std::vector<uint32_t>{1, 2, 4}
                    : std::vector<uint32_t>{2, 4, 8, 16};
@@ -45,12 +47,15 @@ void Run(const Flags& flags) {
         driver.workload.zipf_theta = theta;
         driver.track_commits = mode == RecoverabilityMode::kDpr;
         const DriverResult result = RunYcsbDriver(&cluster, driver);
+        json.AddDriverResult((theta == 0.0 ? "uniform." : "zipf.") + name,
+                             threads, result);
         table.AddRow({std::to_string(threads), name,
                       ResultTable::Fmt(result.Mops())});
       }
     }
     table.Print();
   }
+  json.Finish();
 }
 
 }  // namespace

@@ -21,6 +21,8 @@ void PrintHistogram(const char* label, const Histogram& h) {
 
 void Run(const Flags& flags) {
   const BenchConfig config = BenchConfig::FromFlags(flags);
+  BenchJsonOutput json(flags, "fig12_latency");
+  json.RecordConfig(config);
   for (uint32_t batch : {1024u, 64u}) {
     ClusterOptions options;
     options.num_workers = 2;
@@ -38,11 +40,13 @@ void Run(const Flags& flags) {
     driver.window = 16 * batch;  // paper: w = 16b
     driver.latency_sample_rate = 0.005;
     const DriverResult result = RunYcsbDriver(&cluster, driver);
+    json.AddDriverResult("batch", batch, result);
     printf("\n=== Figure 12: latency distribution, b=%u (%.2f Mops) ===\n",
            batch, result.Mops());
     PrintHistogram("operation latency:", result.op_latency_us);
     PrintHistogram("commit latency:", result.commit_latency_us);
   }
+  json.Finish();
 }
 
 }  // namespace

@@ -16,6 +16,8 @@ namespace {
 
 void Run(const Flags& flags) {
   const BenchConfig config = BenchConfig::FromFlags(flags);
+  BenchJsonOutput json(flags, "fig13_tradeoff");
+  json.RecordConfig(config);
   const std::vector<uint32_t> batches =
       config.quick ? std::vector<uint32_t>{1, 8, 64, 512}
                    : std::vector<uint32_t>{1, 2, 4, 8, 16, 32, 64, 128, 256,
@@ -39,12 +41,14 @@ void Run(const Flags& flags) {
     driver.window = 16 * b;
     driver.latency_sample_rate = 0.01;
     const DriverResult result = RunYcsbDriver(&cluster, driver);
+    json.AddDriverResult("batch", b, result);
     table.AddRow({std::to_string(b), std::to_string(16 * b),
                   ResultTable::Fmt(result.Mops()),
                   ResultTable::Fmt(result.op_latency_us.Mean(), 1),
                   std::to_string(result.op_latency_us.Percentile(99))});
   }
   table.Print();
+  json.Finish();
 }
 
 }  // namespace

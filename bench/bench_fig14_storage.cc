@@ -17,6 +17,8 @@ namespace {
 
 void Run(const Flags& flags) {
   const BenchConfig config = BenchConfig::FromFlags(flags);
+  BenchJsonOutput json(flags, "fig14_storage");
+  json.RecordConfig(config);
   const std::vector<uint64_t> intervals_ms = {500, 250, 100, 50, 25};
   const std::vector<std::pair<std::string, StorageBackend>> backends = {
       {"null", StorageBackend::kNull},
@@ -40,11 +42,13 @@ void Run(const Flags& flags) {
       driver.workload.num_keys = config.num_keys;
       driver.workload.zipf_theta = 0.99;
       const DriverResult result = RunYcsbDriver(&cluster, driver);
+      json.AddDriverResult(name, interval, result);
       table.AddRow({std::to_string(interval), name,
                     ResultTable::Fmt(result.Mops())});
     }
   }
   table.Print();
+  json.Finish();
 }
 
 }  // namespace

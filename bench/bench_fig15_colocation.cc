@@ -17,6 +17,8 @@ namespace {
 
 void Run(const Flags& flags) {
   const BenchConfig config = BenchConfig::FromFlags(flags);
+  BenchJsonOutput json(flags, "fig15_colocation");
+  json.RecordConfig(config);
   const std::vector<double> local_fractions =
       config.quick ? std::vector<double>{0.0, 0.5, 0.9, 1.0}
                    : std::vector<double>{0.0, 0.25, 0.5, 0.75, 0.9, 0.99,
@@ -44,11 +46,13 @@ void Run(const Flags& flags) {
       driver.window = 16 * b;
       driver.local_fraction = p;
       const DriverResult result = RunYcsbDriver(&cluster, driver);
+      json.AddDriverResult("b" + std::to_string(b), p, result);
       table.AddRow({ResultTable::Fmt(p * 100, 0), std::to_string(b),
                     ResultTable::Fmt(result.Mops())});
     }
   }
   table.Print();
+  json.Finish();
 }
 
 }  // namespace

@@ -17,6 +17,8 @@ namespace {
 
 void Run(const Flags& flags) {
   const BenchConfig config = BenchConfig::FromFlags(flags);
+  BenchJsonOutput json(flags, "fig16_recovery");
+  json.RecordConfig(config);
   const uint64_t total_ms = config.quick ? 9000 : 45000;
   ClusterOptions options;
   options.num_workers = 2;
@@ -44,6 +46,11 @@ void Run(const Flags& flags) {
          t1, t2, t2 + 0.2);
   const auto samples =
       RunTimelineDriver(&cluster, driver, /*interval_ms=*/250, events);
+  json.AddTimeline(samples);
+  if (json.enabled()) {
+    json.artifact().SetConfig("failure_t1_s", t1);
+    json.artifact().SetConfig("failure_t2_s", t2);
+  }
   printf("%8s  %14s  %14s  %12s\n", "t(s)", "completed Mops",
          "committed Mops", "aborted Mops");
   for (const auto& sample : samples) {
@@ -51,6 +58,7 @@ void Run(const Flags& flags) {
            sample.completed_mops, sample.committed_mops,
            sample.aborted_mops);
   }
+  json.Finish();
 }
 
 }  // namespace

@@ -18,6 +18,8 @@ namespace {
 
 void Run(const Flags& flags) {
   const BenchConfig config = BenchConfig::FromFlags(flags);
+  BenchJsonOutput json(flags, "fig17_dredis");
+  json.RecordConfig(config);
   const std::vector<uint32_t> shard_counts =
       config.quick ? std::vector<uint32_t>{1, 2, 4}
                    : std::vector<uint32_t>{2, 4, 6, 8};
@@ -56,12 +58,14 @@ void Run(const Flags& flags) {
         driver.batch_size = mode.batch;
         driver.window = mode.window;
         const RedisDriverResult result = RunRedisDriver(&cluster, driver);
+        json.AddRedisResult(mode.name + "." + name, shards, result);
         table.AddRow({std::to_string(shards), name,
                       ResultTable::Fmt(result.Mops())});
       }
     }
     table.Print();
   }
+  json.Finish();
 }
 
 }  // namespace

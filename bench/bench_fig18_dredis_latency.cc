@@ -15,6 +15,8 @@ namespace {
 
 void Run(const Flags& flags) {
   const BenchConfig config = BenchConfig::FromFlags(flags);
+  BenchJsonOutput json(flags, "fig18_dredis_latency");
+  json.RecordConfig(config);
   const std::vector<std::pair<std::string, RedisDeployment>> deployments = {
       {"redis", RedisDeployment::kDirect},
       {"d-redis", RedisDeployment::kDpr},
@@ -39,9 +41,11 @@ void Run(const Flags& flags) {
     driver.window = 256;
     driver.latency_sample_rate = 0.01;
     const RedisDriverResult result = RunRedisDriver(&cluster, driver);
+    json.AddRedisResult(name, 2, result);
     printf("  %-12s %.2f Mops | %s\n", name.c_str(), result.Mops(),
            result.op_latency_us.Summary().c_str());
   }
+  json.Finish();
 }
 
 }  // namespace

@@ -138,29 +138,43 @@ double RunDFasterMode(RecoverabilityMode mode, const BenchConfig& config) {
 
 void Run(const Flags& flags) {
   const BenchConfig config = BenchConfig::FromFlags(flags);
+  BenchJsonOutput json(flags, "fig19_recoverability");
+  json.RecordConfig(config);
   printf("\n=== Figure 19: throughput vs recoverability guarantee ===\n");
   ResultTable table({"system", "none", "eventual", "dpr", "sync"});
 
-  table.AddRow({"cassandra-like", "n/a",
-                ResultTable::Fmt(RunCommitLogStore(CommitLogSync::kPeriodic,
-                                                   config)),
-                "n/a",
-                ResultTable::Fmt(RunCommitLogStore(CommitLogSync::kGroup,
-                                                   config))});
+  // Guarantee levels index the x axis: none=0, eventual=1, dpr=2, sync=3.
+  const auto point = [&json](const std::string& system, double x,
+                             const char* mode, double mops) {
+    if (json.enabled()) json.artifact().AddPoint(system, x, mops, mode);
+    return ResultTable::Fmt(mops);
+  };
 
-  table.AddRow({"d-redis", ResultTable::Fmt(RunDRedisMode("none", config)),
-                ResultTable::Fmt(RunDRedisMode("eventual", config)),
-                ResultTable::Fmt(RunDRedisMode("dpr", config)),
-                ResultTable::Fmt(RunDRedisMode("sync", config))});
+  table.AddRow({"cassandra-like", "n/a",
+                point("cassandra-like", 1, "eventual",
+                      RunCommitLogStore(CommitLogSync::kPeriodic, config)),
+                "n/a",
+                point("cassandra-like", 3, "sync",
+                      RunCommitLogStore(CommitLogSync::kGroup, config))});
+
+  table.AddRow(
+      {"d-redis",
+       point("d-redis", 0, "none", RunDRedisMode("none", config)),
+       point("d-redis", 1, "eventual", RunDRedisMode("eventual", config)),
+       point("d-redis", 2, "dpr", RunDRedisMode("dpr", config)),
+       point("d-redis", 3, "sync", RunDRedisMode("sync", config))});
 
   table.AddRow(
       {"d-faster",
-       ResultTable::Fmt(RunDFasterMode(RecoverabilityMode::kNone, config)),
-       ResultTable::Fmt(RunDFasterMode(RecoverabilityMode::kEventual,
-                                       config)),
-       ResultTable::Fmt(RunDFasterMode(RecoverabilityMode::kDpr, config)),
+       point("d-faster", 0, "none",
+             RunDFasterMode(RecoverabilityMode::kNone, config)),
+       point("d-faster", 1, "eventual",
+             RunDFasterMode(RecoverabilityMode::kEventual, config)),
+       point("d-faster", 2, "dpr",
+             RunDFasterMode(RecoverabilityMode::kDpr, config)),
        "n/a"});
   table.Print();
+  json.Finish();
 }
 
 }  // namespace

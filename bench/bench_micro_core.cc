@@ -1,8 +1,18 @@
 // Microbenchmarks (google-benchmark) for the core primitives: FASTER ops,
 // epoch protection, DPR finder algorithms, header codecs, and hashing.
+//
+// Unlike the figure benches this binary hands argv to google-benchmark, so
+// main() peels off the shared harness flags first: --quick shortens
+// min-time, --json_out=<path|dir> writes BENCH_micro_core.json with one
+// point per benchmark (ns/op and items/s) plus the registry snapshot.
 #include <benchmark/benchmark.h>
+#include <sys/stat.h>
 
+#include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/hash.h"
 #include "common/random.h"
@@ -13,6 +23,8 @@
 #include "epoch/light_epoch.h"
 #include "faster/faster_store.h"
 #include "net/inmemory_net.h"
+#include "obs/bench_artifact.h"
+#include "obs/metrics.h"
 
 namespace dpr {
 namespace {
@@ -201,7 +213,83 @@ void BM_RemoteFinderBatchedReport(benchmark::State& state) {
 }
 BENCHMARK(BM_RemoteFinderBatchedReport);
 
+/// Console reporter that additionally folds every finished run into the
+/// artifact: series "ns_per_op" and "items_per_second", one point per
+/// benchmark (x = run index, label = benchmark name).
+class ArtifactReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ArtifactReporter(BenchArtifact* artifact) : artifact_(artifact) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    if (artifact_ == nullptr) return;
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      const std::string name = run.benchmark_name();
+      const double ns_per_op =
+          run.real_accumulated_time / static_cast<double>(run.iterations) *
+          1e9;
+      artifact_->AddPoint("ns_per_op", index_, ns_per_op, name);
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        artifact_->AddPoint("items_per_second", index_, items->second.value,
+                            name);
+      }
+      ++index_;
+    }
+  }
+
+ private:
+  BenchArtifact* artifact_;
+  double index_ = 0;
+};
+
 }  // namespace
 }  // namespace dpr
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel the harness flags off before google-benchmark sees argv.
+  std::string json_out;
+  bool quick = false;
+  std::vector<char*> bench_argv = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json_out=", 11) == 0) {
+      json_out = argv[i] + 11;
+    } else if (std::strcmp(argv[i], "--quick") == 0 ||
+               std::strcmp(argv[i], "--quick=true") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--quick=false") == 0) {
+      // explicit full run: keep google-benchmark's default min time
+    } else {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+  std::string min_time = "--benchmark_min_time=0.05";
+  if (quick) bench_argv.push_back(min_time.data());
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+
+  dpr::BenchArtifact artifact("micro_core");
+  artifact.SetConfig("quick", quick);
+  dpr::ArtifactReporter reporter(json_out.empty() ? nullptr : &artifact);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_out.empty()) {
+    struct stat st;
+    if (json_out.back() == '/' ||
+        (::stat(json_out.c_str(), &st) == 0 && S_ISDIR(st.st_mode))) {
+      if (json_out.back() != '/') json_out += '/';
+      json_out += "BENCH_micro_core.json";
+    }
+    artifact.AddSnapshot(dpr::MetricsRegistry::Default().Snapshot());
+    const dpr::Status s = artifact.WriteToFile(json_out);
+    if (!s.ok()) {
+      fprintf(stderr, "--json_out write to %s failed: %s\n", json_out.c_str(),
+              s.ToString().c_str());
+      return 1;
+    }
+    printf("[bench] wrote %s\n", json_out.c_str());
+  }
+  return 0;
+}

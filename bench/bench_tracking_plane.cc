@@ -16,6 +16,8 @@ namespace {
 
 void Run(const Flags& flags) {
   const BenchConfig config = BenchConfig::FromFlags(flags);
+  BenchJsonOutput json(flags, "tracking_plane");
+  json.RecordConfig(config);
   for (bool remote : {false, true}) {
     ClusterOptions options;
     options.num_workers = 2;
@@ -34,6 +36,7 @@ void Run(const Flags& flags) {
     driver.workload.read_fraction = config.read_fraction;
     driver.workload.rmw_fraction = config.rmw_fraction;
     const DriverResult result = RunYcsbDriver(&cluster, driver);
+    json.AddDriverResult(remote ? "remote" : "local", remote ? 1 : 0, result);
     printf("\n[%s finder] %.3f Mops completed, %.3f Mops committed\n",
            remote ? "remote" : "local", result.Mops(),
            result.CommittedMops());
@@ -46,6 +49,7 @@ void Run(const Flags& flags) {
            static_cast<unsigned long long>(cluster.finder()->CurrentWorldLine()));
     cluster.Stop();
   }
+  json.Finish();
 }
 
 }  // namespace

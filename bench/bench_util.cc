@@ -1,5 +1,8 @@
 #include "bench_util.h"
 
+#include <sys/stat.h>
+
+#include <cstdio>
 #include <deque>
 #include <mutex>
 #include <thread>
@@ -7,17 +10,43 @@
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/random.h"
+#include "harness/stats.h"
+#include "obs/metrics.h"
 
 namespace dpr {
 
 namespace {
 
-/// Per-thread driver state shared with the sampler.
-struct ThreadStats {
-  std::atomic<uint64_t> completed{0};
-  std::atomic<uint64_t> committed{0};
-  std::atomic<uint64_t> aborted{0};
+/// Registry mirrors of the driver aggregates, so a --json_out snapshot (or a
+/// chaos failure dump) carries the bench totals alongside the plane metrics.
+struct BenchMetricsRefs {
+  Counter* ops_completed;
+  Counter* ops_committed;
+  Counter* ops_aborted;
 };
+
+const BenchMetricsRefs& BenchMetrics() {
+  static const BenchMetricsRefs refs = [] {
+    auto& r = MetricsRegistry::Default();
+    return BenchMetricsRefs{r.counter("bench.ops_completed"),
+                            r.counter("bench.ops_committed"),
+                            r.counter("bench.ops_aborted")};
+  }();
+  return refs;
+}
+
+void PublishBenchCounters(const std::vector<std::unique_ptr<BenchCounters>>&
+                              stats) {
+  uint64_t completed = 0, committed = 0, aborted = 0;
+  for (const auto& s : stats) {
+    completed += s->completed.load(std::memory_order_relaxed);
+    committed += s->committed.load(std::memory_order_relaxed);
+    aborted += s->aborted.load(std::memory_order_relaxed);
+  }
+  BenchMetrics().ops_completed->Add(completed);
+  BenchMetrics().ops_committed->Add(committed);
+  BenchMetrics().ops_aborted->Add(aborted);
+}
 
 struct CommitSample {
   uint64_t start_us;
@@ -27,7 +56,7 @@ struct CommitSample {
 class YcsbDriverThread {
  public:
   YcsbDriverThread(DFasterCluster* cluster, const DriverOptions& options,
-                   uint32_t tid, ThreadStats* stats,
+                   uint32_t tid, BenchCounters* stats,
                    std::atomic<bool>* stop_flag)
       : options_(options),
         tid_(tid),
@@ -200,7 +229,7 @@ class YcsbDriverThread {
 
   const DriverOptions& options_;
   const uint32_t tid_;
-  ThreadStats* stats_;
+  BenchCounters* stats_;
   std::atomic<bool>* stop_;
   Random rng_;
   std::unique_ptr<YcsbWorkload> workload_;
@@ -240,10 +269,10 @@ DriverResult RunYcsbDriver(DFasterCluster* cluster,
     Preload(cluster, options.workload, options.batch_size, options.window);
   }
   std::atomic<bool> stop{false};
-  std::vector<std::unique_ptr<ThreadStats>> stats;
+  std::vector<std::unique_ptr<BenchCounters>> stats;
   std::vector<std::unique_ptr<YcsbDriverThread>> drivers;
   for (uint32_t t = 0; t < options.num_client_threads; ++t) {
-    stats.push_back(std::make_unique<ThreadStats>());
+    stats.push_back(std::make_unique<BenchCounters>());
     drivers.push_back(std::make_unique<YcsbDriverThread>(
         cluster, options, t, stats.back().get(), &stop));
   }
@@ -270,6 +299,7 @@ DriverResult RunYcsbDriver(DFasterCluster* cluster,
     result.commit_latency_us.Merge(drivers[t]->commit_latency());
   }
   result.tracking = cluster->tracking_stats();
+  PublishBenchCounters(stats);
   return result;
 }
 
@@ -281,10 +311,10 @@ std::vector<TimelineSample> RunTimelineDriver(
     Preload(cluster, options.workload, options.batch_size, options.window);
   }
   std::atomic<bool> stop{false};
-  std::vector<std::unique_ptr<ThreadStats>> stats;
+  std::vector<std::unique_ptr<BenchCounters>> stats;
   std::vector<std::unique_ptr<YcsbDriverThread>> drivers;
   for (uint32_t t = 0; t < options.num_client_threads; ++t) {
-    stats.push_back(std::make_unique<ThreadStats>());
+    stats.push_back(std::make_unique<BenchCounters>());
     drivers.push_back(std::make_unique<YcsbDriverThread>(
         cluster, options, t, stats.back().get(), &stop));
   }
@@ -326,6 +356,7 @@ std::vector<TimelineSample> RunTimelineDriver(
   }
   stop.store(true, std::memory_order_relaxed);
   for (auto& t : threads) t.join();
+  PublishBenchCounters(stats);
   return samples;
 }
 
@@ -384,6 +415,90 @@ RedisDriverResult RunRedisDriver(DRedisCluster* cluster,
     result.op_latency_us.Merge(latencies[t]);
   }
   return result;
+}
+
+BenchJsonOutput::BenchJsonOutput(const Flags& flags, std::string bench_name)
+    : artifact_(bench_name) {
+  path_ = flags.GetString("json_out", "");
+  if (path_.empty()) return;
+  struct stat st;
+  const bool is_dir =
+      path_.back() == '/' ||
+      (::stat(path_.c_str(), &st) == 0 && S_ISDIR(st.st_mode));
+  if (is_dir) {
+    if (path_.back() != '/') path_ += '/';
+    path_ += "BENCH_" + bench_name + ".json";
+  }
+}
+
+void BenchJsonOutput::RecordConfig(const BenchConfig& config) {
+  if (!enabled()) return;
+  artifact_.SetConfig("quick", config.quick);
+  artifact_.SetConfig("duration_ms", config.duration_ms);
+  artifact_.SetConfig("num_keys", config.num_keys);
+  artifact_.SetConfig("client_threads",
+                      static_cast<uint64_t>(config.client_threads));
+  artifact_.SetConfig("read_fraction", config.read_fraction);
+  artifact_.SetConfig("rmw_fraction", config.rmw_fraction);
+}
+
+namespace {
+
+std::string HistogramName(const std::string& series, double x,
+                          const char* which) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", x);
+  return series + "@" + buf + "." + which;
+}
+
+}  // namespace
+
+void BenchJsonOutput::AddDriverResult(const std::string& series, double x,
+                                      const DriverResult& result) {
+  if (!enabled()) return;
+  artifact_.AddPoint(series, x, result.Mops());
+  if (result.committed > 0) {
+    artifact_.AddPoint(series + ".committed", x, result.CommittedMops());
+  }
+  if (result.op_latency_us.count() > 0) {
+    artifact_.AddHistogram(HistogramName(series, x, "op_latency_us"),
+                           result.op_latency_us);
+  }
+  if (result.commit_latency_us.count() > 0) {
+    artifact_.AddHistogram(HistogramName(series, x, "commit_latency_us"),
+                           result.commit_latency_us);
+  }
+}
+
+void BenchJsonOutput::AddRedisResult(const std::string& series, double x,
+                                     const RedisDriverResult& result) {
+  if (!enabled()) return;
+  artifact_.AddPoint(series, x, result.Mops());
+  if (result.op_latency_us.count() > 0) {
+    artifact_.AddHistogram(HistogramName(series, x, "op_latency_us"),
+                           result.op_latency_us);
+  }
+}
+
+void BenchJsonOutput::AddTimeline(const std::vector<TimelineSample>& samples,
+                                  const std::string& prefix) {
+  if (!enabled()) return;
+  for (const auto& s : samples) {
+    artifact_.AddPoint(prefix + "completed_mops", s.t_seconds,
+                       s.completed_mops);
+    artifact_.AddPoint(prefix + "committed_mops", s.t_seconds,
+                       s.committed_mops);
+    artifact_.AddPoint(prefix + "aborted_mops", s.t_seconds, s.aborted_mops);
+  }
+}
+
+void BenchJsonOutput::Finish() {
+  if (!enabled()) return;
+  artifact_.AddSnapshot(MetricsRegistry::Default().Snapshot());
+  const Status s = artifact_.WriteToFile(path_);
+  DPR_CHECK_MSG(s.ok(), "--json_out write to %s failed: %s", path_.c_str(),
+                s.ToString().c_str());
+  std::printf("[bench] wrote %s\n", path_.c_str());
 }
 
 BenchConfig BenchConfig::FromFlags(const Flags& flags) {

@@ -11,6 +11,7 @@
 #include "common/flags.h"
 #include "common/histogram.h"
 #include "harness/cluster.h"
+#include "obs/bench_artifact.h"
 #include "workload/ycsb.h"
 
 namespace dpr {
@@ -102,6 +103,46 @@ struct BenchConfig {
   double rmw_fraction = 0.0;
 
   static BenchConfig FromFlags(const Flags& flags);
+};
+
+/// Shared --json_out plumbing for every bench binary: when the flag is set,
+/// the run's data points, latency histograms, and a final metrics-registry
+/// snapshot are serialized as BENCH_<name>.json (tables keep printing to
+/// stdout either way). With the flag absent every Add* call is a no-op, so
+/// benches instrument unconditionally.
+class BenchJsonOutput {
+ public:
+  /// `bench_name` is the artifact's `bench` field; the output path comes
+  /// from --json_out (a file path, or a directory to get the conventional
+  /// BENCH_<name>.json name inside it).
+  BenchJsonOutput(const Flags& flags, std::string bench_name);
+
+  bool enabled() const { return !path_.empty(); }
+  BenchArtifact& artifact() { return artifact_; }
+
+  /// Stamps the shared config knobs (quick/duration/keys/threads/mix).
+  void RecordConfig(const BenchConfig& config);
+
+  /// One measurement: a point on `series` at `x` (y = completed Mops), a
+  /// companion "<series>.committed" point when commits were tracked, and —
+  /// when latency sampling was on — "<series>@x" op/commit histograms.
+  void AddDriverResult(const std::string& series, double x,
+                       const DriverResult& result);
+  void AddRedisResult(const std::string& series, double x,
+                      const RedisDriverResult& result);
+
+  /// Timeline samples as completed/committed/aborted Mops series.
+  void AddTimeline(const std::vector<TimelineSample>& samples,
+                   const std::string& prefix = std::string());
+
+  /// Attaches the global registry snapshot and writes the file. No-op
+  /// (and OK) when --json_out was not given; dies on write failure so CI
+  /// never silently drops an artifact.
+  void Finish();
+
+ private:
+  std::string path_;
+  BenchArtifact artifact_;
 };
 
 }  // namespace dpr

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <limits>
 
@@ -42,11 +43,27 @@ void Histogram::Record(uint64_t value_us) {
 }
 
 void Histogram::Merge(const Histogram& other) {
+  // An empty histogram carries min_'s "never recorded" sentinel (and a zero
+  // max_); merging it must be a no-op so those sentinels cannot clobber or
+  // constrain a live histogram's extremes.
+  if (other.count_ == 0) return;
   for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
   count_ += other.count_;
   sum_ += other.sum_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
+}
+
+void Histogram::AbsorbCounts(const uint64_t* bucket_counts, int n,
+                             uint64_t count, uint64_t sum, uint64_t min,
+                             uint64_t max) {
+  if (count == 0) return;  // empty shard: min/max are sentinels, ignore
+  n = std::min(n, kNumBuckets);
+  for (int i = 0; i < n; ++i) buckets_[i] += bucket_counts[i];
+  count_ += count;
+  sum_ += sum;
+  min_ = std::min(min_, min);
+  max_ = std::max(max_, max);
 }
 
 void Histogram::Reset() {
@@ -64,13 +81,23 @@ double Histogram::Mean() const {
 
 uint64_t Histogram::Percentile(double p) const {
   if (count_ == 0) return 0;
-  const auto threshold = static_cast<uint64_t>(
-      p / 100.0 * static_cast<double>(count_) + 0.5);
+  // p = 0 is "the smallest recorded value": answer exactly, not with the
+  // first occupied bucket's upper bound (which overshoots min by up to one
+  // sub-bucket). Likewise p = 100 is exactly max.
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  // Nearest-rank: the value at 1-based rank ceil(p/100 * count). (The old
+  // `+0.5` cast rounded the rank to nearest instead of up, answering one
+  // rank low for e.g. p=54, count=10, and degenerating to rank 0 for small
+  // p.) Clamp to [1, count] so floating-point edge cases stay in range.
+  const double exact = p / 100.0 * static_cast<double>(count_);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(exact));
+  rank = std::clamp<uint64_t>(rank, 1, count_);
   uint64_t cumulative = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
     cumulative += buckets_[i];
-    if (cumulative >= threshold && buckets_[i] > 0) {
-      return std::min(BucketUpperBound(i), max_);
+    if (cumulative >= rank) {
+      return std::clamp(BucketUpperBound(i), min_, max_);
     }
   }
   return max_;

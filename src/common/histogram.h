@@ -9,32 +9,48 @@ namespace dpr {
 
 /// Log-bucketed latency histogram (HdrHistogram-style, base-2 buckets with
 /// linear sub-buckets). Records values in microseconds. Thread-compatible;
-/// callers merge per-thread instances for concurrent recording.
+/// callers merge per-thread instances for concurrent recording (see
+/// obs::ShardedHistogram for the lock-free concurrent wrapper).
 class Histogram {
  public:
-  Histogram();
-
-  void Record(uint64_t value_us);
-  void Merge(const Histogram& other);
-  void Reset();
-
-  uint64_t count() const { return count_; }
-  uint64_t min() const { return count_ == 0 ? 0 : min_; }
-  uint64_t max() const { return max_; }
-  double Mean() const;
-  /// p in [0, 100]; returns the approximate value at that percentile.
-  uint64_t Percentile(double p) const;
-
-  /// One-line summary: "count=... mean=...us p50=... p99=... max=...".
-  std::string Summary() const;
-
- private:
+  /// Bucket layout, shared with ShardedHistogram shards and the JSON
+  /// serialization of snapshots.
   static constexpr int kSubBucketBits = 5;  // 32 linear sub-buckets/octave
   static constexpr int kNumBuckets = 64 * (1 << kSubBucketBits);
 
   static int BucketFor(uint64_t value);
   static uint64_t BucketUpperBound(int bucket);
 
+  Histogram();
+
+  void Record(uint64_t value_us);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  /// Folds raw bucket counts (a ShardedHistogram shard, or a deserialized
+  /// snapshot) into this histogram. `bucket_counts` holds `n` <= kNumBuckets
+  /// leading bucket counters; `count`/`sum`/`min`/`max` are the shard's
+  /// aggregates. A shard with count == 0 is ignored entirely so its min/max
+  /// sentinels never leak into a live histogram.
+  void AbsorbCounts(const uint64_t* bucket_counts, int n, uint64_t count,
+                    uint64_t sum, uint64_t min, uint64_t max);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  uint64_t bucket_count(int bucket) const { return buckets_[bucket]; }
+  double Mean() const;
+  /// p in [0, 100]: nearest-rank percentile — the value at rank
+  /// ceil(p/100 * count) (1-based), reported as that rank's bucket upper
+  /// bound clamped to the recorded [min, max]. p = 0 returns the exact
+  /// recorded minimum and p = 100 the exact maximum.
+  uint64_t Percentile(double p) const;
+
+  /// One-line summary: "count=... mean=...us p50=... p99=... max=...".
+  std::string Summary() const;
+
+ private:
   std::vector<uint64_t> buckets_;
   uint64_t count_;
   uint64_t sum_;

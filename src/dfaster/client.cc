@@ -4,12 +4,30 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace dpr {
 
 namespace {
 constexpr int kMaxBatchRetries = 400;     // paired with 1 ms backoff: covers
 constexpr uint64_t kRetryDelayUs = 1000;  // several recovery windows
+
+struct ClientMetrics {
+  ShardedHistogram* batch_fill;  // ops per dispatched batch (vs. batch_size)
+  Counter* batches;
+  Counter* flush_dispatches;  // partial batches forced out by Flush()
+};
+
+const ClientMetrics& Metrics() {
+  static const ClientMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Default();
+    return ClientMetrics{r.histogram("dfaster.client.batch_fill"),
+                         r.counter("dfaster.client.batches"),
+                         r.counter("dfaster.client.flush_dispatches")};
+  }();
+  return m;
+}
+
 }  // namespace
 
 DFasterClient::DFasterClient(DFasterClientConfig config)
@@ -90,7 +108,10 @@ void DFasterClient::Session::Issue(KvOp op, OpCallback callback) {
 
 void DFasterClient::Session::Flush() {
   for (auto& [worker, batch] : building_) {
-    if (!batch.ops.empty()) Dispatch(worker);
+    if (!batch.ops.empty()) {
+      Metrics().flush_dispatches->Add();
+      Dispatch(worker);
+    }
   }
 }
 
@@ -99,6 +120,8 @@ void DFasterClient::Session::Dispatch(WorkerId worker) {
   building_[worker].ops.clear();
   building_[worker].callbacks.clear();
   const uint64_t n = batch.ops.size();
+  Metrics().batches->Add();
+  Metrics().batch_fill->Record(n);
   // Windowing: block while w outstanding ops are in flight (paper §7.1).
   {
     std::unique_lock<std::mutex> lock(mu_);

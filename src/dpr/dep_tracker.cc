@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace dpr {
 
 namespace {
@@ -11,6 +13,30 @@ uint32_t RoundUpPow2(uint32_t n) {
   uint32_t p = 1;
   while (p < n) p <<= 1;
   return p;
+}
+
+// Process-wide mirrors of the per-instance stats (summed across trackers),
+// so bench artifacts and chaos dumps see the tracking plane without plumbing
+// instance pointers. Relaxed atomics only — Record() runs under the shared
+// version latch on the batch admission path.
+struct TrackerMetrics {
+  Counter* records;
+  Counter* empty_records;
+  Counter* drains;
+  Gauge* live_entries;
+  Gauge* live_entries_peak;
+};
+
+const TrackerMetrics& Metrics() {
+  static const TrackerMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Default();
+    return TrackerMetrics{r.counter("dpr.dep_tracker.records"),
+                          r.counter("dpr.dep_tracker.empty_records"),
+                          r.counter("dpr.dep_tracker.drains"),
+                          r.gauge("dpr.dep_tracker.live_entries"),
+                          r.gauge("dpr.dep_tracker.live_entries_peak")};
+  }();
+  return m;
 }
 
 }  // namespace
@@ -36,19 +62,26 @@ void VersionDependencyTracker::Record(uint64_t session_id, Version version,
   }
   if (!any) {
     empty_records_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().empty_records->Add();
     return;
   }
   Shard& shard = shards_[ShardOf(session_id)];
   {
     SpinLatchGuard guard(shard.latch);
     auto [it, inserted] = shard.deps.try_emplace(version);
-    if (inserted) live_entries_.fetch_add(1, std::memory_order_relaxed);
+    if (inserted) {
+      live_entries_.fetch_add(1, std::memory_order_relaxed);
+      Gauge* live = Metrics().live_entries;
+      live->Add(1);
+      Metrics().live_entries_peak->UpdateMax(live->value());
+    }
     for (const auto& [dw, dv] : deps) {
       if (dw == self) continue;
       MergeDependency(&it->second, WorkerVersion{dw, dv});
     }
   }
   records_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().records->Add();
 }
 
 DependencySet VersionDependencyTracker::DrainUpTo(Version token) {
@@ -66,9 +99,11 @@ DependencySet VersionDependencyTracker::DrainUpTo(Version token) {
     }
     if (removed != 0) {
       live_entries_.fetch_sub(removed, std::memory_order_relaxed);
+      Metrics().live_entries->Sub(removed);
     }
   }
   drains_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().drains->Add();
   return merged;
 }
 
@@ -81,6 +116,7 @@ void VersionDependencyTracker::Clear() {
     shard.deps.clear();
     if (removed != 0) {
       live_entries_.fetch_sub(removed, std::memory_order_relaxed);
+      Metrics().live_entries->Sub(removed);
     }
   }
 }

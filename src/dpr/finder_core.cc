@@ -5,8 +5,44 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace dpr {
+
+namespace {
+
+/// Bound on reports awaiting a report→cut-advance latency sample: a cut that
+/// stops advancing (partition, recovery) must not leak memory while reports
+/// keep arriving. Overflow drops the oldest — their samples are lost, which
+/// only biases the histogram *down* during stalls it already makes obvious
+/// through the cut-age gauge.
+constexpr size_t kCutLatencyPendingCap = 4096;
+
+struct FinderMetrics {
+  Counter* reports_ingested;
+  Counter* reports_stale;
+  Counter* cut_advances;
+  Gauge* staged_depth;
+  Gauge* staged_peak;
+  Gauge* cut_age_us;
+  ShardedHistogram* report_to_cut_us;
+};
+
+const FinderMetrics& Metrics() {
+  static const FinderMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Default();
+    return FinderMetrics{r.counter("dpr.finder.reports_ingested"),
+                         r.counter("dpr.finder.reports_stale"),
+                         r.counter("dpr.finder.cut_advances"),
+                         r.gauge("dpr.finder.staged_depth"),
+                         r.gauge("dpr.finder.staged_peak"),
+                         r.gauge("dpr.finder.cut_age_us"),
+                         r.histogram("dpr.finder.report_to_cut_us")};
+  }();
+  return m;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------- DprFinder
 
@@ -77,6 +113,7 @@ Status FinderCore::ReportPersistedVersion(WorldLine world_line,
   std::shared_lock<std::shared_mutex> gate(ingest_gate_);
   if (world_line != world_line_.load(std::memory_order_acquire)) {
     reports_stale_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().reports_stale->Add();
     return Status::Aborted("report from stale world-line");
   }
   DPR_RETURN_NOT_OK(PersistReportDurable(wv, deps));
@@ -89,7 +126,7 @@ Status FinderCore::ReportPersistedVersion(WorldLine world_line,
     size_t depth;
     {
       std::lock_guard<std::mutex> guard(stage_mu_);
-      staged_.push_back(StagedReport{wv, deps});
+      staged_.push_back(StagedReport{wv, deps, NowMicros()});
       depth = staged_.size();
     }
     uint64_t peak = staged_peak_.load(std::memory_order_relaxed);
@@ -97,8 +134,11 @@ Status FinderCore::ReportPersistedVersion(WorldLine world_line,
            !staged_peak_.compare_exchange_weak(peak, depth,
                                                std::memory_order_relaxed)) {
     }
+    Metrics().staged_depth->Set(static_cast<int64_t>(depth));
+    Metrics().staged_peak->UpdateMax(static_cast<int64_t>(depth));
   }
   reports_ingested_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().reports_ingested->Add();
   return Status::OK();
 }
 
@@ -119,14 +159,21 @@ void FinderCore::DrainStagedLocked() {
     std::lock_guard<std::mutex> guard(stage_mu_);
     batch.swap(staged_);
   }
+  if (!batch.empty()) Metrics().staged_depth->Set(0);
   for (auto& report : batch) {
+    cut_latency_pending_.emplace_back(report.wv, report.ingest_us);
     ApplyReportLocked(std::move(report));
+  }
+  while (cut_latency_pending_.size() > kCutLatencyPendingCap) {
+    cut_latency_pending_.pop_front();
   }
 }
 
 void FinderCore::DiscardStagedLocked() {
   std::lock_guard<std::mutex> guard(stage_mu_);
   staged_.clear();
+  Metrics().staged_depth->Set(0);
+  cut_latency_pending_.clear();
 }
 
 Status FinderCore::ComputeCut() {
@@ -142,11 +189,32 @@ Status FinderCore::ComputeCut() {
       break;
     }
   }
-  if (!advanced) return Status::OK();
+  const uint64_t now_us = NowMicros();
+  const uint64_t last = last_advance_us_.load(std::memory_order_relaxed);
+  if (!advanced) {
+    // How long the committed cut has been stuck — the staleness a client
+    // commit waits behind.
+    if (last != 0) {
+      Metrics().cut_age_us->Set(static_cast<int64_t>(now_us - last));
+    }
+    return Status::OK();
+  }
   DPR_RETURN_NOT_OK(
       metadata_->SetCut(world_line_.load(std::memory_order_acquire), next));
   cut_ = std::move(next);
   cut_advances_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().cut_advances->Add();
+  last_advance_us_.store(now_us, std::memory_order_relaxed);
+  Metrics().cut_age_us->Set(0);
+  // Reports the new cut covers have completed their report→cut round trip.
+  while (!cut_latency_pending_.empty()) {
+    const auto& [wv, ingest_us] = cut_latency_pending_.front();
+    if (CutVersion(cut_, wv.worker) < wv.version) break;
+    if (now_us > ingest_us) {
+      Metrics().report_to_cut_us->Record(now_us - ingest_us);
+    }
+    cut_latency_pending_.pop_front();
+  }
   return OnCutAdvancedLocked();
 }
 

@@ -2,9 +2,11 @@
 #define DPR_DPR_FINDER_CORE_H_
 
 #include <atomic>
+#include <deque>
 #include <mutex>
 #include <shared_mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -82,6 +84,8 @@ class DprFinder {
 struct StagedReport {
   WorkerVersion wv;
   DependencySet deps;
+  /// Ingest-side timestamp, for the report→cut-advance latency histogram.
+  uint64_t ingest_us = 0;
 };
 
 /// Observability counters for the finder's ingest/compute split.
@@ -186,6 +190,13 @@ class FinderCore : public DprFinder {
   std::atomic<uint64_t> reports_stale_{0};
   std::atomic<uint64_t> staged_peak_{0};
   std::atomic<uint64_t> cut_advances_{0};
+
+  /// Drained reports not yet covered by the cut, awaiting their
+  /// report→cut-advance latency sample (mu_ held; capped so a stalled cut
+  /// cannot grow it without bound).
+  std::deque<std::pair<WorkerVersion, uint64_t>> cut_latency_pending_;
+  /// When the committed cut last advanced, for the cut-age gauge.
+  std::atomic<uint64_t> last_advance_us_{0};
 };
 
 }  // namespace dpr

@@ -9,10 +9,39 @@
 #include "common/coding.h"
 #include "common/logging.h"
 #include "fault/fault_plane.h"
+#include "obs/metrics.h"
 
 namespace dpr {
 
 namespace {
+
+// Retry causes are split by status taxonomy so a chaos run can tell "the
+// coordinator was slow" (timeouts) from "the link was flapping" (transient).
+struct RemoteMetrics {
+  Counter* batches_sent;
+  Counter* reports_sent;
+  Counter* reports_rejected;
+  Counter* retries_timeout;
+  Counter* retries_transient;
+  Counter* retries_other;
+  Counter* batches_abandoned;
+  Gauge* pending_depth;
+};
+
+const RemoteMetrics& Metrics() {
+  static const RemoteMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Default();
+    return RemoteMetrics{r.counter("dpr.remote.batches_sent"),
+                         r.counter("dpr.remote.reports_sent"),
+                         r.counter("dpr.remote.reports_rejected"),
+                         r.counter("dpr.remote.retries_timeout"),
+                         r.counter("dpr.remote.retries_transient"),
+                         r.counter("dpr.remote.retries_other"),
+                         r.counter("dpr.remote.batches_abandoned"),
+                         r.gauge("dpr.remote.pending_depth")};
+  }();
+  return m;
+}
 
 enum Method : uint8_t {
   kAddWorker = 1,
@@ -247,6 +276,13 @@ Status RemoteDprFinder::SendBatch(
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
       send_retries_.fetch_add(1, std::memory_order_relaxed);
+      if (last.IsTimedOut()) {
+        Metrics().retries_timeout->Add();
+      } else if (last.IsTransient()) {
+        Metrics().retries_transient->Add();
+      } else {
+        Metrics().retries_other->Add();
+      }
       SleepMicros(backoff);
       backoff = std::min(backoff * 2, options_.retry_backoff_max_us);
     }
@@ -272,8 +308,12 @@ Status RemoteDprFinder::SendBatch(
     batches_sent_.fetch_add(1, std::memory_order_relaxed);
     reports_sent_.fetch_add(batch.size(), std::memory_order_relaxed);
     reports_rejected_.fetch_add(rejected, std::memory_order_relaxed);
+    Metrics().batches_sent->Add();
+    Metrics().reports_sent->Add(batch.size());
+    Metrics().reports_rejected->Add(rejected);
     return Status::OK();
   }
+  Metrics().batches_abandoned->Add();
   return Status::Transient("finder report batch not delivered: " +
                            last.ToString());
 }
@@ -308,6 +348,10 @@ Status RemoteDprFinder::FlushPending() const {
       break;
     }
     sent_any = true;
+  }
+  {
+    std::lock_guard<std::mutex> guard(queue_mu_);
+    Metrics().pending_depth->Set(static_cast<int64_t>(pending_.size()));
   }
   // Anything the server just ingested may move Vmax/cut; drop the cached
   // snapshot so the next read observes our own reports.
@@ -416,6 +460,7 @@ Status RemoteDprFinder::ReportPersistedVersion(WorldLine world_line,
     depth = pending_.size();
   }
   reports_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().pending_depth->Set(static_cast<int64_t>(depth));
   // The timer flushes small queues; a full batch is worth waking the
   // flusher for immediately.
   if (depth >= options_.max_batch_size) queue_cv_.notify_one();

@@ -2,9 +2,37 @@
 
 #include <algorithm>
 
+#include "common/clock.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace dpr {
+
+namespace {
+
+// Registered once, then every record is a relaxed atomic op — GetCommitPoint
+// and the admission paths stay mutex-free on the metrics side.
+struct SessionMetrics {
+  ShardedHistogram* op_commit_us;
+  ShardedHistogram* surviving_prefix;
+  Gauge* exception_list;
+  Counter* ops_committed;
+  Counter* failures;
+};
+
+const SessionMetrics& Metrics() {
+  static const SessionMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Default();
+    return SessionMetrics{r.histogram("dpr.session.op_commit_us"),
+                          r.histogram("dpr.session.surviving_prefix"),
+                          r.gauge("dpr.session.exception_list"),
+                          r.counter("dpr.session.ops_committed"),
+                          r.counter("dpr.session.failures")};
+  }();
+  return m;
+}
+
+}  // namespace
 
 DprSession::DprSession(uint64_t session_id, SessionOptions options)
     : session_id_(session_id), options_(options) {}
@@ -60,7 +88,8 @@ uint64_t DprSession::RecordBatch(WorkerId worker, uint64_t n,
   // any effect, so the segment carries no version and no dependency.
   const Version version =
       IsStaleResponseLocked(resp) ? kInvalidVersion : resp.executed_version;
-  segments_.push_back(Segment{start, n, worker, version, /*resolved=*/true});
+  segments_.push_back(Segment{start, n, worker, version, /*resolved=*/true,
+                              NowMicros()});
   if (version != kInvalidVersion) {
     MergeDependency(&deps_, WorkerVersion{worker, version});
   }
@@ -72,8 +101,8 @@ uint64_t DprSession::IssuePending(WorkerId worker, uint64_t n) {
   std::lock_guard<std::mutex> guard(mu_);
   const uint64_t start = next_seqno_;
   next_seqno_ += n;
-  segments_.push_back(
-      Segment{start, n, worker, kInvalidVersion, /*resolved=*/false});
+  segments_.push_back(Segment{start, n, worker, kInvalidVersion,
+                              /*resolved=*/false, NowMicros()});
   return start;
 }
 
@@ -149,12 +178,18 @@ DprSession::CommitPoint DprSession::ComputePointLocked(
       for (uint64_t s = seg.start; s < end; ++s) point.excluded.push_back(s);
     }
   }
+  Metrics().exception_list->Set(static_cast<int64_t>(point.excluded.size()));
   if (drop_committed) {
+    const uint64_t now_us = NowMicros();
     while (!segments_.empty()) {
       const Segment& seg = segments_.front();
       const bool is_committed =
           seg.resolved && CutVersion(committed, seg.worker) >= seg.version;
       if (is_committed && seg.start + seg.count <= point.prefix_end) {
+        if (now_us > seg.issued_us) {
+          Metrics().op_commit_us->Record(now_us - seg.issued_us);
+        }
+        Metrics().ops_committed->Add(seg.count);
         segments_.pop_front();
       } else {
         break;
@@ -218,6 +253,8 @@ DprSession::CommitPoint DprSession::HandleFailure(WorldLine new_world_line,
   // exactly the operations whose versions made it into the cut survive.
   CommitPoint survivors = ComputePointLocked(recovery_cut,
                                              /*drop_committed=*/false);
+  Metrics().failures->Add();
+  Metrics().surviving_prefix->Record(survivors.prefix_end);
   // Everything in flight or above the prefix is gone; the session restarts
   // its order on the new world-line. The version clock is retained: workers
   // resume in versions strictly above anything pre-failure, so monotonicity

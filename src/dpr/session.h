@@ -113,6 +113,9 @@ class DprSession {
     WorkerId worker = kInvalidWorker;
     Version version = kInvalidVersion;
     bool resolved = false;
+    /// Issue time, for the op→commit latency histogram when the committed
+    /// prefix passes over this segment.
+    uint64_t issued_us = 0;
   };
 
   CommitPoint ComputePointLocked(const DprCut& committed,

@@ -5,10 +5,33 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace dpr {
 
 namespace {
+
+struct WorkerMetrics {
+  Counter* batches;
+  Counter* admission_retries;
+  Counter* admission_timeouts;
+  Counter* checkpoints;
+  Counter* rollbacks;
+  Gauge* vmax_lag;
+};
+
+const WorkerMetrics& Metrics() {
+  static const WorkerMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Default();
+    return WorkerMetrics{r.counter("dpr.worker.batches"),
+                         r.counter("dpr.worker.admission_retries"),
+                         r.counter("dpr.worker.admission_timeouts"),
+                         r.counter("dpr.worker.checkpoints"),
+                         r.counter("dpr.worker.rollbacks"),
+                         r.gauge("dpr.worker.vmax_lag")};
+  }();
+  return m;
+}
 
 /// Admission-control retry policy for BeginBatch. Attempts are consumed by
 /// benign races (a checkpoint or rollback slipping in between the world-line
@@ -109,6 +132,7 @@ Status DprWorker::BeginBatch(const DprRequestHeader& header,
     if (in_recovery_.load(std::memory_order_acquire) ||
         world_line_.load(std::memory_order_acquire) != my_wl) {
       version_latch_.UnlockShared();
+      Metrics().admission_retries->Add();
       AdmissionBackoff(attempt);
       continue;
     }
@@ -119,6 +143,7 @@ Status DprWorker::BeginBatch(const DprRequestHeader& header,
       version_latch_.UnlockShared();
       Status s = TryCommit(header.version);
       if (!s.ok() && !s.IsBusy()) return s;
+      Metrics().admission_retries->Add();
       AdmissionBackoff(attempt);
       continue;
     }
@@ -126,8 +151,10 @@ Status DprWorker::BeginBatch(const DprRequestHeader& header,
     // executes in. Striped by session — no global mutex on the hot path.
     deps_.Record(header.session_id, v, header.deps, options_.worker_id);
     *out_version = v;
+    Metrics().batches->Add();
     return Status::OK();  // caller executes the batch, then EndBatch()
   }
+  Metrics().admission_timeouts->Add();
   if (in_recovery_.load(std::memory_order_acquire)) {
     return Status::TimedOut("batch admission timed out during recovery");
   }
@@ -157,6 +184,10 @@ Status DprWorker::TryCommit(Version target_version) {
     target = cur + 1;
     if (options_.vmax_fast_forward) {
       const Version vmax = options_.finder->MaxPersistedVersion();
+      // How far this worker trails the cluster's fastest checkpointer — the
+      // quantity Vmax fast-forward exists to bound (§5.2).
+      Metrics().vmax_lag->Set(vmax > cur ? static_cast<int64_t>(vmax - cur)
+                                         : 0);
       if (vmax + 1 > target) target = vmax + 1;  // catch up to the cluster
     }
   }
@@ -174,6 +205,7 @@ Status DprWorker::TryCommit(Version target_version) {
 }
 
 void DprWorker::OnCheckpointPersistent(WorldLine world_line, Version token) {
+  Metrics().checkpoints->Add();
   // The report covers every version in (last_reported, token]; fold their
   // dependency sets together (versions are cumulative prefixes).
   DependencySet deps = deps_.DrainUpTo(token);
@@ -209,6 +241,7 @@ Status DprWorker::CrashAndRestore(WorldLine new_world_line,
 
 Status DprWorker::RollbackInternal(WorldLine new_world_line,
                                    Version safe_version, bool crash) {
+  Metrics().rollbacks->Add();
   in_recovery_.store(true, std::memory_order_release);
   // Quiesce in-flight batches before touching store state: a simulated
   // crash drops the volatile log, which no concurrently-executing batch may

@@ -8,6 +8,7 @@
 #include "common/clock.h"
 #include "common/coding.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace dpr {
 
@@ -17,6 +18,31 @@ constexpr uint8_t kMetaCheckpoint = 1;
 constexpr uint8_t kMetaRollback = 2;
 constexpr uint8_t kMetaBegin = 3;  // durable log-begin advance (compaction)
 constexpr size_t kMaxValueSize = 4096;
+
+struct StoreMetrics {
+  Counter* checkpoints_stamped;
+  Counter* checkpoints_flushed;
+  Counter* flush_failures;
+  Gauge* flush_queue_depth;
+  ShardedHistogram* stamp_us;        // metadata-only version-bump phase
+  ShardedHistogram* flush_us;        // I/O phase, dequeue -> durable
+  ShardedHistogram* stamp_to_durable_us;  // enqueue -> callback, total
+};
+
+const StoreMetrics& Metrics() {
+  static const StoreMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Default();
+    return StoreMetrics{r.counter("faster.checkpoints_stamped"),
+                        r.counter("faster.checkpoints_flushed"),
+                        r.counter("faster.flush_failures"),
+                        r.gauge("faster.flush_queue_depth"),
+                        r.histogram("faster.checkpoint.stamp_us"),
+                        r.histogram("faster.checkpoint.flush_us"),
+                        r.histogram("faster.checkpoint.stamp_to_durable_us")};
+  }();
+  return m;
+}
+
 }  // namespace
 
 FasterStore::FasterStore(FasterOptions options)
@@ -287,18 +313,24 @@ Status FasterStore::PerformCheckpoint(Version target_version,
   }
   DPR_CHECK_MSG(target_version < (uint64_t{1} << 32),
                 "version overflows record stamp");
+  const uint64_t start_us = NowMicros();
   // Draw the boundary: everything below `boundary` belongs to versions
   // <= token and becomes immutable (fold-over); new operations run in
   // target_version above it. Metadata-only — the flush is asynchronous.
   const LogAddress boundary = log_.tail();
   read_only_address_.store(boundary, std::memory_order_release);
   version_.store(target_version, std::memory_order_release);
+  const uint64_t enqueue_us = NowMicros();
   {
     std::lock_guard<std::mutex> guard(flush_mu_);
     flush_queue_.push_back(
-        FlushRequest{token, boundary, std::move(on_persist)});
+        FlushRequest{token, boundary, std::move(on_persist), enqueue_us});
+    Metrics().flush_queue_depth->Set(
+        static_cast<int64_t>(flush_queue_.size()));
   }
   flush_cv_.notify_all();
+  Metrics().checkpoints_stamped->Add();
+  Metrics().stamp_us->Record(enqueue_us - start_us);
   if (out_token != nullptr) *out_token = token;
   return Status::OK();
 }
@@ -339,8 +371,11 @@ void FasterStore::FlushLoop() {
       if (stop_flush_ && flush_queue_.empty()) return;
       req = std::move(flush_queue_.front());
       flush_queue_.pop_front();
+      Metrics().flush_queue_depth->Set(
+          static_cast<int64_t>(flush_queue_.size()));
       flush_in_progress_ = true;
     }
+    const uint64_t flush_start_us = NowMicros();
     const LogAddress from = flushed_until_.load(std::memory_order_acquire);
     Status s = Status::OK();
     if (req.boundary > from) s = FlushRange(from, req.boundary);
@@ -354,7 +389,14 @@ void FasterStore::FlushLoop() {
       if (req.boundary > from) {
         flushed_until_.store(req.boundary, std::memory_order_release);
       }
+      const uint64_t done_us = NowMicros();
+      Metrics().checkpoints_flushed->Add();
+      Metrics().flush_us->Record(done_us - flush_start_us);
+      if (req.enqueue_us != 0 && done_us > req.enqueue_us) {
+        Metrics().stamp_to_durable_us->Record(done_us - req.enqueue_us);
+      }
     } else {
+      Metrics().flush_failures->Add();
       DPR_ERROR("checkpoint v%llu flush failed: %s",
                 static_cast<unsigned long long>(req.token),
                 s.ToString().c_str());

@@ -137,6 +137,8 @@ class FasterStore : public StateObject {
     Version token;
     LogAddress boundary;
     PersistCallback callback;
+    /// Enqueue time, for the stamp→durable checkpoint-latency histogram.
+    uint64_t enqueue_us = 0;
   };
 
   Status ReadInternal(uint64_t key, std::string* out_str, uint64_t* out_int);

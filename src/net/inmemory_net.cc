@@ -7,8 +7,29 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "fault/fault_plane.h"
+#include "obs/metrics.h"
 
 namespace dpr {
+
+namespace {
+
+struct InMemNetMetrics {
+  Counter* requests;
+  Gauge* queue_depth;
+  Gauge* queue_peak;
+};
+
+const InMemNetMetrics& Metrics() {
+  static const InMemNetMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Default();
+    return InMemNetMetrics{r.counter("net.inmemory.requests"),
+                           r.gauge("net.inmemory.queue_depth"),
+                           r.gauge("net.inmemory.queue_peak")};
+  }();
+  return m;
+}
+
+}  // namespace
 
 Status RpcConnection::Call(Slice request, std::string* response) {
   std::promise<Status> done;
@@ -77,9 +98,13 @@ class InMemoryNetwork::Server : public RpcServer {
       if (running_ && !stop_) {
         queue_.push_back(Item{std::move(request), std::move(callback),
                               deliver_at_us});
+        const auto depth = static_cast<int64_t>(queue_.size());
+        Metrics().queue_depth->Set(depth);
+        Metrics().queue_peak->UpdateMax(depth);
         accepted = true;
       }
     }
+    Metrics().requests->Add();
     if (!accepted) {
       callback(Status::Unavailable("server not running"), Slice());
       return;
@@ -104,6 +129,7 @@ class InMemoryNetwork::Server : public RpcServer {
         if (stop_) return;
         item = std::move(queue_.front());
         queue_.pop_front();
+        Metrics().queue_depth->Set(static_cast<int64_t>(queue_.size()));
       }
       // Injected one-way latency: wait out the remaining delivery delay.
       const uint64_t now = NowMicros();

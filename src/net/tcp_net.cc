@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -19,6 +20,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "fault/fault_plane.h"
+#include "obs/metrics.h"
 
 namespace dpr {
 
@@ -46,43 +48,117 @@ Status MapSocketError(const char* op, int err) {
   }
 }
 
-Status ReadFully(int fd, void* buf, size_t n) {
+// Call-site-cached registry pointers: one registration per process, relaxed
+// atomics after that.
+struct TcpCounters {
+  Counter* frames_sent;
+  Counter* frames_received;
+  Counter* short_writes;
+  Counter* eagain_waits;
+  Counter* poisoned;
+};
+
+const TcpCounters& Stats() {
+  static const TcpCounters counters = [] {
+    MetricsRegistry& r = MetricsRegistry::Default();
+    return TcpCounters{r.counter("net.tcp.frames_sent"),
+                       r.counter("net.tcp.frames_received"),
+                       r.counter("net.tcp.short_writes"),
+                       r.counter("net.tcp.eagain_waits"),
+                       r.counter("net.tcp.poisoned")};
+  }();
+  return counters;
+}
+
+// Blocks until `fd` is ready for `events` (POLLIN/POLLOUT). POLLERR/POLLHUP
+// fall through as success so the next recv/send reports the real errno.
+Status AwaitReady(int fd, short events) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = events;
+  for (;;) {
+    const int rc = poll(&pfd, 1, /*timeout_ms=*/-1);
+    if (rc > 0) return Status::OK();
+    if (rc < 0 && errno != EINTR) return MapSocketError("poll", errno);
+  }
+}
+
+Status ReadFully(int fd, void* buf, size_t n, size_t* transferred = nullptr) {
   char* p = static_cast<char*>(buf);
-  while (n > 0) {
-    const ssize_t got = recv(fd, p, n, 0);
-    if (got == 0) return Status::Transient("connection closed");
-    if (got < 0) {
-      if (errno == EINTR) continue;
-      return MapSocketError("recv", errno);
+  size_t done = 0;
+  Status result;
+  while (done < n) {
+    const ssize_t got = recv(fd, p + done, n - done, 0);
+    if (got > 0) {
+      done += static_cast<size_t>(got);
+      continue;
     }
-    p += got;
-    n -= static_cast<size_t>(got);
+    if (got == 0) {
+      result = Status::Transient("connection closed");
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Non-blocking fd with an empty receive buffer mid-message: wait for
+      // readability instead of surfacing a desynchronizing error.
+      Stats().eagain_waits->Add();
+      result = AwaitReady(fd, POLLIN);
+      if (!result.ok()) break;
+      continue;
+    }
+    result = MapSocketError("recv", errno);
+    break;
   }
-  return Status::OK();
+  if (transferred != nullptr) *transferred = done;
+  return result;
 }
 
-Status WriteFully(int fd, const void* buf, size_t n) {
+Status WriteFully(int fd, const void* buf, size_t n,
+                  size_t* transferred = nullptr) {
   const char* p = static_cast<const char*>(buf);
-  while (n > 0) {
-    const ssize_t sent = send(fd, p, n, MSG_NOSIGNAL);
-    if (sent < 0) {
-      if (errno == EINTR) continue;
-      return MapSocketError("send", errno);
+  size_t done = 0;
+  Status result;
+  while (done < n) {
+    const ssize_t sent = send(fd, p + done, n - done, MSG_NOSIGNAL);
+    if (sent >= 0) {
+      if (static_cast<size_t>(sent) < n - done) Stats().short_writes->Add();
+      done += static_cast<size_t>(sent);
+      continue;
     }
-    p += sent;
-    n -= static_cast<size_t>(sent);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // A full send buffer (small SO_SNDBUF, slow reader) is not an error:
+      // aborting here would tear the frame and desync the length-prefixed
+      // stream for every later frame on this connection.
+      Stats().eagain_waits->Add();
+      result = AwaitReady(fd, POLLOUT);
+      if (!result.ok()) break;
+      continue;
+    }
+    result = MapSocketError("send", errno);
+    break;
   }
-  return Status::OK();
+  if (transferred != nullptr) *transferred = done;
+  return result;
 }
 
-Status WriteFrame(int fd, std::mutex& write_mu, uint64_t id, Slice payload) {
+// Writes one frame under the connection's write mutex. On failure,
+// `*mid_frame` reports whether bytes already hit the wire: a torn frame
+// means the peer's stream position is corrupt and the connection must be
+// poisoned, while a clean zero-byte failure leaves the stream aligned.
+Status WriteFrame(int fd, std::mutex& write_mu, uint64_t id, Slice payload,
+                  bool* mid_frame = nullptr) {
   std::string frame;
   frame.reserve(kFrameHeader + payload.size());
   PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
   PutFixed64(&frame, id);
   frame.append(payload.data(), payload.size());
   std::lock_guard<std::mutex> guard(write_mu);
-  return WriteFully(fd, frame.data(), frame.size());
+  size_t written = 0;
+  Status s = WriteFully(fd, frame.data(), frame.size(), &written);
+  if (mid_frame != nullptr) *mid_frame = !s.ok() && written > 0;
+  if (s.ok()) Stats().frames_sent->Add();
+  return s;
 }
 
 Status ReadFrame(int fd, uint64_t* id, std::string* payload) {
@@ -92,6 +168,7 @@ Status ReadFrame(int fd, uint64_t* id, std::string* payload) {
   *id = DecodeFixed64(header + 4);
   payload->resize(len);
   if (len > 0) DPR_RETURN_NOT_OK(ReadFully(fd, payload->data(), len));
+  Stats().frames_received->Add();
   return Status::OK();
 }
 
@@ -242,14 +319,21 @@ class TcpConnection : public RpcConnection {
       std::lock_guard<std::mutex> guard(pending_mu_);
       pending_[id] = std::move(callback);
     }
+    bool mid_frame = false;
     if (duplicate) {
       // Retransmit with the same id: the server handles the frame twice,
       // the first response resolves the call, and ReadLoop drops the loser
       // (unknown ids are ignored), exactly like a duplicated datagram.
-      (void)WriteFrame(fd_, write_mu_, id, Slice(request));
+      (void)WriteFrame(fd_, write_mu_, id, Slice(request), &mid_frame);
+      if (mid_frame) Poison();
     }
-    Status s = WriteFrame(fd_, write_mu_, id, Slice(request));
+    Status s = WriteFrame(fd_, write_mu_, id, Slice(request), &mid_frame);
     if (!s.ok()) {
+      // A frame torn partway through leaves the server reading our next
+      // header out of the middle of this payload; nothing sent afterwards
+      // would parse. Kill the socket so ReadLoop fails every pending call
+      // instead of silently desynchronizing.
+      if (mid_frame) Poison();
       ResponseCallback cb;
       {
         std::lock_guard<std::mutex> guard(pending_mu_);
@@ -264,6 +348,11 @@ class TcpConnection : public RpcConnection {
   }
 
  private:
+  void Poison() {
+    Stats().poisoned->Add();
+    shutdown(fd_, SHUT_RDWR);
+  }
+
   void ReadLoop() {
     std::string payload;
     uint64_t id = 0;
@@ -339,5 +428,17 @@ Status ConnectTcp(const std::string& address,
   *out = std::make_unique<TcpConnection>(fd, address);
   return Status::OK();
 }
+
+namespace internal {
+
+Status TcpReadFully(int fd, void* buf, size_t n, size_t* transferred) {
+  return ReadFully(fd, buf, n, transferred);
+}
+
+Status TcpWriteFully(int fd, const void* buf, size_t n, size_t* transferred) {
+  return WriteFully(fd, buf, n, transferred);
+}
+
+}  // namespace internal
 
 }  // namespace dpr

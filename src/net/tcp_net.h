@@ -1,6 +1,7 @@
 #ifndef DPR_NET_TCP_NET_H_
 #define DPR_NET_TCP_NET_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -21,6 +22,23 @@ std::unique_ptr<RpcServer> MakeTcpServer(uint16_t port = 0);
 /// Connects to "host:port" as produced by RpcServer::address().
 Status ConnectTcp(const std::string& address,
                   std::unique_ptr<RpcConnection>* out);
+
+namespace internal {
+
+/// Loop primitives under the framing layer, exposed for regression tests
+/// (tests/tcp_partial_write_test.cc drives them over a socketpair with a
+/// tiny SO_SNDBUF). Both retry EINTR, and block on poll() when a
+/// non-blocking fd reports EAGAIN/EWOULDBLOCK, so a short transfer never
+/// surfaces as an error. `transferred` (optional) reports bytes moved
+/// before any failure — the framing layer uses it to detect a torn frame,
+/// which must poison the connection (a length-prefixed stream cannot
+/// resynchronize mid-frame).
+Status TcpReadFully(int fd, void* buf, size_t n,
+                    size_t* transferred = nullptr);
+Status TcpWriteFully(int fd, const void* buf, size_t n,
+                     size_t* transferred = nullptr);
+
+}  // namespace internal
 
 }  // namespace dpr
 

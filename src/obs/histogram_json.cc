@@ -1,0 +1,61 @@
+#include "obs/histogram_json.h"
+
+#include "obs/json.h"
+
+namespace dpr {
+
+void HistogramToJson(const Histogram& h, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("count").UInt(h.count());
+  w->Key("sum").UInt(h.sum());
+  w->Key("min").UInt(h.count() == 0 ? 0 : h.min());
+  w->Key("max").UInt(h.max());
+  w->Key("mean").Double(h.Mean());
+  w->Key("p50").UInt(h.Percentile(50));
+  w->Key("p90").UInt(h.Percentile(90));
+  w->Key("p99").UInt(h.Percentile(99));
+  w->Key("p999").UInt(h.Percentile(99.9));
+  w->Key("buckets").BeginArray();
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    const uint64_t n = h.bucket_count(i);
+    if (n == 0) continue;
+    w->BeginArray().Int(i).UInt(n).EndArray();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+Status HistogramFromJson(const JsonValue& v, Histogram* out) {
+  out->Reset();
+  if (!v.is_object()) return Status::Corruption("histogram: not an object");
+  const JsonValue* count = v.Find("count");
+  const JsonValue* sum = v.Find("sum");
+  const JsonValue* min = v.Find("min");
+  const JsonValue* max = v.Find("max");
+  const JsonValue* buckets = v.Find("buckets");
+  if (count == nullptr || !count->is_number() || sum == nullptr ||
+      !sum->is_number() || min == nullptr || !min->is_number() ||
+      max == nullptr || !max->is_number() || buckets == nullptr ||
+      !buckets->is_array()) {
+    return Status::Corruption("histogram: missing field");
+  }
+  if (count->uint_value() == 0) return Status::OK();
+
+  uint64_t counts[Histogram::kNumBuckets] = {};
+  for (const JsonValue& entry : buckets->array()) {
+    if (!entry.is_array() || entry.array().size() != 2 ||
+        !entry.array()[0].is_number() || !entry.array()[1].is_number()) {
+      return Status::Corruption("histogram: bad bucket entry");
+    }
+    const uint64_t index = entry.array()[0].uint_value();
+    if (index >= static_cast<uint64_t>(Histogram::kNumBuckets)) {
+      return Status::Corruption("histogram: bucket index out of range");
+    }
+    counts[index] += entry.array()[1].uint_value();
+  }
+  out->AbsorbCounts(counts, Histogram::kNumBuckets, count->uint_value(),
+                    sum->uint_value(), min->uint_value(), max->uint_value());
+  return Status::OK();
+}
+
+}  // namespace dpr

@@ -1,0 +1,27 @@
+#ifndef DPR_OBS_HISTOGRAM_JSON_H_
+#define DPR_OBS_HISTOGRAM_JSON_H_
+
+#include "common/histogram.h"
+#include "common/status.h"
+
+namespace dpr {
+
+class JsonWriter;
+class JsonValue;
+
+/// Serializes `h` as
+///   {"count":..., "sum":..., "min":..., "max":..., "mean":...,
+///    "p50":..., "p90":..., "p99":..., "p999":...,
+///    "buckets": [[bucket_index, count], ...]}   (sparse, nonzero only)
+/// The bucket array plus count/sum/min/max is lossless w.r.t. the
+/// log-bucketed representation: HistogramFromJson reconstructs a Histogram
+/// that merges and reports percentiles identically.
+void HistogramToJson(const Histogram& h, JsonWriter* w);
+
+/// Inverse of HistogramToJson. Derived fields (mean, percentiles) in the
+/// input are ignored; they are recomputed from the buckets.
+Status HistogramFromJson(const JsonValue& v, Histogram* out);
+
+}  // namespace dpr
+
+#endif  // DPR_OBS_HISTOGRAM_JSON_H_

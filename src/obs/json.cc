@@ -1,0 +1,334 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace dpr {
+
+// ----------------------------------------------------------------- writer
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // the key already emitted the separating colon
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) out_ += ',';
+    first_.back() = false;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  DPR_CHECK(!first_.empty());
+  first_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  DPR_CHECK(!first_.empty());
+  first_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  DPR_CHECK(!after_key_);
+  if (!first_.empty()) {
+    if (!first_.back()) out_ += ',';
+    first_.back() = false;
+  }
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  DPR_CHECK_MSG(first_.empty() && !after_key_,
+                "JsonWriter: unbalanced scopes or dangling key");
+  return out_;
+}
+
+std::string JsonWriter::Escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through
+        }
+    }
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- parser
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Status Parse(JsonValue* out) {
+    DPR_RETURN_NOT_OK(ParseValue(out));
+    SkipSpace();
+    if (pos_ != text_.size()) return Error("trailing characters");
+    return Status::OK();
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    return Status::Corruption("json: " + msg + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) return Error(std::string("expected '") + c + "'");
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"':
+        out->type_ = JsonValue::Type::kString;
+        return ParseString(&out->string_);
+      case 't':
+      case 'f': return ParseLiteral(out);
+      case 'n': return ParseLiteral(out);
+      default: return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(JsonValue* out) {
+    auto match = [&](std::string_view lit) {
+      if (text_.substr(pos_, lit.size()) != lit) return false;
+      pos_ += lit.size();
+      return true;
+    };
+    if (match("true")) {
+      out->type_ = JsonValue::Type::kBool;
+      out->bool_ = true;
+      return Status::OK();
+    }
+    if (match("false")) {
+      out->type_ = JsonValue::Type::kBool;
+      out->bool_ = false;
+      return Status::OK();
+    }
+    if (match("null")) {
+      out->type_ = JsonValue::Type::kNull;
+      return Status::OK();
+    }
+    return Error("bad literal");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    bool integral = true;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Error("bad number");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out->type_ = JsonValue::Type::kNumber;
+    out->number_ = strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("bad number");
+    if (integral && token[0] != '-') {
+      out->uint_ = strtoull(token.c_str(), nullptr, 10);
+    } else {
+      out->uint_ = static_cast<uint64_t>(out->number_);
+    }
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    DPR_RETURN_NOT_OK(Expect('"'));
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+          const std::string hex(text_.substr(pos_, 4));
+          pos_ += 4;
+          const long cp = strtol(hex.c_str(), nullptr, 16);
+          if (cp < 0x80) {
+            out->push_back(static_cast<char>(cp));
+          } else {
+            out->push_back('?');  // non-ASCII escapes are not round-tripped
+          }
+          break;
+        }
+        default: return Error("bad escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseArray(JsonValue* out) {
+    DPR_RETURN_NOT_OK(Expect('['));
+    out->type_ = JsonValue::Type::kArray;
+    if (Consume(']')) return Status::OK();
+    for (;;) {
+      JsonValue element;
+      DPR_RETURN_NOT_OK(ParseValue(&element));
+      out->array_.push_back(std::move(element));
+      if (Consume(']')) return Status::OK();
+      DPR_RETURN_NOT_OK(Expect(','));
+    }
+  }
+
+  Status ParseObject(JsonValue* out) {
+    DPR_RETURN_NOT_OK(Expect('{'));
+    out->type_ = JsonValue::Type::kObject;
+    if (Consume('}')) return Status::OK();
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      DPR_RETURN_NOT_OK(ParseString(&key));
+      DPR_RETURN_NOT_OK(Expect(':'));
+      JsonValue value;
+      DPR_RETURN_NOT_OK(ParseValue(&value));
+      out->object_.emplace(std::move(key), std::move(value));
+      if (Consume('}')) return Status::OK();
+      DPR_RETURN_NOT_OK(Expect(','));
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Status JsonValue::Parse(std::string_view text, JsonValue* out) {
+  *out = JsonValue();
+  return JsonParser(text).Parse(out);
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+}  // namespace dpr

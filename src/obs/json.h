@@ -1,0 +1,91 @@
+#ifndef DPR_OBS_JSON_H_
+#define DPR_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpr {
+
+/// Minimal streaming JSON serializer for metrics snapshots and bench
+/// artifacts. Scope-aware: commas and key/value colons are inserted
+/// automatically; the caller is responsible for balanced Begin/End calls
+/// (DPR_CHECKed in str()).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Object member key; must be followed by exactly one value (or scope).
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  /// Non-finite doubles serialize as null (JSON has no NaN/Inf).
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// Finished document. Dies if scopes are unbalanced.
+  const std::string& str() const;
+
+  static std::string Escape(std::string_view raw);
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One entry per open scope: true until the first element is emitted.
+  std::vector<bool> first_;
+  bool after_key_ = false;
+};
+
+/// Parsed JSON document node. The parser accepts the subset JsonWriter
+/// emits (strict JSON, UTF-8 passthrough, \uXXXX escapes decoded only for
+/// ASCII) — enough for artifact validation and golden tests without an
+/// external dependency.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  static Status Parse(std::string_view text, JsonValue* out);
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  /// Exact unsigned value when the literal was integral and in range;
+  /// otherwise a truncation of number().
+  uint64_t uint_value() const { return uint_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::map<std::string, JsonValue>& object() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+ private:
+  friend class JsonParser;
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  uint64_t uint_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+}  // namespace dpr
+
+#endif  // DPR_OBS_JSON_H_

@@ -1,0 +1,146 @@
+#include "obs/metrics.h"
+
+#include "common/clock.h"
+#include "obs/histogram_json.h"
+#include "obs/json.h"
+
+namespace dpr {
+
+ShardedHistogram::ShardedHistogram()
+    : shards_(std::make_unique<Shard[]>(kShards)) {}
+
+uint32_t ShardedHistogram::ThreadShard() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+void ShardedHistogram::SnapshotInto(Histogram* out) const {
+  out->Reset();
+  uint64_t counts[Histogram::kNumBuckets];
+  for (uint32_t s = 0; s < kShards; ++s) {
+    const Shard& shard = shards_[s];
+    const uint64_t count = shard.count.load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      counts[i] = shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    out->AbsorbCounts(counts, Histogram::kNumBuckets, count,
+                      shard.sum.load(std::memory_order_relaxed),
+                      shard.min.load(std::memory_order_relaxed),
+                      shard.max.load(std::memory_order_relaxed));
+  }
+}
+
+Histogram ShardedHistogram::Snapshot() const {
+  Histogram h;
+  SnapshotInto(&h);
+  return h;
+}
+
+uint64_t ShardedHistogram::count() const {
+  uint64_t total = 0;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    total += shards_[s].count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void ShardedHistogram::ResetForTest() {
+  for (uint32_t s = 0; s < kShards; ++s) {
+    Shard& shard = shards_[s];
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      shard.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+    shard.min.store(~0ull, std::memory_order_relaxed);
+    shard.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+void MetricsSnapshot::SubtractCounters(const MetricsSnapshot& base) {
+  for (auto& [name, value] : counters) {
+    auto it = base.counters.find(name);
+    if (it != base.counters.end() && it->second <= value) {
+      value -= it->second;
+    }
+  }
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("taken_us").UInt(taken_us);
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : counters) w.Key(name).UInt(value);
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, value] : gauges) w.Key(name).Int(value);
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms) {
+    w.Key(name);
+    HistogramToJson(h, &w);
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dies
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+ShardedHistogram* MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<ShardedHistogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.taken_us = NowMicros();
+  std::lock_guard<std::mutex> guard(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    h->SnapshotInto(&snap.histograms[name]);
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto& [name, c] : counters_) c->ResetForTest();
+  for (auto& [name, g] : gauges_) g->ResetForTest();
+  for (auto& [name, h] : histograms_) h->ResetForTest();
+}
+
+}  // namespace dpr

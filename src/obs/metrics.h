@@ -1,0 +1,149 @@
+#ifndef DPR_OBS_METRICS_H_
+#define DPR_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/histogram.h"
+
+namespace dpr {
+
+/// Monotone event counter. All mutation is a single relaxed fetch_add, so
+/// counters may sit directly on hot paths (batch admission, op completion).
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time signed gauge (queue depths, live-entry counts, lags).
+/// Relaxed atomics only: readers (snapshots, the harness) may observe any
+/// recent value but never tear or race.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  /// Raises the gauge to at least `v` (peak tracking).
+  void UpdateMax(int64_t v) {
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Concurrent latency histogram: per-thread-sharded atomic buckets merged
+/// only at snapshot time. Record() takes no lock — threads are spread
+/// round-robin over kShards cache-line-aligned shards, and every shard field
+/// is a relaxed atomic, so two threads sharing a shard (> kShards recording
+/// threads) still race benignly. Snapshot() folds the shards into a plain
+/// Histogram; concurrent with recording it is a fuzzy-but-consistent-enough
+/// observability view (counts and buckets may differ by in-flight records).
+class ShardedHistogram {
+ public:
+  static constexpr uint32_t kShards = 16;
+
+  ShardedHistogram();
+
+  void Record(uint64_t value_us) {
+    Shard& s = shards_[ThreadShard()];
+    s.buckets[Histogram::BucketFor(value_us)].fetch_add(
+        1, std::memory_order_relaxed);
+    s.sum.fetch_add(value_us, std::memory_order_relaxed);
+    uint64_t seen = s.min.load(std::memory_order_relaxed);
+    while (value_us < seen && !s.min.compare_exchange_weak(
+                                  seen, value_us, std::memory_order_relaxed)) {
+    }
+    seen = s.max.load(std::memory_order_relaxed);
+    while (value_us > seen && !s.max.compare_exchange_weak(
+                                  seen, value_us, std::memory_order_relaxed)) {
+    }
+    // Count last: a snapshot that sees the count sees the bucket too, or is
+    // at worst one record fuzzy — never structurally inconsistent.
+    s.count.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Merges all shards into `out` (which is Reset first).
+  void SnapshotInto(Histogram* out) const;
+  Histogram Snapshot() const;
+  uint64_t count() const;
+  void ResetForTest();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> buckets[Histogram::kNumBuckets] = {};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> min{~0ull};
+    std::atomic<uint64_t> max{0};
+  };
+
+  /// Stable per-thread shard index, assigned round-robin on first use.
+  static uint32_t ThreadShard();
+
+  std::unique_ptr<Shard[]> shards_;
+};
+
+/// A consistent-at-a-point copy of every registered metric, suitable for
+/// diffing (benches) and serializing (JsonWriter / BenchArtifact).
+struct MetricsSnapshot {
+  uint64_t taken_us = 0;  // monotonic clock
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, Histogram> histograms;
+
+  /// Subtracts `base`'s counters (gauges and histograms are left absolute):
+  /// the per-run delta view benches print.
+  void SubtractCounters(const MetricsSnapshot& base);
+
+  /// {"taken_us":..., "counters":{...}, "gauges":{...},
+  ///  "histograms":{name:{count,sum,min,max,mean,p50,...,buckets:[[i,n]..]}}}
+  std::string ToJson() const;
+};
+
+/// Process-wide registry of named metrics. Registration (name lookup) takes
+/// a mutex and is meant to happen once per call site — hot paths cache the
+/// returned pointer, which stays valid for the registry's lifetime (metrics
+/// are never removed). Names are dotted paths, e.g. "dpr.session.op_commit_us".
+class MetricsRegistry {
+ public:
+  /// The process-global default registry every subsystem publishes to.
+  static MetricsRegistry& Default();
+
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  ShardedHistogram* histogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric in place; registered pointers stay
+  /// valid. Tests and benches isolate themselves with this — production
+  /// code never resets.
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<ShardedHistogram>, std::less<>>
+      histograms_;
+};
+
+}  // namespace dpr
+
+#endif  // DPR_OBS_METRICS_H_

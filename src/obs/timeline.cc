@@ -1,0 +1,70 @@
+#include "obs/timeline.h"
+
+#include "obs/json.h"
+
+namespace dpr {
+
+void Timeline::Record(std::string_view series, double value,
+                      std::string_view label) {
+  RecordAt(series, clock_.ElapsedSeconds(), value, label);
+}
+
+void Timeline::RecordAt(std::string_view series, double t_seconds,
+                        double value, std::string_view label) {
+  TimelineEvent ev;
+  ev.t_seconds = t_seconds;
+  ev.series = std::string(series);
+  ev.value = value;
+  ev.label = std::string(label);
+  std::lock_guard<std::mutex> guard(mu_);
+  events_.push_back(std::move(ev));
+}
+
+void Timeline::Mark(std::string_view series, std::string_view label) {
+  Record(series, 1.0, label);
+}
+
+std::vector<TimelineEvent> Timeline::events() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return events_;
+}
+
+bool Timeline::empty() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return events_.empty();
+}
+
+void Timeline::WriteSeriesJson(JsonWriter* w) const {
+  const std::vector<TimelineEvent> events = this->events();
+  // Distinct series names, ordered by first appearance.
+  std::vector<std::string> names;
+  for (const TimelineEvent& ev : events) {
+    bool known = false;
+    for (const std::string& n : names) {
+      if (n == ev.series) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) names.push_back(ev.series);
+  }
+  w->BeginArray();
+  for (const std::string& name : names) {
+    w->BeginObject();
+    w->Key("name").String(name);
+    w->Key("points").BeginArray();
+    for (const TimelineEvent& ev : events) {
+      if (ev.series != name) continue;
+      w->BeginObject();
+      w->Key("x").Double(ev.t_seconds);
+      w->Key("y").Double(ev.value);
+      if (!ev.label.empty()) w->Key("label").String(ev.label);
+      w->EndObject();
+    }
+    w->EndArray();
+    w->EndObject();
+  }
+  w->EndArray();
+}
+
+}  // namespace dpr

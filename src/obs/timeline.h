@@ -1,0 +1,61 @@
+#ifndef DPR_OBS_TIMELINE_H_
+#define DPR_OBS_TIMELINE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace dpr {
+
+class JsonWriter;
+
+/// One sample on a named series: (t_seconds since the timeline's origin,
+/// value), with an optional label for discrete events ("crash worker 1").
+struct TimelineEvent {
+  double t_seconds = 0;
+  std::string series;
+  double value = 0;
+  std::string label;
+};
+
+/// Multi-series event recorder for timeline experiments (Fig. 16-style
+/// throughput-over-time plots, chaos fault logs, recovery phase marks).
+/// Generalizes the bench harness's fixed {completed,committed,aborted}
+/// sampler: any number of named series, interleaved with point events,
+/// serialized as the artifact's `series[]`. Mutex-guarded — samplers run at
+/// interval granularity, never on the op hot path.
+class Timeline {
+ public:
+  Timeline() = default;
+
+  /// Records `value` on `series` at the current elapsed time.
+  void Record(std::string_view series, double value,
+              std::string_view label = {});
+  /// Records at an explicit timestamp (samplers that already track time).
+  void RecordAt(std::string_view series, double t_seconds, double value,
+                std::string_view label = {});
+  /// Marks a discrete event (value 1) — fault injections, phase changes.
+  void Mark(std::string_view series, std::string_view label = {});
+
+  double ElapsedSeconds() const { return clock_.ElapsedSeconds(); }
+  std::vector<TimelineEvent> events() const;
+  bool empty() const;
+
+  /// Emits the artifact `series[]` value: one object per distinct series,
+  /// `{"name": ..., "points": [{"x": seconds, "y": v, "label"?: ...}, ...]}`,
+  /// series ordered by first appearance.
+  void WriteSeriesJson(JsonWriter* w) const;
+
+ private:
+  Stopwatch clock_;
+  mutable std::mutex mu_;
+  std::vector<TimelineEvent> events_;
+};
+
+}  // namespace dpr
+
+#endif  // DPR_OBS_TIMELINE_H_

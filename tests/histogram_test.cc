@@ -1,0 +1,166 @@
+// Pins the exact percentile semantics of Histogram against a sorted-vector
+// oracle: nearest-rank (value at 1-based rank ceil(p/100 * count)), with
+// p = 0 answering the exact minimum and p = 100 the exact maximum. Also pins
+// the Merge/AbsorbCounts edge case where an empty side's min_ sentinel (and
+// zero max_) must not leak. The pre-fix code failed all three: p = 0
+// returned the first occupied bucket's upper bound, and the `+0.5` cast
+// rounded ranks to nearest instead of up (p = 54 over 10 samples answered
+// rank 5, not 6).
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dpr {
+namespace {
+
+/// Nearest-rank oracle over the raw samples. The histogram quantizes values
+/// into buckets, so it may answer up to one bucket width above the oracle —
+/// bound that error precisely per value instead of asserting equality.
+uint64_t OracleRank(std::vector<uint64_t> sorted, double p) {
+  if (sorted.empty()) return 0;
+  if (p <= 0.0) return sorted.front();
+  if (p >= 100.0) return sorted.back();
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  rank = std::clamp<uint64_t>(rank, 1, sorted.size());
+  return sorted[rank - 1];
+}
+
+/// The largest value the histogram may legitimately report for `value`: the
+/// upper bound of the bucket the value lands in.
+uint64_t BucketCeil(uint64_t value) {
+  return Histogram::BucketUpperBound(Histogram::BucketFor(value));
+}
+
+TEST(HistogramOracleTest, ExactSmallValuesMatchOracleExactly) {
+  // Values < 32 get one bucket each, so the histogram must agree with the
+  // oracle exactly at every integer percentile.
+  Histogram h;
+  std::vector<uint64_t> samples = {3, 1, 4, 1, 5, 9, 2, 6, 5, 30};
+  for (uint64_t v : samples) h.Record(v);
+  std::sort(samples.begin(), samples.end());
+  for (int p = 0; p <= 100; ++p) {
+    EXPECT_EQ(h.Percentile(p), OracleRank(samples, p)) << "p=" << p;
+  }
+}
+
+TEST(HistogramOracleTest, RankRoundsUpNotToNearest) {
+  // Ten distinct one-per-bucket values. p=54 -> rank ceil(5.4) = 6 -> value
+  // 6. The pre-fix +0.5 cast computed rank 5 and answered 5.
+  Histogram h;
+  for (uint64_t v = 1; v <= 10; ++v) h.Record(v);
+  EXPECT_EQ(h.Percentile(54), 6u);
+  EXPECT_EQ(h.Percentile(50), 5u);
+  EXPECT_EQ(h.Percentile(51), 6u);
+  // Tiny p must clamp to rank 1 (pre-fix: rank 0, skipping to the first
+  // occupied bucket regardless of its position).
+  EXPECT_EQ(h.Percentile(0.001), 1u);
+}
+
+TEST(HistogramOracleTest, PZeroIsExactMinimum) {
+  Histogram h;
+  h.Record(1000);
+  h.Record(2000);
+  // 1000 lands in a bucket whose upper bound is above 1000; p=0 must answer
+  // the recorded minimum, not that bound (pre-fix: 1023).
+  ASSERT_GT(BucketCeil(1000), 1000u);
+  EXPECT_EQ(h.Percentile(0), 1000u);
+  EXPECT_EQ(h.min(), 1000u);
+}
+
+TEST(HistogramOracleTest, PHundredIsExactMaximum) {
+  Histogram h;
+  h.Record(1000);
+  h.Record(123456);
+  EXPECT_EQ(h.Percentile(100), 123456u);
+  EXPECT_EQ(h.Percentile(100.0 + 1e-9), 123456u);
+}
+
+TEST(HistogramOracleTest, LargeValuesWithinOneBucketOfOracle) {
+  Histogram h;
+  Random rng(42);
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.Uniform(1 << 20);
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double p : {0.0, 0.1, 1.0, 25.0, 50.0, 54.0, 90.0, 99.0, 99.9, 100.0}) {
+    const uint64_t oracle = OracleRank(samples, p);
+    const uint64_t got = h.Percentile(p);
+    EXPECT_GE(got, oracle) << "p=" << p;
+    EXPECT_LE(got, BucketCeil(oracle)) << "p=" << p;
+  }
+}
+
+TEST(HistogramOracleTest, MergeEmptyOtherIsNoOp) {
+  Histogram h;
+  h.Record(7);
+  h.Record(5000);
+  Histogram empty;
+  h.Merge(empty);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 7u);
+  EXPECT_EQ(h.max(), 5000u);
+  EXPECT_EQ(h.Percentile(0), 7u);
+  EXPECT_EQ(h.Percentile(100), 5000u);
+}
+
+TEST(HistogramOracleTest, MergeIntoEmptyAdoptsOther) {
+  Histogram h;
+  Histogram other;
+  other.Record(11);
+  other.Record(13);
+  h.Merge(other);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 11u);
+  EXPECT_EQ(h.max(), 13u);
+  EXPECT_EQ(h.sum(), 24u);
+}
+
+TEST(HistogramOracleTest, AbsorbCountsIgnoresEmptyShard) {
+  Histogram h;
+  h.Record(100);
+  // An idle ShardedHistogram shard: zero counts, min sentinel, zero max.
+  std::vector<uint64_t> zeros(Histogram::kNumBuckets, 0);
+  h.AbsorbCounts(zeros.data(), Histogram::kNumBuckets, /*count=*/0,
+                 /*sum=*/0, /*min=*/~0ull, /*max=*/0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 100u);
+}
+
+TEST(HistogramOracleTest, AbsorbCountsRoundTripsMerge) {
+  // AbsorbCounts over raw buckets must agree with Merge over the object.
+  Histogram a;
+  Histogram b;
+  Random rng(7);
+  for (int i = 0; i < 500; ++i) a.Record(rng.Uniform(100000));
+  for (int i = 0; i < 300; ++i) b.Record(1 + rng.Uniform(1000));
+  Histogram via_merge = a;
+  via_merge.Merge(b);
+  Histogram via_absorb = a;
+  std::vector<uint64_t> counts(Histogram::kNumBuckets);
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    counts[i] = b.bucket_count(i);
+  }
+  via_absorb.AbsorbCounts(counts.data(), Histogram::kNumBuckets, b.count(),
+                          b.sum(), b.min(), b.max());
+  EXPECT_EQ(via_merge.count(), via_absorb.count());
+  EXPECT_EQ(via_merge.sum(), via_absorb.sum());
+  EXPECT_EQ(via_merge.min(), via_absorb.min());
+  EXPECT_EQ(via_merge.max(), via_absorb.max());
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(via_merge.Percentile(p), via_absorb.Percentile(p)) << p;
+  }
+}
+
+}  // namespace
+}  // namespace dpr

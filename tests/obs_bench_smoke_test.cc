@@ -1,0 +1,90 @@
+// End-to-end --json_out smoke: runs a real bench binary in quick mode and
+// validates the artifact it writes — it must parse, carry the
+// {bench, config, series[], histograms{}} schema, and its histograms must
+// round-trip through the JSON codec. The binary path is injected by CMake
+// ($<TARGET_FILE:bench_fig13_tradeoff>).
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/histogram.h"
+#include "gtest/gtest.h"
+#include "obs/histogram_json.h"
+#include "obs/json.h"
+
+namespace dpr {
+namespace {
+
+TEST(ObsBenchSmokeTest, QuickBenchEmitsValidArtifact) {
+  const std::string dir = ::testing::TempDir() + "obs_smoke_" +
+                          std::to_string(::getpid());
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  const std::string cmd =
+      std::string(DPR_SMOKE_BENCH_PATH) +
+      " --quick=true --duration_ms=250 --num_keys=5000 --client_threads=1"
+      " --json_out=" + dir + " > /dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  const std::string path = dir + "/BENCH_fig13_tradeoff.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonValue::Parse(buf.str(), &doc).ok());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.Find("bench")->string_value(), "fig13_tradeoff");
+
+  const JsonValue* config = doc.Find("config");
+  ASSERT_TRUE(config != nullptr && config->is_object());
+  EXPECT_TRUE(config->Find("quick")->bool_value());
+  EXPECT_EQ(config->Find("num_keys")->uint_value(), 5000u);
+
+  // At least the throughput series, with numeric (x, y) points.
+  const JsonValue* series = doc.Find("series");
+  ASSERT_TRUE(series != nullptr && series->is_array());
+  ASSERT_FALSE(series->array().empty());
+  bool found_batch = false;
+  for (const JsonValue& s : series->array()) {
+    ASSERT_NE(s.Find("name"), nullptr);
+    const JsonValue* points = s.Find("points");
+    ASSERT_TRUE(points != nullptr && points->is_array());
+    for (const JsonValue& p : points->array()) {
+      ASSERT_TRUE(p.Find("x") != nullptr && p.Find("x")->is_number());
+      ASSERT_TRUE(p.Find("y") != nullptr && p.Find("y")->is_number());
+    }
+    if (s.Find("name")->string_value() == "batch") {
+      found_batch = true;
+      EXPECT_FALSE(points->array().empty());
+    }
+  }
+  EXPECT_TRUE(found_batch);
+
+  // Latency histograms round-trip through the codec and merge cleanly.
+  const JsonValue* hists = doc.Find("histograms");
+  ASSERT_TRUE(hists != nullptr && hists->is_object());
+  ASSERT_FALSE(hists->object().empty());
+  Histogram merged;
+  uint64_t expected_count = 0;
+  for (const auto& [name, value] : hists->object()) {
+    Histogram h;
+    ASSERT_TRUE(HistogramFromJson(value, &h).ok()) << name;
+    EXPECT_EQ(h.count(), value.Find("count")->uint_value()) << name;
+    expected_count += h.count();
+    merged.Merge(h);
+  }
+  EXPECT_EQ(merged.count(), expected_count);
+
+  // The registry snapshot rode along: bench totals and plane counters.
+  const JsonValue* counters = doc.Find("counters");
+  ASSERT_TRUE(counters != nullptr && counters->is_object());
+  EXPECT_NE(counters->Find("bench.ops_completed"), nullptr);
+}
+
+}  // namespace
+}  // namespace dpr

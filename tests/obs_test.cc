@@ -1,0 +1,317 @@
+// Observability plane: JSON writer/parser, metrics registry, timeline,
+// histogram JSON round-trip, bench artifact schema, and the registry
+// mirroring done by the tracking plane.
+#include <string>
+#include <vector>
+
+#include "dpr/dep_tracker.h"
+#include "gtest/gtest.h"
+#include "obs/bench_artifact.h"
+#include "obs/histogram_json.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+
+namespace dpr {
+namespace {
+
+// ------------------------------------------------------------- JsonWriter
+
+TEST(JsonWriterTest, NestedScopesAndCommas) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("a")
+      .Int(-3)
+      .Key("b")
+      .BeginArray()
+      .UInt(1)
+      .Double(2.5)
+      .String("x")
+      .Bool(true)
+      .Null()
+      .EndArray()
+      .Key("c")
+      .BeginObject()
+      .EndObject()
+      .EndObject();
+  EXPECT_EQ(w.str(), "{\"a\":-3,\"b\":[1,2.5,\"x\",true,null],\"c\":{}}");
+}
+
+TEST(JsonWriterTest, EscapesControlAndQuote) {
+  JsonWriter w;
+  w.BeginObject().Key("k\"ey").String("a\nb\tc\\d").EndObject();
+  EXPECT_EQ(w.str(), "{\"k\\\"ey\":\"a\\nb\\tc\\\\d\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray().Double(0.0 / 0.0).Double(1e308 * 10).EndArray();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+// -------------------------------------------------------------- JsonValue
+
+TEST(JsonValueTest, ParsesWriterOutput) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("n")
+      .UInt(18446744073709551615ull)
+      .Key("s")
+      .String("hi\n")
+      .Key("arr")
+      .BeginArray()
+      .Int(1)
+      .Int(2)
+      .EndArray()
+      .EndObject();
+  JsonValue doc;
+  ASSERT_TRUE(JsonValue::Parse(w.str(), &doc).ok());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.Find("n")->uint_value(), 18446744073709551615ull);
+  EXPECT_EQ(doc.Find("s")->string_value(), "hi\n");
+  ASSERT_TRUE(doc.Find("arr")->is_array());
+  EXPECT_EQ(doc.Find("arr")->array().size(), 2u);
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+}
+
+TEST(JsonValueTest, RejectsMalformedInput) {
+  JsonValue doc;
+  EXPECT_FALSE(JsonValue::Parse("{", &doc).ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":}", &doc).ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]", &doc).ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated", &doc).ok());
+  EXPECT_FALSE(JsonValue::Parse("{}trailing", &doc).ok());
+}
+
+// --------------------------------------------------------- MetricsRegistry
+
+TEST(MetricsRegistryTest, CountersGaugesHistograms) {
+  auto& reg = MetricsRegistry::Default();
+  reg.ResetForTest();
+  Counter* c = reg.counter("test.obs.counter");
+  Gauge* g = reg.gauge("test.obs.gauge");
+  ShardedHistogram* h = reg.histogram("test.obs.hist");
+  // Same name -> same object (call sites cache the pointer).
+  EXPECT_EQ(c, reg.counter("test.obs.counter"));
+  c->Add(3);
+  g->Set(-7);
+  g->UpdateMax(-9);  // lower than current: no change
+  EXPECT_EQ(g->value(), -7);
+  g->UpdateMax(11);
+  h->Record(100);
+  h->Record(200);
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("test.obs.counter"), 3u);
+  EXPECT_EQ(snap.gauges.at("test.obs.gauge"), 11);
+  EXPECT_EQ(snap.histograms.at("test.obs.hist").count(), 2u);
+
+  // Delta view: counters subtract, gauges stay absolute.
+  c->Add(2);
+  MetricsSnapshot later = reg.Snapshot();
+  later.SubtractCounters(snap);
+  EXPECT_EQ(later.counters.at("test.obs.counter"), 2u);
+  EXPECT_EQ(later.gauges.at("test.obs.gauge"), 11);
+
+  // Snapshot serializes to parseable JSON.
+  JsonValue doc;
+  ASSERT_TRUE(JsonValue::Parse(reg.Snapshot().ToJson(), &doc).ok());
+  ASSERT_NE(doc.Find("counters"), nullptr);
+  reg.ResetForTest();
+  EXPECT_EQ(c->value(), 0u);
+}
+
+TEST(ShardedHistogramTest, SnapshotMatchesPlainHistogram) {
+  ShardedHistogram sharded;
+  Histogram plain;
+  for (uint64_t v : {1ull, 5ull, 90ull, 1000ull, 123456ull}) {
+    sharded.Record(v);
+    plain.Record(v);
+  }
+  const Histogram snap = sharded.Snapshot();
+  EXPECT_EQ(snap.count(), plain.count());
+  EXPECT_EQ(snap.sum(), plain.sum());
+  for (int p : {0, 50, 90, 99, 100}) {
+    EXPECT_EQ(snap.Percentile(p), plain.Percentile(p)) << "p=" << p;
+  }
+}
+
+// ----------------------------------------------------------------- Timeline
+
+TEST(TimelineTest, SeriesOrderedByFirstAppearance) {
+  Timeline tl;
+  tl.RecordAt("b", 0.5, 2.0);
+  tl.RecordAt("a", 1.0, 3.0, "note");
+  tl.RecordAt("b", 1.5, 4.0);
+  tl.Mark("fault", "crash worker 1");
+  ASSERT_EQ(tl.events().size(), 4u);
+
+  JsonWriter w;
+  tl.WriteSeriesJson(&w);
+  JsonValue doc;
+  ASSERT_TRUE(JsonValue::Parse(w.str(), &doc).ok());
+  ASSERT_TRUE(doc.is_array());
+  ASSERT_EQ(doc.array().size(), 3u);
+  EXPECT_EQ(doc.array()[0].Find("name")->string_value(), "b");
+  EXPECT_EQ(doc.array()[1].Find("name")->string_value(), "a");
+  EXPECT_EQ(doc.array()[2].Find("name")->string_value(), "fault");
+  const auto& b_points = doc.array()[0].Find("points")->array();
+  ASSERT_EQ(b_points.size(), 2u);
+  EXPECT_DOUBLE_EQ(b_points[0].Find("x")->number(), 0.5);
+  EXPECT_DOUBLE_EQ(b_points[1].Find("y")->number(), 4.0);
+  EXPECT_EQ(doc.array()[1].Find("points")->array()[0].Find("label")
+                ->string_value(),
+            "note");
+}
+
+// ----------------------------------------------------- Histogram JSON codec
+
+TEST(HistogramJsonTest, RoundTripPreservesMergeAndPercentiles) {
+  Histogram h;
+  for (uint64_t i = 1; i <= 1000; ++i) h.Record(i * 7 % 5000);
+  JsonWriter w;
+  HistogramToJson(h, &w);
+  JsonValue doc;
+  ASSERT_TRUE(JsonValue::Parse(w.str(), &doc).ok());
+  Histogram back;
+  ASSERT_TRUE(HistogramFromJson(doc, &back).ok());
+  EXPECT_EQ(back.count(), h.count());
+  EXPECT_EQ(back.sum(), h.sum());
+  for (int p : {0, 50, 90, 99, 100}) {
+    EXPECT_EQ(back.Percentile(p), h.Percentile(p)) << "p=" << p;
+  }
+
+  // Merging a reparsed histogram behaves like merging the original.
+  Histogram extra;
+  for (uint64_t i = 0; i < 100; ++i) extra.Record(1 << 20);
+  Histogram merged_orig = extra;
+  merged_orig.Merge(h);
+  Histogram merged_back = extra;
+  merged_back.Merge(back);
+  EXPECT_EQ(merged_back.count(), merged_orig.count());
+  for (int p : {0, 50, 99, 100}) {
+    EXPECT_EQ(merged_back.Percentile(p), merged_orig.Percentile(p));
+  }
+}
+
+TEST(HistogramJsonTest, EmptyAndCorruptInputs) {
+  Histogram empty;
+  JsonWriter w;
+  HistogramToJson(empty, &w);
+  JsonValue doc;
+  ASSERT_TRUE(JsonValue::Parse(w.str(), &doc).ok());
+  Histogram back;
+  back.Record(42);  // must be reset by the decode
+  ASSERT_TRUE(HistogramFromJson(doc, &back).ok());
+  EXPECT_EQ(back.count(), 0u);
+
+  JsonValue not_hist;
+  ASSERT_TRUE(JsonValue::Parse("{\"count\":1}", &not_hist).ok());
+  EXPECT_FALSE(HistogramFromJson(not_hist, &back).ok());
+  JsonValue not_obj;
+  ASSERT_TRUE(JsonValue::Parse("[1,2]", &not_obj).ok());
+  EXPECT_FALSE(HistogramFromJson(not_obj, &back).ok());
+}
+
+// ------------------------------------------------------------ BenchArtifact
+
+TEST(BenchArtifactTest, SchemaGolden) {
+  MetricsRegistry::Default().ResetForTest();
+  BenchArtifact artifact("unit");
+  artifact.SetConfig("quick", true);
+  artifact.SetConfig("threads", static_cast<uint64_t>(4));
+  artifact.SetConfig("theta", 0.99);
+  artifact.SetConfig("label", "ycsb-a");
+  artifact.AddPoint("mops", 2, 1.5);
+  artifact.AddPoint("mops", 4, 2.75, "note");
+  Histogram lat;
+  lat.Record(10);
+  lat.Record(20);
+  artifact.AddHistogram("op_latency_us", lat);
+  artifact.AddCounter("custom.count", 7);
+  artifact.AddGauge("custom.depth", -2);
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonValue::Parse(artifact.ToJson(), &doc).ok());
+  // The contract consumed by plotting/regression tooling:
+  //   {bench, config{}, series[{name, points[{x, y, label?}]}],
+  //    histograms{name: {count,...,buckets}}, counters{}, gauges{}}
+  EXPECT_EQ(doc.Find("bench")->string_value(), "unit");
+  const JsonValue* config = doc.Find("config");
+  ASSERT_TRUE(config != nullptr && config->is_object());
+  EXPECT_TRUE(config->Find("quick")->bool_value());
+  EXPECT_EQ(config->Find("threads")->uint_value(), 4u);
+  EXPECT_DOUBLE_EQ(config->Find("theta")->number(), 0.99);
+  EXPECT_EQ(config->Find("label")->string_value(), "ycsb-a");
+
+  const JsonValue* series = doc.Find("series");
+  ASSERT_TRUE(series != nullptr && series->is_array());
+  ASSERT_EQ(series->array().size(), 1u);
+  const JsonValue& mops = series->array()[0];
+  EXPECT_EQ(mops.Find("name")->string_value(), "mops");
+  ASSERT_EQ(mops.Find("points")->array().size(), 2u);
+  EXPECT_DOUBLE_EQ(mops.Find("points")->array()[0].Find("x")->number(), 2.0);
+  EXPECT_DOUBLE_EQ(mops.Find("points")->array()[1].Find("y")->number(), 2.75);
+  EXPECT_EQ(mops.Find("points")->array()[1].Find("label")->string_value(),
+            "note");
+
+  const JsonValue* hists = doc.Find("histograms");
+  ASSERT_TRUE(hists != nullptr && hists->is_object());
+  Histogram back;
+  ASSERT_TRUE(
+      HistogramFromJson(*hists->Find("op_latency_us"), &back).ok());
+  EXPECT_EQ(back.count(), 2u);
+
+  EXPECT_EQ(doc.Find("counters")->Find("custom.count")->uint_value(), 7u);
+  EXPECT_EQ(doc.Find("gauges")->Find("custom.depth")->number(), -2.0);
+}
+
+TEST(BenchArtifactTest, SnapshotMergesNonZeroMetrics) {
+  auto& reg = MetricsRegistry::Default();
+  reg.ResetForTest();
+  reg.counter("t.live")->Add(5);
+  reg.counter("t.zero");  // stays 0: dropped from the artifact
+  reg.gauge("t.depth")->Set(3);
+  reg.histogram("t.lat")->Record(17);
+  reg.histogram("t.empty");
+
+  BenchArtifact artifact("snap");
+  artifact.AddSnapshot(reg.Snapshot());
+  JsonValue doc;
+  ASSERT_TRUE(JsonValue::Parse(artifact.ToJson(), &doc).ok());
+  EXPECT_EQ(doc.Find("counters")->Find("t.live")->uint_value(), 5u);
+  EXPECT_EQ(doc.Find("counters")->Find("t.zero"), nullptr);
+  EXPECT_EQ(doc.Find("gauges")->Find("t.depth")->number(), 3.0);
+  EXPECT_NE(doc.Find("histograms")->Find("t.lat"), nullptr);
+  EXPECT_EQ(doc.Find("histograms")->Find("t.empty"), nullptr);
+  reg.ResetForTest();
+}
+
+// ------------------------------------- tracking plane -> registry mirroring
+
+TEST(RegistryMirrorTest, DepTrackerPublishesToRegistry) {
+  auto& reg = MetricsRegistry::Default();
+  reg.ResetForTest();
+  VersionDependencyTracker tracker(16);
+  DependencySet no_deps;
+  DependencySet deps;
+  deps[2] = 9;
+  tracker.Record(1, 5, no_deps, /*self=*/0);
+  tracker.Record(1, 5, deps, /*self=*/0);
+  tracker.Record(2, 6, deps, /*self=*/0);
+  (void)tracker.DrainUpTo(6);
+
+  // The per-instance stats and the process-wide registry mirror agree.
+  const DepTrackerStats local = tracker.stats();
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("dpr.dep_tracker.records"), local.records);
+  EXPECT_EQ(snap.counters.at("dpr.dep_tracker.empty_records"),
+            local.empty_records);
+  EXPECT_EQ(snap.counters.at("dpr.dep_tracker.drains"), local.drains);
+  EXPECT_EQ(snap.gauges.at("dpr.dep_tracker.live_entries"), 0);
+  EXPECT_GE(snap.gauges.at("dpr.dep_tracker.live_entries_peak"), 1);
+  reg.ResetForTest();
+}
+
+}  // namespace
+}  // namespace dpr

@@ -1,0 +1,187 @@
+// Regression tests for the TCP transport's short-write handling.
+//
+// The transport's write loop originally retried only EINTR: on a
+// non-blocking socket whose send buffer filled mid-frame, send() returned
+// EAGAIN and the loop aborted with the frame partially on the wire —
+// permanently desynchronizing the length-prefixed stream (the peer parses
+// the middle of the torn payload as the next frame header). These tests
+// drive the exposed loop primitives over a socketpair with a deliberately
+// tiny SO_SNDBUF so that every pre-fix run hits the torn-frame path.
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "net/tcp_net.h"
+
+namespace dpr {
+namespace {
+
+class SocketPair {
+ public:
+  SocketPair() {
+    EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0) << strerror(errno);
+  }
+  ~SocketPair() {
+    for (int fd : fds_) {
+      if (fd >= 0) close(fd);
+    }
+  }
+
+  int writer() const { return fds_[0]; }
+  int reader() const { return fds_[1]; }
+
+  void CloseWriter() {
+    close(fds_[0]);
+    fds_[0] = -1;
+  }
+
+  // Shrinks both directions' kernel buffers so a frame larger than a few KB
+  // cannot be accepted by a single send().
+  void ShrinkBuffers() {
+    int tiny = 1;  // the kernel clamps to its floor (~4KB total)
+    for (int fd : fds_) {
+      ASSERT_EQ(setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny)), 0);
+      ASSERT_EQ(setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny)), 0);
+    }
+  }
+
+  void SetNonBlocking(int fd) {
+    const int flags = fcntl(fd, F_GETFL, 0);
+    ASSERT_GE(flags, 0);
+    ASSERT_EQ(fcntl(fd, F_SETFL, flags | O_NONBLOCK), 0);
+  }
+
+ private:
+  int fds_[2] = {-1, -1};
+};
+
+// A frame much larger than the shrunken send buffer: the first send()
+// accepts only part of it, and with nobody reading yet, the next send()
+// returns EAGAIN. Pre-fix, TcpWriteFully aborted there with a torn frame.
+TEST(TcpPartialWrite, NonBlockingWriterDeliversFullFrame) {
+  SocketPair pair;
+  pair.ShrinkBuffers();
+  pair.SetNonBlocking(pair.writer());
+
+  const std::string frame(256 * 1024, 'x');
+  std::thread drain([&] {
+    // Give the writer time to fill the send buffer and hit EAGAIN before
+    // draining — the pre-fix code has already failed by then.
+    usleep(20 * 1000);
+    std::string got(frame.size(), '\0');
+    size_t transferred = 0;
+    Status s =
+        internal::TcpReadFully(pair.reader(), got.data(), got.size(),
+                               &transferred);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(transferred, frame.size());
+    EXPECT_EQ(got, frame);
+  });
+
+  size_t written = 0;
+  Status s =
+      internal::TcpWriteFully(pair.writer(), frame.data(), frame.size(),
+                              &written);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(written, frame.size());
+  drain.join();
+}
+
+// Same shape on the read side: a non-blocking reader that outpaces the
+// writer sees EAGAIN mid-message and must wait, not error out.
+TEST(TcpPartialWrite, NonBlockingReaderWaitsForSlowWriter) {
+  SocketPair pair;
+  pair.ShrinkBuffers();
+  pair.SetNonBlocking(pair.reader());
+
+  const std::string frame(64 * 1024, 'y');
+  std::thread dribble([&] {
+    size_t sent = 0;
+    while (sent < frame.size()) {
+      const size_t chunk = std::min<size_t>(1024, frame.size() - sent);
+      Status s = internal::TcpWriteFully(pair.writer(), frame.data() + sent,
+                                         chunk);
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      sent += chunk;
+      usleep(500);
+    }
+  });
+
+  std::string got(frame.size(), '\0');
+  Status s = internal::TcpReadFully(pair.reader(), got.data(), got.size());
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(got, frame);
+  dribble.join();
+}
+
+// A genuine failure must report how far the transfer got so the framing
+// layer can distinguish "frame never started" (stream still aligned) from
+// "frame torn" (connection must be poisoned).
+TEST(TcpPartialWrite, TransferredReportsBytesBeforeFailure) {
+  SocketPair pair;
+  const std::string half = "partial";
+  ASSERT_TRUE(
+      internal::TcpWriteFully(pair.writer(), half.data(), half.size()).ok());
+  pair.CloseWriter();
+
+  std::string got(2 * half.size(), '\0');
+  size_t transferred = 0;
+  Status s = internal::TcpReadFully(pair.reader(), got.data(), got.size(),
+                                    &transferred);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(transferred, half.size());
+  EXPECT_EQ(got.substr(0, transferred), half);
+}
+
+// End-to-end over the real framing layer: many pipelined frames large
+// enough to overflow the send buffer repeatedly must all arrive intact and
+// matched to their request ids.
+TEST(TcpPartialWrite, FramingSurvivesSendBufferPressure) {
+  std::unique_ptr<RpcServer> server = MakeTcpServer();
+  ASSERT_TRUE(server
+                  ->Start([](Slice request, std::string* response) {
+                    response->assign(request.data(), request.size());
+                  })
+                  .ok());
+  std::unique_ptr<RpcConnection> conn;
+  ASSERT_TRUE(ConnectTcp(server->address(), &conn).ok());
+
+  constexpr int kCalls = 64;
+  const std::string blob(128 * 1024, 'z');
+  std::atomic<int> done{0};
+  std::vector<Status> statuses(kCalls);
+  std::vector<std::string> echoes(kCalls);
+  for (int i = 0; i < kCalls; ++i) {
+    std::string request = std::to_string(i) + ":" + blob;
+    conn->CallAsync(std::move(request),
+                    [&, i](Status s, Slice response) {
+                      statuses[i] = s;
+                      echoes[i].assign(response.data(), response.size());
+                      done.fetch_add(1);
+                    });
+  }
+  for (int spins = 0; done.load() < kCalls && spins < 10000; ++spins) {
+    usleep(1000);
+  }
+  ASSERT_EQ(done.load(), kCalls);
+  for (int i = 0; i < kCalls; ++i) {
+    ASSERT_TRUE(statuses[i].ok()) << i << ": " << statuses[i].ToString();
+    EXPECT_EQ(echoes[i], std::to_string(i) + ":" + blob) << i;
+  }
+  conn.reset();
+  server->Stop();
+}
+
+}  // namespace
+}  // namespace dpr
