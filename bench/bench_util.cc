@@ -4,7 +4,7 @@
 
 #include <cstdio>
 #include <deque>
-#include <mutex>
+#include "common/sync.h"
 #include <thread>
 
 #include "common/clock.h"
@@ -145,7 +145,7 @@ class YcsbDriverThread {
       callback = [this, start_us](KvResult, uint64_t) {
         // Called from a transport thread; histograms merge per thread via
         // the sample queue below, so guard with the sample mutex.
-        std::lock_guard<std::mutex> guard(sample_mu_);
+        MutexLock guard(sample_mu_);
         op_latency_.Record(NowMicros() - start_us);
       };
     } else {
@@ -176,7 +176,7 @@ class YcsbDriverThread {
       // A commit-latency sample covers everything dispatched so far plus
       // the current batch; flush so the marker includes this op.
       session_->Flush();
-      std::lock_guard<std::mutex> guard(sample_mu_);
+      MutexLock guard(sample_mu_);
       commit_samples_.push_back(
           CommitSample{start_us, session_->dpr().next_seqno()});
     }
@@ -197,7 +197,7 @@ class YcsbDriverThread {
     }
     if (options_.latency_sample_rate > 0) {
       const uint64_t now = NowMicros();
-      std::lock_guard<std::mutex> guard(sample_mu_);
+      MutexLock guard(sample_mu_);
       while (!commit_samples_.empty() &&
              commit_samples_.front().marker <= point.prefix_end) {
         commit_latency_.Record(now - commit_samples_.front().start_us);
@@ -222,7 +222,7 @@ class YcsbDriverThread {
     stats_->aborted.fetch_add(lost, std::memory_order_relaxed);
     committed_base_ = 0;  // prefix continues monotonically within dpr session
     {
-      std::lock_guard<std::mutex> guard(sample_mu_);
+      MutexLock guard(sample_mu_);
       commit_samples_.clear();
     }
   }
@@ -244,8 +244,10 @@ class YcsbDriverThread {
   uint64_t issued_ = 0;
   uint64_t committed_base_ = 0;
 
-  std::mutex sample_mu_;
-  std::deque<CommitSample> commit_samples_;
+  Mutex sample_mu_;
+  std::deque<CommitSample> commit_samples_ GUARDED_BY(sample_mu_);
+  // Recorded under sample_mu_ while the run is live; the unlocked accessors
+  // above are only called after the driver thread has joined.
   Histogram op_latency_;
   Histogram commit_latency_;
 };
@@ -366,7 +368,7 @@ RedisDriverResult RunRedisDriver(DRedisCluster* cluster,
   std::vector<std::atomic<uint64_t>> completed(options.num_client_threads);
   std::vector<Histogram> latencies(options.num_client_threads);
   std::vector<std::thread> threads;
-  std::vector<std::mutex> lat_mus(options.num_client_threads);
+  std::vector<Mutex> lat_mus(options.num_client_threads);
   const Stopwatch timer;
   for (uint32_t t = 0; t < options.num_client_threads; ++t) {
     threads.emplace_back([&, t] {
@@ -386,7 +388,7 @@ RedisDriverResult RunRedisDriver(DRedisCluster* cluster,
           if (sample) {
             const uint64_t start = NowMicros();
             callback = [&, start, t](Status, Slice) {
-              std::lock_guard<std::mutex> guard(lat_mus[t]);
+              MutexLock guard(lat_mus[t]);
               latencies[t].Record(NowMicros() - start);
               completed[t].fetch_add(1, std::memory_order_relaxed);
             };

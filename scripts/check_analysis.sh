@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Static-analysis gate for the DPR tree. Three layers, strongest available
+# first; each layer degrades gracefully when its tool is absent so the script
+# is meaningful both on developer laptops (clang available) and in minimal CI
+# images (gcc only):
+#
+#   1. clang thread-safety analysis: build with -DDPR_ANALYZE=ON under clang
+#      so every GUARDED_BY/REQUIRES annotation in common/sync.h is enforced
+#      at compile time (-Werror=thread-safety).
+#   2. clang-tidy over src/ with the repo .clang-tidy (bugprone-*,
+#      concurrency-*, performance-*, modernize-use-override/nullptr).
+#   3. A grep lint (always runs): no naked std::mutex / std::lock_guard /
+#      std::condition_variable outside common/sync.h — all concurrency must
+#      go through the annotated, rank-checked dpr:: wrappers.
+#
+# Also builds the tree with -DDPR_WERROR=ON (warnings are errors) under
+# whatever compiler is configured. Exits nonzero on any violation.
+#
+# Usage: check_analysis.sh [--lint-only [dir...]]
+#   --lint-only runs just the grep lint (no builds); extra args replace the
+#   default scan set (src bench tests examples) — used by the ctest smoke
+#   test to assert the lint actually fires on a seeded violation.
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+FAILED=0
+
+LINT_ONLY=0
+if [ "${1:-}" = "--lint-only" ]; then
+  LINT_ONLY=1
+  shift
+fi
+if [ "$#" -gt 0 ]; then
+  LINT_DIRS=("$@")
+else
+  LINT_DIRS=(src bench tests examples)
+fi
+
+say()  { printf '==> %s\n' "$*"; }
+fail() { printf 'FAIL: %s\n' "$*"; FAILED=1; }
+
+# ---------------------------------------------------------------- layer 3
+# The lint runs first because it is cheap, dependency-free, and the layer
+# the rest of the plane relies on: if a naked primitive sneaks in, neither
+# the annotations nor the lock-rank checker ever see that lock.
+#
+# Matches declarations and guards of the raw primitives. common/sync.h is
+# the one allowed user (it wraps them); a line may also opt out with the
+# marker comment `// sync-lint: allowed` plus a justification.
+say "lint: naked std synchronization primitives outside common/sync.h"
+LINT_PATTERN='std::(mutex|shared_mutex|recursive_mutex|timed_mutex|condition_variable|condition_variable_any|lock_guard|unique_lock|shared_lock|scoped_lock)\b'
+lint_hits=$(grep -rEn "$LINT_PATTERN" \
+    --include='*.h' --include='*.cc' \
+    "${LINT_DIRS[@]}" 2>/dev/null |
+  grep -v 'common/sync\.h' |
+  grep -v 'sync-lint: allowed' || true)
+if [ -n "$lint_hits" ]; then
+  printf '%s\n' "$lint_hits"
+  fail "naked std synchronization primitive(s); use dpr::Mutex/SharedMutex/CondVar from common/sync.h"
+else
+  say "lint clean"
+fi
+
+if [ "$LINT_ONLY" -eq 1 ]; then
+  exit "$FAILED"
+fi
+
+# ---------------------------------------------------------------- layer 1
+CLANGXX="${CLANGXX:-$(command -v clang++ || true)}"
+if [ -n "$CLANGXX" ]; then
+  say "clang thread-safety analysis build (DPR_ANALYZE=ON)"
+  BUILD_DIR=build-analyze
+  if cmake -B "$BUILD_DIR" -S . \
+        -DCMAKE_CXX_COMPILER="$CLANGXX" \
+        -DDPR_ANALYZE=ON -DDPR_WERROR=ON >/dev/null &&
+     cmake --build "$BUILD_DIR" -j "$(nproc)"; then
+    say "thread-safety analysis clean"
+  else
+    fail "clang -Werror=thread-safety build"
+  fi
+else
+  say "clang++ not found; skipping thread-safety analysis layer" \
+      "(runtime lock-rank checker still enforces ordering in debug runs)"
+fi
+
+# ---------------------------------------------------------------- werror
+say "warnings-as-errors build (DPR_WERROR=ON)"
+WERROR_DIR=build-werror
+if cmake -B "$WERROR_DIR" -S . -DDPR_WERROR=ON >/dev/null &&
+   cmake --build "$WERROR_DIR" -j "$(nproc)" >/dev/null 2>"$WERROR_DIR/stderr.log"; then
+  say "werror build clean"
+else
+  tail -40 "$WERROR_DIR/stderr.log" 2>/dev/null
+  fail "DPR_WERROR=ON build"
+fi
+
+# ---------------------------------------------------------------- layer 2
+CLANG_TIDY="${CLANG_TIDY:-$(command -v clang-tidy || true)}"
+if [ -n "$CLANG_TIDY" ]; then
+  say "clang-tidy over src/"
+  # Use whichever analysis-capable compile database exists.
+  DB_DIR=""
+  for d in build-analyze build-werror build; do
+    [ -f "$d/compile_commands.json" ] && DB_DIR="$d" && break
+  done
+  if [ -z "$DB_DIR" ]; then
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    DB_DIR=build
+  fi
+  if find src -name '*.cc' -print0 |
+       xargs -0 "$CLANG_TIDY" -p "$DB_DIR" --quiet; then
+    say "clang-tidy clean"
+  else
+    fail "clang-tidy"
+  fi
+else
+  say "clang-tidy not found; skipping tidy layer"
+fi
+
+[ "$FAILED" -eq 0 ] && say "all analysis layers passed"
+exit "$FAILED"

@@ -21,7 +21,7 @@ CommitLogStore::CommitLogStore(CommitLogStoreOptions options)
 
 CommitLogStore::~CommitLogStore() {
   stop_.store(true, std::memory_order_release);
-  sync_cv_.notify_all();
+  sync_cv_.NotifyAll();
   if (sync_thread_.joinable()) sync_thread_.join();
 }
 
@@ -33,19 +33,19 @@ Status CommitLogStore::Put(Slice key, Slice value) {
     PutLengthPrefixed(&rec, value);
     DPR_RETURN_NOT_OK(log_->Append(rec));
     if (options_.sync == CommitLogSync::kGroup) {
-      std::lock_guard<std::mutex> guard(sync_mu_);
+      MutexLock guard(sync_mu_);
       my_batch = pending_batch_;
     }
   }
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     map_[key.ToString()] = value.ToString();
   }
   if (options_.sync == CommitLogSync::kGroup) {
     // Group commit: block until the fsync that covers this append lands.
-    std::unique_lock<std::mutex> lock(sync_mu_);
-    sync_cv_.notify_all();  // wake the syncer promptly
-    sync_cv_.wait(lock, [&] {
+    MutexLock lock(sync_mu_);
+    sync_cv_.NotifyAll();  // wake the syncer promptly
+    sync_cv_.Wait(sync_mu_, [&] {
       return synced_batch_ > my_batch || stop_.load(std::memory_order_acquire);
     });
   }
@@ -53,7 +53,7 @@ Status CommitLogStore::Put(Slice key, Slice value) {
 }
 
 Status CommitLogStore::Get(Slice key, std::string* value) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = map_.find(key.ToString());
   if (it == map_.end()) return Status::NotFound();
   if (value != nullptr) *value = it->second;
@@ -66,29 +66,29 @@ void CommitLogStore::SyncLoop() {
       SleepMicros(options_.sync_period_us);
     } else {
       // Group mode: coalesce whatever arrived since the last fsync.
-      std::unique_lock<std::mutex> lock(sync_mu_);
-      sync_cv_.wait_for(lock, std::chrono::microseconds(200));
+      MutexLock lock(sync_mu_);
+      sync_cv_.WaitFor(sync_mu_, std::chrono::microseconds(200));
     }
     if (stop_.load(std::memory_order_acquire)) break;
     uint64_t batch;
     {
-      std::lock_guard<std::mutex> guard(sync_mu_);
+      MutexLock guard(sync_mu_);
       batch = pending_batch_;
       pending_batch_ = batch + 1;
     }
     Status s = log_->Sync();
     if (!s.ok()) DPR_WARN("commit log sync: %s", s.ToString().c_str());
     {
-      std::lock_guard<std::mutex> guard(sync_mu_);
+      MutexLock guard(sync_mu_);
       synced_batch_ = batch + 1;
     }
-    sync_cv_.notify_all();
+    sync_cv_.NotifyAll();
   }
-  sync_cv_.notify_all();
+  sync_cv_.NotifyAll();
 }
 
 Status CommitLogStore::Recover() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   map_.clear();
   if (log_ == nullptr) return Status::OK();
   return log_->Replay([this](uint64_t, Slice record) {
@@ -102,13 +102,13 @@ Status CommitLogStore::Recover() {
 }
 
 void CommitLogStore::SimulateCrash() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   map_.clear();
   if (log_ != nullptr) log_->device()->SimulateCrash();
 }
 
 uint64_t CommitLogStore::size() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return map_.size();
 }
 

@@ -2,16 +2,15 @@
 #define DPR_BASELINE_COMMITLOG_STORE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "storage/wal.h"
 
 namespace dpr {
@@ -55,17 +54,22 @@ class CommitLogStore {
   void SyncLoop();
 
   CommitLogStoreOptions options_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::string> map_;
+  mutable Mutex mu_{LockRank::kStoreFlush, "baseline.table"};
+  std::unordered_map<std::string, std::string> map_ GUARDED_BY(mu_);
+  // Set once in the constructor before sync_thread_ spawns; the WAL
+  // serializes appends internally (kStorage, below both store locks).
   std::unique_ptr<WriteAheadLog> log_;
 
   // Group-commit machinery: writers wait until synced_batch_ covers their
   // enqueue batch.
-  std::mutex sync_mu_;
-  std::condition_variable sync_cv_;
-  uint64_t pending_batch_ = 0;  // batch number being accumulated
-  uint64_t synced_batch_ = 0;   // last batch made durable
+  Mutex sync_mu_{LockRank::kStoreCheckpoints, "baseline.sync"};
+  CondVar sync_cv_;
+  // Batch number being accumulated.
+  uint64_t pending_batch_ GUARDED_BY(sync_mu_) = 0;
+  // Last batch made durable.
+  uint64_t synced_batch_ GUARDED_BY(sync_mu_) = 0;
   std::thread sync_thread_;
+  // relaxed flag: sync-loop exit signal; sync_mu_/join do the handoff.
   std::atomic<bool> stop_{false};
 };
 

@@ -5,39 +5,60 @@
 #include <cstdint>
 #include <thread>
 
+#include "common/sync.h"
+
 namespace dpr {
 
-/// Test-and-test-and-set spin latch for short critical sections.
-class SpinLatch {
+/// Test-and-test-and-set spin latch for short critical sections. Carries the
+/// same thread-safety capability and optional lock rank as dpr::Mutex; ranked
+/// latches participate in the per-thread rank checker (see common/sync.h).
+class CAPABILITY("mutex") SpinLatch {
  public:
   SpinLatch() = default;
+  explicit SpinLatch(LockRank rank, const char* name = "spinlatch")
+      : rank_(rank), name_(name) {}
   SpinLatch(const SpinLatch&) = delete;
   SpinLatch& operator=(const SpinLatch&) = delete;
 
-  void Lock() {
+  void Lock() ACQUIRE() {
+    lockrank::OnAcquire(this, rank_, name_);
     for (;;) {
+      // exchange(acquire): the winner's critical section must observe every
+      // write the previous holder published before its release store.
       if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      // Spin on a relaxed load: no ordering needed while losing, the
+      // acquiring exchange above resynchronizes.
       while (locked_.load(std::memory_order_relaxed)) {
         std::this_thread::yield();
       }
     }
   }
 
-  bool TryLock() {
-    return !locked_.exchange(true, std::memory_order_acquire);
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (locked_.exchange(true, std::memory_order_acquire)) return false;
+    lockrank::OnAcquire(this, rank_, name_);
+    return true;
   }
 
-  void Unlock() { locked_.store(false, std::memory_order_release); }
+  void Unlock() RELEASE() {
+    // release: publishes the critical section to the next acquirer.
+    locked_.store(false, std::memory_order_release);
+    lockrank::OnRelease(this, rank_);
+  }
 
  private:
   std::atomic<bool> locked_{false};
+  const LockRank rank_ = LockRank::kNone;
+  const char* const name_ = "spinlatch";
 };
 
 /// RAII guard for SpinLatch.
-class SpinLatchGuard {
+class SCOPED_CAPABILITY SpinLatchGuard {
  public:
-  explicit SpinLatchGuard(SpinLatch& latch) : latch_(latch) { latch_.Lock(); }
-  ~SpinLatchGuard() { latch_.Unlock(); }
+  explicit SpinLatchGuard(SpinLatch& latch) ACQUIRE(latch) : latch_(latch) {
+    latch_.Lock();
+  }
+  ~SpinLatchGuard() RELEASE() { latch_.Unlock(); }
   SpinLatchGuard(const SpinLatchGuard&) = delete;
   SpinLatchGuard& operator=(const SpinLatchGuard&) = delete;
 
@@ -49,14 +70,18 @@ class SpinLatchGuard {
 /// readers share. Used by the D-Redis server wrapper: checkpoints take the
 /// exclusive latch while request batches take the shared latch, ensuring all
 /// operations of a batch land in one version (paper §6).
-class SharedSpinLatch {
+class CAPABILITY("shared_mutex") SharedSpinLatch {
  public:
   SharedSpinLatch() = default;
+  explicit SharedSpinLatch(LockRank rank, const char* name = "sharedlatch")
+      : rank_(rank), name_(name) {}
   SharedSpinLatch(const SharedSpinLatch&) = delete;
   SharedSpinLatch& operator=(const SharedSpinLatch&) = delete;
 
-  void LockShared() {
+  void LockShared() ACQUIRE_SHARED() {
+    lockrank::OnAcquire(this, rank_, name_);
     for (;;) {
+      // relaxed read is fine: the CAS below is the synchronizing acquire.
       int64_t v = state_.load(std::memory_order_relaxed);
       if (v >= 0 &&
           state_.compare_exchange_weak(v, v + 1, std::memory_order_acquire)) {
@@ -66,11 +91,18 @@ class SharedSpinLatch {
     }
   }
 
-  void UnlockShared() { state_.fetch_sub(1, std::memory_order_release); }
+  void UnlockShared() RELEASE_SHARED() {
+    // release: a writer that observes count 0 must also observe this
+    // reader's section (checkpoint boundary sees every admitted batch).
+    state_.fetch_sub(1, std::memory_order_release);
+    lockrank::OnRelease(this, rank_);
+  }
 
-  void LockExclusive() {
+  void LockExclusive() ACQUIRE() {
+    lockrank::OnAcquire(this, rank_, name_);
     for (;;) {
       int64_t expected = 0;
+      // acquire: the writer must observe every drained reader's effects.
       if (state_.compare_exchange_weak(expected, -1,
                                        std::memory_order_acquire)) {
         return;
@@ -79,10 +111,17 @@ class SharedSpinLatch {
     }
   }
 
-  void UnlockExclusive() { state_.store(0, std::memory_order_release); }
+  void UnlockExclusive() RELEASE() {
+    // release: readers admitted after a checkpoint/rollback must observe the
+    // new version boundary the writer installed.
+    state_.store(0, std::memory_order_release);
+    lockrank::OnRelease(this, rank_);
+  }
 
  private:
   std::atomic<int64_t> state_{0};
+  const LockRank rank_ = LockRank::kNone;
+  const char* const name_ = "sharedlatch";
 };
 
 }  // namespace dpr

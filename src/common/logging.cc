@@ -5,6 +5,8 @@
 namespace dpr {
 
 namespace {
+// relaxed: a racy level change may drop/admit a borderline message, which
+// is fine; the sink itself serializes output.
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
 }  // namespace
 

@@ -1,0 +1,140 @@
+#include "common/sync.h"
+
+#include <execinfo.h>
+#include <unistd.h>
+
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dpr {
+namespace lockrank {
+
+namespace {
+
+constexpr int kMaxHeld = 32;    // deeper nesting than this is itself a bug
+constexpr int kMaxFrames = 24;
+
+struct HeldLock {
+  const void* lock = nullptr;
+  int rank = 0;
+  const char* name = nullptr;
+  void* frames[kMaxFrames];
+  int n_frames = 0;  // 0 unless stack capture is enabled
+};
+
+struct ThreadLockState {
+  HeldLock held[kMaxHeld];
+  int depth = 0;
+};
+
+ThreadLockState& State() {
+  static thread_local ThreadLockState state;
+  return state;
+}
+
+bool ReadStacksEnv() {
+  const char* v = std::getenv("DPR_LOCKRANK_STACKS");
+  return v != nullptr && v[0] == '1';
+}
+
+bool CaptureStacks() {
+  // Latched once: unwinding on every ranked acquire costs microseconds, so it
+  // is opt-in; the inversion report names both locks either way.
+  static const bool enabled = ReadStacksEnv();
+  return enabled;
+}
+
+void DumpStack(const char* label, void* const* frames, int n_frames) {
+  std::fprintf(stderr, "%s\n", label);
+  if (n_frames <= 0) {
+    std::fprintf(stderr,
+                 "  (not recorded; set DPR_LOCKRANK_STACKS=1 to capture "
+                 "acquisition stacks)\n");
+    return;
+  }
+  std::fflush(stderr);
+  backtrace_symbols_fd(const_cast<void**>(frames), n_frames,
+                       STDERR_FILENO);
+}
+
+[[noreturn]] void AbortOnInversion(const HeldLock& held, LockRank rank,
+                                   const char* name) {
+  void* now_frames[kMaxFrames];
+  int now_n = backtrace(now_frames, kMaxFrames);
+  std::fprintf(stderr,
+               "FATAL: lock rank inversion: acquiring '%s' (rank %d) while "
+               "holding '%s' (rank %d); ranked locks must be acquired in "
+               "strictly decreasing rank order (see LockRank in "
+               "common/sync.h)\n",
+               name, static_cast<int>(rank), held.name, held.rank);
+  DumpStack("--- stack of the attempted acquisition:", now_frames, now_n);
+  DumpStack("--- stack where the held lock was acquired:", held.frames,
+            held.n_frames);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void OnAcquire(const void* lock, LockRank rank, const char* name) {
+  if (rank == LockRank::kNone) return;
+  ThreadLockState& st = State();
+  const int r = static_cast<int>(rank);
+  // Strictly-decreasing order: abort against the lowest-ranked lock already
+  // held. Equal ranks abort too — two same-rank locks that nest must be given
+  // distinct ranks, else an AB/BA cycle between them is unprovable.
+  int min_idx = -1;
+  for (int i = 0; i < st.depth; ++i) {
+    if (min_idx < 0 || st.held[i].rank < st.held[min_idx].rank) min_idx = i;
+  }
+  if (min_idx >= 0 && st.held[min_idx].rank <= r) {
+    AbortOnInversion(st.held[min_idx], rank, name);
+  }
+  if (st.depth >= kMaxHeld) {
+    std::fprintf(stderr,
+                 "FATAL: thread holds more than %d ranked locks acquiring "
+                 "'%s'\n",
+                 kMaxHeld, name);
+    std::abort();
+  }
+  HeldLock& h = st.held[st.depth++];
+  h.lock = lock;
+  h.rank = r;
+  h.name = name;
+  h.n_frames = CaptureStacks() ? backtrace(h.frames, kMaxFrames) : 0;
+}
+
+void OnRelease(const void* lock, LockRank rank) {
+  if (rank == LockRank::kNone) return;
+  ThreadLockState& st = State();
+  // Locks are usually released LIFO, but scan in case of hand-over-hand.
+  for (int i = st.depth - 1; i >= 0; --i) {
+    if (st.held[i].lock == lock) {
+      st.held[i] = st.held[st.depth - 1];
+      --st.depth;
+      return;
+    }
+  }
+  // Releasing a ranked lock this thread never acquired: a shared latch
+  // released on a different thread than it was acquired on (legal for e.g.
+  // asymmetric latch hand-off). Tolerated: the acquiring thread's entry goes
+  // stale only if it also skips its release, which the paired guards prevent.
+}
+
+int HeldCount() { return State().depth; }
+
+int MinHeldRank() {
+  ThreadLockState& st = State();
+  int min_rank = INT_MAX;
+  for (int i = 0; i < st.depth; ++i) {
+    if (st.held[i].rank < min_rank) min_rank = st.held[i].rank;
+  }
+  return min_rank;
+}
+
+bool StacksEnabled() { return CaptureStacks(); }
+
+}  // namespace lockrank
+}  // namespace dpr

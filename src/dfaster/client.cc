@@ -40,14 +40,14 @@ DFasterClient::DFasterClient(DFasterClientConfig config)
 }
 
 WorkerId DFasterClient::RouteOf(uint64_t key) const {
-  std::lock_guard<std::mutex> guard(routes_mu_);
+  MutexLock guard(routes_mu_);
   return routes_[YcsbWorkload::PartitionOf(key)];
 }
 
 void DFasterClient::RefreshOwnership() {
   if (config_.metadata == nullptr) return;
   const auto ownership = config_.metadata->GetOwnership();
-  std::lock_guard<std::mutex> guard(routes_mu_);
+  MutexLock guard(routes_mu_);
   for (const auto& [vp, worker] : ownership) {
     if (vp < routes_.size()) routes_[vp] = worker;
   }
@@ -124,8 +124,8 @@ void DFasterClient::Session::Dispatch(WorkerId worker) {
   Metrics().batch_fill->Record(n);
   // Windowing: block while w outstanding ops are in flight (paper §7.1).
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    window_cv_.wait(lock, [&] {
+    MutexLock lock(mu_);
+    window_cv_.Wait(mu_, [&]() REQUIRES(mu_) {
       return outstanding_ + n <= client_->config_.window;
     });
     outstanding_ += n;
@@ -183,9 +183,9 @@ void DFasterClient::Session::FinishBatch(WorkerId /*worker*/,
         // Notify under mu_: ~Session's WaitForAll may destroy the cv the
         // instant its predicate holds, so the broadcast must complete before
         // the waiter can re-acquire the mutex and return.
-        std::lock_guard<std::mutex> guard(mu_);
+        MutexLock guard(mu_);
         outstanding_ -= finished;
-        window_cv_.notify_all();
+        window_cv_.NotifyAll();
       }
       // Back off slightly: mid-transfer the partition has no owner yet.
       if (!reroutes.empty()) SleepMicros(500);
@@ -207,9 +207,9 @@ void DFasterClient::Session::FinishBatch(WorkerId /*worker*/,
   {
     // Notify under mu_ (see above): keeps the cv alive across the broadcast
     // when ~Session is waiting on it.
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     outstanding_ -= batch.ops.size();
-    window_cv_.notify_all();
+    window_cv_.NotifyAll();
   }
 }
 
@@ -301,10 +301,10 @@ void DFasterClient::Session::OnRemoteResponse(
 
 Status DFasterClient::Session::WaitForAll(uint64_t timeout_ms) {
   Flush();
-  std::unique_lock<std::mutex> lock(mu_);
-  const bool done = window_cv_.wait_for(
-      lock, std::chrono::milliseconds(timeout_ms),
-      [&] { return outstanding_ == 0; });
+  MutexLock lock(mu_);
+  const bool done = window_cv_.WaitFor(
+      mu_, std::chrono::milliseconds(timeout_ms),
+      [&]() REQUIRES(mu_) { return outstanding_ == 0; });
   return done ? Status::OK() : Status::TimedOut("ops still outstanding");
 }
 

@@ -2,14 +2,13 @@
 #define DPR_DFASTER_CLIENT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/sync.h"
 #include "dfaster/protocol.h"
 #include "dfaster/worker.h"
 #include "dpr/cluster_manager.h"
@@ -62,8 +61,9 @@ class DFasterClient {
   DFasterClientConfig config_;
   std::map<WorkerId, std::unique_ptr<RpcConnection>> remote_;
   std::map<WorkerId, DFasterWorker*> local_;
-  mutable std::mutex routes_mu_;
-  std::vector<WorkerId> routes_;  // partition -> worker
+  // Leaf lock: guards only the cached routing table.
+  mutable Mutex routes_mu_{LockRank::kClientWindow, "dfaster.client.routes"};
+  std::vector<WorkerId> routes_ GUARDED_BY(routes_mu_);  // partition -> worker
 };
 
 /// A client session: batched, windowed, asynchronous single-key operations
@@ -141,11 +141,12 @@ class DFasterClient::Session {
   DprSession dpr_session_;
   std::map<WorkerId, PendingBatch> building_;  // app-thread only
   uint64_t ops_issued_ = 0;
+  // relaxed: failure stat bumped on transport callbacks, read for reporting.
   std::atomic<uint64_t> ops_failed_{0};
 
-  std::mutex mu_;
-  std::condition_variable window_cv_;
-  uint64_t outstanding_ = 0;
+  Mutex mu_{LockRank::kClientWindow, "dfaster.client.window"};
+  CondVar window_cv_;
+  uint64_t outstanding_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dpr

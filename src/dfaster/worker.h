@@ -95,6 +95,8 @@ class DFasterWorker {
   std::string address_;
 
   // Local view of the ownership map: partition -> owning worker.
+  // Read lock-free on every request (relaxed); ownership transfers are
+  // fenced by the migration protocol, not by these cells.
   std::vector<std::atomic<uint32_t>> owners_;
 
   // kEventual mode: uncoordinated checkpoint timer.
@@ -102,6 +104,7 @@ class DFasterWorker {
   // DPR-watermark-driven log garbage collection.
   std::thread gc_thread_;
   Version pending_compaction_ = kInvalidVersion;
+  // relaxed flag: timer/gc loop-exit signal; thread join is the barrier.
   std::atomic<bool> stop_{true};
 };
 

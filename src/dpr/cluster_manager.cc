@@ -35,33 +35,33 @@ Status RetryRecoveryRpc(Fn&& fn) {
 }  // namespace
 
 void ClusterManager::RegisterWorker(DprWorker* worker) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   workers_[worker->id()] = worker;
 }
 
 void ClusterManager::UnregisterWorker(WorkerId worker_id) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   workers_.erase(worker_id);
 }
 
 Status ClusterManager::HandleFailure(const std::vector<WorkerId>& failed) {
   // Serialize whole recovery sequences; a nested failure waits here and then
   // runs as its own world-line shift.
-  std::lock_guard<std::mutex> recovery_guard(recovery_mu_);
+  MutexLock recovery_guard(recovery_mu_);
 
   WorldLine new_world_line;
   DprCut recovery_cut;
   DPR_RETURN_NOT_OK(RetryRecoveryRpc(
       [&] { return finder_->BeginRecovery(&new_world_line, &recovery_cut); }));
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     recovery_cuts_[new_world_line] = recovery_cut;
   }
 
   // Snapshot the worker set so rollback RPCs run without holding mu_.
   std::vector<DprWorker*> workers;
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     workers.reserve(workers_.size());
     for (auto& [id, w] : workers_) workers.push_back(w);
   }
@@ -94,7 +94,7 @@ Status ClusterManager::HandleFailure(const std::vector<WorkerId>& failed) {
 
 void ClusterManager::GetRecoveryInfo(WorldLine* world_line,
                                      DprCut* cut) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (recovery_cuts_.empty()) {
     if (world_line != nullptr) *world_line = kInitialWorldLine;
     if (cut != nullptr) cut->clear();
@@ -106,7 +106,7 @@ void ClusterManager::GetRecoveryInfo(WorldLine* world_line,
 }
 
 bool ClusterManager::GetRecoveryCut(WorldLine world_line, DprCut* cut) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = recovery_cuts_.find(world_line);
   if (it == recovery_cuts_.end()) return false;
   if (cut != nullptr) *cut = it->second;

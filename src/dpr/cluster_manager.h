@@ -2,10 +2,10 @@
 #define DPR_DPR_CLUSTER_MANAGER_H_
 
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "dpr/finder.h"
 #include "dpr/types.h"
 #include "dpr/worker.h"
@@ -42,10 +42,13 @@ class ClusterManager {
 
  private:
   DprFinder* finder_;
-  mutable std::mutex mu_;
-  std::map<WorkerId, DprWorker*> workers_;
-  std::map<WorldLine, DprCut> recovery_cuts_;
-  std::mutex recovery_mu_;  // serializes HandleFailure
+  mutable Mutex mu_{LockRank::kClusterMembers, "cluster.members"};
+  std::map<WorkerId, DprWorker*> workers_ GUARDED_BY(mu_);
+  std::map<WorldLine, DprCut> recovery_cuts_ GUARDED_BY(mu_);
+  // Serializes HandleFailure. Ranked above every other lock in the system:
+  // recovery holds it across worker rollbacks, which descend through the
+  // worker version latch into store and finder locks.
+  Mutex recovery_mu_{LockRank::kClusterRecovery, "cluster.recovery"};
 };
 
 }  // namespace dpr

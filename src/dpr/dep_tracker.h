@@ -62,8 +62,8 @@ class VersionDependencyTracker {
  private:
   // Padded to a cache line so shard latches never false-share.
   struct alignas(64) Shard {
-    SpinLatch latch;
-    std::map<Version, DependencySet> deps;
+    SpinLatch latch{LockRank::kDepTracker, "dep_tracker.shard"};
+    std::map<Version, DependencySet> deps GUARDED_BY(latch);
   };
 
   uint32_t ShardOf(uint64_t session_id) const {
@@ -72,6 +72,8 @@ class VersionDependencyTracker {
 
   uint32_t shard_mask_;  // shard count rounded up to a power of two, minus 1
   std::unique_ptr<Shard[]> shards_;
+  // relaxed: monotonic stat counters for obs export only; the dependency
+  // data itself is fenced by the per-shard latches above.
   std::atomic<uint64_t> records_{0};
   std::atomic<uint64_t> empty_records_{0};
   std::atomic<uint64_t> drains_{0};

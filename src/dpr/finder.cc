@@ -147,7 +147,7 @@ Status GraphDprFinder::OnBeginRecoveryLocked() {
 }
 
 void GraphDprFinder::SimulateCoordinatorCrash() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   DiscardStagedLocked();
   graph_.clear();
   if (persist_graph_) {

@@ -67,32 +67,32 @@ class GraphDprFinder : public FinderCore {
 
   Status PersistReportDurable(const WorkerVersion& wv,
                               const DependencySet& deps) override;
-  void ApplyReportLocked(StagedReport&& report) override;
-  Status ComputeCandidateLocked(DprCut* next) override;
-  Status OnCutAdvancedLocked() override;
-  void OnWorkerAddedLocked(WorkerId worker, Version start_version) override;
-  void OnWorkerRemovedLocked(WorkerId worker) override;
-  Status OnBeginRecoveryLocked() override;
+  void ApplyReportLocked(StagedReport&& report) override REQUIRES(mu_);
+  Status ComputeCandidateLocked(DprCut* next) override REQUIRES(mu_);
+  Status OnCutAdvancedLocked() override REQUIRES(mu_);
+  void OnWorkerAddedLocked(WorkerId worker, Version start_version) override
+      REQUIRES(mu_);
+  void OnWorkerRemovedLocked(WorkerId worker) override REQUIRES(mu_);
+  Status OnBeginRecoveryLocked() override REQUIRES(mu_);
 
   /// Computes the maximal closed cut from the in-memory graph; no I/O.
-  DprCut ComputeExactCutLocked() const;
+  DprCut ComputeExactCutLocked() const REQUIRES(mu_);
 
   const bool persist_graph_;
   // Per worker: persisted versions (sorted) with their dependency sets.
-  // Guarded by FinderCore::mu_.
-  std::map<WorkerId, std::map<Version, DependencySet>> graph_;
-  // Largest version each worker has reported (guarded by mu_; applied at
-  // drain time). After a coordinator crash, versions in here without graph
-  // nodes have unknown dependency sets, so exact computation cannot advance
-  // past them.
-  std::map<WorkerId, Version> max_reported_;
+  std::map<WorkerId, std::map<Version, DependencySet>> graph_
+      GUARDED_BY(mu_);
+  // Largest version each worker has reported (applied at drain time). After
+  // a coordinator crash, versions in here without graph nodes have unknown
+  // dependency sets, so exact computation cannot advance past them.
+  std::map<WorkerId, Version> max_reported_ GUARDED_BY(mu_);
   // With persist_graph=false, a coordinator crash loses the dependency sets
   // of every reported-but-uncommitted version: tokens in
   // (cut, blind_until_[w]] are blind. The exact walk must not cross a blind
   // region — later (post-crash) nodes would validate while silently
   // including the unknown-dep tokens beneath them. The region dissolves
-  // once the approximate fallback raises the cut past it. Guarded by mu_.
-  std::map<WorkerId, Version> blind_until_;
+  // once the approximate fallback raises the cut past it.
+  std::map<WorkerId, Version> blind_until_ GUARDED_BY(mu_);
 };
 
 /// Approximate algorithm (Fig. 4 bottom).
@@ -104,7 +104,7 @@ class SimpleDprFinder : public FinderCore {
 
   Status PersistReportDurable(const WorkerVersion& wv,
                               const DependencySet& deps) override;
-  Status ComputeCandidateLocked(DprCut* next) override;
+  Status ComputeCandidateLocked(DprCut* next) override REQUIRES(mu_);
 };
 
 /// Hybrid (§3.4): exact cut from an in-memory graph, approximate rows
@@ -118,7 +118,7 @@ class HybridDprFinder : public GraphDprFinder {
   HybridDprFinder(MetadataStore* metadata, bool serve_vmax)
       : GraphDprFinder(metadata, /*persist_graph=*/false, serve_vmax) {}
 
-  Status ComputeCandidateLocked(DprCut* next) override;
+  Status ComputeCandidateLocked(DprCut* next) override REQUIRES(mu_);
 };
 
 }  // namespace dpr

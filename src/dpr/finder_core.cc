@@ -87,7 +87,7 @@ FinderCore::FinderCore(MetadataStore* metadata, bool stage_reports,
 }
 
 Status FinderCore::AddWorker(WorkerId worker, Version start_version) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   DPR_RETURN_NOT_OK(metadata_->UpsertWorker(worker, start_version));
   if (cut_.find(worker) == cut_.end()) cut_[worker] = start_version;
   Version cur = vmax_.load(std::memory_order_relaxed);
@@ -100,7 +100,7 @@ Status FinderCore::AddWorker(WorkerId worker, Version start_version) {
 }
 
 Status FinderCore::RemoveWorker(WorkerId worker) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   DPR_RETURN_NOT_OK(metadata_->RemoveWorker(worker));
   cut_.erase(worker);
   OnWorkerRemovedLocked(worker);
@@ -110,7 +110,7 @@ Status FinderCore::RemoveWorker(WorkerId worker) {
 Status FinderCore::ReportPersistedVersion(WorldLine world_line,
                                           WorkerVersion wv,
                                           const DependencySet& deps) {
-  std::shared_lock<std::shared_mutex> gate(ingest_gate_);
+  ReaderMutexLock gate(ingest_gate_);
   if (world_line != world_line_.load(std::memory_order_acquire)) {
     reports_stale_.fetch_add(1, std::memory_order_relaxed);
     Metrics().reports_stale->Add();
@@ -125,7 +125,7 @@ Status FinderCore::ReportPersistedVersion(WorldLine world_line,
   if (stage_reports_) {
     size_t depth;
     {
-      std::lock_guard<std::mutex> guard(stage_mu_);
+      MutexLock guard(stage_mu_);
       staged_.push_back(StagedReport{wv, deps, NowMicros()});
       depth = staged_.size();
     }
@@ -156,7 +156,7 @@ Status FinderCore::OnBeginRecoveryLocked() { return Status::OK(); }
 void FinderCore::DrainStagedLocked() {
   std::vector<StagedReport> batch;
   {
-    std::lock_guard<std::mutex> guard(stage_mu_);
+    MutexLock guard(stage_mu_);
     batch.swap(staged_);
   }
   if (!batch.empty()) Metrics().staged_depth->Set(0);
@@ -170,14 +170,14 @@ void FinderCore::DrainStagedLocked() {
 }
 
 void FinderCore::DiscardStagedLocked() {
-  std::lock_guard<std::mutex> guard(stage_mu_);
+  MutexLock guard(stage_mu_);
   staged_.clear();
   Metrics().staged_depth->Set(0);
   cut_latency_pending_.clear();
 }
 
 Status FinderCore::ComputeCut() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (in_recovery_) return Status::OK();
   DrainStagedLocked();
   DprCut next;
@@ -219,7 +219,7 @@ Status FinderCore::ComputeCut() {
 }
 
 void FinderCore::GetCut(WorldLine* world_line, DprCut* cut) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (world_line != nullptr) {
     *world_line = world_line_.load(std::memory_order_acquire);
   }
@@ -236,15 +236,15 @@ WorldLine FinderCore::CurrentWorldLine() const {
 }
 
 Version FinderCore::SafeVersion(WorkerId worker) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return CutVersion(cut_, worker);
 }
 
 Status FinderCore::BeginRecovery(WorldLine* new_world_line, DprCut* cut) {
   // Close the ingest gate: no report may slip a durable row in between the
   // world-line bump and the above-cut trim below.
-  std::unique_lock<std::shared_mutex> gate(ingest_gate_);
-  std::lock_guard<std::mutex> guard(mu_);
+  WriterMutexLock gate(ingest_gate_);
+  MutexLock guard(mu_);
   in_recovery_ = true;
   const WorldLine next_wl =
       world_line_.load(std::memory_order_relaxed) + 1;
@@ -274,7 +274,7 @@ Status FinderCore::BeginRecovery(WorldLine* new_world_line, DprCut* cut) {
 }
 
 Status FinderCore::EndRecovery() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   in_recovery_ = false;
   return Status::OK();
 }
@@ -284,7 +284,7 @@ FinderCoreStats FinderCore::core_stats() const {
   s.reports_ingested = reports_ingested_.load(std::memory_order_relaxed);
   s.reports_stale = reports_stale_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> guard(stage_mu_);
+    MutexLock guard(stage_mu_);
     s.staged_depth = staged_.size();
   }
   s.staged_peak = staged_peak_.load(std::memory_order_relaxed);

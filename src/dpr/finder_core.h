@@ -3,13 +3,12 @@
 
 #include <atomic>
 #include <deque>
-#include <mutex>
-#include <shared_mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "dpr/types.h"
 #include "metadata/metadata_store.h"
 
@@ -76,6 +75,7 @@ class DprFinder {
 
  private:
   std::thread coordinator_;
+  // relaxed flag: coordinator loop-exit signal; join is the barrier.
   std::atomic<bool> stop_{false};
 };
 
@@ -149,43 +149,53 @@ class FinderCore : public DprFinder {
   virtual Status PersistReportDurable(const WorkerVersion& wv,
                                       const DependencySet& deps) = 0;
   /// Compute side, mu_ held: folds one staged report into in-memory state.
-  virtual void ApplyReportLocked(StagedReport&& report);
+  virtual void ApplyReportLocked(StagedReport&& report) REQUIRES(mu_);
   /// Compute side, mu_ held: the algorithm's candidate next cut.
-  virtual Status ComputeCandidateLocked(DprCut* next) = 0;
+  virtual Status ComputeCandidateLocked(DprCut* next) REQUIRES(mu_) = 0;
   /// Compute side, mu_ held: GC after the cut advanced to the new `cut_`.
-  virtual Status OnCutAdvancedLocked();
+  virtual Status OnCutAdvancedLocked() REQUIRES(mu_);
   /// mu_ held: membership changes.
-  virtual void OnWorkerAddedLocked(WorkerId worker, Version start_version);
-  virtual void OnWorkerRemovedLocked(WorkerId worker);
+  virtual void OnWorkerAddedLocked(WorkerId worker, Version start_version)
+      REQUIRES(mu_);
+  virtual void OnWorkerRemovedLocked(WorkerId worker) REQUIRES(mu_);
   /// mu_ held, ingest gate closed: discard in-memory state above the frozen
   /// cut. (Durable dpr-table rows are trimmed by the core.)
-  virtual Status OnBeginRecoveryLocked();
+  virtual Status OnBeginRecoveryLocked() REQUIRES(mu_);
 
   // --- helpers for subclasses (mu_ held) -----------------------------------
   /// Applies all staged reports to in-memory state via ApplyReportLocked.
-  void DrainStagedLocked();
+  void DrainStagedLocked() REQUIRES(mu_);
   /// Drops staged reports without applying them (recovery, coordinator
   /// crash: they are lost to the rollback / the lost process).
-  void DiscardStagedLocked();
+  void DiscardStagedLocked() REQUIRES(mu_);
 
   MetadataStore* metadata_;
   /// Compute lock: guards cut_, in_recovery_, and subclass in-memory state.
-  mutable std::mutex mu_;
-  DprCut cut_;
-  bool in_recovery_ = false;
+  mutable Mutex mu_{LockRank::kFinderCompute, "finder.compute"};
+  DprCut cut_ GUARDED_BY(mu_);
+  bool in_recovery_ GUARDED_BY(mu_) = false;
 
  private:
   const bool stage_reports_;
   const bool serve_vmax_;
+  /// Served lock-free to report filtering. release on recovery-install /
+  /// acquire on read: observing world line w implies observing the cut
+  /// reset that created it. vmax_ advances by relaxed CAS max-merge (only
+  /// the max matters; the metadata write that makes it durable is fenced
+  /// by mu_).
   std::atomic<WorldLine> world_line_;
   std::atomic<Version> vmax_{kInvalidVersion};
   /// Reports pass in shared mode; BeginRecovery closes it exclusively.
-  mutable std::shared_mutex ingest_gate_;
+  /// Ranked above the compute lock: recovery acquires gate → mu_.
+  mutable SharedMutex ingest_gate_{LockRank::kFinderIngestGate,
+                                   "finder.ingest_gate"};
   /// Staging buffer (MPSC): its lock is held only for an append or a swap,
-  /// never during cut computation or metadata I/O.
-  mutable std::mutex stage_mu_;
-  std::vector<StagedReport> staged_;
+  /// never during cut computation or metadata I/O. Ranked below the compute
+  /// lock (DrainStagedLocked acquires mu_ → stage_mu_).
+  mutable Mutex stage_mu_{LockRank::kFinderStage, "finder.stage"};
+  std::vector<StagedReport> staged_ GUARDED_BY(stage_mu_);
 
+  /// relaxed: monotonic stat counters for obs export only.
   std::atomic<uint64_t> reports_ingested_{0};
   std::atomic<uint64_t> reports_stale_{0};
   std::atomic<uint64_t> staged_peak_{0};
@@ -194,7 +204,8 @@ class FinderCore : public DprFinder {
   /// Drained reports not yet covered by the cut, awaiting their
   /// report→cut-advance latency sample (mu_ held; capped so a stalled cut
   /// cannot grow it without bound).
-  std::deque<std::pair<WorkerVersion, uint64_t>> cut_latency_pending_;
+  std::deque<std::pair<WorkerVersion, uint64_t>> cut_latency_pending_
+      GUARDED_BY(mu_);
   /// When the committed cut last advanced, for the cut-age gauge.
   std::atomic<uint64_t> last_advance_us_{0};
 };

@@ -237,10 +237,10 @@ RemoteDprFinder::RemoteDprFinder(std::unique_ptr<RpcConnection> conn,
 
 RemoteDprFinder::~RemoteDprFinder() {
   {
-    std::lock_guard<std::mutex> guard(queue_mu_);
+    MutexLock guard(queue_mu_);
     stop_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   if (flusher_.joinable()) flusher_.join();
 }
 
@@ -319,13 +319,13 @@ Status RemoteDprFinder::SendBatch(
 }
 
 Status RemoteDprFinder::FlushPending() const {
-  std::lock_guard<std::mutex> flush_guard(flush_mu_);
+  MutexLock flush_guard(flush_mu_);
   bool sent_any = false;
   Status result = Status::OK();
   while (true) {
     std::vector<PendingReport> batch;
     {
-      std::lock_guard<std::mutex> guard(queue_mu_);
+      MutexLock guard(queue_mu_);
       if (pending_.empty()) break;
       // One batch carries one world-line (reports spanning a recovery are
       // split; the stale half gets rejected server-side).
@@ -340,7 +340,7 @@ Status RemoteDprFinder::FlushPending() const {
     if (!s.ok()) {
       // Undelivered: re-queue at the front, preserving report order. No
       // WorkerVersion is ever dropped on a transport failure.
-      std::lock_guard<std::mutex> guard(queue_mu_);
+      MutexLock guard(queue_mu_);
       for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
         pending_.push_front(std::move(*it));
       }
@@ -350,7 +350,7 @@ Status RemoteDprFinder::FlushPending() const {
     sent_any = true;
   }
   {
-    std::lock_guard<std::mutex> guard(queue_mu_);
+    MutexLock guard(queue_mu_);
     Metrics().pending_depth->Set(static_cast<int64_t>(pending_.size()));
   }
   // Anything the server just ingested may move Vmax/cut; drop the cached
@@ -362,7 +362,7 @@ Status RemoteDprFinder::FlushPending() const {
 Status RemoteDprFinder::Flush() { return FlushPending(); }
 
 Status RemoteDprFinder::RefreshSnapshot(bool force) const {
-  std::lock_guard<std::mutex> guard(snap_mu_);
+  MutexLock guard(snap_mu_);
   const uint64_t now = NowMicros();
   if (!force && snapshot_.fetched_us != 0 &&
       now - snapshot_.fetched_us < options_.snapshot_ttl_us) {
@@ -387,7 +387,7 @@ Status RemoteDprFinder::RefreshSnapshot(bool force) const {
 }
 
 void RemoteDprFinder::InvalidateSnapshot() const {
-  std::lock_guard<std::mutex> guard(snap_mu_);
+  MutexLock guard(snap_mu_);
   snapshot_.fetched_us = 0;
 }
 
@@ -395,10 +395,10 @@ void RemoteDprFinder::FlusherLoop() {
   while (true) {
     bool stopping;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait_for(
-          lock, std::chrono::microseconds(options_.flush_interval_us),
-          [this] {
+      MutexLock lock(queue_mu_);
+      queue_cv_.WaitFor(
+          queue_mu_, std::chrono::microseconds(options_.flush_interval_us),
+          [this]() REQUIRES(queue_mu_) {
             return stop_ || pending_.size() >= options_.max_batch_size;
           });
       stopping = stop_;
@@ -442,12 +442,12 @@ Status RemoteDprFinder::ReportPersistedVersion(WorldLine world_line,
   Status s = RefreshSnapshot(/*force=*/false);
   WorldLine known;
   {
-    std::lock_guard<std::mutex> guard(snap_mu_);
+    MutexLock guard(snap_mu_);
     known = snapshot_.world_line;
   }
   if (world_line != known || !s.ok()) {
     DPR_RETURN_NOT_OK(RefreshSnapshot(/*force=*/true));
-    std::lock_guard<std::mutex> guard(snap_mu_);
+    MutexLock guard(snap_mu_);
     if (world_line != snapshot_.world_line) {
       reports_stale_.fetch_add(1, std::memory_order_relaxed);
       return Status::Aborted("report from stale world-line");
@@ -455,7 +455,7 @@ Status RemoteDprFinder::ReportPersistedVersion(WorldLine world_line,
   }
   size_t depth;
   {
-    std::lock_guard<std::mutex> guard(queue_mu_);
+    MutexLock guard(queue_mu_);
     pending_.push_back(PendingReport{world_line, wv, deps});
     depth = pending_.size();
   }
@@ -463,7 +463,7 @@ Status RemoteDprFinder::ReportPersistedVersion(WorldLine world_line,
   Metrics().pending_depth->Set(static_cast<int64_t>(depth));
   // The timer flushes small queues; a full batch is worth waking the
   // flusher for immediately.
-  if (depth >= options_.max_batch_size) queue_cv_.notify_one();
+  if (depth >= options_.max_batch_size) queue_cv_.NotifyOne();
   return Status::OK();
 }
 
@@ -479,7 +479,7 @@ void RemoteDprFinder::GetCut(WorldLine* world_line, DprCut* cut) const {
     if (cut != nullptr) cut->clear();
     return;
   }
-  std::lock_guard<std::mutex> guard(snap_mu_);
+  MutexLock guard(snap_mu_);
   if (world_line != nullptr) *world_line = snapshot_.world_line;
   if (cut != nullptr) *cut = snapshot_.cut;
 }
@@ -488,13 +488,13 @@ Version RemoteDprFinder::MaxPersistedVersion() const {
   if (!FlushPending().ok() || !RefreshSnapshot(/*force=*/false).ok()) {
     return kInvalidVersion;
   }
-  std::lock_guard<std::mutex> guard(snap_mu_);
+  MutexLock guard(snap_mu_);
   return snapshot_.vmax;
 }
 
 WorldLine RemoteDprFinder::CurrentWorldLine() const {
   if (!RefreshSnapshot(/*force=*/true).ok()) return kInitialWorldLine;
-  std::lock_guard<std::mutex> guard(snap_mu_);
+  MutexLock guard(snap_mu_);
   return snapshot_.world_line;
 }
 
@@ -502,7 +502,7 @@ Version RemoteDprFinder::SafeVersion(WorkerId worker) const {
   // The fast path: no flush, snapshot served within its TTL. Watermarks lag
   // reality anyway; a slightly stale cut only delays commit acks.
   (void)RefreshSnapshot(/*force=*/false);
-  std::lock_guard<std::mutex> guard(snap_mu_);
+  MutexLock guard(snap_mu_);
   return CutVersion(snapshot_.cut, worker);
 }
 
@@ -522,11 +522,11 @@ Status RemoteDprFinder::BeginRecovery(WorldLine* new_world_line,
   {
     // Pending reports all predate the new world-line: drop them instead of
     // shipping them to certain rejection.
-    std::lock_guard<std::mutex> guard(queue_mu_);
+    MutexLock guard(queue_mu_);
     pending_.clear();
   }
   {
-    std::lock_guard<std::mutex> guard(snap_mu_);
+    MutexLock guard(snap_mu_);
     snapshot_.world_line = wl;
     snapshot_.cut = parsed;
     snapshot_.vmax = kInvalidVersion;
@@ -551,7 +551,7 @@ RemoteFinderStats RemoteDprFinder::stats() const {
   s.send_retries = send_retries_.load(std::memory_order_relaxed);
   s.snapshot_refreshes = snapshot_refreshes_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> guard(queue_mu_);
+    MutexLock guard(queue_mu_);
     s.pending_depth = pending_.size();
   }
   return s;

@@ -2,12 +2,11 @@
 #define DPR_DPR_FINDER_SERVICE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 
+#include "common/sync.h"
 #include "dpr/finder.h"
 #include "net/rpc.h"
 
@@ -144,18 +143,22 @@ class RemoteDprFinder : public DprFinder {
   const RemoteDprFinderOptions options_;
 
   /// Pending-report queue (append under queue_mu_, drained by flushes).
-  mutable std::mutex queue_mu_;
-  mutable std::condition_variable queue_cv_;
-  mutable std::deque<PendingReport> pending_;
-  bool stop_ = false;
+  mutable Mutex queue_mu_{LockRank::kFinderQueue, "finder.remote.queue"};
+  mutable CondVar queue_cv_;
+  mutable std::deque<PendingReport> pending_ GUARDED_BY(queue_mu_);
+  bool stop_ GUARDED_BY(queue_mu_) = false;
 
   /// Serializes batch sending so the background flusher and explicit
-  /// Flush() calls cannot reorder or double-send reports.
-  mutable std::mutex flush_mu_;
+  /// Flush() calls cannot reorder or double-send reports. Ranked above
+  /// queue_mu_: FlushPending holds it while popping/re-queuing batches.
+  mutable Mutex flush_mu_{LockRank::kFinderFlush, "finder.remote.flush"};
 
-  mutable std::mutex snap_mu_;
-  mutable Snapshot snapshot_;
+  /// Leaf lock (never held while calling anything that locks).
+  mutable Mutex snap_mu_{LockRank::kFinderSnapshot, "finder.remote.snap"};
+  mutable Snapshot snapshot_ GUARDED_BY(snap_mu_);
 
+  /// relaxed: monotonic stat counters for obs export only; queue contents
+  /// are fenced by queue_mu_.
   mutable std::atomic<uint64_t> reports_enqueued_{0};
   mutable std::atomic<uint64_t> reports_stale_{0};
   mutable std::atomic<uint64_t> batches_sent_{0};

@@ -44,7 +44,7 @@ bool DprSession::IsStaleResponseLocked(const DprResponseHeader& resp) const {
 }
 
 DprRequestHeader DprSession::MakeHeader() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   DprRequestHeader header;
   header.session_id = session_id_;
   header.world_line = world_line_;
@@ -81,7 +81,7 @@ void DprSession::AbsorbLocked(WorkerId worker, const DprResponseHeader& resp) {
 
 uint64_t DprSession::RecordBatch(WorkerId worker, uint64_t n,
                                  const DprResponseHeader& resp) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   const uint64_t start = next_seqno_;
   next_seqno_ += n;
   // A stale (pre-recovery) response records vacuously: the rollback erased
@@ -98,7 +98,7 @@ uint64_t DprSession::RecordBatch(WorkerId worker, uint64_t n,
 }
 
 uint64_t DprSession::IssuePending(WorkerId worker, uint64_t n) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   const uint64_t start = next_seqno_;
   next_seqno_ += n;
   segments_.push_back(Segment{start, n, worker, kInvalidVersion,
@@ -108,7 +108,7 @@ uint64_t DprSession::IssuePending(WorkerId worker, uint64_t n) {
 
 void DprSession::ResolvePending(uint64_t start_seqno,
                                 const DprResponseHeader& resp) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   // Unresolved segments cluster at the tail (bounded by the client window);
   // scan backwards so resolution stays O(window) even when the committed
   // prefix cannot advance and the deque grows.
@@ -134,7 +134,7 @@ void DprSession::ResolvePending(uint64_t start_seqno,
 
 void DprSession::ObserveWatermark(WorkerId worker,
                                   const DprResponseHeader& resp) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   AbsorbLocked(worker, resp);
 }
 
@@ -200,32 +200,32 @@ DprSession::CommitPoint DprSession::ComputePointLocked(
 }
 
 DprSession::CommitPoint DprSession::GetCommitPoint() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return ComputePointLocked(watermarks_, /*drop_committed=*/true);
 }
 
 uint64_t DprSession::next_seqno() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return next_seqno_;
 }
 
 bool DprSession::needs_failure_handling() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return observed_world_line_ > world_line_;
 }
 
 WorldLine DprSession::observed_world_line() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return observed_world_line_;
 }
 
 WorldLine DprSession::world_line() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return world_line_;
 }
 
 std::string DprSession::DebugString() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   std::string out = "session " + std::to_string(session_id_) +
                     " wl=" + std::to_string(world_line_) +
                     " Vs=" + std::to_string(version_clock_) +
@@ -248,7 +248,7 @@ std::string DprSession::DebugString() const {
 
 DprSession::CommitPoint DprSession::HandleFailure(WorldLine new_world_line,
                                                   const DprCut& recovery_cut) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   // The surviving prefix is the commit point evaluated at the recovery cut:
   // exactly the operations whose versions made it into the cut survive.
   CommitPoint survivors = ComputePointLocked(recovery_cut,

@@ -4,9 +4,9 @@
 #include <cstdint>
 #include <string>
 #include <deque>
-#include <mutex>
 #include <vector>
 
+#include "common/sync.h"
 #include "dpr/header.h"
 #include "dpr/types.h"
 
@@ -119,23 +119,26 @@ class DprSession {
   };
 
   CommitPoint ComputePointLocked(const DprCut& committed,
-                                 bool drop_committed);
-  void AbsorbLocked(WorkerId worker, const DprResponseHeader& resp);
+                                 bool drop_committed) REQUIRES(mu_);
+  void AbsorbLocked(WorkerId worker, const DprResponseHeader& resp)
+      REQUIRES(mu_);
   /// True when `resp` is a pre-recovery straggler the session must not
   /// absorb (world_line_policy == kReject).
-  bool IsStaleResponseLocked(const DprResponseHeader& resp) const;
+  bool IsStaleResponseLocked(const DprResponseHeader& resp) const
+      REQUIRES(mu_);
 
   const uint64_t session_id_;
   const SessionOptions options_;
-  mutable std::mutex mu_;
-  uint64_t next_seqno_ = 0;
-  WorldLine world_line_ = kInitialWorldLine;
-  WorldLine observed_world_line_ = kInitialWorldLine;
-  Version version_clock_ = kInvalidVersion;  // Vs (§3.2)
-  DependencySet deps_;                       // uncommitted per-worker max
-  DprCut watermarks_;                        // per-worker committed versions
-  std::deque<Segment> segments_;
-  uint64_t reported_prefix_ = 0;  // keeps GetCommitPoint monotone
+  mutable Mutex mu_{LockRank::kSession, "dpr.session"};
+  uint64_t next_seqno_ GUARDED_BY(mu_) = 0;
+  WorldLine world_line_ GUARDED_BY(mu_) = kInitialWorldLine;
+  WorldLine observed_world_line_ GUARDED_BY(mu_) = kInitialWorldLine;
+  Version version_clock_ GUARDED_BY(mu_) = kInvalidVersion;  // Vs (§3.2)
+  DependencySet deps_ GUARDED_BY(mu_);     // uncommitted per-worker max
+  DprCut watermarks_ GUARDED_BY(mu_);      // per-worker committed versions
+  std::deque<Segment> segments_ GUARDED_BY(mu_);
+  uint64_t reported_prefix_ GUARDED_BY(mu_) = 0;  // keeps GetCommitPoint
+                                                  // monotone
 };
 
 }  // namespace dpr

@@ -86,10 +86,10 @@ Status DprWorker::Start() {
 
 void DprWorker::Stop() {
   {
-    std::lock_guard<std::mutex> guard(timer_mu_);
+    MutexLock guard(timer_mu_);
     stop_.store(true, std::memory_order_release);
   }
-  timer_cv_.notify_all();
+  timer_cv_.NotifyAll();
   if (timer_.joinable()) timer_.join();
 }
 
@@ -98,9 +98,9 @@ void DprWorker::TimerLoop() {
     {
       // Interruptible wait: Stop() flips stop_ under timer_mu_ and notifies,
       // so shutdown returns immediately instead of sleeping out the interval.
-      std::unique_lock<std::mutex> lock(timer_mu_);
-      timer_cv_.wait_for(
-          lock, std::chrono::microseconds(options_.checkpoint_interval_us),
+      MutexLock lock(timer_mu_);
+      timer_cv_.WaitFor(
+          timer_mu_, std::chrono::microseconds(options_.checkpoint_interval_us),
           [this] { return stop_.load(std::memory_order_acquire); });
       if (stop_.load(std::memory_order_acquire)) return;
     }

@@ -2,12 +2,11 @@
 #define DPR_DPR_WORKER_H_
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 
 #include "common/latch.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "dpr/dep_tracker.h"
 #include "dpr/finder.h"
 #include "dpr/header.h"
@@ -114,7 +113,14 @@ class DprWorker {
   StateObject* state_object_;
   DprWorkerOptions options_;
 
-  SharedSpinLatch version_latch_;
+  /// Batches hold this shared for their whole execution (BeginBatch →
+  /// EndBatch, same thread); checkpoints and rollbacks take it exclusively.
+  /// Ranked above every store/finder lock acquired underneath it.
+  SharedSpinLatch version_latch_{LockRank::kWorkerVersionLatch,
+                                 "worker.version_latch"};
+  /// Recovery state read on every batch admission. release on store /
+  /// acquire on load: a batch that observes the new world line (or the
+  /// recovery flag) must also observe the rollback it announces.
   std::atomic<uint64_t> world_line_{kInitialWorldLine};
   std::atomic<uint64_t> persisted_watermark_{kInvalidVersion};
   std::atomic<bool> in_recovery_{false};
@@ -128,8 +134,10 @@ class DprWorker {
   /// Commit-timer thread, woken early by Stop() so shutdown does not wait
   /// out a full checkpoint interval.
   std::thread timer_;
-  std::mutex timer_mu_;
-  std::condition_variable timer_cv_;
+  Mutex timer_mu_{LockRank::kWorkerTimer, "worker.timer"};
+  CondVar timer_cv_;
+  /// relaxed-set under timer_mu_, acquire-checked by the timer predicate;
+  /// the CondVar wakeup is the actual handoff.
   std::atomic<bool> stop_{true};
 };
 

@@ -69,8 +69,8 @@ void DRedisClient::Session::Dispatch(uint32_t shard) {
   building_[shard] = Batch{};
   const uint32_t n = batch->count;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    window_cv_.wait(lock, [&] {
+    MutexLock lock(mu_);
+    window_cv_.Wait(mu_, [&]() REQUIRES(mu_) {
       return outstanding_ + n <= client_->config_.window;
     });
     outstanding_ += n;
@@ -142,18 +142,18 @@ void DRedisClient::Session::RunCallbacks(const Batch& batch, Slice replies,
     if (cb) cb(op_status, value);
   }
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     outstanding_ -= batch.count;
   }
-  window_cv_.notify_all();
+  window_cv_.NotifyAll();
 }
 
 Status DRedisClient::Session::WaitForAll(uint64_t timeout_ms) {
   Flush();
-  std::unique_lock<std::mutex> lock(mu_);
-  const bool done = window_cv_.wait_for(
-      lock, std::chrono::milliseconds(timeout_ms),
-      [&] { return outstanding_ == 0; });
+  MutexLock lock(mu_);
+  const bool done = window_cv_.WaitFor(
+      mu_, std::chrono::milliseconds(timeout_ms),
+      [&]() REQUIRES(mu_) { return outstanding_ == 0; });
   return done ? Status::OK() : Status::TimedOut("ops still outstanding");
 }
 

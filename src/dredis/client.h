@@ -2,14 +2,13 @@
 #define DPR_DREDIS_CLIENT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/sync.h"
 #include "dpr/session.h"
 #include "net/rpc.h"
 #include "respstore/resp_store.h"
@@ -72,9 +71,9 @@ class DRedisClient {
     std::map<uint32_t, Batch> building_;
     uint64_t ops_issued_ = 0;
 
-    std::mutex mu_;
-    std::condition_variable window_cv_;
-    uint64_t outstanding_ = 0;
+    Mutex mu_{LockRank::kClientWindow, "dredis.client.window"};
+    CondVar window_cv_;
+    uint64_t outstanding_ GUARDED_BY(mu_) = 0;
   };
 
   std::unique_ptr<Session> NewSession(uint64_t session_id);

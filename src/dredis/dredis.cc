@@ -70,10 +70,10 @@ RemoteRespStateObject::RemoteRespStateObject(
 
 RemoteRespStateObject::~RemoteRespStateObject() {
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (poll_thread_.joinable()) poll_thread_.join();
 }
 
@@ -105,7 +105,7 @@ Status RemoteRespStateObject::PerformCheckpoint(Version target_version,
     return Status::InvalidArgument("target version must exceed current");
   }
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     if (!outstanding_.empty()) return Status::Busy("BGSAVE in progress");
   }
   // BGSAVE draws the version boundary on the unmodified store; the caller
@@ -114,10 +114,10 @@ Status RemoteRespStateObject::PerformCheckpoint(Version target_version,
   DPR_RETURN_NOT_OK(SendCommand(conn_.get(), RespOp::kBgSave, token, &reply));
   version_.store(target_version, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     outstanding_.push_back(Outstanding{token, std::move(on_persist)});
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (out_token != nullptr) *out_token = token;
   return Status::OK();
 }
@@ -128,8 +128,10 @@ void RemoteRespStateObject::PollLoop() {
   for (;;) {
     Outstanding job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !outstanding_.empty(); });
+      MutexLock lock(mu_);
+      cv_.Wait(mu_, [this]() REQUIRES(mu_) {
+        return stop_ || !outstanding_.empty();
+      });
       if (stop_) return;
       job = std::move(outstanding_.front());
       outstanding_.pop_front();
@@ -143,7 +145,7 @@ void RemoteRespStateObject::PollLoop() {
         if (last >= job.token) break;
       }
       {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (stop_) return;
       }
       SleepMicros(2000);
@@ -156,7 +158,7 @@ Status RemoteRespStateObject::RestoreCheckpoint(Version version,
                                                 Version* restored_token) {
   {
     // Drop checkpoints that will never complete (pre-crash BGSAVEs).
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     outstanding_.clear();
   }
   RespReply reply;

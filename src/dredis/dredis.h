@@ -2,14 +2,13 @@
 #define DPR_DREDIS_DREDIS_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "dpr/worker.h"
 #include "net/rpc.h"
 #include "respstore/resp_store.h"
@@ -79,16 +78,21 @@ class RemoteRespStateObject : public StateObject {
 
   std::unique_ptr<RpcConnection> conn_;
   RespStore* crash_handle_;
+  // release on checkpoint/rollback, acquire on read: a reader that observes
+  // version v must also observe every state mutation published before the
+  // bump (batches are fenced by the worker's version latch).
   std::atomic<uint64_t> version_{1};
 
-  std::mutex mu_;
-  std::condition_variable cv_;
+  // Taken under the worker's exclusive version latch (PerformCheckpoint), so
+  // it ranks with the store-side flush locks; never held across an RPC.
+  Mutex mu_{LockRank::kStoreFlush, "dredis.stateobj"};
+  CondVar cv_;
   struct Outstanding {
     Version token;
     PersistCallback callback;
   };
-  std::deque<Outstanding> outstanding_;
-  bool stop_ = false;
+  std::deque<Outstanding> outstanding_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
   std::thread poll_thread_;
 };
 

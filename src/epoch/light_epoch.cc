@@ -11,6 +11,7 @@ namespace dpr {
 
 namespace {
 
+// relaxed: thread-id allocator, uniqueness only — no ordering duty.
 std::atomic<uint64_t> g_thread_counter{1};
 
 uint64_t ThisThreadId() {

@@ -66,7 +66,11 @@ class LightEpoch {
 
  private:
   struct alignas(64) Entry {
+    // release on publish / acquire on scan: a drainer that reads slot epoch
+    // e must also observe every access the owning thread made before
+    // entering e (the classic epoch-protection contract).
     std::atomic<uint64_t> local_epoch{kUnprotected};
+    // CAS-claimed at slot acquisition (uniqueness only — no ordering duty).
     std::atomic<uint64_t> thread_id{0};
   };
 
@@ -80,6 +84,8 @@ class LightEpoch {
   void DoDrain(uint64_t safe_epoch);
 
   Entry table_[kMaxThreads];
+  // acquire/release pairs with local_epoch above; drain_count_ is an
+  // acquire-read fast path that skips the drain scan when zero.
   std::atomic<uint64_t> current_epoch_;
   std::atomic<int> drain_count_;
   DrainItem drain_list_[kDrainListSize];

@@ -60,10 +60,10 @@ FasterStore::FasterStore(FasterOptions options)
 
 FasterStore::~FasterStore() {
   {
-    std::lock_guard<std::mutex> guard(flush_mu_);
+    MutexLock guard(flush_mu_);
     stop_flush_ = true;
   }
-  flush_cv_.notify_all();
+  flush_cv_.NotifyAll();
   if (flush_thread_.joinable()) flush_thread_.join();
 }
 
@@ -322,13 +322,13 @@ Status FasterStore::PerformCheckpoint(Version target_version,
   version_.store(target_version, std::memory_order_release);
   const uint64_t enqueue_us = NowMicros();
   {
-    std::lock_guard<std::mutex> guard(flush_mu_);
+    MutexLock guard(flush_mu_);
     flush_queue_.push_back(
         FlushRequest{token, boundary, std::move(on_persist), enqueue_us});
     Metrics().flush_queue_depth->Set(
         static_cast<int64_t>(flush_queue_.size()));
   }
-  flush_cv_.notify_all();
+  flush_cv_.NotifyAll();
   Metrics().checkpoints_stamped->Add();
   Metrics().stamp_us->Record(enqueue_us - start_us);
   if (out_token != nullptr) *out_token = token;
@@ -365,9 +365,11 @@ void FasterStore::FlushLoop() {
   for (;;) {
     FlushRequest req;
     {
-      std::unique_lock<std::mutex> lock(flush_mu_);
-      flush_cv_.wait(lock,
-                     [this] { return stop_flush_ || !flush_queue_.empty(); });
+      MutexLock lock(flush_mu_);
+      flush_cv_.Wait(flush_mu_,
+                     [this]() REQUIRES(flush_mu_) {
+                       return stop_flush_ || !flush_queue_.empty();
+                     });
       if (stop_flush_ && flush_queue_.empty()) return;
       req = std::move(flush_queue_.front());
       flush_queue_.pop_front();
@@ -383,7 +385,7 @@ void FasterStore::FlushLoop() {
                                          req.boundary);
     if (s.ok()) {
       {
-        std::lock_guard<std::mutex> guard(checkpoints_mu_);
+        MutexLock guard(checkpoints_mu_);
         checkpoints_[req.token] = req.boundary;
       }
       if (req.boundary > from) {
@@ -405,20 +407,21 @@ void FasterStore::FlushLoop() {
     // WaitForCheckpoints() implies the commit was reported.
     if (s.ok() && req.callback) req.callback(req.token);
     {
-      std::lock_guard<std::mutex> guard(flush_mu_);
+      MutexLock guard(flush_mu_);
       flush_in_progress_ = false;
       if (flush_queue_.empty()) {
         checkpoint_active_.store(false, std::memory_order_release);
       }
     }
-    flush_idle_cv_.notify_all();
+    flush_idle_cv_.NotifyAll();
   }
 }
 
 void FasterStore::WaitForCheckpoints() {
-  std::unique_lock<std::mutex> lock(flush_mu_);
-  flush_idle_cv_.wait(
-      lock, [this] { return flush_queue_.empty() && !flush_in_progress_; });
+  MutexLock lock(flush_mu_);
+  flush_idle_cv_.Wait(flush_mu_, [this]() REQUIRES(flush_mu_) {
+    return flush_queue_.empty() && !flush_in_progress_;
+  });
 }
 
 void FasterStore::Scan(
@@ -450,7 +453,7 @@ Status FasterStore::StartCompaction(Version safe_token,
                                     Version* compaction_token) {
   LogAddress until = kNullAddress;
   {
-    std::lock_guard<std::mutex> guard(checkpoints_mu_);
+    MutexLock guard(checkpoints_mu_);
     auto it = checkpoints_.find(safe_token);
     if (it == checkpoints_.end()) {
       return Status::NotFound("safe token has no durable checkpoint");
@@ -510,7 +513,7 @@ Status FasterStore::StartCompaction(Version safe_token,
   DPR_RETURN_NOT_OK(s);
   WaitForCheckpoints();
   {
-    std::lock_guard<std::mutex> guard(checkpoints_mu_);
+    MutexLock guard(checkpoints_mu_);
     pending_compactions_[token] = until;
   }
   if (compaction_token != nullptr) *compaction_token = token;
@@ -526,7 +529,7 @@ Status FasterStore::FinishCompaction(Version compaction_token,
   }
   LogAddress until = kNullAddress;
   {
-    std::lock_guard<std::mutex> guard(checkpoints_mu_);
+    MutexLock guard(checkpoints_mu_);
     auto it = pending_compactions_.find(compaction_token);
     if (it == pending_compactions_.end()) {
       return Status::NotFound("unknown compaction token");
@@ -551,7 +554,7 @@ Status FasterStore::FinishCompaction(Version compaction_token,
 }
 
 Version FasterStore::LargestDurableToken() const {
-  std::lock_guard<std::mutex> guard(checkpoints_mu_);
+  MutexLock guard(checkpoints_mu_);
   return checkpoints_.empty() ? kInvalidVersion : checkpoints_.rbegin()->first;
 }
 
@@ -567,7 +570,7 @@ Status FasterStore::RestoreCheckpoint(Version version,
   LogAddress boundary = LogAllocator::kBeginAddress;
   LogAddress cover_boundary = LogAllocator::kBeginAddress;
   {
-    std::lock_guard<std::mutex> guard(checkpoints_mu_);
+    MutexLock guard(checkpoints_mu_);
     // Restore to the largest durable token <= the requested version (cut
     // entries from the approximate finder may not be exact local tokens).
     for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it) {
@@ -648,7 +651,7 @@ Status FasterStore::InMemoryRollback(Version token, LogAddress boundary,
   // compaction whose checkpoint was itself rolled back (its copies are now
   // invalid; the originals below begin remain authoritative).
   {
-    std::lock_guard<std::mutex> guard(checkpoints_mu_);
+    MutexLock guard(checkpoints_mu_);
     for (auto it = checkpoints_.upper_bound(token);
          it != checkpoints_.end();) {
       it = checkpoints_.erase(it);
@@ -665,7 +668,7 @@ Status FasterStore::InMemoryRollback(Version token, LogAddress boundary,
     // the restore point itself — register it, or a second crash would
     // undershoot to `boundary` and lose the (boundary, cover] prefix again.
     {
-      std::lock_guard<std::mutex> guard(checkpoints_mu_);
+      MutexLock guard(checkpoints_mu_);
       checkpoints_[token] = cover_boundary;
     }
     DPR_RETURN_NOT_OK(
@@ -748,7 +751,7 @@ Status FasterStore::ColdRecover(Version token, LogAddress boundary,
   // becomes a checkpoint (its prefix is durable below cover, overshoot marks
   // included).
   {
-    std::lock_guard<std::mutex> guard(checkpoints_mu_);
+    MutexLock guard(checkpoints_mu_);
     for (auto it = checkpoints_.upper_bound(token);
          it != checkpoints_.end();) {
       it = checkpoints_.erase(it);
@@ -780,7 +783,7 @@ void FasterStore::SimulateCrash() {
   index_.Clear();
   // Reload durable checkpoint metadata as a restarted process would.
   {
-    std::lock_guard<std::mutex> guard(checkpoints_mu_);
+    MutexLock guard(checkpoints_mu_);
     checkpoints_.clear();
     pending_compactions_.clear();
     begin_.store(LogAllocator::kBeginAddress, std::memory_order_release);

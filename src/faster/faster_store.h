@@ -2,18 +2,17 @@
 #define DPR_FASTER_FASTER_STORE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "dpr/state_object.h"
 #include "epoch/light_epoch.h"
 #include "faster/hash_index.h"
@@ -172,6 +171,12 @@ class FasterStore : public StateObject {
   HashIndex index_;
   WriteAheadLog meta_wal_;
 
+  // Store-state words read lock-free on every operation. release on the
+  // writer side (version bump, checkpoint boundary install, rollback state
+  // transition) / acquire on read: an op that observes the new word must
+  // also observe the log/index state the transition published. They are
+  // deliberately independent — in-place-update admission re-checks all of
+  // them and the version latch fences batch boundaries.
   std::atomic<uint64_t> version_{1};
   std::atomic<LogAddress> begin_{LogAllocator::kBeginAddress};
   std::atomic<LogAddress> read_only_address_{LogAllocator::kBeginAddress};
@@ -181,24 +186,33 @@ class FasterStore : public StateObject {
   // and must be ignored by all lookups (Fig. 8). Disabled when high == 0.
   std::atomic<uint64_t> ignore_low_{0};
   std::atomic<uint64_t> ignore_high_{0};
+  // relaxed would do for these two (crash flag is a test hook checked at op
+  // entry; record_count_ is a stat), but they ride the default seq_cst via
+  // plain load/store at non-hot call sites.
   std::atomic<bool> crashed_{false};
   std::atomic<uint64_t> record_count_{0};
 
-  // Durable checkpoints: token -> log boundary.
-  mutable std::mutex checkpoints_mu_;
-  std::map<Version, LogAddress> checkpoints_;
+  // Durable checkpoints: token -> log boundary. Never nests with flush_mu_.
+  mutable Mutex checkpoints_mu_{LockRank::kStoreCheckpoints,
+                                "faster.checkpoints"};
+  std::map<Version, LogAddress> checkpoints_ GUARDED_BY(checkpoints_mu_);
   // In-flight compactions: compaction checkpoint token -> new begin address.
-  std::map<Version, LogAddress> pending_compactions_;
+  std::map<Version, LogAddress> pending_compactions_
+      GUARDED_BY(checkpoints_mu_);
 
-  // Flush pipeline.
-  std::mutex flush_mu_;
-  std::condition_variable flush_cv_;
-  std::condition_variable flush_idle_cv_;
-  std::deque<FlushRequest> flush_queue_;
-  bool flush_in_progress_ = false;
+  // Flush pipeline. flush_mu_ is held only for queue push/pop — never
+  // across device I/O or the persistence callback.
+  Mutex flush_mu_{LockRank::kStoreFlush, "faster.flush"};
+  CondVar flush_cv_;
+  CondVar flush_idle_cv_;
+  std::deque<FlushRequest> flush_queue_ GUARDED_BY(flush_mu_);
+  bool flush_in_progress_ GUARDED_BY(flush_mu_) = false;
+  // CAS-claimed by PerformCheckpoint (one in flight), release-cleared when
+  // the flush completes; acquire-read by the in-place-update admission check
+  // so no mutation lands in a version being captured.
   std::atomic<bool> checkpoint_active_{false};
   std::thread flush_thread_;
-  bool stop_flush_ = false;
+  bool stop_flush_ GUARDED_BY(flush_mu_) = false;
 };
 
 }  // namespace dpr

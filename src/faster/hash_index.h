@@ -48,6 +48,8 @@ class HashIndex {
 
  private:
   uint64_t bucket_count_;
+  // release on CAS-install / acquire on probe: observing a bucket address
+  // implies observing the record bytes written at that address.
   std::unique_ptr<std::atomic<LogAddress>[]> buckets_;
 };
 

@@ -25,7 +25,7 @@ void LogAllocator::EnsurePage(uint64_t page_index) {
       pages_[page_index] != nullptr) {
     return;
   }
-  std::lock_guard<std::mutex> guard(pages_mu_);
+  MutexLock guard(pages_mu_);
   if (pages_[page_index] == nullptr) {
     pages_[page_index] = std::make_unique<char[]>(page_size());
     memset(pages_[page_index].get(), 0, page_size());
@@ -87,7 +87,7 @@ const char* LogAllocator::Resolve(LogAddress address) const {
 }
 
 void LogAllocator::RestoreTo(uint64_t size) {
-  std::lock_guard<std::mutex> guard(pages_mu_);
+  MutexLock guard(pages_mu_);
   const uint64_t needed = (size + page_size() - 1) >> page_bits_;
   for (uint64_t i = 0; i < needed; ++i) {
     if (pages_[i] == nullptr) {
@@ -103,7 +103,7 @@ void LogAllocator::RestoreTo(uint64_t size) {
 }
 
 void LogAllocator::ReleasePagesBelow(LogAddress address) {
-  std::lock_guard<std::mutex> guard(pages_mu_);
+  MutexLock guard(pages_mu_);
   const uint64_t first_kept = address >> page_bits_;
   for (uint64_t i = 0; i < first_kept && i < pages_.size(); ++i) {
     pages_[i].reset();
@@ -111,7 +111,7 @@ void LogAllocator::ReleasePagesBelow(LogAddress address) {
 }
 
 void LogAllocator::Clear() {
-  std::lock_guard<std::mutex> guard(pages_mu_);
+  MutexLock guard(pages_mu_);
   for (auto& page : pages_) page.reset();
   num_pages_.store(0, std::memory_order_release);
   tail_.store(kBeginAddress, std::memory_order_release);

@@ -4,9 +4,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/sync.h"
 #include "faster/record.h"
 
 namespace dpr {
@@ -67,9 +67,15 @@ class LogAllocator {
   void EnsurePage(uint64_t page_index);
 
   const uint32_t page_bits_;
+  // acquire-load + CAS: winners own [old, old+size) exclusively; the
+  // record bytes are published by the hash-index release-store, not here.
   std::atomic<uint64_t> tail_;
-  mutable std::mutex pages_mu_;
+  // Guards page materialization only; Resolve() reads slots lock-free after
+  // the num_pages_ release-store publishes them.
+  mutable Mutex pages_mu_{LockRank::kStoreLog, "faster.log_pages"};
   std::vector<std::unique_ptr<char[]>> pages_;
+  // release on materialize / acquire in Resolve: observing the count
+  // implies observing the page pointer it covers.
   std::atomic<uint64_t> num_pages_{0};
 };
 

@@ -28,25 +28,25 @@ FaultPlane& FaultPlane::Instance() {
 }
 
 void FaultPlane::Enable(uint64_t seed) {
-  std::lock_guard<std::mutex> guard(mu_);
-  seed_ = seed;
+  MutexLock guard(mu_);
+  seed_.store(seed, std::memory_order_relaxed);
   rules_.clear();
   enabled_.store(true, std::memory_order_release);
 }
 
 void FaultPlane::Disable() {
   enabled_.store(false, std::memory_order_release);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   rules_.clear();
 }
 
 void FaultPlane::Arm(FaultRule rule) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   rules_.push_back(std::make_unique<ArmedRule>(std::move(rule)));
 }
 
 void FaultPlane::Disarm(std::string_view point) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   for (auto it = rules_.begin(); it != rules_.end();) {
     if ((*it)->spec.point == point) {
       it = rules_.erase(it);
@@ -57,14 +57,14 @@ void FaultPlane::Disarm(std::string_view point) {
 }
 
 void FaultPlane::DisarmAll() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   rules_.clear();
 }
 
 bool FaultPlane::ShouldFire(std::string_view point, uint64_t scope,
                             uint64_t* param) {
   if (!enabled()) return false;
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   const uint64_t point_hash = HashBytes(point.data(), point.size());
   for (auto& rule : rules_) {
     const FaultRule& spec = rule->spec;
@@ -77,7 +77,8 @@ bool FaultPlane::ShouldFire(std::string_view point, uint64_t scope,
     if (rule->fires.load(std::memory_order_relaxed) >= spec.max_fires) {
       continue;
     }
-    if (!HashDecision(seed_, point_hash, spec.scope, idx, spec.probability)) {
+    if (!HashDecision(seed_.load(std::memory_order_relaxed), point_hash,
+                      spec.scope, idx, spec.probability)) {
       continue;
     }
     rule->fires.fetch_add(1, std::memory_order_relaxed);
@@ -88,7 +89,7 @@ bool FaultPlane::ShouldFire(std::string_view point, uint64_t scope,
 }
 
 uint64_t FaultPlane::hits(std::string_view point) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   uint64_t total = 0;
   for (const auto& rule : rules_) {
     if (rule->spec.point == point) {
@@ -99,7 +100,7 @@ uint64_t FaultPlane::hits(std::string_view point) const {
 }
 
 uint64_t FaultPlane::fires(std::string_view point) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   uint64_t total = 0;
   for (const auto& rule : rules_) {
     if (rule->spec.point == point) {
@@ -110,7 +111,7 @@ uint64_t FaultPlane::fires(std::string_view point) const {
 }
 
 std::string FaultPlane::ReportString() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   std::string out;
   for (const auto& rule : rules_) {
     const FaultRule& spec = rule->spec;

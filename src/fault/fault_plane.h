@@ -4,10 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace dpr {
 
@@ -77,7 +78,7 @@ class FaultPlane {
   /// Disables injection; probes return to the zero-overhead fast path.
   void Disable();
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
-  uint64_t seed() const { return seed_; }
+  uint64_t seed() const { return seed_.load(std::memory_order_relaxed); }
 
   void Arm(FaultRule rule);
   /// Removes every rule armed for `point`.
@@ -103,16 +104,27 @@ class FaultPlane {
   struct ArmedRule {
     explicit ArmedRule(FaultRule s) : spec(std::move(s)) {}
     FaultRule spec;
+    // relaxed: probe-site counters. hits orders nothing (fetch_add only
+    // claims an index for every_n matching); fires may transiently overshoot
+    // max_fires by the number of concurrent probes — acceptable slack for a
+    // test-only plane, not worth a CAS loop on the probe hot path.
     std::atomic<uint64_t> hits{0};
     std::atomic<uint64_t> fires{0};
   };
 
+  // Probe fast path: a single relaxed load when the plane is disabled (the
+  // common case); arming happens-before probes via the mu_ acquire inside
+  // ShouldFire, so enabled_ itself carries no ordering duty.
   std::atomic<bool> enabled_{false};
-  uint64_t seed_ = 0;
-  mutable std::mutex mu_;
+  // Atomic (not GUARDED_BY(mu_)) because the public seed() accessor reads it
+  // with no lock while probes run; relaxed is enough — Enable() publishes it
+  // before flipping enabled_ with release, which every probe acquires… via
+  // the mu_ acquire in ShouldFire, and test readers only need *a* value.
+  std::atomic<uint64_t> seed_{0};
+  mutable Mutex mu_{LockRank::kFault, "fault.plane"};
   // unique_ptr: ArmedRule holds atomics and must not relocate while probe
   // threads hold a reference.
-  std::vector<std::unique_ptr<ArmedRule>> rules_;
+  std::vector<std::unique_ptr<ArmedRule>> rules_ GUARDED_BY(mu_);
 };
 
 /// RAII Enable/Disable, for tests and the chaos harness.

@@ -9,7 +9,9 @@
 
 namespace dpr {
 
-/// Shared op counters for multi-threaded bench drivers.
+/// Shared op counters for multi-threaded bench drivers. All relaxed: each
+/// field is an independent monotonic tally; the reporting thread may see a
+/// slightly stale mix across fields, which throughput math tolerates.
 struct BenchCounters {
   std::atomic<uint64_t> completed{0};
   std::atomic<uint64_t> committed{0};

@@ -45,7 +45,7 @@ MetadataStore::MetadataStore(std::unique_ptr<Device> wal_device)
     : wal_(std::move(wal_device)) {}
 
 Status MetadataStore::Recover() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   persisted_.clear();
   graph_.clear();
   cut_.clear();
@@ -57,7 +57,7 @@ Status MetadataStore::Recover() {
 }
 
 Status MetadataStore::LogAndApply(const std::string& record) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   DPR_RETURN_NOT_OK(wal_.Append(record));
   DPR_RETURN_NOT_OK(wal_.Sync());
   ApplyRecord(record);
@@ -142,12 +142,12 @@ Status MetadataStore::RemoveWorker(WorkerId worker) {
 }
 
 std::map<WorkerId, Version> MetadataStore::GetPersistedVersions() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return persisted_;
 }
 
 Version MetadataStore::MinPersistedVersion() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (persisted_.empty()) return kInvalidVersion;
   Version min = ~0ULL;
   for (const auto& [w, v] : persisted_) {
@@ -158,7 +158,7 @@ Version MetadataStore::MinPersistedVersion() const {
 }
 
 Version MetadataStore::MaxPersistedVersion() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   Version max = kInvalidVersion;
   for (const auto& [w, v] : persisted_) {
     (void)w;
@@ -177,7 +177,7 @@ Status MetadataStore::AddGraphNode(WorkerVersion wv,
 }
 
 std::map<WorkerVersion, DependencySet> MetadataStore::GetGraph() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return graph_;
 }
 
@@ -195,7 +195,7 @@ Status MetadataStore::SetCut(WorldLine world_line, const DprCut& cut) {
 }
 
 void MetadataStore::GetCut(WorldLine* world_line, DprCut* cut) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (world_line != nullptr) *world_line = cut_world_line_;
   if (cut != nullptr) *cut = cut_;
 }
@@ -207,7 +207,7 @@ Status MetadataStore::SetWorldLine(WorldLine world_line) {
 }
 
 WorldLine MetadataStore::GetWorldLine() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return world_line_;
 }
 
@@ -219,13 +219,13 @@ Status MetadataStore::SetOwner(uint64_t virtual_partition, WorkerId worker) {
 }
 
 std::map<uint64_t, WorkerId> MetadataStore::GetOwnership() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return ownership_;
 }
 
 void MetadataStore::SimulateCrash() {
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     wal_.device()->SimulateCrash();
   }
   Status s = Recover();
@@ -233,7 +233,7 @@ void MetadataStore::SimulateCrash() {
 }
 
 uint64_t MetadataStore::WalBytes() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return wal_.SizeBytes();
 }
 

@@ -4,9 +4,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "dpr/types.h"
 #include "storage/wal.h"
 
@@ -66,17 +66,21 @@ class MetadataStore {
   uint64_t WalBytes() const;
 
  private:
-  Status LogAndApply(const std::string& record);
-  void ApplyRecord(Slice record);
+  Status LogAndApply(const std::string& record) EXCLUDES(mu_);
+  void ApplyRecord(Slice record) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  WriteAheadLog wal_;
-  std::map<WorkerId, Version> persisted_;               // dpr table
-  std::map<WorkerVersion, DependencySet> graph_;        // precedence graph
-  DprCut cut_;
-  WorldLine cut_world_line_ = kInitialWorldLine;
-  WorldLine world_line_ = kInitialWorldLine;
-  std::map<uint64_t, WorkerId> ownership_;
+  mutable Mutex mu_{LockRank::kMetadata, "metadata.store"};
+  // The WAL has its own internal lock (kStorage) acquired under mu_; mu_
+  // additionally serializes Append+Sync+apply so a record is never applied
+  // to the tables out of WAL order.
+  WriteAheadLog wal_ GUARDED_BY(mu_);
+  std::map<WorkerId, Version> persisted_ GUARDED_BY(mu_);  // dpr table
+  // Precedence graph (exact algorithm).
+  std::map<WorkerVersion, DependencySet> graph_ GUARDED_BY(mu_);
+  DprCut cut_ GUARDED_BY(mu_);
+  WorldLine cut_world_line_ GUARDED_BY(mu_) = kInitialWorldLine;
+  WorldLine world_line_ GUARDED_BY(mu_) = kInitialWorldLine;
+  std::map<uint64_t, WorkerId> ownership_ GUARDED_BY(mu_);
 };
 
 }  // namespace dpr

@@ -51,12 +51,12 @@ class InMemoryNetwork::Server : public RpcServer {
 
   ~Server() override {
     Stop();
-    std::lock_guard<std::mutex> guard(net_->mu_);
+    MutexLock guard(net_->mu_);
     net_->servers_.erase(name_);
   }
 
   Status Start(RpcHandler handler) override {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     if (running_) return Status::Busy("server already started");
     handler_ = std::move(handler);
     running_ = true;
@@ -69,17 +69,17 @@ class InMemoryNetwork::Server : public RpcServer {
 
   void Stop() override {
     {
-      std::lock_guard<std::mutex> guard(mu_);
+      MutexLock guard(mu_);
       if (!running_) return;
       stop_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     for (auto& t : threads_) t.join();
     threads_.clear();
     // Fail any stragglers so callers do not hang.
     std::deque<Item> leftover;
     {
-      std::lock_guard<std::mutex> guard(mu_);
+      MutexLock guard(mu_);
       leftover.swap(queue_);
       running_ = false;
     }
@@ -94,7 +94,7 @@ class InMemoryNetwork::Server : public RpcServer {
                uint64_t deliver_at_us) {
     bool accepted = false;
     {
-      std::lock_guard<std::mutex> guard(mu_);
+      MutexLock guard(mu_);
       if (running_ && !stop_) {
         queue_.push_back(Item{std::move(request), std::move(callback),
                               deliver_at_us});
@@ -109,7 +109,7 @@ class InMemoryNetwork::Server : public RpcServer {
       callback(Status::Unavailable("server not running"), Slice());
       return;
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
  private:
@@ -124,8 +124,8 @@ class InMemoryNetwork::Server : public RpcServer {
     for (;;) {
       Item item;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        MutexLock lock(mu_);
+        cv_.Wait(mu_, [this] { return stop_ || !queue_.empty(); });
         if (stop_) return;
         item = std::move(queue_.front());
         queue_.pop_front();
@@ -143,13 +143,15 @@ class InMemoryNetwork::Server : public RpcServer {
   InMemoryNetwork* net_;
   const std::string name_;
   const InMemoryNetOptions options_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Item> queue_;
+  Mutex mu_{LockRank::kTransport, "net.inmemory.server"};
+  CondVar cv_;
+  std::deque<Item> queue_ GUARDED_BY(mu_);
   std::vector<std::thread> threads_;
+  // Written once in Start() before the dispatcher threads are spawned (thread
+  // creation publishes it); read lock-free in DispatchLoop thereafter.
   RpcHandler handler_;
-  bool running_ = false;
-  bool stop_ = false;
+  bool running_ GUARDED_BY(mu_) = false;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 // --------------------------------------------------------------- Connection
@@ -162,7 +164,7 @@ class InMemoryNetwork::Connection : public RpcConnection {
   void CallAsync(std::string request, ResponseCallback callback) override {
     Server* server = nullptr;
     {
-      std::lock_guard<std::mutex> guard(net_->mu_);
+      MutexLock guard(net_->mu_);
       auto it = net_->servers_.find(name_);
       if (it != net_->servers_.end()) server = it->second;
     }
@@ -210,7 +212,7 @@ InMemoryNetwork::InMemoryNetwork(InMemoryNetOptions options)
     : options_(options) {}
 
 InMemoryNetwork::~InMemoryNetwork() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   DPR_CHECK_MSG(servers_.empty(),
                 "InMemoryNetwork destroyed with live servers");
 }
@@ -218,7 +220,7 @@ InMemoryNetwork::~InMemoryNetwork() {
 std::unique_ptr<RpcServer> InMemoryNetwork::CreateServer(
     const std::string& name) {
   auto server = std::make_unique<Server>(this, name, options_);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   DPR_CHECK_MSG(servers_.emplace(name, server.get()).second,
                 "duplicate endpoint %s", name.c_str());
   return server;

@@ -1,16 +1,15 @@
 #ifndef DPR_NET_INMEMORY_NET_H_
 #define DPR_NET_INMEMORY_NET_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "net/rpc.h"
 
 namespace dpr {
@@ -45,8 +44,8 @@ class InMemoryNetwork {
   class Connection;
 
   InMemoryNetOptions options_;
-  std::mutex mu_;
-  std::map<std::string, Server*> servers_;
+  Mutex mu_{LockRank::kTransport, "net.inmemory.registry"};
+  std::map<std::string, Server*> servers_ GUARDED_BY(mu_);
 };
 
 }  // namespace dpr

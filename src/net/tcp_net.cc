@@ -11,13 +11,13 @@
 #include <cerrno>
 #include <cstring>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/coding.h"
 #include "common/hash.h"
+#include "common/sync.h"
 #include "common/logging.h"
 #include "fault/fault_plane.h"
 #include "obs/metrics.h"
@@ -146,14 +146,14 @@ Status WriteFully(int fd, const void* buf, size_t n,
 // `*mid_frame` reports whether bytes already hit the wire: a torn frame
 // means the peer's stream position is corrupt and the connection must be
 // poisoned, while a clean zero-byte failure leaves the stream aligned.
-Status WriteFrame(int fd, std::mutex& write_mu, uint64_t id, Slice payload,
+Status WriteFrame(int fd, Mutex& write_mu, uint64_t id, Slice payload,
                   bool* mid_frame = nullptr) {
   std::string frame;
   frame.reserve(kFrameHeader + payload.size());
   PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
   PutFixed64(&frame, id);
   frame.append(payload.data(), payload.size());
-  std::lock_guard<std::mutex> guard(write_mu);
+  MutexLock guard(write_mu);
   size_t written = 0;
   Status s = WriteFully(fd, frame.data(), frame.size(), &written);
   if (mid_frame != nullptr) *mid_frame = !s.ok() && written > 0;
@@ -220,12 +220,14 @@ class TcpServer : public RpcServer {
     }
     if (accept_thread_.joinable()) accept_thread_.join();
     std::vector<int> fds;
+    std::vector<std::thread> threads;
     {
-      std::lock_guard<std::mutex> guard(conns_mu_);
+      MutexLock guard(conns_mu_);
       fds = conn_fds_;
+      threads.swap(conn_threads_);
     }
     for (int fd : fds) shutdown(fd, SHUT_RDWR);
-    for (auto& t : conn_threads_) {
+    for (auto& t : threads) {
       if (t.joinable()) t.join();
     }
     for (int fd : fds) close(fd);
@@ -246,14 +248,15 @@ class TcpServer : public RpcServer {
         continue;
       }
       SetNoDelay(fd);
-      std::lock_guard<std::mutex> guard(conns_mu_);
+      MutexLock guard(conns_mu_);
       conn_fds_.push_back(fd);
       conn_threads_.emplace_back([this, fd] { ConnLoop(fd); });
     }
   }
 
   void ConnLoop(int fd) {
-    std::mutex write_mu;  // one writer thread today, but keep frames atomic
+    // One writer thread today, but keep frames atomic.
+    Mutex write_mu{LockRank::kTransport, "net.tcp.server_write"};
     std::string request;
     std::string response;
     uint64_t id = 0;
@@ -270,11 +273,13 @@ class TcpServer : public RpcServer {
   // Atomic: Stop() invalidates it while AcceptLoop is blocked in accept().
   std::atomic<int> listen_fd_{-1};
   RpcHandler handler_;
+  // relaxed flag: loop-exit signal only; fd shutdown (a syscall barrier)
+  // does the actual cross-thread handoff.
   std::atomic<bool> stop_{true};
   std::thread accept_thread_;
-  std::mutex conns_mu_;
-  std::vector<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  Mutex conns_mu_{LockRank::kTransport, "net.tcp.conns"};
+  std::vector<int> conn_fds_ GUARDED_BY(conns_mu_);
+  std::vector<std::thread> conn_threads_ GUARDED_BY(conns_mu_);
 };
 
 // ------------------------------------------------------------------- client
@@ -316,7 +321,7 @@ class TcpConnection : public RpcConnection {
     }
     const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> guard(pending_mu_);
+      MutexLock guard(pending_mu_);
       pending_[id] = std::move(callback);
     }
     bool mid_frame = false;
@@ -336,7 +341,7 @@ class TcpConnection : public RpcConnection {
       if (mid_frame) Poison();
       ResponseCallback cb;
       {
-        std::lock_guard<std::mutex> guard(pending_mu_);
+        MutexLock guard(pending_mu_);
         auto it = pending_.find(id);
         if (it != pending_.end()) {
           cb = std::move(it->second);
@@ -364,7 +369,7 @@ class TcpConnection : public RpcConnection {
       }
       ResponseCallback cb;
       {
-        std::lock_guard<std::mutex> guard(pending_mu_);
+        MutexLock guard(pending_mu_);
         auto it = pending_.find(id);
         if (it != pending_.end()) {
           cb = std::move(it->second);
@@ -378,7 +383,7 @@ class TcpConnection : public RpcConnection {
   void FailPending(const Status& s) {
     std::map<uint64_t, ResponseCallback> orphans;
     {
-      std::lock_guard<std::mutex> guard(pending_mu_);
+      MutexLock guard(pending_mu_);
       orphans.swap(pending_);
     }
     for (auto& [id, cb] : orphans) {
@@ -389,11 +394,13 @@ class TcpConnection : public RpcConnection {
 
   int fd_;
   const uint64_t peer_scope_;
-  std::mutex write_mu_;
+  Mutex write_mu_{LockRank::kTransport, "net.tcp.client_write"};
   std::thread reader_;
+  // relaxed: request-id allocator; uniqueness is all that matters, the
+  // id is published to the reader via pending_mu_.
   std::atomic<uint64_t> next_id_{1};
-  std::mutex pending_mu_;
-  std::map<uint64_t, ResponseCallback> pending_;
+  Mutex pending_mu_{LockRank::kTransport, "net.tcp.pending"};
+  std::map<uint64_t, ResponseCallback> pending_ GUARDED_BY(pending_mu_);
 };
 
 }  // namespace

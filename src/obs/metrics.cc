@@ -10,6 +10,7 @@ ShardedHistogram::ShardedHistogram()
     : shards_(std::make_unique<Shard[]>(kShards)) {}
 
 uint32_t ShardedHistogram::ThreadShard() {
+  // relaxed: shard-id allocator, uniqueness only — no ordering duty.
   static std::atomic<uint32_t> next{0};
   thread_local const uint32_t shard =
       next.fetch_add(1, std::memory_order_relaxed) % kShards;
@@ -95,7 +96,7 @@ MetricsRegistry& MetricsRegistry::Default() {
 }
 
 Counter* MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -105,7 +106,7 @@ Counter* MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -114,7 +115,7 @@ Gauge* MetricsRegistry::gauge(std::string_view name) {
 }
 
 ShardedHistogram* MetricsRegistry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -127,7 +128,7 @@ ShardedHistogram* MetricsRegistry::histogram(std::string_view name) {
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
   snap.taken_us = NowMicros();
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
   for (const auto& [name, h] : histograms_) {
@@ -137,7 +138,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetForTest() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   for (auto& [name, c] : counters_) c->ResetForTest();
   for (auto& [name, g] : gauges_) g->ResetForTest();
   for (auto& [name, h] : histograms_) h->ResetForTest();

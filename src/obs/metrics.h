@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "common/histogram.h"
+#include "common/sync.h"
 
 namespace dpr {
 
@@ -22,6 +22,7 @@ class Counter {
   void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
 
  private:
+  // relaxed: monotonic counter; snapshot readers tolerate slight staleness.
   std::atomic<uint64_t> value_{0};
 };
 
@@ -44,6 +45,7 @@ class Gauge {
   void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
 
  private:
+  // relaxed: gauge; any recent value is valid, no cross-field ordering.
   std::atomic<int64_t> value_{0};
 };
 
@@ -86,6 +88,9 @@ class ShardedHistogram {
 
  private:
   struct alignas(64) Shard {
+    // relaxed throughout: each field is independently monotone-ish and a
+    // snapshot merge may observe a sample in count but not yet in sum (or
+    // vice versa) — bounded skew is the accepted cost of a lock-free Record.
     std::atomic<uint64_t> buckets[Histogram::kNumBuckets] = {};
     std::atomic<uint64_t> count{0};
     std::atomic<uint64_t> sum{0};
@@ -137,11 +142,13 @@ class MetricsRegistry {
   void ResetForTest();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  mutable Mutex mu_{LockRank::kObs, "metrics.registry"};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<ShardedHistogram>, std::less<>>
-      histograms_;
+      histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace dpr

@@ -16,7 +16,7 @@ void Timeline::RecordAt(std::string_view series, double t_seconds,
   ev.series = std::string(series);
   ev.value = value;
   ev.label = std::string(label);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   events_.push_back(std::move(ev));
 }
 
@@ -25,12 +25,12 @@ void Timeline::Mark(std::string_view series, std::string_view label) {
 }
 
 std::vector<TimelineEvent> Timeline::events() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return events_;
 }
 
 bool Timeline::empty() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return events_.empty();
 }
 

@@ -2,12 +2,12 @@
 #define DPR_OBS_TIMELINE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/sync.h"
 
 namespace dpr {
 
@@ -52,8 +52,8 @@ class Timeline {
 
  private:
   Stopwatch clock_;
-  mutable std::mutex mu_;
-  std::vector<TimelineEvent> events_;
+  mutable Mutex mu_{LockRank::kObs, "obs.timeline"};
+  std::vector<TimelineEvent> events_ GUARDED_BY(mu_);
 };
 
 }  // namespace dpr

@@ -91,15 +91,15 @@ RespStore::RespStore(RespStoreOptions options)
 
 RespStore::~RespStore() {
   {
-    std::lock_guard<std::mutex> guard(save_mu_);
+    MutexLock guard(save_mu_);
     stop_save_ = true;
   }
-  save_cv_.notify_all();
+  save_cv_.NotifyAll();
   if (save_thread_.joinable()) save_thread_.join();
 }
 
 void RespStore::LoadDurableSnapshots() {
-  std::lock_guard<std::mutex> guard(save_mu_);
+  MutexLock guard(save_mu_);
   durable_snapshots_.clear();
   Status s = snap_log_.Replay([this](uint64_t offset, Slice record) {
     if (record.size() < 8) return;
@@ -130,7 +130,7 @@ RespReply RespStore::Execute(const RespCommand& command) {
   RespReply reply;
   switch (command.op) {
     case RespOp::kGet: {
-      std::lock_guard<std::mutex> guard(mu_);
+      MutexLock guard(mu_);
       auto it = map_.find(command.key);
       if (it == map_.end()) {
         reply.status = Status::NotFound();
@@ -141,7 +141,7 @@ RespReply RespStore::Execute(const RespCommand& command) {
     }
     case RespOp::kSet: {
       {
-        std::lock_guard<std::mutex> guard(mu_);
+        MutexLock guard(mu_);
         map_[command.key] = command.value;
       }
       if (options_.aof_enabled) reply.status = AppendAof(command);
@@ -149,7 +149,7 @@ RespReply RespStore::Execute(const RespCommand& command) {
     }
     case RespOp::kDel: {
       {
-        std::lock_guard<std::mutex> guard(mu_);
+        MutexLock guard(mu_);
         map_.erase(command.key);
       }
       if (options_.aof_enabled) reply.status = AppendAof(command);
@@ -162,7 +162,7 @@ RespReply RespStore::Execute(const RespCommand& command) {
       }
       uint64_t updated;
       {
-        std::lock_guard<std::mutex> guard(mu_);
+        MutexLock guard(mu_);
         std::string& cell = map_[command.key];
         uint64_t cur = 0;
         if (cell.size() == 8) memcpy(&cur, cell.data(), 8);
@@ -216,14 +216,14 @@ RespReply RespStore::DoBgSave(uint64_t token) {
     // Snapshot the map. Real Redis forks for copy-on-write; copying under
     // the command lock has the same observable semantics (a point-in-time
     // image) at the cost of a brief pause — see DESIGN.md.
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     payload = SerializeMap(map_);
   }
   {
-    std::lock_guard<std::mutex> guard(save_mu_);
+    MutexLock guard(save_mu_);
     save_queue_.push_back(SaveJob{token, std::move(payload)});
   }
-  save_cv_.notify_one();
+  save_cv_.NotifyOne();
   return reply;
 }
 
@@ -231,8 +231,8 @@ void RespStore::SaveLoop() {
   for (;;) {
     SaveJob job;
     {
-      std::unique_lock<std::mutex> lock(save_mu_);
-      save_cv_.wait(lock,
+      MutexLock lock(save_mu_);
+      save_cv_.Wait(save_mu_,
                     [this] { return stop_save_ || !save_queue_.empty(); });
       if (stop_save_ && save_queue_.empty()) return;
       job = std::move(save_queue_.front());
@@ -246,7 +246,7 @@ void RespStore::SaveLoop() {
     Status s = snap_log_.Append(record, &offset);
     if (s.ok()) s = snap_log_.Sync();
     {
-      std::lock_guard<std::mutex> guard(save_mu_);
+      MutexLock guard(save_mu_);
       if (s.ok()) {
         durable_snapshots_[job.token] = offset;
       } else {
@@ -256,18 +256,18 @@ void RespStore::SaveLoop() {
       }
       save_in_progress_ = false;
     }
-    save_done_cv_.notify_all();
+    save_done_cv_.NotifyAll();
   }
 }
 
 void RespStore::WaitForSave() {
-  std::unique_lock<std::mutex> lock(save_mu_);
-  save_done_cv_.wait(
-      lock, [this] { return save_queue_.empty() && !save_in_progress_; });
+  MutexLock lock(save_mu_);
+  save_done_cv_.Wait(
+      save_mu_, [this] { return save_queue_.empty() && !save_in_progress_; });
 }
 
 uint64_t RespStore::LastSave() const {
-  std::lock_guard<std::mutex> guard(save_mu_);
+  MutexLock guard(save_mu_);
   return durable_snapshots_.empty() ? 0 : durable_snapshots_.rbegin()->first;
 }
 
@@ -278,7 +278,7 @@ RespReply RespStore::DoRestore(uint64_t version) {
   uint64_t offset = 0;
   bool found = false;
   {
-    std::lock_guard<std::mutex> guard(save_mu_);
+    MutexLock guard(save_mu_);
     for (auto it = durable_snapshots_.rbegin();
          it != durable_snapshots_.rend(); ++it) {
       if (it->first <= version) {
@@ -305,7 +305,7 @@ RespReply RespStore::DoRestore(uint64_t version) {
     }
   }
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     map_ = std::move(image);
   }
   // Durably discard newer snapshots so LASTSAVE never reports rolled-back
@@ -316,7 +316,7 @@ RespReply RespStore::DoRestore(uint64_t version) {
   Status s = snap_log_.Append(marker);
   if (s.ok()) s = snap_log_.Sync();
   if (s.ok()) {
-    std::lock_guard<std::mutex> guard(save_mu_);
+    MutexLock guard(save_mu_);
     for (auto it = durable_snapshots_.upper_bound(token);
          it != durable_snapshots_.end();) {
       it = durable_snapshots_.erase(it);
@@ -330,7 +330,7 @@ RespReply RespStore::DoRestore(uint64_t version) {
 void RespStore::SimulateCrash() {
   WaitForSave();
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     map_.clear();
   }
   snap_log_.device()->SimulateCrash();
@@ -339,7 +339,7 @@ void RespStore::SimulateCrash() {
 }
 
 uint64_t RespStore::size() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return map_.size();
 }
 

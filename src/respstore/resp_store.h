@@ -1,18 +1,17 @@
 #ifndef DPR_RESPSTORE_RESP_STORE_H_
 #define DPR_RESPSTORE_RESP_STORE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "storage/wal.h"
 
 namespace dpr {
@@ -94,23 +93,27 @@ class RespStore {
   void LoadDurableSnapshots();
 
   RespStoreOptions options_;
-  mutable std::mutex mu_;  // protects map_ (single-threaded-store emulation)
-  std::unordered_map<std::string, std::string> map_;
+  // Protects map_ (single-threaded-store emulation).
+  mutable Mutex mu_{LockRank::kStoreFlush, "respstore.map"};
+  std::unordered_map<std::string, std::string> map_ GUARDED_BY(mu_);
 
-  // Snapshot pipeline.
+  // Snapshot pipeline. save_mu_ is held across snap-log replay, so it ranks
+  // above kStorage; it never nests with mu_ (BgSave serializes the image
+  // under mu_, releases, then enqueues under save_mu_).
   WriteAheadLog snap_log_;
-  mutable std::mutex save_mu_;
-  std::condition_variable save_cv_;
-  std::condition_variable save_done_cv_;
+  mutable Mutex save_mu_{LockRank::kStoreCheckpoints, "respstore.save"};
+  CondVar save_cv_;
+  CondVar save_done_cv_;
   struct SaveJob {
     uint64_t token;
     std::string payload;  // serialized map image
   };
-  std::deque<SaveJob> save_queue_;
-  bool save_in_progress_ = false;
-  bool stop_save_ = false;
+  std::deque<SaveJob> save_queue_ GUARDED_BY(save_mu_);
+  bool save_in_progress_ GUARDED_BY(save_mu_) = false;
+  bool stop_save_ GUARDED_BY(save_mu_) = false;
   std::thread save_thread_;
-  std::map<uint64_t, uint64_t> durable_snapshots_;  // token -> log offset
+  // token -> log offset
+  std::map<uint64_t, uint64_t> durable_snapshots_ GUARDED_BY(save_mu_);
 };
 
 }  // namespace dpr

@@ -33,14 +33,14 @@ Status NullDevice::ReadAt(uint64_t /*offset*/, void* buf, size_t n) {
 // -------------------------------------------------------------- MemoryDevice
 
 Status MemoryDevice::WriteAt(uint64_t offset, const void* data, size_t n) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (offset + n > volatile_.size()) volatile_.resize(offset + n, '\0');
   memcpy(volatile_.data() + offset, data, n);
   return Status::OK();
 }
 
 Status MemoryDevice::ReadAt(uint64_t offset, void* buf, size_t n) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (offset + n > volatile_.size()) {
     return Status::IOError("MemoryDevice: read past end");
   }
@@ -49,23 +49,23 @@ Status MemoryDevice::ReadAt(uint64_t offset, void* buf, size_t n) {
 }
 
 Status MemoryDevice::Flush() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   durable_ = volatile_;
   return Status::OK();
 }
 
 uint64_t MemoryDevice::Size() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return volatile_.size();
 }
 
 void MemoryDevice::SimulateCrash() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   volatile_ = durable_;
 }
 
 void MemoryDevice::Truncate(uint64_t new_size) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   volatile_.resize(new_size, '\0');
   durable_.resize(new_size < durable_.size() ? new_size : durable_.size(),
                   '\0');
@@ -113,7 +113,7 @@ Status FileDevice::WriteAt(uint64_t offset, const void* data, size_t n) {
     off += static_cast<uint64_t>(written);
     remaining -= static_cast<size_t>(written);
   }
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (offset + n > size_) size_ = offset + n;
   return Status::OK();
 }
@@ -139,24 +139,24 @@ Status FileDevice::ReadAt(uint64_t offset, void* buf, size_t n) {
 Status FileDevice::Flush() {
   uint64_t watermark;
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     watermark = size_;
   }
   if (fdatasync(fd_) != 0) {
     return Status::IOError("fdatasync " + path_ + ": " + strerror(errno));
   }
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (watermark > durable_size_) durable_size_ = watermark;
   return Status::OK();
 }
 
 uint64_t FileDevice::Size() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return size_;
 }
 
 void FileDevice::SimulateCrash() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (ftruncate(fd_, static_cast<off_t>(durable_size_)) != 0) {
     DPR_WARN("ftruncate %s failed: %s", path_.c_str(), strerror(errno));
   }
@@ -164,7 +164,7 @@ void FileDevice::SimulateCrash() {
 }
 
 void FileDevice::Truncate(uint64_t new_size) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
     DPR_WARN("ftruncate %s failed: %s", path_.c_str(), strerror(errno));
     return;

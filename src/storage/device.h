@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace dpr {
 
@@ -56,6 +56,8 @@ class NullDevice : public Device {
   }
 
  private:
+  // relaxed: size high-water mark; file contents are published by the
+  // pwrite/pread syscalls themselves, not by this counter.
   std::atomic<uint64_t> size_{0};
 };
 
@@ -73,9 +75,9 @@ class MemoryDevice : public Device {
   void Truncate(uint64_t new_size) override;
 
  private:
-  mutable std::mutex mu_;
-  std::string volatile_;  // contiguous image of all writes
-  std::string durable_;   // image as of the last Flush()
+  mutable Mutex mu_{LockRank::kStorage, "device.memory"};
+  std::string volatile_ GUARDED_BY(mu_);  // contiguous image of all writes
+  std::string durable_ GUARDED_BY(mu_);   // image as of the last Flush()
 };
 
 /// Real file-backed device using pwrite/pread/fdatasync. SimulateCrash()
@@ -103,9 +105,10 @@ class FileDevice : public Device {
 
   std::string path_;
   int fd_;
-  mutable std::mutex mu_;
-  uint64_t size_ = 0;          // high-water mark of writes
-  uint64_t durable_size_ = 0;  // high-water mark covered by Flush()
+  mutable Mutex mu_{LockRank::kStorage, "device.file"};
+  uint64_t size_ GUARDED_BY(mu_) = 0;  // high-water mark of writes
+  // High-water mark covered by Flush().
+  uint64_t durable_size_ GUARDED_BY(mu_) = 0;
 };
 
 /// Wraps another device and injects latency, modeling remote/cloud storage
@@ -128,6 +131,7 @@ class LatencyDevice : public Device {
   std::unique_ptr<Device> base_;
   uint64_t flush_latency_us_;
   uint64_t per_mb_us_;
+  // relaxed: latency-model bookkeeping only; never used for correctness.
   std::atomic<uint64_t> bytes_since_flush_{0};
 };
 

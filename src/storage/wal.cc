@@ -15,7 +15,7 @@ WriteAheadLog::WriteAheadLog(std::unique_ptr<Device> device)
     : device_(std::move(device)), tail_(device_->Size()) {}
 
 Status WriteAheadLog::Append(Slice record, uint64_t* offset) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   char header[kHeaderSize];
   const uint32_t len = static_cast<uint32_t>(record.size());
   const uint32_t crc = Crc32c(record.data(), record.size());
@@ -34,7 +34,7 @@ Status WriteAheadLog::Sync() { return device_->Flush(); }
 
 Status WriteAheadLog::Replay(
     const std::function<void(uint64_t, Slice)>& visitor) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   const uint64_t end = device_->Size();
   uint64_t pos = 0;
   std::vector<char> buf;
@@ -57,7 +57,7 @@ Status WriteAheadLog::Replay(
 }
 
 Status WriteAheadLog::Reset() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   device_->Truncate(0);
   DPR_RETURN_NOT_OK(device_->Flush());
   tail_ = 0;

@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "storage/device.h"
 
 namespace dpr {
@@ -44,8 +44,8 @@ class WriteAheadLog {
 
  private:
   std::unique_ptr<Device> device_;
-  std::mutex mu_;
-  uint64_t tail_ = 0;
+  Mutex mu_{LockRank::kStorageWal, "storage.wal"};
+  uint64_t tail_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dpr

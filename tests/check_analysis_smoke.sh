@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Smoke test for the scripts/check_analysis.sh lint layer (tier-1, label
+# `analysis`): the lint must pass on the real tree, must fire on a seeded
+# naked-primitive violation, and must honor the `sync-lint: allowed` opt-out.
+set -eu
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+CHECK="$REPO_ROOT/scripts/check_analysis.sh"
+
+echo "--- lint passes on the real tree"
+"$CHECK" --lint-only
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "--- lint fires on a seeded violation"
+cat > "$TMP/bad.cc" <<'EOF'
+#include <mutex>
+std::mutex naked_mu;  // seeded violation: lint must flag this line
+EOF
+if "$CHECK" --lint-only "$TMP"; then
+  echo "FAIL: lint accepted a seeded std::mutex outside common/sync.h"
+  exit 1
+fi
+
+echo "--- lint honors the justified opt-out marker"
+cat > "$TMP/bad.cc" <<'EOF'
+#include <mutex>
+std::mutex interop_mu;  // sync-lint: allowed (third-party API interop)
+EOF
+"$CHECK" --lint-only "$TMP"
+
+echo "PASS"

@@ -8,7 +8,7 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
+#include "common/sync.h"
 #include <thread>
 #include <vector>
 
@@ -87,7 +87,7 @@ TEST(DepTrackerTest, ConcurrentRecordAndDrainLosesNothing) {
   constexpr Version kMaxVersion = 64;
 
   VersionDependencyTracker tracker(8);
-  std::mutex ref_mu;
+  Mutex ref_mu;
   std::map<Version, DependencySet> reference;
   std::atomic<bool> done{false};
 
@@ -114,7 +114,7 @@ TEST(DepTrackerTest, ConcurrentRecordAndDrainLosesNothing) {
         }
         tracker.Record(session + (i & 15), v, deps, /*self=*/0);
         {
-          std::lock_guard<std::mutex> guard(ref_mu);
+          MutexLock guard(ref_mu);
           for (const auto& [dw, dv] : deps) {
             if (dw == 0) continue;
             MergeDependency(&reference[v], WorkerVersion{dw, dv});

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/sync.h"
 #include "dfaster/protocol.h"
 #include "harness/cluster.h"
 
@@ -71,10 +72,10 @@ TEST(DFasterClusterTest, BasicReadWriteAcrossShards) {
   }
   ASSERT_TRUE(session->WaitForAll().ok());
   std::map<uint64_t, uint64_t> observed;
-  std::mutex mu;
+  Mutex mu;
   for (uint64_t k = 0; k < 200; ++k) {
     session->Read(k, [&, k](KvResult r, uint64_t v) {
-      std::lock_guard<std::mutex> guard(mu);
+      MutexLock guard(mu);
       if (r == KvResult::kOk) observed[k] = v;
     });
   }

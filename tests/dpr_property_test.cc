@@ -224,10 +224,10 @@ INSTANTIATE_TEST_SUITE_P(
     Traces, DprProtocolFuzz,
     ::testing::Combine(::testing::Values(11, 22, 33, 44, 55),
                        ::testing::Bool()),
-    [](const auto& info) {
+    [](const auto& param_info) {
       return std::string("seed") +
-             std::to_string(std::get<0>(info.param)) +
-             (std::get<1>(info.param) ? "_graph" : "_simple");
+             std::to_string(std::get<0>(param_info.param)) +
+             (std::get<1>(param_info.param) ? "_graph" : "_simple");
     });
 
 }  // namespace

@@ -6,7 +6,7 @@
 #include <map>
 #include <optional>
 #include <memory>
-#include <mutex>
+#include "common/sync.h"
 
 #include "dpr/finder.h"
 
@@ -19,7 +19,7 @@ class FakeStateObject : public StateObject {
  public:
   Status PerformCheckpoint(Version target, PersistCallback cb,
                            Version* out_token) override {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     if (pending_.has_value()) return Status::Busy("in flight");
     const Version token = version_;
     if (target <= token) return Status::InvalidArgument("bad target");
@@ -33,7 +33,7 @@ class FakeStateObject : public StateObject {
   void ReleaseCheckpoint() {
     std::pair<Version, PersistCallback> job;
     {
-      std::lock_guard<std::mutex> guard(mu_);
+      MutexLock guard(mu_);
       if (!pending_.has_value()) return;
       job = std::move(*pending_);
       pending_.reset();
@@ -45,7 +45,7 @@ class FakeStateObject : public StateObject {
   Status RestoreCheckpoint(Version version, Version* restored) override {
     // Note: an in-flight checkpoint is deliberately left pending so tests
     // can exercise stale persistence callbacks that land after a rollback.
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     restored_to_ = std::min(version, durable_);
     version_ = version_ + 1;
     if (restored != nullptr) *restored = restored_to_;
@@ -53,26 +53,26 @@ class FakeStateObject : public StateObject {
   }
 
   Version CurrentVersion() const override {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     return version_;
   }
 
   void SimulateCrash() override {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     crashed_ = true;
   }
 
   Version restored_to() const {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     return restored_to_;
   }
   bool crashed() const {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     return crashed_;
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   Version version_ = 1;
   Version durable_ = 0;
   Version restored_to_ = 0;

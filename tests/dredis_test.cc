@@ -51,8 +51,8 @@ INSTANTIATE_TEST_SUITE_P(Deployments, DRedisDeploymentTest,
                          ::testing::Values(RedisDeployment::kDirect,
                                            RedisDeployment::kPassThrough,
                                            RedisDeployment::kDpr),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case RedisDeployment::kDirect:
                                return "Redis";
                              case RedisDeployment::kPassThrough:

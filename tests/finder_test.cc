@@ -193,8 +193,8 @@ INSTANTIATE_TEST_SUITE_P(AllFinders, FinderTest,
                          ::testing::Values(FinderKind::kApprox,
                                            FinderKind::kExact,
                                            FinderKind::kHybrid),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case FinderKind::kApprox:
                                return "Approx";
                              case FinderKind::kExact:

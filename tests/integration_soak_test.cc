@@ -110,9 +110,9 @@ INSTANTIATE_TEST_SUITE_P(
         SoakParams{FinderKind::kHybrid, TransportKind::kInMemory, false},
         SoakParams{FinderKind::kApprox, TransportKind::kTcp, false},
         SoakParams{FinderKind::kApprox, TransportKind::kInMemory, true}),
-    [](const auto& info) {
+    [](const auto& param_info) {
       std::string name;
-      switch (info.param.finder) {
+      switch (param_info.param.finder) {
         case FinderKind::kApprox:
           name = "Approx";
           break;
@@ -123,8 +123,8 @@ INSTANTIATE_TEST_SUITE_P(
           name = "Hybrid";
           break;
       }
-      name += info.param.transport == TransportKind::kTcp ? "Tcp" : "InMem";
-      if (info.param.colocated) name += "Colocated";
+      name += param_info.param.transport == TransportKind::kTcp ? "Tcp" : "InMem";
+      if (param_info.param.colocated) name += "Colocated";
       return name;
     });
 

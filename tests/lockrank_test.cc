@@ -1,0 +1,128 @@
+// Lock-rank checker tests: the happy path (strictly decreasing acquisition
+// is accepted) and the death tests proving an inversion — the seed of a
+// potential deadlock cycle — aborts deterministically with a diagnostic
+// naming both locks. See LockRank in common/sync.h and DESIGN.md §4f.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/latch.h"
+#include "common/sync.h"
+
+namespace dpr {
+namespace {
+
+TEST(LockRankTest, StrictlyDecreasingOrderIsAccepted) {
+  Mutex cluster(LockRank::kClusterRecovery, "t.cluster");
+  Mutex worker(LockRank::kWorkerVersionLatch, "t.worker");
+  Mutex finder(LockRank::kFinderCompute, "t.finder");
+  Mutex storage(LockRank::kStorage, "t.storage");
+  MutexLock a(cluster);
+  MutexLock b(worker);
+  MutexLock c(finder);
+  MutexLock d(storage);
+  EXPECT_EQ(lockrank::HeldCount(), 4);
+}
+
+TEST(LockRankTest, UnrankedLocksAreExemptInBothDirections) {
+  Mutex low(LockRank::kObs, "t.low");
+  Mutex unranked;
+  MutexLock a(low);
+  // kNone after a ranked lock: fine, the checker skips it entirely...
+  MutexLock b(unranked);
+  // ...and it doesn't poison the held set either: the next ranked acquire
+  // is still checked only against `low`.
+  Mutex lower(LockRank::kNone, "t.none");
+  MutexLock c(lower);
+  EXPECT_EQ(lockrank::HeldCount(), 1);
+}
+
+TEST(LockRankTest, HandOverHandReleaseKeepsStateExact) {
+  Mutex outer(LockRank::kServer, "t.outer");
+  Mutex mid(LockRank::kSession, "t.mid");
+  outer.Lock();
+  mid.Lock();
+  // Non-LIFO release (hand-over-hand): dropping the outer lock first must
+  // leave only `mid` held, so a subsequent acquire checks against kSession.
+  outer.Unlock();
+  EXPECT_EQ(lockrank::HeldCount(), 1);
+  EXPECT_EQ(lockrank::MinHeldRank(), static_cast<int>(LockRank::kSession));
+  Mutex leaf(LockRank::kObs, "t.leaf");
+  MutexLock g(leaf);
+  EXPECT_EQ(lockrank::HeldCount(), 2);
+  mid.Unlock();
+}
+
+TEST(LockRankTest, StacksDisabledByDefault) {
+  // DPR_LOCKRANK_STACKS is not set in the test environment; capture is the
+  // opt-in slow path and must stay off unless explicitly requested.
+  EXPECT_FALSE(lockrank::StacksEnabled());
+}
+
+TEST(LockRankDeathTest, AscendingAcquireAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex storage(LockRank::kStorage, "t.storage");
+  Mutex metadata(LockRank::kMetadata, "t.metadata");
+  EXPECT_DEATH(
+      {
+        MutexLock a(storage);
+        MutexLock b(metadata);  // rank 70 over rank 50: inversion
+      },
+      "lock rank inversion.*t\\.metadata.*t\\.storage");
+}
+
+TEST(LockRankDeathTest, EqualRankNestingAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Two locks that nest must carry distinct ranks, else an AB/BA cycle
+  // between them would be unprovable — equal rank aborts just like ascent.
+  Mutex a(LockRank::kSession, "t.a");
+  Mutex b(LockRank::kSession, "t.b");
+  EXPECT_DEATH(
+      {
+        MutexLock ga(a);
+        MutexLock gb(b);
+      },
+      "lock rank inversion.*t\\.b.*t\\.a");
+}
+
+TEST(LockRankDeathTest, TryLockInversionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // A successful try-lock that would invert ranks is still an ordering bug;
+  // the non-blocking acquire path checks too.
+  Mutex storage(LockRank::kStorage, "t.storage");
+  Mutex server(LockRank::kServer, "t.server");
+  EXPECT_DEATH(
+      {
+        MutexLock a(storage);
+        if (server.TryLock()) server.Unlock();
+      },
+      "lock rank inversion.*t\\.server.*t\\.storage");
+}
+
+TEST(LockRankDeathTest, SharedAcquireFollowsSameDiscipline) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // A reader participates in deadlock cycles exactly like a writer does.
+  Mutex storage(LockRank::kStorage, "t.storage");
+  SharedMutex gate(LockRank::kFinderIngestGate, "t.gate");
+  EXPECT_DEATH(
+      {
+        MutexLock a(storage);
+        ReaderMutexLock g(gate);
+      },
+      "lock rank inversion.*t\\.gate.*t\\.storage");
+}
+
+TEST(LockRankDeathTest, RankedSpinLatchParticipates) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex obs(LockRank::kObs, "t.obs");
+  SpinLatch shard(LockRank::kDepTracker, "t.shard");
+  EXPECT_DEATH(
+      {
+        MutexLock a(obs);
+        SpinLatchGuard g(shard);
+      },
+      "lock rank inversion.*t\\.shard.*t\\.obs");
+}
+
+}  // namespace
+}  // namespace dpr

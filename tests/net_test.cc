@@ -1,12 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/sync.h"
 #include "net/inmemory_net.h"
 #include "net/tcp_net.h"
 
@@ -46,18 +45,18 @@ TEST(InMemoryNetTest, ManyConcurrentCalls) {
   auto conn = net.Connect("svc");
   std::atomic<int> done{0};
   constexpr int kCalls = 500;
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   for (int i = 0; i < kCalls; ++i) {
     conn->CallAsync("m" + std::to_string(i), [&](Status s, Slice resp) {
       EXPECT_TRUE(s.ok());
       EXPECT_EQ(resp.view().back(), '!');
-      if (done.fetch_add(1) + 1 == kCalls) cv.notify_all();
+      if (done.fetch_add(1) + 1 == kCalls) cv.NotifyAll();
     });
   }
-  std::unique_lock<std::mutex> lock(mu);
-  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
-                          [&] { return done.load() == kCalls; }));
+  MutexLock lock(mu);
+  ASSERT_TRUE(cv.WaitFor(mu, std::chrono::seconds(10),
+                         [&] { return done.load() == kCalls; }));
   server->Stop();
 }
 

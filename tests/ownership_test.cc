@@ -5,7 +5,7 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
+#include "common/sync.h"
 
 #include "common/clock.h"
 #include "harness/cluster.h"
@@ -78,11 +78,11 @@ TEST(OwnershipTest, TransferMigratesDataAndOwnership) {
 
   // The data followed the partition; the client re-routes transparently.
   std::map<uint64_t, uint64_t> observed;
-  std::mutex mu;
+  Mutex mu;
   for (const auto& [k, v] : expected) {
     (void)v;
     session->Read(k, [&, k = k](KvResult r, uint64_t value) {
-      std::lock_guard<std::mutex> guard(mu);
+      MutexLock guard(mu);
       if (r == KvResult::kOk) observed[k] = value;
     });
   }

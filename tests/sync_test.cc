@@ -1,0 +1,202 @@
+// Wrapper-semantics tests for the annotated sync primitives in
+// common/sync.h and common/latch.h: mutual exclusion, try-lock, shared vs.
+// exclusive access, condition-variable wakeup/timeout, and the lock-rank
+// bookkeeping hooks. Rank *violations* are covered by lockrank_test.cc
+// (death tests); this file stays on the happy path.
+#include "common/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/latch.h"
+
+namespace dpr {
+namespace {
+
+TEST(MutexTest, MutualExclusionUnderContention) {
+  Mutex mu;
+  int counter = 0;  // deliberately non-atomic: mu is the only protection
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock guard(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(MutexTest, TryLockFailsWhileHeldElsewhere) {
+  Mutex mu;
+  mu.Lock();
+  std::thread other([&] {
+    EXPECT_FALSE(mu.TryLock());
+  });
+  other.join();
+  mu.Unlock();
+  // Free again: try-lock succeeds and must be paired with Unlock.
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, GuardReleasesAtScopeExit) {
+  Mutex mu;
+  {
+    MutexLock guard(mu);
+  }
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(SharedMutexTest, ReadersShareWritersExclude) {
+  SharedMutex mu;
+  // Two simultaneous readers must both be inside the shared section at once.
+  std::atomic<int> readers_inside{0};
+  std::atomic<bool> saw_both{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      ReaderMutexLock guard(mu);
+      readers_inside.fetch_add(1);
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(5);
+      while (readers_inside.load() < 2 &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
+      if (readers_inside.load() == 2) saw_both.store(true);
+    });
+  }
+  for (auto& th : readers) th.join();
+  EXPECT_TRUE(saw_both.load());
+
+  // A held reader blocks writers but admits more readers.
+  mu.LockShared();
+  std::thread checker([&] {
+    EXPECT_FALSE(mu.TryLock());
+    ASSERT_TRUE(mu.TryLockShared());
+    mu.UnlockShared();
+  });
+  checker.join();
+  mu.UnlockShared();
+
+  // A held writer blocks both flavors.
+  WriterMutexLock writer(mu);
+  std::thread blocked([&] {
+    EXPECT_FALSE(mu.TryLock());
+    EXPECT_FALSE(mu.TryLockShared());
+  });
+  blocked.join();
+}
+
+TEST(CondVarTest, NotifyWakesPredicateWait) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    cv.Wait(mu, [&]() REQUIRES(mu) { return ready; });
+    EXPECT_TRUE(ready);
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.NotifyAll();
+  waiter.join();
+}
+
+TEST(CondVarTest, WaitForTimesOutWithFalsePredicate) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  const bool woke =
+      cv.WaitFor(mu, std::chrono::milliseconds(20), [] { return false; });
+  EXPECT_FALSE(woke);
+}
+
+TEST(SpinLatchTest, MutualExclusionAndTryLock) {
+  SpinLatch latch;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        SpinLatchGuard guard(latch);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 40000);
+
+  latch.Lock();
+  std::thread other([&] { EXPECT_FALSE(latch.TryLock()); });
+  other.join();
+  latch.Unlock();
+}
+
+TEST(SharedSpinLatchTest, WriterDrainsReaders) {
+  SharedSpinLatch latch;
+  latch.LockShared();
+  std::atomic<bool> writer_in{false};
+  std::thread writer([&] {
+    latch.LockExclusive();
+    writer_in.store(true);
+    latch.UnlockExclusive();
+  });
+  // Writer must not get in while the reader holds the latch.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(writer_in.load());
+  latch.UnlockShared();
+  writer.join();
+  EXPECT_TRUE(writer_in.load());
+}
+
+TEST(LockRankHooksTest, HeldCountAndMinRankTrackRankedLocksOnly) {
+  ASSERT_EQ(lockrank::HeldCount(), 0);
+  Mutex unranked;  // kNone: invisible to the checker
+  Mutex outer(LockRank::kServer, "test.outer");
+  Mutex inner(LockRank::kStorage, "test.inner");
+
+  MutexLock u(unranked);
+  EXPECT_EQ(lockrank::HeldCount(), 0);
+  {
+    MutexLock a(outer);
+    EXPECT_EQ(lockrank::HeldCount(), 1);
+    EXPECT_EQ(lockrank::MinHeldRank(), static_cast<int>(LockRank::kServer));
+    {
+      MutexLock b(inner);
+      EXPECT_EQ(lockrank::HeldCount(), 2);
+      EXPECT_EQ(lockrank::MinHeldRank(), static_cast<int>(LockRank::kStorage));
+    }
+    EXPECT_EQ(lockrank::HeldCount(), 1);
+  }
+  EXPECT_EQ(lockrank::HeldCount(), 0);
+}
+
+TEST(LockRankHooksTest, RankStateIsPerThread) {
+  Mutex outer(LockRank::kServer, "test.outer");
+  MutexLock guard(outer);
+  // Another thread holds nothing, so it may acquire any rank — including one
+  // above what this thread holds.
+  std::thread other([] {
+    Mutex high(LockRank::kClusterRecovery, "test.high");
+    MutexLock g(high);
+    EXPECT_EQ(lockrank::HeldCount(), 1);
+  });
+  other.join();
+  EXPECT_EQ(lockrank::HeldCount(), 1);
+}
+
+}  // namespace
+}  // namespace dpr
