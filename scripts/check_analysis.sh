@@ -62,6 +62,34 @@ else
   say "lint clean"
 fi
 
+# Transport lint: every frame byte must leave through the flush helpers
+# (TcpWriteFully / TcpWritevFully / the event-loop flush), where coalescing
+# metrics and torn-frame accounting live. A raw send(2)/write(2)/writev(2)
+# bypasses both, so direct calls under a net/ directory are flagged unless
+# the line (or the line above it) carries `net-lint: allowed` plus a
+# justification.
+say "lint: raw stream writes under net/ outside the flush helpers"
+net_files=$(find "${LINT_DIRS[@]}" -path '*net/*' \
+    \( -name '*.cc' -o -name '*.h' \) 2>/dev/null | sort || true)
+net_hits=""
+if [ -n "$net_files" ]; then
+  # shellcheck disable=SC2086
+  net_hits=$(awk '
+    FNR == 1 { prev = "" }
+    /(^|[^A-Za-z0-9_.:>"])(send|write|writev|pwrite)[ \t]*\(/ {
+      if (prev !~ /net-lint: allowed/ && $0 !~ /net-lint: allowed/)
+        printf "%s:%d: %s\n", FILENAME, FNR, $0
+    }
+    { prev = $0 }
+  ' $net_files || true)
+fi
+if [ -n "$net_hits" ]; then
+  printf '%s\n' "$net_hits"
+  fail "raw send(2)/write(2) in net/; route frames through TcpWriteFully/TcpWritevFully or mark the line net-lint: allowed"
+else
+  say "net lint clean"
+fi
+
 if [ "$LINT_ONLY" -eq 1 ]; then
   exit "$FAILED"
 fi

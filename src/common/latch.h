@@ -41,9 +41,11 @@ class CAPABILITY("mutex") SpinLatch {
   }
 
   void Unlock() RELEASE() {
+    // Bookkeeping before the release store (see Mutex::Unlock: the store
+    // publishes the section, after which the latch may be destroyed).
+    lockrank::OnRelease(this, rank_);
     // release: publishes the critical section to the next acquirer.
     locked_.store(false, std::memory_order_release);
-    lockrank::OnRelease(this, rank_);
   }
 
  private:
@@ -92,10 +94,11 @@ class CAPABILITY("shared_mutex") SharedSpinLatch {
   }
 
   void UnlockShared() RELEASE_SHARED() {
+    // Bookkeeping before the release store — see SpinLatch::Unlock.
+    lockrank::OnRelease(this, rank_);
     // release: a writer that observes count 0 must also observe this
     // reader's section (checkpoint boundary sees every admitted batch).
     state_.fetch_sub(1, std::memory_order_release);
-    lockrank::OnRelease(this, rank_);
   }
 
   void LockExclusive() ACQUIRE() {
@@ -112,10 +115,11 @@ class CAPABILITY("shared_mutex") SharedSpinLatch {
   }
 
   void UnlockExclusive() RELEASE() {
+    // Bookkeeping before the release store — see SpinLatch::Unlock.
+    lockrank::OnRelease(this, rank_);
     // release: readers admitted after a checkpoint/rollback must observe the
     // new version boundary the writer installed.
     state_.store(0, std::memory_order_release);
-    lockrank::OnRelease(this, rank_);
   }
 
  private:

@@ -82,7 +82,11 @@ enum class LockRank : int {
   kFault = 40,          // FaultPlane probe table
   kStorage = 50,        // Device (leaf)
   kStorageWal = 55,     // WriteAheadLog tail (held across device writes)
-  kTransport = 60,      // tcp/in-memory transports (conns, write, pending)
+  kExecutor = 58,       // shared request executor queue (submitted to while
+                        // holding transport locks, never the reverse)
+  kTransport = 60,      // tcp/in-memory transports (output queues, pending)
+  kTransportLoop = 62,  // event-loop post queue + server conn registry (may
+                        // precede per-conn kTransport locks on loop threads)
   kMetadata = 70,       // MetadataStore
 
   // DPR tracking plane.
@@ -155,8 +159,11 @@ class CAPABILITY("mutex") Mutex {
     mu_.lock();
   }
   void Unlock() RELEASE() {
-    mu_.unlock();
+    // Rank bookkeeping strictly BEFORE the underlying release: the moment
+    // mu_.unlock() returns, a woken waiter may destroy this Mutex (the
+    // ~Session/WaitForAll pattern), so no member may be touched after it.
     lockrank::OnRelease(this, rank_);
+    mu_.unlock();
   }
   bool TryLock() TRY_ACQUIRE(true) {
     if (!mu_.try_lock()) return false;
@@ -197,8 +204,9 @@ class CAPABILITY("shared_mutex") SharedMutex {
     mu_.lock();
   }
   void Unlock() RELEASE() {
-    mu_.unlock();
+    // Bookkeeping before the release — see Mutex::Unlock.
     lockrank::OnRelease(this, rank_);
+    mu_.unlock();
   }
   bool TryLock() TRY_ACQUIRE(true) {
     if (!mu_.try_lock()) return false;
@@ -210,8 +218,9 @@ class CAPABILITY("shared_mutex") SharedMutex {
     mu_.lock_shared();
   }
   void UnlockShared() RELEASE_SHARED() {
-    mu_.unlock_shared();
+    // Bookkeeping before the release — see Mutex::Unlock.
     lockrank::OnRelease(this, rank_);
+    mu_.unlock_shared();
   }
   bool TryLockShared() TRY_ACQUIRE_SHARED(true) {
     if (!mu_.try_lock_shared()) return false;

@@ -54,6 +54,10 @@ class DFasterWorker {
 
   /// Executes an encoded KvBatchRequest; used by both the RPC handler and
   /// co-located clients (which call it directly, skipping the network).
+  /// Safe under concurrent invocation: the TCP transport runs handlers on a
+  /// shared executor pool, so two batches — even from the same connection —
+  /// may execute simultaneously. Version admission and per-key latching are
+  /// handled by the DPR worker and the store underneath.
   void ExecuteBatch(Slice request, std::string* response);
 
   /// Typed entry for co-located clients (avoids one encode/decode round).

@@ -38,7 +38,7 @@ Status DFasterCluster::Start() {
   if (options_.remote_finder && options_.mode == RecoverabilityMode::kDpr) {
     std::unique_ptr<RpcServer> finder_rpc;
     if (options_.transport == TransportKind::kTcp) {
-      finder_rpc = MakeTcpServer(0);
+      finder_rpc = MakeTcpServer(0, options_.tcp);
     } else {
       finder_rpc = net_->CreateServer("finder");
     }
@@ -86,7 +86,7 @@ Status DFasterCluster::Start() {
 
     std::unique_ptr<RpcServer> server;
     if (options_.transport == TransportKind::kTcp) {
-      server = MakeTcpServer(0);
+      server = MakeTcpServer(0, options_.tcp);
     } else {
       server = net_->CreateServer("worker" + std::to_string(i));
     }
@@ -262,7 +262,7 @@ Status DFasterCluster::AddWorker(WorkerId* new_id) {
   auto worker = std::make_unique<DFasterWorker>(std::move(config));
   std::unique_ptr<RpcServer> server;
   if (options_.transport == TransportKind::kTcp) {
-    server = MakeTcpServer(0);
+    server = MakeTcpServer(0, options_.tcp);
   } else {
     server = net_->CreateServer("worker" + std::to_string(id));
   }

@@ -31,6 +31,9 @@ struct ClusterOptions {
   uint64_t finder_interval_us = 10000;
   TransportKind transport = TransportKind::kInMemory;
   uint64_t net_latency_us = 0;  // in-memory transport only
+  /// TCP transport only: event-loop / executor sizing for every server the
+  /// cluster brings up (workers and the remote finder).
+  TcpServerOptions tcp;
   /// Run the finder behind a DprFinderServer and have workers + cluster
   /// manager reach it through a shared batching RemoteDprFinder — the
   /// paper's deployment shape, where the tracking plane is its own service.

@@ -1,0 +1,171 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace dpr {
+
+namespace {
+
+struct LoopMetrics {
+  Counter* wakeups;       // epoll_wait returns with >= 1 ready event
+  Counter* posted_tasks;  // closures handed to loop threads
+  Gauge* threads;         // live loop threads across all EventLoops
+};
+
+const LoopMetrics& Metrics() {
+  static const LoopMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Default();
+    return LoopMetrics{r.counter("net.loop.wakeups"),
+                       r.counter("net.loop.posted_tasks"),
+                       r.gauge("net.loop.threads")};
+  }();
+  return m;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() = default;
+
+EventLoop::~EventLoop() { Stop(); }
+
+Status EventLoop::Start() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Status::IOError(std::string("epoll_create1: ") + strerror(errno));
+  }
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    close(epoll_fd_);
+    epoll_fd_ = -1;
+    return Status::IOError(std::string("eventfd: ") + strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = nullptr;  // nullptr marks the wake channel
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return Status::IOError(std::string("epoll_ctl(wake): ") +
+                           strerror(errno));
+  }
+  stop_.store(false, std::memory_order_relaxed);
+  {
+    MutexLock lock(post_mu_);
+    accepting_posts_ = true;
+  }
+  thread_ = std::thread([this] { Run(); });
+  Metrics().threads->Add(1);
+  return Status::OK();
+}
+
+void EventLoop::Stop() {
+  if (!thread_.joinable()) return;
+  {
+    MutexLock lock(post_mu_);
+    accepting_posts_ = false;
+  }
+  stop_.store(true, std::memory_order_relaxed);
+  Wake();
+  thread_.join();
+  Metrics().threads->Sub(1);
+  {
+    MutexLock lock(post_mu_);
+    posted_.clear();
+  }
+  close(wake_fd_);
+  close(epoll_fd_);
+  wake_fd_ = -1;
+  epoll_fd_ = -1;
+}
+
+Status EventLoop::Add(int fd, uint32_t events, Handler* handler) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = handler;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Status::IOError(std::string("epoll_ctl(add): ") + strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status EventLoop::Modify(int fd, uint32_t events, Handler* handler) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = handler;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status::IOError(std::string("epoll_ctl(mod): ") + strerror(errno));
+  }
+  return Status::OK();
+}
+
+void EventLoop::Remove(int fd) {
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+bool EventLoop::Post(std::function<void()> fn) {
+  {
+    MutexLock lock(post_mu_);
+    if (!accepting_posts_) return false;
+    posted_.push_back(std::move(fn));
+  }
+  Metrics().posted_tasks->Add();
+  Wake();
+  return true;
+}
+
+void EventLoop::Wake() {
+  if (wake_pending_.exchange(true, std::memory_order_relaxed)) return;
+  const uint64_t one = 1;
+  // The loop clears wake_pending_ before reading the eventfd, so a Post
+  // racing the drain re-arms the wakeup rather than losing it.
+  // net-lint: allowed — eventfd nudge, not a stream write.
+  ssize_t n = write(wake_fd_, &one, sizeof(one));
+  (void)n;  // eventfd writes cannot short-write; ENOSPC/EAGAIN both mean
+            // "already signaled", which is exactly what we wanted.
+}
+
+void EventLoop::DrainPosted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    MutexLock lock(post_mu_);
+    tasks.swap(posted_);
+  }
+  for (auto& fn : tasks) fn();
+}
+
+void EventLoop::Run() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const int n = epoll_wait(epoll_fd_, events, kMaxEvents,
+                             /*timeout_ms=*/-1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      DPR_ERROR("epoll_wait: %s", strerror(errno));
+      return;
+    }
+    if (n > 0) Metrics().wakeups->Add();
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.ptr == nullptr) {
+        // Wake channel: clear the pending flag first so a concurrent Post
+        // after the eventfd read still produces a wakeup.
+        wake_pending_.store(false, std::memory_order_relaxed);
+        uint64_t drained;
+        ssize_t r = read(wake_fd_, &drained, sizeof(drained));
+        (void)r;
+        continue;
+      }
+      static_cast<Handler*>(events[i].data.ptr)->OnReady(events[i].events);
+    }
+    DrainPosted();
+  }
+}
+
+}  // namespace dpr

@@ -1,0 +1,130 @@
+#include "net/executor.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace dpr {
+
+namespace {
+
+// Call-site-cached registry pointers, shared by every Executor instance:
+// gauges use Add/Sub deltas so concurrent executors aggregate instead of
+// clobbering each other.
+struct ExecutorMetrics {
+  Counter* tasks;
+  Counter* submit_rejected;
+  Gauge* queue_depth;
+  Gauge* queue_peak;
+  Gauge* threads;
+};
+
+const ExecutorMetrics& Metrics() {
+  static const ExecutorMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Default();
+    return ExecutorMetrics{r.counter("net.executor.tasks"),
+                           r.counter("net.executor.submit_rejected"),
+                           r.gauge("net.executor.queue_depth"),
+                           r.gauge("net.executor.queue_peak"),
+                           r.gauge("net.executor.threads")};
+  }();
+  return m;
+}
+
+}  // namespace
+
+Executor::Executor(ExecutorOptions options) : options_(std::move(options)) {
+  DPR_CHECK_MSG(options_.threads > 0, "executor needs at least one thread");
+  DPR_CHECK_MSG(options_.queue_capacity > 0, "executor queue capacity is 0");
+}
+
+Executor::~Executor() { Shutdown(); }
+
+void Executor::Start() {
+  MutexLock lock(mu_);
+  if (started_ || stopping_) return;
+  started_ = true;
+  for (uint32_t i = 0; i < options_.threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  Metrics().threads->Add(options_.threads);
+}
+
+void Executor::Shutdown() {
+  std::vector<std::thread> workers;
+  {
+    MutexLock lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    workers.swap(workers_);
+  }
+  work_cv_.NotifyAll();
+  space_cv_.NotifyAll();
+  for (auto& t : workers) t.join();
+  if (!workers.empty()) {
+    Metrics().threads->Sub(static_cast<int64_t>(workers.size()));
+  }
+}
+
+bool Executor::Submit(std::function<void()> task) {
+  {
+    MutexLock lock(mu_);
+    space_cv_.Wait(mu_, [this]() REQUIRES(mu_) {
+      return stopping_ || queue_.size() < options_.queue_capacity;
+    });
+    if (stopping_) {
+      Metrics().submit_rejected->Add();
+      return false;
+    }
+    queue_.push_back(std::move(task));
+    const auto depth = static_cast<int64_t>(queue_.size());
+    Metrics().queue_depth->Add(1);
+    Metrics().queue_peak->UpdateMax(depth);
+  }
+  work_cv_.NotifyOne();
+  return true;
+}
+
+bool Executor::TrySubmit(std::function<void()> task) {
+  {
+    MutexLock lock(mu_);
+    if (stopping_ || queue_.size() >= options_.queue_capacity) {
+      Metrics().submit_rejected->Add();
+      return false;
+    }
+    queue_.push_back(std::move(task));
+    const auto depth = static_cast<int64_t>(queue_.size());
+    Metrics().queue_depth->Add(1);
+    Metrics().queue_peak->UpdateMax(depth);
+  }
+  work_cv_.NotifyOne();
+  return true;
+}
+
+size_t Executor::queue_depth() const {
+  MutexLock lock(mu_);
+  return queue_.size();
+}
+
+void Executor::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      MutexLock lock(mu_);
+      work_cv_.Wait(mu_, [this]() REQUIRES(mu_) {
+        return stopping_ || !queue_.empty();
+      });
+      // Drain-before-exit: accepted tasks always run, even during shutdown.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      Metrics().queue_depth->Sub(1);
+    }
+    space_cv_.NotifyOne();
+    Metrics().tasks->Add();
+    task();
+  }
+}
+
+}  // namespace dpr

@@ -1,12 +1,14 @@
 #include "net/inmemory_net.h"
 
 #include <future>
+#include <memory>
 #include <utility>
 
 #include "common/clock.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "fault/fault_plane.h"
+#include "net/executor.h"
 #include "obs/metrics.h"
 
 namespace dpr {
@@ -59,99 +61,100 @@ class InMemoryNetwork::Server : public RpcServer {
     MutexLock guard(mu_);
     if (running_) return Status::Busy("server already started");
     handler_ = std::move(handler);
+    executor_ = std::make_shared<Executor>(ExecutorOptions{
+        options_.server_threads, options_.queue_capacity,
+        "net.inmemory.executor"});
+    executor_->Start();
     running_ = true;
-    stop_ = false;
-    for (uint32_t i = 0; i < options_.server_threads; ++i) {
-      threads_.emplace_back([this] { DispatchLoop(); });
-    }
+    stopping_ = false;
     return Status::OK();
   }
 
   void Stop() override {
+    std::shared_ptr<Executor> executor;
     {
       MutexLock guard(mu_);
       if (!running_) return;
-      stop_ = true;
+      // Accepted-but-unrun calls observe this and fail fast instead of
+      // running the handler: the executor's drain-on-shutdown guarantee
+      // turns into "every callback fires", never "every request executes".
+      stopping_ = true;
+      executor = executor_;
     }
-    cv_.NotifyAll();
-    for (auto& t : threads_) t.join();
-    threads_.clear();
-    // Fail any stragglers so callers do not hang.
-    std::deque<Item> leftover;
-    {
-      MutexLock guard(mu_);
-      leftover.swap(queue_);
-      running_ = false;
-    }
-    for (auto& item : leftover) {
-      item.callback(Status::Unavailable("server stopped"), Slice());
-    }
+    executor->Shutdown();
+    MutexLock guard(mu_);
+    running_ = false;
+    executor_.reset();
   }
 
   std::string address() const override { return name_; }
 
   void Enqueue(std::string request, RpcConnection::ResponseCallback callback,
                uint64_t deliver_at_us) {
-    bool accepted = false;
+    Metrics().requests->Add();
+    std::shared_ptr<Executor> executor;
     {
       MutexLock guard(mu_);
-      if (running_ && !stop_) {
-        queue_.push_back(Item{std::move(request), std::move(callback),
-                              deliver_at_us});
-        const auto depth = static_cast<int64_t>(queue_.size());
-        Metrics().queue_depth->Set(depth);
-        Metrics().queue_peak->UpdateMax(depth);
-        accepted = true;
-      }
+      if (running_ && !stopping_) executor = executor_;
     }
-    Metrics().requests->Add();
-    if (!accepted) {
+    if (executor == nullptr) {
       callback(Status::Unavailable("server not running"), Slice());
       return;
     }
-    cv_.NotifyOne();
+    // The call state rides in a shared_ptr so a submission rejected by a
+    // racing Shutdown still owns the callback and can fail it.
+    auto call = std::make_shared<Call>(
+        Call{std::move(request), std::move(callback), deliver_at_us});
+    const bool accepted = executor->Submit([this, call] { RunCall(*call); });
+    if (!accepted) {
+      call->callback(Status::Unavailable("server stopped"), Slice());
+      return;
+    }
+    const auto depth = static_cast<int64_t>(executor->queue_depth());
+    Metrics().queue_depth->Set(depth);
+    Metrics().queue_peak->UpdateMax(depth);
   }
 
  private:
-  struct Item {
+  struct Call {
     std::string request;
     RpcConnection::ResponseCallback callback;
     uint64_t deliver_at_us;
   };
 
-  void DispatchLoop() {
-    std::string response;
-    for (;;) {
-      Item item;
-      {
-        MutexLock lock(mu_);
-        cv_.Wait(mu_, [this] { return stop_ || !queue_.empty(); });
-        if (stop_) return;
-        item = std::move(queue_.front());
-        queue_.pop_front();
-        Metrics().queue_depth->Set(static_cast<int64_t>(queue_.size()));
-      }
-      // Injected one-way latency: wait out the remaining delivery delay.
-      const uint64_t now = NowMicros();
-      if (item.deliver_at_us > now) SleepMicros(item.deliver_at_us - now);
-      response.clear();
-      handler_(Slice(item.request), &response);
-      item.callback(Status::OK(), Slice(response));
+  // Executor worker thread.
+  void RunCall(Call& call) {
+    bool dead;
+    {
+      MutexLock guard(mu_);
+      Metrics().queue_depth->Set(
+          executor_ ? static_cast<int64_t>(executor_->queue_depth()) : 0);
+      dead = stopping_ || !running_;
     }
+    if (dead) {
+      call.callback(Status::Unavailable("server stopped"), Slice());
+      return;
+    }
+    // Injected one-way latency: wait out the remaining delivery delay.
+    const uint64_t now = NowMicros();
+    if (call.deliver_at_us > now) SleepMicros(call.deliver_at_us - now);
+    std::string response;
+    handler_(Slice(call.request), &response);
+    call.callback(Status::OK(), Slice(response));
   }
 
   InMemoryNetwork* net_;
   const std::string name_;
   const InMemoryNetOptions options_;
   Mutex mu_{LockRank::kTransport, "net.inmemory.server"};
-  CondVar cv_;
-  std::deque<Item> queue_ GUARDED_BY(mu_);
-  std::vector<std::thread> threads_;
-  // Written once in Start() before the dispatcher threads are spawned (thread
-  // creation publishes it); read lock-free in DispatchLoop thereafter.
+  // Swapped whole on Start/Stop; callers snapshot a ref under mu_ so a
+  // racing Stop cannot destroy it mid-Submit.
+  std::shared_ptr<Executor> executor_ GUARDED_BY(mu_);
+  // Written once in Start() before the executor workers are spawned (thread
+  // creation publishes it); read lock-free in RunCall thereafter.
   RpcHandler handler_;
   bool running_ GUARDED_BY(mu_) = false;
-  bool stop_ GUARDED_BY(mu_) = false;
+  bool stopping_ GUARDED_BY(mu_) = false;
 };
 
 // --------------------------------------------------------------- Connection

@@ -12,8 +12,10 @@
 namespace dpr {
 
 /// Request handler invoked by a server for each incoming message; fills
-/// `response`. Handlers may be invoked concurrently from multiple transport
-/// threads.
+/// `response`. Handlers run on the transport's shared executor pool and may
+/// be invoked concurrently — including for two requests pipelined on the
+/// *same* connection, which may also complete out of order (responses are
+/// matched to requests by frame id, never by arrival order).
 using RpcHandler = std::function<void(Slice request, std::string* response)>;
 
 /// One message endpoint (a D-FASTER worker or D-Redis proxy listens here).

@@ -4,12 +4,16 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstring>
+#include <deque>
 #include <map>
 #include <thread>
 #include <vector>
@@ -17,9 +21,11 @@
 #include "common/clock.h"
 #include "common/coding.h"
 #include "common/hash.h"
-#include "common/sync.h"
 #include "common/logging.h"
+#include "common/sync.h"
 #include "fault/fault_plane.h"
+#include "net/event_loop.h"
+#include "net/executor.h"
 #include "obs/metrics.h"
 
 namespace dpr {
@@ -27,6 +33,20 @@ namespace dpr {
 namespace {
 
 constexpr size_t kFrameHeader = 12;  // u32 length + u64 request id
+
+// Upper bound on a single frame's payload. A length prefix beyond this is
+// garbage (a desynchronized or hostile peer), and honoring it would pin an
+// arbitrarily large allocation waiting for bytes that never come.
+constexpr uint32_t kMaxFramePayload = 256u << 20;
+
+// iovec budget per flush syscall: every queued frame contributes a header
+// iovec and a payload iovec, so one sendmsg moves up to kMaxIov/2 frames.
+constexpr int kMaxIov = 64;
+
+// Bytes pulled off a readable socket per event-loop pass. One recv per
+// OnReady keeps connections on the same loop fair; level-triggered epoll
+// re-reports the fd while bytes remain.
+constexpr size_t kReadChunk = 64 * 1024;
 
 // Classify a socket errno: peer resets and unreachable routes are transient
 // (reconnect and retry), timeouts carry their own code, anything else is a
@@ -49,13 +69,18 @@ Status MapSocketError(const char* op, int err) {
 }
 
 // Call-site-cached registry pointers: one registration per process, relaxed
-// atomics after that.
+// atomics after that. Gauges move by deltas so concurrent servers aggregate.
 struct TcpCounters {
   Counter* frames_sent;
   Counter* frames_received;
   Counter* short_writes;
   Counter* eagain_waits;
   Counter* poisoned;
+  Counter* writev_calls;     // coalescing flush syscalls (sendmsg)
+  Counter* writev_frames;    // frames completed by those syscalls
+  Counter* accepted;         // server sockets accepted
+  Gauge* output_queue_bytes;  // bytes queued awaiting flush, all server conns
+  Gauge* server_conns;        // live accepted connections
 };
 
 const TcpCounters& Stats() {
@@ -65,9 +90,29 @@ const TcpCounters& Stats() {
                        r.counter("net.tcp.frames_received"),
                        r.counter("net.tcp.short_writes"),
                        r.counter("net.tcp.eagain_waits"),
-                       r.counter("net.tcp.poisoned")};
+                       r.counter("net.tcp.poisoned"),
+                       r.counter("net.tcp.writev_calls"),
+                       r.counter("net.tcp.writev_frames"),
+                       r.counter("net.tcp.accepted"),
+                       r.gauge("net.tcp.output_queue_bytes"),
+                       r.gauge("net.tcp.server_conns")};
   }();
   return counters;
+}
+
+// Shared socket configuration. Data sockets get TCP_NODELAY (frames are
+// small and pipelined; Nagle would serialize round trips behind delayed
+// ACKs), listeners get SO_REUSEADDR (tests and restarts rebind fixed ports
+// without waiting out TIME_WAIT).
+enum class SocketKind { kListener, kData };
+
+void ConfigureSocket(int fd, SocketKind kind) {
+  int one = 1;
+  if (kind == SocketKind::kListener) {
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  } else {
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
 }
 
 // Blocks until `fd` is ready for `events` (POLLIN/POLLOUT). POLLERR/POLLHUP
@@ -119,6 +164,7 @@ Status WriteFully(int fd, const void* buf, size_t n,
   size_t done = 0;
   Status result;
   while (done < n) {
+    // net-lint: allowed — the single-buffer slow path under the flush layer.
     const ssize_t sent = send(fd, p + done, n - done, MSG_NOSIGNAL);
     if (sent >= 0) {
       if (static_cast<size_t>(sent) < n - done) Stats().short_writes->Add();
@@ -142,23 +188,127 @@ Status WriteFully(int fd, const void* buf, size_t n,
   return result;
 }
 
-// Writes one frame under the connection's write mutex. On failure,
-// `*mid_frame` reports whether bytes already hit the wire: a torn frame
-// means the peer's stream position is corrupt and the connection must be
-// poisoned, while a clean zero-byte failure leaves the stream aligned.
-Status WriteFrame(int fd, Mutex& write_mu, uint64_t id, Slice payload,
-                  bool* mid_frame = nullptr) {
-  std::string frame;
-  frame.reserve(kFrameHeader + payload.size());
-  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
-  PutFixed64(&frame, id);
-  frame.append(payload.data(), payload.size());
-  MutexLock guard(write_mu);
-  size_t written = 0;
-  Status s = WriteFully(fd, frame.data(), frame.size(), &written);
-  if (mid_frame != nullptr) *mid_frame = !s.ok() && written > 0;
-  if (s.ok()) Stats().frames_sent->Add();
-  return s;
+// Blocking vectored write: retries until every iovec byte is on the wire or
+// a hard error occurs. `iov` is consumed destructively. Uses sendmsg rather
+// than writev for MSG_NOSIGNAL (a raw writev to a dead peer raises SIGPIPE).
+Status WritevFully(int fd, struct iovec* iov, int iovcnt,
+                   size_t* transferred = nullptr) {
+  size_t total = 0;
+  for (int i = 0; i < iovcnt; ++i) total += iov[i].iov_len;
+  size_t done = 0;
+  int idx = 0;
+  Status result;
+  while (done < total) {
+    msghdr msg{};
+    msg.msg_iov = iov + idx;
+    msg.msg_iovlen = static_cast<size_t>(iovcnt - idx);
+    const ssize_t sent = sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (sent >= 0) {
+      Stats().writev_calls->Add();
+      if (static_cast<size_t>(sent) < total - done) Stats().short_writes->Add();
+      done += static_cast<size_t>(sent);
+      size_t left = static_cast<size_t>(sent);
+      while (idx < iovcnt && left >= iov[idx].iov_len) {
+        left -= iov[idx].iov_len;
+        ++idx;
+      }
+      if (left > 0) {
+        iov[idx].iov_base = static_cast<char*>(iov[idx].iov_base) + left;
+        iov[idx].iov_len -= left;
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Same contract as WriteFully: a full send buffer must not tear the
+      // frame mid-batch, so wait for writability and resume the iovecs.
+      Stats().eagain_waits->Add();
+      result = AwaitReady(fd, POLLOUT);
+      if (!result.ok()) break;
+      continue;
+    }
+    result = MapSocketError("sendmsg", errno);
+    break;
+  }
+  if (transferred != nullptr) *transferred = done;
+  return result;
+}
+
+// One queued outbound frame. Header and payload stay separate so flushes
+// point iovecs at them in place — the payload is never copied into a
+// staging buffer. `offset` tracks bytes already on the wire when a previous
+// flush stopped mid-frame (partial write).
+struct OutFrame {
+  char header[kFrameHeader];
+  std::string payload;
+  size_t offset = 0;
+  uint64_t id = 0;
+
+  size_t size() const { return kFrameHeader + payload.size(); }
+  size_t remaining() const { return size() - offset; }
+};
+
+OutFrame MakeFrame(uint64_t id, std::string payload) {
+  OutFrame f;
+  std::string header;
+  header.reserve(kFrameHeader);
+  PutFixed32(&header, static_cast<uint32_t>(payload.size()));
+  PutFixed64(&header, id);
+  memcpy(f.header, header.data(), kFrameHeader);
+  f.id = id;
+  f.payload = std::move(payload);
+  return f;
+}
+
+// Points up to kMaxIov iovecs at the queued frames, honoring the front
+// frame's partial-write offset. Returns the frame count covered (the last
+// may be covered only partially if the iovec budget ran out mid-queue —
+// harmless, the next flush picks it back up). *bytes gets the batch size.
+int BuildIovecs(std::deque<OutFrame>& out, struct iovec* iov, int* iovcnt,
+                size_t* bytes) {
+  int n = 0;
+  int frames = 0;
+  size_t total = 0;
+  for (OutFrame& f : out) {
+    if (n + 2 > kMaxIov) break;
+    size_t off = f.offset;
+    if (off < kFrameHeader) {
+      iov[n].iov_base = f.header + off;
+      iov[n].iov_len = kFrameHeader - off;
+      total += iov[n].iov_len;
+      ++n;
+      off = 0;
+    } else {
+      off -= kFrameHeader;
+    }
+    if (f.payload.size() > off) {
+      iov[n].iov_base = f.payload.data() + off;
+      iov[n].iov_len = f.payload.size() - off;
+      total += iov[n].iov_len;
+      ++n;
+    }
+    ++frames;
+  }
+  *iovcnt = n;
+  *bytes = total;
+  return frames;
+}
+
+// Advances frame offsets past `wrote` flushed bytes, popping frames that
+// completed. Returns how many frames finished.
+size_t ConsumeWritten(std::deque<OutFrame>* out, size_t wrote) {
+  size_t completed = 0;
+  while (wrote > 0 && !out->empty()) {
+    OutFrame& f = out->front();
+    const size_t take = std::min(wrote, f.remaining());
+    f.offset += take;
+    wrote -= take;
+    if (f.remaining() == 0) {
+      out->pop_front();
+      ++completed;
+    }
+  }
+  return completed;
 }
 
 Status ReadFrame(int fd, uint64_t* id, std::string* payload) {
@@ -172,127 +322,423 @@ Status ReadFrame(int fd, uint64_t* id, std::string* payload) {
   return Status::OK();
 }
 
-void SetNoDelay(int fd) {
-  int one = 1;
-  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-}
-
 // ------------------------------------------------------------------- server
 
-class TcpServer : public RpcServer {
+class TcpServer;
+
+// One accepted socket, pinned to one event loop. Frame parsing runs on the
+// loop thread; handler execution on the server's shared executor; responses
+// queue here and a loop-thread flush coalesces everything queued into one
+// sendmsg. Lifetime: the server's registry plus in-flight executor tasks
+// hold shared_ptr refs, so a task finishing after the socket closed just
+// drops its response.
+class ServerConn : public EventLoop::Handler,
+                   public std::enable_shared_from_this<ServerConn> {
  public:
-  explicit TcpServer(uint16_t port) : requested_port_(port) {}
+  ServerConn(TcpServer* server, EventLoop* loop, int fd, size_t out_budget)
+      : server_(server), loop_(loop), fd_(fd), out_budget_(out_budget) {}
+
+  ~ServerConn() override {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  // Loop thread only.
+  void OnReady(uint32_t events) override;
+
+  // Any thread (executor workers). Queues the response and nudges the loop.
+  void SendResponse(uint64_t id, std::string payload);
+
+  // Server Stop() path: loops are already joined, so teardown is
+  // single-threaded from here.
+  void ShutdownFd();
+
+ private:
+  void HandleReadable();
+  void ParseFrames();
+  void FlushOnLoop();
+  void UpdateInterest();
+  void CloseOnLoop();
+
+  TcpServer* const server_;
+  EventLoop* const loop_;
+  int fd_;
+  const size_t out_budget_;
+
+  // Loop-thread-only state; no lock by construction (single writer thread).
+  std::vector<char> input_;
+  size_t input_used_ = 0;
+  bool want_write_ = false;    // EPOLLOUT armed (flush hit EAGAIN)
+  bool reads_paused_ = false;  // output queue over budget; EPOLLIN dropped
+  bool closed_ = false;
+
+  Mutex out_mu_{LockRank::kTransport, "net.tcp.server_out"};
+  std::deque<OutFrame> out_ GUARDED_BY(out_mu_);
+  size_t out_bytes_ GUARDED_BY(out_mu_) = 0;
+  // True while a flush is guaranteed to run (posted nudge in flight or
+  // EPOLLOUT armed); collapses redundant Post() wakeups under pipelining.
+  bool flush_scheduled_ GUARDED_BY(out_mu_) = false;
+  // Cleared when the fd dies: late executor responses are dropped instead
+  // of queueing on a closed connection forever.
+  bool writable_ GUARDED_BY(out_mu_) = true;
+};
+
+class TcpServer : public RpcServer, public EventLoop::Handler {
+ public:
+  TcpServer(uint16_t port, const TcpServerOptions& options)
+      : requested_port_(port), options_(options) {
+    if (options_.io_threads == 0) options_.io_threads = 1;
+    if (options_.executor_threads == 0) options_.executor_threads = 1;
+    if (options_.executor_queue_capacity == 0) {
+      options_.executor_queue_capacity = 1;
+    }
+  }
 
   ~TcpServer() override { Stop(); }
 
   Status Start(RpcHandler handler) override {
     handler_ = std::move(handler);
-    const int listen_fd = socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd < 0) return Status::IOError("socket failed");
-    listen_fd_.store(listen_fd);
-    int one = 1;
-    setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    stop_.store(false, std::memory_order_release);
+    listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) return Status::IOError("socket failed");
+    ConfigureSocket(listen_fd_, SocketKind::kListener);
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(requested_port_);
-    if (bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
         0) {
       return Status::IOError(std::string("bind: ") + strerror(errno));
     }
     socklen_t len = sizeof(addr);
-    getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
     bound_port_ = ntohs(addr.sin_port);
-    if (listen(listen_fd, 128) != 0) {
+    if (listen(listen_fd_, 128) != 0) {
       return Status::IOError(std::string("listen: ") + strerror(errno));
     }
-    stop_.store(false);
-    accept_thread_ = std::thread([this] { AcceptLoop(); });
-    return Status::OK();
+    executor_ = std::make_unique<Executor>(ExecutorOptions{
+        options_.executor_threads, options_.executor_queue_capacity,
+        "net.tcp.executor"});
+    executor_->Start();
+    loops_.reserve(options_.io_threads);
+    for (uint32_t i = 0; i < options_.io_threads; ++i) {
+      loops_.push_back(std::make_unique<EventLoop>());
+      DPR_RETURN_NOT_OK(loops_.back()->Start());
+    }
+    // The listener lives on loop 0; accepted sockets spread round-robin.
+    return loops_[0]->Add(listen_fd_, EPOLLIN, this);
   }
 
   void Stop() override {
     if (stop_.exchange(true)) return;
-    const int listen_fd = listen_fd_.exchange(-1);
-    if (listen_fd >= 0) {
-      shutdown(listen_fd, SHUT_RDWR);
-      close(listen_fd);
+    // Join the loops first: once no I/O thread is alive, nothing touches
+    // the sockets concurrently and teardown is single-threaded. (Late
+    // executor responses find Post() rejected and are dropped.)
+    for (auto& loop : loops_) loop->Stop();
+    if (listen_fd_ >= 0) {
+      close(listen_fd_);
+      listen_fd_ = -1;
     }
-    if (accept_thread_.joinable()) accept_thread_.join();
-    std::vector<int> fds;
-    std::vector<std::thread> threads;
+    // Drain the executor: every accepted request task still runs (tasks
+    // observe stop_ and skip the handler; their would-be responses die with
+    // the connections below).
+    if (executor_) executor_->Shutdown();
+    std::map<ServerConn*, std::shared_ptr<ServerConn>> conns;
     {
       MutexLock guard(conns_mu_);
-      fds = conn_fds_;
-      threads.swap(conn_threads_);
+      conns.swap(conns_);
     }
-    for (int fd : fds) shutdown(fd, SHUT_RDWR);
-    for (auto& t : threads) {
-      if (t.joinable()) t.join();
+    for (auto& [ptr, conn] : conns) {
+      (void)ptr;
+      conn->ShutdownFd();
+      Stats().server_conns->Sub(1);
     }
-    for (int fd : fds) close(fd);
   }
 
   std::string address() const override {
     return "127.0.0.1:" + std::to_string(bound_port_);
   }
 
- private:
-  void AcceptLoop() {
-    while (!stop_.load()) {
-      const int listen_fd = listen_fd_.load();
-      if (listen_fd < 0) return;
-      const int fd = accept(listen_fd, nullptr, nullptr);
+  // Listener readiness (loop 0 thread): accept until EAGAIN.
+  void OnReady(uint32_t /*events*/) override {
+    for (;;) {
+      const int fd =
+          accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
       if (fd < 0) {
-        if (stop_.load()) return;
-        continue;
+        if (errno == EINTR) continue;
+        return;  // EAGAIN, or a transient accept error; epoll re-arms
       }
-      SetNoDelay(fd);
+      Stats().accepted->Add();
+      ConfigureSocket(fd, SocketKind::kData);
+      EventLoop* loop = loops_[next_loop_++ % loops_.size()].get();
+      auto conn = std::make_shared<ServerConn>(
+          this, loop, fd, options_.max_output_queue_bytes);
+      {
+        MutexLock guard(conns_mu_);
+        conns_[conn.get()] = conn;
+      }
+      Stats().server_conns->Add(1);
+      if (!loop->Add(fd, EPOLLIN, conn.get()).ok()) {
+        ForgetConn(conn.get());
+        conn->ShutdownFd();
+      }
+    }
+  }
+
+  // Drops the registry ref for a connection that closed itself. The object
+  // survives while executor tasks still hold it.
+  void ForgetConn(ServerConn* conn) {
+    std::shared_ptr<ServerConn> ref;
+    {
       MutexLock guard(conns_mu_);
-      conn_fds_.push_back(fd);
-      conn_threads_.emplace_back([this, fd] { ConnLoop(fd); });
+      auto it = conns_.find(conn);
+      if (it == conns_.end()) return;
+      ref = std::move(it->second);
+      conns_.erase(it);
     }
+    Stats().server_conns->Sub(1);
   }
 
-  void ConnLoop(int fd) {
-    // One writer thread today, but keep frames atomic.
-    Mutex write_mu{LockRank::kTransport, "net.tcp.server_write"};
-    std::string request;
-    std::string response;
-    uint64_t id = 0;
-    while (!stop_.load()) {
-      if (!ReadFrame(fd, &id, &request).ok()) return;
-      response.clear();
-      handler_(Slice(request), &response);
-      if (!WriteFrame(fd, write_mu, id, Slice(response)).ok()) return;
-    }
+  // Loop thread: hand a decoded request to the shared executor. Submit
+  // blocks while the bounded queue is full — the loop thread pausing here
+  // is precisely the read-throttle the bounded intake exists to provide.
+  void Dispatch(std::shared_ptr<ServerConn> conn, uint64_t id,
+                std::string request) {
+    (void)executor_->Submit(
+        [this, conn = std::move(conn), id, request = std::move(request)] {
+          if (stop_.load(std::memory_order_acquire)) return;
+          std::string response;
+          handler_(Slice(request), &response);
+          conn->SendResponse(id, std::move(response));
+        });
+    // false only during Shutdown, when the sockets are closing anyway.
   }
 
+ private:
   uint16_t requested_port_;
+  TcpServerOptions options_;
   uint16_t bound_port_ = 0;
-  // Atomic: Stop() invalidates it while AcceptLoop is blocked in accept().
-  std::atomic<int> listen_fd_{-1};
+  int listen_fd_ = -1;
   RpcHandler handler_;
-  // relaxed flag: loop-exit signal only; fd shutdown (a syscall barrier)
-  // does the actual cross-thread handoff.
+  // acquire/release: executor tasks read it to skip handlers during Stop.
   std::atomic<bool> stop_{true};
-  std::thread accept_thread_;
-  Mutex conns_mu_{LockRank::kTransport, "net.tcp.conns"};
-  std::vector<int> conn_fds_ GUARDED_BY(conns_mu_);
-  std::vector<std::thread> conn_threads_ GUARDED_BY(conns_mu_);
+  std::unique_ptr<Executor> executor_;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  size_t next_loop_ = 0;  // loop-0 thread only (accept path)
+  Mutex conns_mu_{LockRank::kTransportLoop, "net.tcp.conns"};
+  std::map<ServerConn*, std::shared_ptr<ServerConn>> conns_
+      GUARDED_BY(conns_mu_);
 };
+
+void ServerConn::OnReady(uint32_t events) {
+  // Keep a ref for the duration: CloseOnLoop drops the registry ref, which
+  // may be the last one outside this frame.
+  auto self = shared_from_this();
+  if (closed_) return;
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    CloseOnLoop();
+    return;
+  }
+  if (events & EPOLLOUT) {
+    FlushOnLoop();
+    if (closed_) return;
+  }
+  if (events & EPOLLIN) HandleReadable();
+}
+
+void ServerConn::HandleReadable() {
+  bool peer_closed = false;
+  bool fatal = false;
+  if (input_.size() < input_used_ + kReadChunk) {
+    input_.resize(input_used_ + kReadChunk);
+  }
+  for (;;) {
+    const ssize_t got = recv(fd_, input_.data() + input_used_, kReadChunk, 0);
+    if (got > 0) {
+      input_used_ += static_cast<size_t>(got);
+      break;  // one chunk per pass; level-triggered epoll re-reports
+    }
+    if (got == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    fatal = true;
+    break;
+  }
+  ParseFrames();
+  if (peer_closed || fatal) CloseOnLoop();
+}
+
+void ServerConn::ParseFrames() {
+  size_t pos = 0;
+  while (input_used_ - pos >= kFrameHeader) {
+    const uint32_t len = DecodeFixed32(input_.data() + pos);
+    if (len > kMaxFramePayload) {
+      // Not a frame boundary we can trust; the stream is garbage.
+      CloseOnLoop();
+      return;
+    }
+    if (input_used_ - pos < kFrameHeader + len) break;
+    const uint64_t id = DecodeFixed64(input_.data() + pos + 4);
+    Stats().frames_received->Add();
+    std::string request(input_.data() + pos + kFrameHeader, len);
+    server_->Dispatch(shared_from_this(), id, std::move(request));
+    pos += kFrameHeader + len;
+  }
+  if (pos > 0) {
+    memmove(input_.data(), input_.data() + pos, input_used_ - pos);
+    input_used_ -= pos;
+  }
+}
+
+void ServerConn::SendResponse(uint64_t id, std::string payload) {
+  bool nudge = false;
+  {
+    MutexLock guard(out_mu_);
+    if (!writable_) return;  // fd gone; the response dies with the conn
+    OutFrame f = MakeFrame(id, std::move(payload));
+    out_bytes_ += f.size();
+    Stats().output_queue_bytes->Add(static_cast<int64_t>(f.size()));
+    out_.push_back(std::move(f));
+    if (!flush_scheduled_) {
+      flush_scheduled_ = true;
+      nudge = true;
+    }
+  }
+  if (nudge) {
+    auto self = shared_from_this();
+    // Post rejection means the loop already stopped (server Stop): the
+    // queued response is dropped along with the connection.
+    (void)loop_->Post([self] { self->FlushOnLoop(); });
+  }
+}
+
+void ServerConn::FlushOnLoop() {
+  if (closed_) return;
+  Status fail;
+  bool blocked = false;
+  {
+    MutexLock guard(out_mu_);
+    while (!out_.empty()) {
+      struct iovec iov[kMaxIov];
+      int iovcnt = 0;
+      size_t batch_bytes = 0;
+      BuildIovecs(out_, iov, &iovcnt, &batch_bytes);
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = static_cast<size_t>(iovcnt);
+      const ssize_t sent = sendmsg(fd_, &msg, MSG_NOSIGNAL);
+      if (sent < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          // Kernel buffer full: arm EPOLLOUT and resume from the partial
+          // offsets when the socket drains. flush_scheduled_ stays true.
+          Stats().eagain_waits->Add();
+          blocked = true;
+          break;
+        }
+        fail = MapSocketError("sendmsg", errno);
+        break;
+      }
+      Stats().writev_calls->Add();
+      if (static_cast<size_t>(sent) < batch_bytes) Stats().short_writes->Add();
+      const size_t completed =
+          ConsumeWritten(&out_, static_cast<size_t>(sent));
+      out_bytes_ -= static_cast<size_t>(sent);
+      Stats().output_queue_bytes->Sub(sent);
+      Stats().frames_sent->Add(completed);
+      Stats().writev_frames->Add(completed);
+    }
+    if (out_.empty()) flush_scheduled_ = false;
+  }
+  if (!fail.ok()) {
+    CloseOnLoop();
+    return;
+  }
+  want_write_ = blocked;
+  UpdateInterest();
+}
+
+void ServerConn::UpdateInterest() {
+  size_t queued;
+  {
+    MutexLock guard(out_mu_);
+    queued = out_bytes_;
+  }
+  // Backpressure hysteresis: pause reads above the byte budget, resume
+  // below half of it, so a slow client draining responses doesn't flap.
+  if (!reads_paused_ && queued > out_budget_) {
+    reads_paused_ = true;
+  } else if (reads_paused_ && queued < out_budget_ / 2) {
+    reads_paused_ = false;
+  }
+  uint32_t events = 0;
+  if (!reads_paused_) events |= EPOLLIN;
+  if (want_write_) events |= EPOLLOUT;
+  loop_->Modify(fd_, events, this);
+}
+
+void ServerConn::CloseOnLoop() {
+  if (closed_) return;
+  closed_ = true;
+  loop_->Remove(fd_);
+  size_t dropped;
+  {
+    MutexLock guard(out_mu_);
+    writable_ = false;
+    dropped = out_bytes_;
+    out_.clear();
+    out_bytes_ = 0;
+  }
+  if (dropped > 0) {
+    Stats().output_queue_bytes->Sub(static_cast<int64_t>(dropped));
+  }
+  close(fd_);
+  fd_ = -1;
+  server_->ForgetConn(this);
+}
+
+void ServerConn::ShutdownFd() {
+  size_t dropped;
+  {
+    MutexLock guard(out_mu_);
+    writable_ = false;
+    dropped = out_bytes_;
+    out_.clear();
+    out_bytes_ = 0;
+  }
+  if (dropped > 0) {
+    Stats().output_queue_bytes->Sub(static_cast<int64_t>(dropped));
+  }
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  closed_ = true;  // loops are joined; no loop thread can race this
+}
 
 // ------------------------------------------------------------------- client
 
+// Client side mirrors the server's write path: CallAsync only enqueues a
+// frame; a single flusher thread drains the queue with vectored writes, so
+// pipelined requests issued back-to-back coalesce into one syscall.
 class TcpConnection : public RpcConnection {
  public:
   TcpConnection(int fd, std::string peer)
       : fd_(fd), peer_scope_(HashBytes(peer.data(), peer.size())) {
     reader_ = std::thread([this] { ReadLoop(); });
+    flusher_ = std::thread([this] { FlushLoop(); });
   }
 
   ~TcpConnection() override {
-    shutdown(fd_, SHUT_RDWR);
+    {
+      MutexLock guard(out_mu_);
+      closing_ = true;
+    }
+    out_cv_.NotifyAll();
+    shutdown(fd_, SHUT_RDWR);  // unblocks both the flusher and the reader
+    if (flusher_.joinable()) flusher_.join();
     if (reader_.joinable()) reader_.join();
     close(fd_);
     FailPending(Status::Unavailable("connection destroyed"));
@@ -324,38 +770,86 @@ class TcpConnection : public RpcConnection {
       MutexLock guard(pending_mu_);
       pending_[id] = std::move(callback);
     }
-    bool mid_frame = false;
-    if (duplicate) {
-      // Retransmit with the same id: the server handles the frame twice,
-      // the first response resolves the call, and ReadLoop drops the loser
-      // (unknown ids are ignored), exactly like a duplicated datagram.
-      (void)WriteFrame(fd_, write_mu_, id, Slice(request), &mid_frame);
-      if (mid_frame) Poison();
-    }
-    Status s = WriteFrame(fd_, write_mu_, id, Slice(request), &mid_frame);
-    if (!s.ok()) {
-      // A frame torn partway through leaves the server reading our next
-      // header out of the middle of this payload; nothing sent afterwards
-      // would parse. Kill the socket so ReadLoop fails every pending call
-      // instead of silently desynchronizing.
-      if (mid_frame) Poison();
-      ResponseCallback cb;
-      {
-        MutexLock guard(pending_mu_);
-        auto it = pending_.find(id);
-        if (it != pending_.end()) {
-          cb = std::move(it->second);
-          pending_.erase(it);
+    bool accepted;
+    {
+      MutexLock guard(out_mu_);
+      accepted = !closing_ && !poisoned_;
+      if (accepted) {
+        if (duplicate) {
+          // Retransmit with the same id: the server handles the frame
+          // twice, the first response resolves the call, and ReadLoop drops
+          // the loser (unknown ids are ignored), exactly like a duplicated
+          // datagram.
+          out_.push_back(MakeFrame(id, request));
         }
+        out_.push_back(MakeFrame(id, std::move(request)));
       }
-      if (cb) cb(s, Slice());
     }
+    if (accepted) {
+      out_cv_.NotifyOne();
+      return;
+    }
+    ResponseCallback cb = TakePending(id);
+    if (cb) cb(Status::Transient("connection closed"), Slice());
   }
 
  private:
   void Poison() {
     Stats().poisoned->Add();
+    {
+      MutexLock guard(out_mu_);
+      poisoned_ = true;
+    }
     shutdown(fd_, SHUT_RDWR);
+  }
+
+  void FlushLoop() {
+    for (;;) {
+      std::deque<OutFrame> batch;
+      {
+        MutexLock guard(out_mu_);
+        out_cv_.Wait(out_mu_, [this]() REQUIRES(out_mu_) {
+          return closing_ || !out_.empty();
+        });
+        if (out_.empty()) return;  // closing, nothing left to send
+        // Take everything queued: every request pipelined since the last
+        // flush coalesces into the same vectored writes.
+        batch.swap(out_);
+      }
+      SendBatch(&batch);
+    }
+  }
+
+  void SendBatch(std::deque<OutFrame>* batch) {
+    while (!batch->empty()) {
+      struct iovec iov[kMaxIov];
+      int iovcnt = 0;
+      size_t batch_bytes = 0;
+      BuildIovecs(*batch, iov, &iovcnt, &batch_bytes);
+      size_t written = 0;
+      Status s = WritevFully(fd_, iov, iovcnt, &written);
+      const size_t completed = ConsumeWritten(batch, written);
+      Stats().frames_sent->Add(completed);
+      Stats().writev_frames->Add(completed);
+      if (!s.ok()) {
+        HandleWriteFailure(batch, s);
+        return;
+      }
+    }
+  }
+
+  // A write error with bytes of the front frame already on the wire leaves
+  // the server reading our next header out of the middle of this payload;
+  // nothing sent afterwards would parse. Kill the socket so ReadLoop fails
+  // every pending call instead of silently desynchronizing. A clean
+  // frame-boundary failure only fails the frames this batch still owned.
+  void HandleWriteFailure(std::deque<OutFrame>* batch, const Status& s) {
+    if (!batch->empty() && batch->front().offset > 0) Poison();
+    for (OutFrame& f : *batch) {
+      ResponseCallback cb = TakePending(f.id);
+      if (cb) cb(s, Slice());
+    }
+    batch->clear();
   }
 
   void ReadLoop() {
@@ -367,17 +861,18 @@ class TcpConnection : public RpcConnection {
         FailPending(s);
         return;
       }
-      ResponseCallback cb;
-      {
-        MutexLock guard(pending_mu_);
-        auto it = pending_.find(id);
-        if (it != pending_.end()) {
-          cb = std::move(it->second);
-          pending_.erase(it);
-        }
-      }
+      ResponseCallback cb = TakePending(id);
       if (cb) cb(Status::OK(), Slice(payload));
     }
+  }
+
+  ResponseCallback TakePending(uint64_t id) {
+    MutexLock guard(pending_mu_);
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return nullptr;
+    ResponseCallback cb = std::move(it->second);
+    pending_.erase(it);
+    return cb;
   }
 
   void FailPending(const Status& s) {
@@ -394,11 +889,16 @@ class TcpConnection : public RpcConnection {
 
   int fd_;
   const uint64_t peer_scope_;
-  Mutex write_mu_{LockRank::kTransport, "net.tcp.client_write"};
   std::thread reader_;
+  std::thread flusher_;
   // relaxed: request-id allocator; uniqueness is all that matters, the
   // id is published to the reader via pending_mu_.
   std::atomic<uint64_t> next_id_{1};
+  Mutex out_mu_{LockRank::kTransport, "net.tcp.client_out"};
+  CondVar out_cv_;  // wakes the flusher on enqueue or shutdown
+  std::deque<OutFrame> out_ GUARDED_BY(out_mu_);
+  bool closing_ GUARDED_BY(out_mu_) = false;
+  bool poisoned_ GUARDED_BY(out_mu_) = false;
   Mutex pending_mu_{LockRank::kTransport, "net.tcp.pending"};
   std::map<uint64_t, ResponseCallback> pending_ GUARDED_BY(pending_mu_);
 };
@@ -406,7 +906,12 @@ class TcpConnection : public RpcConnection {
 }  // namespace
 
 std::unique_ptr<RpcServer> MakeTcpServer(uint16_t port) {
-  return std::make_unique<TcpServer>(port);
+  return std::make_unique<TcpServer>(port, TcpServerOptions{});
+}
+
+std::unique_ptr<RpcServer> MakeTcpServer(uint16_t port,
+                                         const TcpServerOptions& options) {
+  return std::make_unique<TcpServer>(port, options);
 }
 
 Status ConnectTcp(const std::string& address,
@@ -431,7 +936,7 @@ Status ConnectTcp(const std::string& address,
     close(fd);
     return MapSocketError("connect", err);
   }
-  SetNoDelay(fd);
+  ConfigureSocket(fd, SocketKind::kData);
   *out = std::make_unique<TcpConnection>(fd, address);
   return Status::OK();
 }
@@ -444,6 +949,15 @@ Status TcpReadFully(int fd, void* buf, size_t n, size_t* transferred) {
 
 Status TcpWriteFully(int fd, const void* buf, size_t n, size_t* transferred) {
   return WriteFully(fd, buf, n, transferred);
+}
+
+Status TcpWritevFully(int fd, struct iovec* iov, int iovcnt,
+                      size_t* transferred) {
+  return WritevFully(fd, iov, iovcnt, transferred);
+}
+
+std::unique_ptr<RpcConnection> WrapClientFdForTest(int fd) {
+  return std::make_unique<TcpConnection>(fd, "test-wrapped-fd");
 }
 
 }  // namespace internal

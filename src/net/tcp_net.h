@@ -8,18 +8,45 @@
 
 #include "net/rpc.h"
 
+struct iovec;  // <sys/uio.h>
+
 namespace dpr {
 
 /// Real-socket transport (loopback on one box reproduces the paper's
 /// multi-process shard deployment). Frames are
 /// [u32 payload-length][u64 request-id][payload]; requests pipeline freely
 /// and responses are matched by id.
+///
+/// Server architecture: a fixed set of epoll event-loop I/O threads own the
+/// non-blocking sockets (connections pinned round-robin), decode frames, and
+/// hand execution to a shared bounded Executor, so server thread count is
+/// O(io_threads + executor_threads) regardless of connection count and a
+/// slow handler never stalls unrelated connections. Responses queue per
+/// connection and are flushed with writev — every frame ready at flush time
+/// coalesces into one syscall (header + payload iovecs, payloads are never
+/// copied into a staging buffer). A connection whose output queue exceeds
+/// its byte budget stops being read until the queue drains (backpressure).
+struct TcpServerOptions {
+  /// Event-loop threads owning sockets. The listener lives on loop 0.
+  uint32_t io_threads = 2;
+  /// Shared request-executor worker threads.
+  uint32_t executor_threads = 2;
+  /// Bounded executor intake; decoded requests beyond this throttle reads.
+  size_t executor_queue_capacity = 4096;
+  /// Per-connection output-queue byte budget: above it the connection's
+  /// reads pause, below half of it they resume.
+  size_t max_output_queue_bytes = 4 << 20;
+};
 
 /// Creates a TCP server bound to 127.0.0.1:`port` (0 picks an ephemeral
 /// port; address() reports the bound "host:port").
 std::unique_ptr<RpcServer> MakeTcpServer(uint16_t port = 0);
+std::unique_ptr<RpcServer> MakeTcpServer(uint16_t port,
+                                         const TcpServerOptions& options);
 
-/// Connects to "host:port" as produced by RpcServer::address().
+/// Connects to "host:port" as produced by RpcServer::address(). The client
+/// mirrors the server's write path: CallAsync enqueues frames and a single
+/// per-connection flusher coalesces everything queued into one writev.
 Status ConnectTcp(const std::string& address,
                   std::unique_ptr<RpcConnection>* out);
 
@@ -27,7 +54,7 @@ namespace internal {
 
 /// Loop primitives under the framing layer, exposed for regression tests
 /// (tests/tcp_partial_write_test.cc drives them over a socketpair with a
-/// tiny SO_SNDBUF). Both retry EINTR, and block on poll() when a
+/// tiny SO_SNDBUF). All retry EINTR, and block on poll() when a
 /// non-blocking fd reports EAGAIN/EWOULDBLOCK, so a short transfer never
 /// surfaces as an error. `transferred` (optional) reports bytes moved
 /// before any failure — the framing layer uses it to detect a torn frame,
@@ -37,6 +64,15 @@ Status TcpReadFully(int fd, void* buf, size_t n,
                     size_t* transferred = nullptr);
 Status TcpWriteFully(int fd, const void* buf, size_t n,
                      size_t* transferred = nullptr);
+/// Vectored variant used by the frame-coalescing flush paths. `iov` is
+/// consumed destructively (bases/lengths advance past written bytes).
+Status TcpWritevFully(int fd, struct iovec* iov, int iovcnt,
+                      size_t* transferred = nullptr);
+
+/// Wraps an already-connected stream socket as a client RpcConnection
+/// (tests use a socketpair end to drive torn-frame scenarios that a real
+/// loopback connect cannot reach deterministically).
+std::unique_ptr<RpcConnection> WrapClientFdForTest(int fd);
 
 }  // namespace internal
 

@@ -30,4 +30,27 @@ std::mutex interop_mu;  // sync-lint: allowed (third-party API interop)
 EOF
 "$CHECK" --lint-only "$TMP"
 
+echo "--- net lint fires on a raw send(2) under net/"
+mkdir -p "$TMP/net"
+cat > "$TMP/net/raw.cc" <<'EOF'
+#include <sys/socket.h>
+void Leak(int fd, const char* buf, unsigned long n) {
+  (void)send(fd, buf, n, 0);  // seeded violation: bypasses the flush helpers
+}
+EOF
+if "$CHECK" --lint-only "$TMP"; then
+  echo "FAIL: net lint accepted a raw send(2) under net/"
+  exit 1
+fi
+
+echo "--- net lint honors the justified opt-out marker"
+cat > "$TMP/net/raw.cc" <<'EOF'
+#include <sys/socket.h>
+void Nudge(int fd, const char* buf, unsigned long n) {
+  // net-lint: allowed — control-plane nudge, not frame bytes.
+  (void)send(fd, buf, n, 0);
+}
+EOF
+"$CHECK" --lint-only "$TMP"
+
 echo "PASS"

@@ -10,6 +10,7 @@
 
 #include <fcntl.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -23,6 +24,7 @@
 
 #include "gtest/gtest.h"
 #include "net/tcp_net.h"
+#include "obs/metrics.h"
 
 namespace dpr {
 namespace {
@@ -44,6 +46,19 @@ class SocketPair {
   void CloseWriter() {
     close(fds_[0]);
     fds_[0] = -1;
+  }
+
+  void CloseReader() {
+    close(fds_[1]);
+    fds_[1] = -1;
+  }
+
+  // Hands ownership of the writer end to the caller (e.g. to a wrapped
+  // RpcConnection, whose destructor closes it).
+  int ReleaseWriter() {
+    const int fd = fds_[0];
+    fds_[0] = -1;
+    return fd;
   }
 
   // Shrinks both directions' kernel buffers so a frame larger than a few KB
@@ -142,6 +157,93 @@ TEST(TcpPartialWrite, TransferredReportsBytesBeforeFailure) {
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(transferred, half.size());
   EXPECT_EQ(got.substr(0, transferred), half);
+}
+
+// The vectored flush path has the same no-torn-frame contract as the
+// single-buffer one: when sendmsg accepts only part of the batch and then
+// reports EAGAIN, TcpWritevFully must resume from the partial iovec offsets
+// until every byte of every buffer is delivered, in order.
+TEST(TcpPartialWrite, VectoredWriteSurvivesEagainMidBatch) {
+  SocketPair pair;
+  pair.ShrinkBuffers();
+  pair.SetNonBlocking(pair.writer());
+
+  // Several distinct buffers so a partial write almost always stops inside
+  // an iovec, not on a convenient boundary.
+  constexpr int kBufs = 8;
+  std::vector<std::string> bufs;
+  std::string joined;
+  for (int i = 0; i < kBufs; ++i) {
+    bufs.emplace_back(32 * 1024, static_cast<char>('a' + i));
+    joined += bufs.back();
+  }
+  struct iovec iov[kBufs];
+  for (int i = 0; i < kBufs; ++i) {
+    iov[i].iov_base = bufs[i].data();
+    iov[i].iov_len = bufs[i].size();
+  }
+
+  std::thread drain([&] {
+    usleep(20 * 1000);  // let the writer fill the send buffer and hit EAGAIN
+    std::string got(joined.size(), '\0');
+    Status s = internal::TcpReadFully(pair.reader(), got.data(), got.size());
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(got, joined);
+  });
+
+  size_t written = 0;
+  Status s = internal::TcpWritevFully(pair.writer(), iov, kBufs, &written);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(written, joined.size());
+  drain.join();
+}
+
+// A frame torn mid-writev (bytes on the wire, then a hard failure) must
+// poison the client connection: the peer's stream position is corrupt, so
+// the pending call fails and later calls are rejected outright instead of
+// desynchronizing the length-prefixed stream.
+TEST(TcpPartialWrite, TornFrameMidWritevPoisonsConnection) {
+  Counter* poisoned = MetricsRegistry::Default().counter("net.tcp.poisoned");
+  const uint64_t poisoned_before = poisoned->value();
+
+  SocketPair pair;
+  pair.ShrinkBuffers();
+  pair.SetNonBlocking(pair.writer());
+  std::unique_ptr<RpcConnection> conn =
+      internal::WrapClientFdForTest(pair.ReleaseWriter());
+
+  // Far larger than the shrunken buffers: the flusher lands part of the
+  // frame, then parks waiting for writability that never comes.
+  std::atomic<int> failures{0};
+  conn->CallAsync(std::string(1024 * 1024, 'T'), [&](Status s, Slice) {
+    EXPECT_FALSE(s.ok());
+    failures.fetch_add(1);
+  });
+  usleep(20 * 1000);  // let the partial write happen
+  pair.CloseReader();  // mid-frame hard failure (EPIPE/ECONNRESET)
+
+  for (int spins = 0; failures.load() < 1 && spins < 10000; ++spins) {
+    usleep(1000);
+  }
+  ASSERT_EQ(failures.load(), 1);
+  // The reader may fail the pending call a beat before the flusher hits the
+  // torn-frame path; wait for the poison itself, not just the callback.
+  for (int spins = 0;
+       poisoned->value() < poisoned_before + 1 && spins < 10000; ++spins) {
+    usleep(1000);
+  }
+  EXPECT_EQ(poisoned->value(), poisoned_before + 1);
+
+  // The poisoned connection rejects new calls immediately.
+  std::atomic<bool> rejected{false};
+  conn->CallAsync("after poison", [&](Status s, Slice) {
+    EXPECT_FALSE(s.ok());
+    rejected.store(true);
+  });
+  for (int spins = 0; !rejected.load() && spins < 10000; ++spins) {
+    usleep(1000);
+  }
+  EXPECT_TRUE(rejected.load());
 }
 
 // End-to-end over the real framing layer: many pipelined frames large
