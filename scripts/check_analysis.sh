@@ -90,6 +90,43 @@ else
   say "net lint clean"
 fi
 
+# Storage lint: every block I/O syscall must go through the async IoEngine
+# backends under src/storage/, where submission metrics, fault probes, and
+# the group-commit scheduler live. A raw pwrite(2)/pread(2)/fsync(2) outside
+# storage/ bypasses all three, so direct calls are flagged unless the line
+# (or the line above it, or a file-scope marker near the top) carries
+# `storage-lint: allowed` plus a justification.
+say "lint: raw block I/O syscalls outside storage/ backends"
+storage_lint_files=$(find "${LINT_DIRS[@]}" \
+    \( -name '*.cc' -o -name '*.h' \) -not -path '*storage/*' 2>/dev/null |
+  sort || true)
+storage_hits=""
+if [ -n "$storage_lint_files" ]; then
+  # shellcheck disable=SC2086
+  storage_hits=$(awk '
+    FNR == 1 { prev = ""; file_allowed = 0 }
+    FNR <= 5 && /storage-lint: allowed/ { file_allowed = 1 }
+    {
+      # Only flag calls in code: prose like "one fsync (per shard)" in a
+      # comment is fine, so the line-comment tail is stripped before
+      # matching (the opt-out marker still matches against the full line).
+      code = $0
+      sub(/\/\/.*/, "", code)
+      if (code ~ /(^|[^A-Za-z0-9_.:>"])(pwrite|pread|pwritev|preadv|fsync|fdatasync)[ \t]*\(/ &&
+          !file_allowed && prev !~ /storage-lint: allowed/ &&
+          $0 !~ /storage-lint: allowed/)
+        printf "%s:%d: %s\n", FILENAME, FNR, $0
+      prev = $0
+    }
+  ' $storage_lint_files || true)
+fi
+if [ -n "$storage_hits" ]; then
+  printf '%s\n' "$storage_hits"
+  fail "raw block I/O syscall outside src/storage/; submit through the Device/IoEngine API or mark the line storage-lint: allowed"
+else
+  say "storage lint clean"
+fi
+
 if [ "$LINT_ONLY" -eq 1 ]; then
   exit "$FAILED"
 fi

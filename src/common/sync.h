@@ -80,7 +80,14 @@ enum class LockRank : int {
   // Leaf utilities — safe to take under anything.
   kObs = 20,            // obs::MetricsRegistry / Timeline
   kFault = 40,          // FaultPlane probe table
-  kStorage = 50,        // Device (leaf)
+  kStorageIoWait = 44,  // stack SyncWaiter in Device blocking shims (taken by
+                        // completion callbacks under any storage lock)
+  kStorageEngine = 46,  // IoEngine submission queues / SQ tail (leaf-most
+                        // storage lock: devices submit while holding kStorage)
+  kStorage = 50,        // Device (leaf below consumers, above the engine)
+  kStorageSched = 52,   // GroupCommitScheduler waiter table (taken by WAL /
+                        // flush paths holding kStorageWal or kMetadata; may
+                        // itself take kStorage via Device::SubmitFsync)
   kStorageWal = 55,     // WriteAheadLog tail (held across device writes)
   kExecutor = 58,       // shared request executor queue (submitted to while
                         // holding transport locks, never the reverse)

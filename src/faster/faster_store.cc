@@ -9,6 +9,7 @@
 #include "common/coding.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "storage/fsync_scheduler.h"
 
 namespace dpr {
 
@@ -51,7 +52,8 @@ FasterStore::FasterStore(FasterOptions options)
       index_(options_.index_buckets),
       meta_wal_(options_.meta_device != nullptr
                     ? std::move(options_.meta_device)
-                    : std::make_unique<MemoryDevice>()) {
+                    : std::make_unique<MemoryDevice>(),
+                options_.fsync_scheduler) {
   if (options_.log_device == nullptr) {
     options_.log_device = std::make_unique<MemoryDevice>();
   }
@@ -337,17 +339,51 @@ Status FasterStore::PerformCheckpoint(Version target_version,
 
 Status FasterStore::FlushRange(LogAddress from, LogAddress to) {
   // The range is immutable (below the read-only boundary); copy it out in
-  // page-sized chunks.
+  // page-sized chunks and submit them asynchronously — the chunks complete
+  // out of order on the I/O engine, with a bounded in-flight window so a
+  // huge range cannot pin unbounded copy buffers.
+  constexpr size_t kMaxInflightChunks = 8;
+  struct BatchState {
+    Mutex mu{LockRank::kStorageIoWait, "faster.flush_batch"};
+    CondVar cv;
+    size_t outstanding GUARDED_BY(mu) = 0;
+    Status first_error GUARDED_BY(mu);
+  };
+  auto state = std::make_shared<BatchState>();
   const uint64_t chunk = log_.page_size();
-  std::vector<char> buf;
   LogAddress pos = from;
   while (pos < to) {
     const uint64_t page_end = (pos | (chunk - 1)) + 1;
     const uint64_t n = std::min<uint64_t>(page_end, to) - pos;
-    buf.resize(n);
-    memcpy(buf.data(), log_.Resolve(pos), n);
-    DPR_RETURN_NOT_OK(options_.log_device->WriteAt(pos, buf.data(), n));
+    auto buf = std::make_shared<std::vector<char>>(n);
+    memcpy(buf->data(), log_.Resolve(pos), n);
+    {
+      MutexLock guard(state->mu);
+      while (state->outstanding >= kMaxInflightChunks) {
+        state->cv.Wait(state->mu);
+      }
+      ++state->outstanding;
+    }
+    // `buf` is captured by the completion, keeping the copy alive until the
+    // engine is done with it.
+    options_.log_device->SubmitWrite(
+        pos, buf->data(), n, [state, buf](Status s) {
+          MutexLock guard(state->mu);
+          if (!s.ok() && state->first_error.ok()) {
+            state->first_error = std::move(s);
+          }
+          --state->outstanding;
+          state->cv.NotifyAll();
+        });
     pos += n;
+  }
+  {
+    MutexLock guard(state->mu);
+    while (state->outstanding > 0) state->cv.Wait(state->mu);
+    DPR_RETURN_NOT_OK(state->first_error);
+  }
+  if (options_.fsync_scheduler != nullptr) {
+    return options_.fsync_scheduler->SyncNow(options_.log_device.get());
   }
   return options_.log_device->Flush();
 }

@@ -28,7 +28,8 @@ std::string ChaosEvent::ToString() const {
   static const char* kNames[] = {"crash",      "double",     "nested",
                                  "coord_crash", "mid_ckpt",  "torn_write",
                                  "write_fail", "slow_fsync", "rpc_error",
-                                 "net_drop",   "net_delay",  "partition"};
+                                 "net_drop",   "net_delay",  "partition",
+                                 "slow_fsync_ckpt"};
   std::string out = kNames[static_cast<int>(kind)];
   out += "@" + std::to_string(step) + "(" + std::to_string(a) + "," +
          std::to_string(b) + ")";
@@ -55,7 +56,7 @@ ChaosSchedule ChaosSchedule::Generate(const ChaosOptions& options) {
                           K::kDoubleFailure, K::kNestedFailure,
                           K::kCoordinatorCrash, K::kMidCheckpointFailure,
                           K::kTornWrite,    K::kWriteFailBurst,
-                          K::kSlowFsync};
+                          K::kSlowFsync,    K::kSlowFsyncDuringCheckpoint};
   if (s.remote_finder) {
     // Network and finder-RPC faults only exist on the remote deployment.
     kinds.insert(kinds.end(), {K::kRpcErrorBurst, K::kNetDropBurst,
@@ -373,6 +374,16 @@ class ChaosRunner {
         return Status::OK();
       case K::kPartitionFinder:
         fp.Arm({.point = faults::kNetPartition, .max_fires = 4});
+        return Status::OK();
+      case K::kSlowFsyncDuringCheckpoint:
+        // The checkpoint flush's group-commit fsync hits the armed stall
+        // while the workload keeps running — exercising waiters that pile
+        // onto the next fsync group behind a slow device.
+        fp.Arm({.point = faults::kDevSlowFsync,
+                .scope = e.a,
+                .max_fires = 3,
+                .param = 2000});
+        (void)workers_[e.a]->TryCommit();
         return Status::OK();
     }
     return Status::OK();

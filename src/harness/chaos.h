@@ -40,6 +40,10 @@ struct ChaosEvent {
     kNetDropBurst,         // arm net.drop on the finder link (remote only)
     kNetDelayBurst,        // arm net.delay on the finder link (remote only)
     kPartitionFinder,      // arm net.partition on the finder link (remote)
+    kSlowFsyncDuringCheckpoint,  // arm device.slow_fsync on worker a's log
+                                 // device, then start a checkpoint at once:
+                                 // the flush's group-commit fsync stalls
+                                 // while the workload keeps issuing ops
   };
   Kind kind = Kind::kCrashWorker;
   uint32_t step = 0;

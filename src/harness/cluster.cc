@@ -21,11 +21,16 @@ Status DFasterCluster::Start() {
   net_options.latency_us = options_.net_latency_us;
   net_ = std::make_unique<InMemoryNetwork>(net_options);
 
+  // One group-commit fsync scheduler per box: all shards' durability waits
+  // funnel through it, so fsyncs on devices that share a sync root coalesce.
+  fsync_sched_ = std::make_unique<GroupCommitScheduler>();
+
   metadata_ = std::make_unique<MetadataStore>(
       MakeDevice(options_.backend == StorageBackend::kNull
                      ? StorageBackend::kNull
                      : StorageBackend::kLocal,
-                 options_.storage_dir, "metadata.wal"));
+                 options_.storage_dir, "metadata.wal"),
+      fsync_sched_.get());
   DPR_RETURN_NOT_OK(metadata_->Recover());
   finder_ = MakeDprFinder(
       {.kind = options_.finder, .metadata = metadata_.get()});
@@ -80,6 +85,7 @@ Status DFasterCluster::Start() {
                        : StorageBackend::kLocal,
                    options_.storage_dir,
                    "worker" + std::to_string(i) + ".meta");
+    config.faster.fsync_scheduler = fsync_sched_.get();
     config.dpr.finder = plane;
     config.dpr.checkpoint_interval_us = options_.checkpoint_interval_us;
     auto worker = std::make_unique<DFasterWorker>(std::move(config));
@@ -255,6 +261,7 @@ Status DFasterCluster::AddWorker(WorkerId* new_id) {
                      : StorageBackend::kLocal,
                  options_.storage_dir,
                  "worker" + std::to_string(id) + ".meta");
+  config.faster.fsync_scheduler = fsync_sched_.get();
   config.dpr.finder = remote_finder_ != nullptr
                           ? static_cast<DprFinder*>(remote_finder_.get())
                           : finder_.get();
@@ -304,9 +311,10 @@ Status DRedisCluster::Start() {
   net_options.server_threads = options_.server_threads;
   net_ = std::make_unique<InMemoryNetwork>(net_options);
 
+  fsync_sched_ = std::make_unique<GroupCommitScheduler>();
   if (options_.deployment == RedisDeployment::kDpr) {
-    metadata_ =
-        std::make_unique<MetadataStore>(std::make_unique<MemoryDevice>());
+    metadata_ = std::make_unique<MetadataStore>(
+        std::make_unique<MemoryDevice>(), fsync_sched_.get());
     DPR_RETURN_NOT_OK(metadata_->Recover());
     finder_ = MakeDprFinder(
         {.kind = FinderKind::kApprox, .metadata = metadata_.get()});
@@ -316,6 +324,7 @@ Status DRedisCluster::Start() {
   for (uint32_t i = 0; i < options_.num_shards; ++i) {
     RespStoreOptions store_options;
     store_options.aof_enabled = options_.aof_sync;
+    store_options.fsync_scheduler = fsync_sched_.get();
     auto store = std::make_unique<RespStore>(std::move(store_options));
     auto store_server = std::make_unique<RespStoreServer>(
         store.get(), net_->CreateServer("redis" + std::to_string(i)));

@@ -41,8 +41,9 @@ bool DecodeDeps(Decoder* dec, DependencySet* deps) {
 
 }  // namespace
 
-MetadataStore::MetadataStore(std::unique_ptr<Device> wal_device)
-    : wal_(std::move(wal_device)) {}
+MetadataStore::MetadataStore(std::unique_ptr<Device> wal_device,
+                             GroupCommitScheduler* scheduler)
+    : wal_(std::move(wal_device), scheduler) {}
 
 Status MetadataStore::Recover() {
   MutexLock guard(mu_);

@@ -27,7 +27,11 @@ namespace dpr {
 /// suffix, then replays). All methods are thread-safe.
 class MetadataStore {
  public:
-  explicit MetadataStore(std::unique_ptr<Device> wal_device);
+  /// With a `scheduler`, mutation fsyncs register as group-commit waiters on
+  /// the WAL device instead of each issuing a private fsync, so concurrent
+  /// metadata mutations (and anything else sharing the device) coalesce.
+  explicit MetadataStore(std::unique_ptr<Device> wal_device,
+                         GroupCommitScheduler* scheduler = nullptr);
 
   /// Rebuilds tables from the WAL. Call once after construction (and after
   /// SimulateCrash, which invokes it internally).

@@ -4,6 +4,7 @@
 
 #include "common/coding.h"
 #include "common/logging.h"
+#include "storage/fsync_scheduler.h"
 
 namespace dpr {
 
@@ -123,7 +124,12 @@ Status RespStore::AppendAof(const RespCommand& command) {
   command.EncodeTo(&rec);
   DPR_RETURN_NOT_OK(options_.aof_device->WriteAt(options_.aof_device->Size(),
                                                  rec.data(), rec.size()));
-  return options_.aof_device->Flush();  // appendfsync=always
+  // appendfsync=always; under a group-commit scheduler concurrent AOF
+  // appends across shards sharing a device coalesce into one fsync.
+  if (options_.fsync_scheduler != nullptr) {
+    return options_.fsync_scheduler->SyncNow(options_.aof_device.get());
+  }
+  return options_.aof_device->Flush();
 }
 
 RespReply RespStore::Execute(const RespCommand& command) {

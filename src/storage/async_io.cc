@@ -1,0 +1,232 @@
+#include "storage/async_io.h"
+
+#include <errno.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <deque>
+#include <thread>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/sync.h"
+#include "obs/metrics.h"
+
+namespace dpr {
+namespace {
+
+// Shared instrumentation for both backends: submission depth, completion
+// latency, and the fallback counter the factory bumps.
+struct IoMetrics {
+  Counter* submitted;
+  Counter* completed;
+  Counter* errors;
+  Gauge* inflight;
+  ShardedHistogram* completion_us;
+  Counter* fallbacks;
+
+  static IoMetrics& Get() {
+    static IoMetrics m = [] {
+      auto& reg = MetricsRegistry::Default();
+      IoMetrics v;
+      v.submitted = reg.counter("storage.io.submitted");
+      v.completed = reg.counter("storage.io.completed");
+      v.errors = reg.counter("storage.io.errors");
+      v.inflight = reg.gauge("storage.io.inflight");
+      v.completion_us = reg.histogram("storage.io.completion_us");
+      v.fallbacks = reg.counter("storage.io.engine_fallbacks");
+      return v;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+namespace internal {
+
+// Blocking execution of one IoOp with full-transfer and EINTR handling.
+// This is the single place outside the io_uring ring where the raw
+// positional syscalls live; both the thread-pool backend and the io_uring
+// backend's last-resort paths use it.
+Status ExecuteIoOp(const IoOp& op) {
+  switch (op.type) {
+    case IoOp::Type::kWrite: {
+      const char* src = static_cast<const char*>(op.write_buf);
+      size_t remaining = op.len;
+      uint64_t off = op.offset;
+      while (remaining > 0) {
+        ssize_t n = ::pwrite(op.fd, src, remaining, static_cast<off_t>(off));
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          return Status::IOError(std::string("pwrite: ") + strerror(errno));
+        }
+        src += n;
+        off += static_cast<uint64_t>(n);
+        remaining -= static_cast<size_t>(n);
+      }
+      return Status::OK();
+    }
+    case IoOp::Type::kRead: {
+      char* dst = static_cast<char*>(op.read_buf);
+      size_t remaining = op.len;
+      uint64_t off = op.offset;
+      while (remaining > 0) {
+        ssize_t n = ::pread(op.fd, dst, remaining, static_cast<off_t>(off));
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          return Status::IOError(std::string("pread: ") + strerror(errno));
+        }
+        if (n == 0) return Status::IOError("read past end of device");
+        dst += n;
+        off += static_cast<uint64_t>(n);
+        remaining -= static_cast<size_t>(n);
+      }
+      return Status::OK();
+    }
+    case IoOp::Type::kFsync: {
+      int rc;
+      do {
+        rc = ::fdatasync(op.fd);
+      } while (rc < 0 && errno == EINTR);
+      if (rc < 0) {
+        return Status::IOError(std::string("fdatasync: ") + strerror(errno));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::IOError("unknown io op");
+}
+
+void NoteIoSubmitted(size_t n) {
+  auto& m = IoMetrics::Get();
+  m.submitted->Add(n);
+  m.inflight->Add(static_cast<int64_t>(n));
+}
+
+void NoteIoCompleted(uint64_t submit_us, bool ok) {
+  auto& m = IoMetrics::Get();
+  m.completed->Add(1);
+  if (!ok) m.errors->Add(1);
+  m.inflight->Add(-1);
+  m.completion_us->Record(NowMicros() - submit_us);
+}
+
+}  // namespace internal
+
+namespace {
+
+/// Portable backend: a bounded crew of workers draining a FIFO of blocking
+/// positional syscalls. Ops on distinct fds (and disjoint ranges of one fd)
+/// may run concurrently and complete out of order, matching the io_uring
+/// contract, which is what the out-of-order storage tests pin down.
+class ThreadPoolIoEngine : public IoEngine {
+ public:
+  explicit ThreadPoolIoEngine(uint32_t threads) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (uint32_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { Loop(); });
+    }
+  }
+
+  ~ThreadPoolIoEngine() override {
+    {
+      MutexLock lock(mu_);
+      stop_ = true;
+      cv_.NotifyAll();
+    }
+    for (auto& t : workers_) t.join();
+  }
+
+  void Submit(IoOp op) override {
+    internal::NoteIoSubmitted(1);
+    MutexLock lock(mu_);
+    queue_.push_back(Pending{std::move(op), NowMicros()});
+    cv_.NotifyOne();
+  }
+
+  void SubmitBatch(std::vector<IoOp> ops) override {
+    if (ops.empty()) return;
+    internal::NoteIoSubmitted(ops.size());
+    const uint64_t now = NowMicros();
+    MutexLock lock(mu_);
+    for (auto& op : ops) queue_.push_back(Pending{std::move(op), now});
+    cv_.NotifyAll();
+  }
+
+  IoEngineKind kind() const override { return IoEngineKind::kThreadPool; }
+
+ private:
+  struct Pending {
+    IoOp op;
+    uint64_t submit_us;
+  };
+
+  void Loop() {
+    for (;;) {
+      Pending item;
+      {
+        MutexLock lock(mu_);
+        while (queue_.empty() && !stop_) cv_.Wait(mu_);
+        if (queue_.empty()) return;  // stop_ and drained
+        item = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      Status s = internal::ExecuteIoOp(item.op);
+      internal::NoteIoCompleted(item.submit_us, s.ok());
+      if (item.op.done) item.op.done(std::move(s));
+    }
+  }
+
+  Mutex mu_{LockRank::kStorageEngine, "storage.engine.pool"};
+  CondVar cv_;
+  std::deque<Pending> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace
+
+#if !DPR_HAVE_IOURING
+// The io_uring backend is compiled out (DPR_IOURING=OFF or headers absent):
+// the factory degrades to the thread pool.
+std::shared_ptr<IoEngine> TryMakeIoUringEngine(uint32_t /*queue_depth*/) {
+  return nullptr;
+}
+#endif
+
+bool IoUringSupported() {
+  static const bool supported = [] {
+    auto probe = TryMakeIoUringEngine(/*queue_depth=*/8);
+    return probe != nullptr;
+  }();
+  return supported;
+}
+
+std::shared_ptr<IoEngine> MakeIoEngine(const IoEngineOptions& options) {
+  if (options.kind == IoEngineKind::kIoUring ||
+      options.kind == IoEngineKind::kAuto) {
+    auto ring = TryMakeIoUringEngine(options.queue_depth);
+    if (ring != nullptr) return ring;
+    if (options.kind == IoEngineKind::kIoUring) {
+      // Explicit request that could not be honored: record the fallback so
+      // deployments notice they are running the portable path.
+      IoMetrics::Get().fallbacks->Add(1);
+      DPR_WARN(
+              "io_uring engine unavailable (setup failed or compiled out); "
+              "falling back to thread-pool backend");
+    }
+  }
+  return std::make_shared<ThreadPoolIoEngine>(options.threads);
+}
+
+std::shared_ptr<IoEngine> DefaultIoEngine() {
+  static std::shared_ptr<IoEngine>* engine =
+      new std::shared_ptr<IoEngine>(MakeIoEngine(IoEngineOptions{}));
+  return *engine;
+}
+
+}  // namespace dpr

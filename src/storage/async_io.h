@@ -1,0 +1,92 @@
+#ifndef DPR_STORAGE_ASYNC_IO_H_
+#define DPR_STORAGE_ASYNC_IO_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpr {
+
+/// Completion callback for one asynchronous I/O operation. Invoked exactly
+/// once, possibly inline on the submitting thread (memory-backed devices,
+/// immediate failures) or on an engine completion thread. Callbacks must be
+/// cheap and must not block on other I/O submitted to the same engine.
+using IoCallback = std::function<void(Status)>;
+
+/// Backend selector for MakeIoEngine.
+enum class IoEngineKind {
+  kAuto,        // io_uring when compiled in and the kernel accepts it,
+                // otherwise the portable thread pool
+  kThreadPool,  // portable blocking-syscall pool
+  kIoUring,     // io_uring SQ/CQ rings; falls back to kThreadPool when
+                // unavailable (compiled out, seccomp, old kernel)
+};
+
+/// One submission. `done` fires with OK after the full `len` bytes were
+/// written/read (engines internally resubmit short transfers), or with
+/// IOError. Fsync ops ignore offset/len.
+struct IoOp {
+  enum class Type : uint8_t { kWrite, kRead, kFsync };
+  Type type = Type::kWrite;
+  int fd = -1;
+  uint64_t offset = 0;
+  const void* write_buf = nullptr;  // kWrite: source (caller-owned until done)
+  void* read_buf = nullptr;         // kRead: destination
+  size_t len = 0;
+  IoCallback done;
+};
+
+/// Asynchronous submission/completion engine over raw file descriptors.
+/// Engines are shared: one engine per box serves every file-backed Device,
+/// which is what lets io_uring batch SQEs across shards. Ordering contract:
+/// operations may complete out of order; callers must not submit concurrent
+/// overlapping writes to the same range. An fsync makes durable (at least)
+/// every write whose completion was observed before the fsync was submitted.
+class IoEngine {
+ public:
+  virtual ~IoEngine() = default;
+
+  virtual void Submit(IoOp op) = 0;
+
+  /// Batched submission: one queue-lock round (thread pool) or one
+  /// io_uring_enter syscall (io_uring) for the whole batch.
+  virtual void SubmitBatch(std::vector<IoOp> ops) = 0;
+
+  /// The backend actually running (after any fallback).
+  virtual IoEngineKind kind() const = 0;
+};
+
+struct IoEngineOptions {
+  IoEngineKind kind = IoEngineKind::kAuto;
+  /// Thread-pool backend: number of worker threads.
+  uint32_t threads = 3;
+  /// io_uring backend: SQ depth (power of two, <= 32768). Values the kernel
+  /// rejects make setup fail, which exercises the thread-pool fallback.
+  uint32_t queue_depth = 256;
+};
+
+/// Builds an engine per `options`. Never returns null: when the requested
+/// io_uring backend cannot start, returns a thread-pool engine instead and
+/// bumps the `storage.io.engine_fallbacks` counter.
+std::shared_ptr<IoEngine> MakeIoEngine(const IoEngineOptions& options = {});
+
+/// Whether the io_uring backend is compiled in AND this kernel/container
+/// accepts io_uring_setup(2). Cached after the first call.
+bool IoUringSupported();
+
+/// Process-wide shared engine (kAuto), created on first use. File-backed
+/// devices that are not given an explicit engine use this one, so all
+/// their submissions share one ring / one pool.
+std::shared_ptr<IoEngine> DefaultIoEngine();
+
+// Implemented in io_uring_engine.cc when the backend is compiled in
+// (DPR_HAVE_IOURING); returns null when setup fails. Exposed for the
+// factory and for backend-forcing tests, not for general use.
+std::shared_ptr<IoEngine> TryMakeIoUringEngine(uint32_t queue_depth);
+
+}  // namespace dpr
+
+#endif  // DPR_STORAGE_ASYNC_IO_H_

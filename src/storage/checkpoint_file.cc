@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/hash.h"
+#include "storage/fsync_scheduler.h"
 
 namespace dpr {
 
@@ -12,7 +13,8 @@ constexpr size_t kHeaderSize = 8 + 8 + 8 + 4;  // magic, token, len, crc
 }  // namespace
 
 Status CheckpointBlob::Write(Device* device, uint64_t offset,
-                             uint64_t version_token, Slice payload) {
+                             uint64_t version_token, Slice payload,
+                             GroupCommitScheduler* scheduler) {
   char header[kHeaderSize];
   const uint64_t len = payload.size();
   const uint32_t crc = Crc32c(payload.data(), payload.size());
@@ -25,6 +27,7 @@ Status CheckpointBlob::Write(Device* device, uint64_t offset,
   DPR_RETURN_NOT_OK(device->WriteAt(offset + kHeaderSize, payload.data(),
                                     payload.size()));
   DPR_RETURN_NOT_OK(device->WriteAt(offset, header, kHeaderSize));
+  if (scheduler != nullptr) return scheduler->SyncNow(device);
   return device->Flush();
 }
 

@@ -4,39 +4,75 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "common/status.h"
 #include "common/sync.h"
+#include "storage/async_io.h"
 
 namespace dpr {
 
 /// Abstraction over a durable byte-addressable device backing a HybridLog
-/// segment, a WAL, or a checkpoint file. Implementations must be thread-safe
-/// for concurrent WriteAt/ReadAt on disjoint ranges.
+/// segment, a WAL, or a checkpoint file.
+///
+/// The device API is asynchronous: SubmitWrite/SubmitRead/SubmitFsync enqueue
+/// the operation and invoke a completion callback exactly once — inline on
+/// the submitting thread for memory-backed devices and immediate failures, or
+/// on an I/O engine completion thread for file-backed ones. Completions may
+/// arrive out of order; callers must not submit concurrent overlapping writes
+/// to the same range. Implementations invoke callbacks with no device or
+/// engine locks held, so a callback may re-enter the storage plane (e.g. the
+/// group-commit scheduler's waiter fan-out does).
+///
+/// WriteAt/ReadAt/Flush are thin blocking shims over the async API, kept for
+/// legacy call sites (recovery paths, tests, tools). They are deprecated for
+/// hot paths: new code on the durability path should submit asynchronously or
+/// register with the GroupCommitScheduler. See DESIGN.md §4h.
 ///
 /// Durability model: data is guaranteed to survive a (simulated) crash only
-/// after a Flush() that follows the write returns. `SimulateCrash()` discards
-/// all writes that were not covered by a completed Flush(), which lets tests
-/// exercise real recovery code paths in-process.
+/// after an fsync *submitted after the write completed* itself completes.
+/// `SimulateCrash()` discards all writes not covered by a completed fsync,
+/// which lets tests exercise real recovery code paths in-process.
 class Device {
  public:
   virtual ~Device() = default;
 
-  virtual Status WriteAt(uint64_t offset, const void* data, size_t n) = 0;
-  virtual Status ReadAt(uint64_t offset, void* buf, size_t n) = 0;
+  // --- asynchronous primary API -------------------------------------------
 
-  /// Makes all completed writes durable.
-  virtual Status Flush() = 0;
+  /// `data` must stay valid until `done` fires.
+  virtual void SubmitWrite(uint64_t offset, const void* data, size_t n,
+                           IoCallback done) = 0;
+  virtual void SubmitRead(uint64_t offset, void* buf, size_t n,
+                          IoCallback done) = 0;
 
-  /// Current size in bytes (high-water mark of writes).
+  /// Makes durable (at least) every write whose completion was observed
+  /// before this call returned, then fires `done`.
+  virtual void SubmitFsync(IoCallback done) = 0;
+
+  // --- blocking shims (legacy; deprecated on hot paths) -------------------
+
+  Status WriteAt(uint64_t offset, const void* data, size_t n);
+  Status ReadAt(uint64_t offset, void* buf, size_t n);
+  Status Flush();
+
+  // --- common -------------------------------------------------------------
+
+  /// Current size in bytes (high-water mark of completed writes).
   virtual uint64_t Size() const = 0;
 
-  /// Drops all non-durable data, as a crash would.
+  /// Drops all non-durable data, as a crash would. Callers must quiesce
+  /// their own submissions first.
   virtual void SimulateCrash() = 0;
 
   /// Deletes all content (durable included); used to reset between runs.
   virtual void Truncate(uint64_t new_size) = 0;
+
+  /// Coalescing identity for the group-commit fsync scheduler: devices that
+  /// share physical durability (e.g. DeviceSlice views of one file) return
+  /// the same root, so one fsync on the root covers them all. Fault wrappers
+  /// return themselves to keep injection probes on the coalesced path.
+  virtual Device* SyncRoot() { return this; }
 };
 
 /// Discards writes instantly and cannot be read back. Models the paper's
@@ -44,9 +80,11 @@ class Device {
 /// checkpointing/DPR CPU cost but none of the I/O cost.
 class NullDevice : public Device {
  public:
-  Status WriteAt(uint64_t offset, const void* data, size_t n) override;
-  Status ReadAt(uint64_t offset, void* buf, size_t n) override;
-  Status Flush() override { return Status::OK(); }
+  void SubmitWrite(uint64_t offset, const void* data, size_t n,
+                   IoCallback done) override;
+  void SubmitRead(uint64_t offset, void* buf, size_t n,
+                  IoCallback done) override;
+  void SubmitFsync(IoCallback done) override;
   uint64_t Size() const override {
     return size_.load(std::memory_order_relaxed);
   }
@@ -56,20 +94,23 @@ class NullDevice : public Device {
   }
 
  private:
-  // relaxed: size high-water mark; file contents are published by the
-  // pwrite/pread syscalls themselves, not by this counter.
+  // relaxed: size high-water mark; nothing is retained, so there is no data
+  // to publish.
   std::atomic<uint64_t> size_{0};
 };
 
 /// Memory-backed device with an explicit durable watermark: writes land in a
-/// volatile buffer, Flush() copies the dirty range to the durable image.
+/// volatile buffer, fsync copies the image to the durable one. Completions
+/// fire inline on the submitting thread (after the device lock is dropped).
 /// Used as the "local SSD" stand-in in unit tests (fast, deterministic) and
 /// as the base layer for LatencyDevice.
 class MemoryDevice : public Device {
  public:
-  Status WriteAt(uint64_t offset, const void* data, size_t n) override;
-  Status ReadAt(uint64_t offset, void* buf, size_t n) override;
-  Status Flush() override;
+  void SubmitWrite(uint64_t offset, const void* data, size_t n,
+                   IoCallback done) override;
+  void SubmitRead(uint64_t offset, void* buf, size_t n,
+                  IoCallback done) override;
+  void SubmitFsync(IoCallback done) override;
   uint64_t Size() const override;
   void SimulateCrash() override;
   void Truncate(uint64_t new_size) override;
@@ -77,52 +118,73 @@ class MemoryDevice : public Device {
  private:
   mutable Mutex mu_{LockRank::kStorage, "device.memory"};
   std::string volatile_ GUARDED_BY(mu_);  // contiguous image of all writes
-  std::string durable_ GUARDED_BY(mu_);   // image as of the last Flush()
+  std::string durable_ GUARDED_BY(mu_);   // image as of the last fsync
 };
 
-/// Real file-backed device using pwrite/pread/fdatasync. SimulateCrash()
-/// truncates the file back to the last-synced high-water mark (writes beyond
-/// it may or may not have hit media on a real crash; we model the worst
-/// case of losing everything unsynced).
+/// Real file-backed device. Writes, reads, and fsyncs are submitted to a
+/// shared IoEngine (io_uring or the portable thread pool); nothing blocks on
+/// the submitting thread. SimulateCrash() truncates the file back to the
+/// last-synced watermark — the largest prefix with no write still in flight
+/// when the covering fsync was submitted (writes beyond it may or may not
+/// have hit media on a real crash; we model the worst case).
 class FileDevice : public Device {
  public:
-  /// Creates (or truncates, if `reset`) the file at `path`.
+  /// Creates (or truncates, if `reset`) the file at `path`. A null `engine`
+  /// selects the process-wide DefaultIoEngine().
   static Status Open(const std::string& path, bool reset,
-                     std::unique_ptr<FileDevice>* out);
+                     std::unique_ptr<FileDevice>* out,
+                     std::shared_ptr<IoEngine> engine = nullptr);
   ~FileDevice() override;
 
-  Status WriteAt(uint64_t offset, const void* data, size_t n) override;
-  Status ReadAt(uint64_t offset, void* buf, size_t n) override;
-  Status Flush() override;
+  void SubmitWrite(uint64_t offset, const void* data, size_t n,
+                   IoCallback done) override;
+  void SubmitRead(uint64_t offset, void* buf, size_t n,
+                  IoCallback done) override;
+  void SubmitFsync(IoCallback done) override;
   uint64_t Size() const override;
   void SimulateCrash() override;
   void Truncate(uint64_t new_size) override;
 
   const std::string& path() const { return path_; }
+  IoEngine* engine() const { return engine_.get(); }
 
  private:
-  FileDevice(std::string path, int fd);
+  FileDevice(std::string path, int fd, std::shared_ptr<IoEngine> engine);
+
+  /// Blocks until no submissions are in flight (crash/truncate/destruction).
+  void Drain();
 
   std::string path_;
   int fd_;
+  std::shared_ptr<IoEngine> engine_;
   mutable Mutex mu_{LockRank::kStorage, "device.file"};
-  uint64_t size_ GUARDED_BY(mu_) = 0;  // high-water mark of writes
-  // High-water mark covered by Flush().
+  CondVar idle_ GUARDED_BY(mu_);
+  size_t inflight_ops_ GUARDED_BY(mu_) = 0;
+  // Start offsets of writes still in flight; the fsync watermark cannot pass
+  // the lowest one (a later-completing earlier write would otherwise be
+  // claimed durable).
+  std::multiset<uint64_t> inflight_writes_ GUARDED_BY(mu_);
+  uint64_t size_ GUARDED_BY(mu_) = 0;  // high-water mark of completed writes
+  // High-water mark covered by a completed fsync.
   uint64_t durable_size_ GUARDED_BY(mu_) = 0;
 };
 
 /// Wraps another device and injects latency, modeling remote/cloud storage
 /// (the paper's Azure Premium SSD backend where checkpoint persistence takes
-/// ~50 ms, 2-3x local SSD). Flush blocks for `flush_latency_us` plus
-/// `per_mb_us` for each MiB written since the previous flush.
+/// ~50 ms, 2-3x local SSD). SubmitFsync stalls the submitting thread for
+/// `flush_latency_us` plus `per_mb_us` for each MiB written since the
+/// previous fsync — under the group-commit scheduler that stalls only this
+/// device's dispatch, exactly like a slow physical device.
 class LatencyDevice : public Device {
  public:
   LatencyDevice(std::unique_ptr<Device> base, uint64_t flush_latency_us,
                 uint64_t per_mb_us);
 
-  Status WriteAt(uint64_t offset, const void* data, size_t n) override;
-  Status ReadAt(uint64_t offset, void* buf, size_t n) override;
-  Status Flush() override;
+  void SubmitWrite(uint64_t offset, const void* data, size_t n,
+                   IoCallback done) override;
+  void SubmitRead(uint64_t offset, void* buf, size_t n,
+                  IoCallback done) override;
+  void SubmitFsync(IoCallback done) override;
   uint64_t Size() const override { return base_->Size(); }
   void SimulateCrash() override { base_->SimulateCrash(); }
   void Truncate(uint64_t new_size) override { base_->Truncate(new_size); }
@@ -140,28 +202,67 @@ class LatencyDevice : public Device {
 /// only a prefix of the range before erroring (device.torn_write), and slow
 /// fsync (device.slow_fsync, param = stall in microseconds). `scope` keys
 /// the injection points so a chaos schedule can target one worker's device.
+/// Probes fire on the submission path, so they behave identically under the
+/// thread-pool and io_uring engines (the parity regression test pins this).
 /// Zero overhead while the plane is disabled.
 class FaultDevice : public Device {
  public:
   FaultDevice(std::unique_ptr<Device> base, uint64_t scope);
 
-  Status WriteAt(uint64_t offset, const void* data, size_t n) override;
-  Status ReadAt(uint64_t offset, void* buf, size_t n) override;
-  Status Flush() override;
+  void SubmitWrite(uint64_t offset, const void* data, size_t n,
+                   IoCallback done) override;
+  void SubmitRead(uint64_t offset, void* buf, size_t n,
+                  IoCallback done) override;
+  void SubmitFsync(IoCallback done) override;
   uint64_t Size() const override { return base_->Size(); }
   void SimulateCrash() override { base_->SimulateCrash(); }
   void Truncate(uint64_t new_size) override { base_->Truncate(new_size); }
+  // Intentionally keeps the default SyncRoot() == this: coalesced fsyncs
+  // must pass through the fault probes.
 
  private:
   std::unique_ptr<Device> base_;
   const uint64_t scope_;
 };
 
-/// The paper's three storage backends.
-enum class StorageBackend { kNull, kLocal, kCloud };
+/// Non-owning fixed-origin view of a shared base device, used to pack many
+/// shard logs into one physical file so their fsyncs coalesce (the bench's
+/// multi-shard-per-device configuration). Size() is the view's own completed
+/// high-water mark; SyncRoot() forwards to the base so the group-commit
+/// scheduler folds all slices of a file into one fsync. Truncate only resets
+/// the view's watermark (a shared base cannot be cut); SimulateCrash crashes
+/// the whole base device.
+class DeviceSlice : public Device {
+ public:
+  DeviceSlice(Device* base, uint64_t origin);
+
+  void SubmitWrite(uint64_t offset, const void* data, size_t n,
+                   IoCallback done) override;
+  void SubmitRead(uint64_t offset, void* buf, size_t n,
+                  IoCallback done) override;
+  void SubmitFsync(IoCallback done) override;
+  uint64_t Size() const override;
+  void SimulateCrash() override { base_->SimulateCrash(); }
+  void Truncate(uint64_t new_size) override;
+  Device* SyncRoot() override { return base_->SyncRoot(); }
+
+ private:
+  Device* base_;
+  const uint64_t origin_;
+  mutable Mutex mu_{LockRank::kStorage, "device.slice"};
+  uint64_t size_ GUARDED_BY(mu_) = 0;
+};
+
+/// The paper's three storage backends, plus explicit async-engine pins used
+/// by the backend-parity tests and benches: kThreadPool / kIoUring are
+/// file-backed devices whose I/O is forced onto that engine (kIoUring
+/// degrades to the thread pool when the kernel lacks io_uring).
+enum class StorageBackend { kNull, kLocal, kCloud, kThreadPool, kIoUring };
 
 /// Factory: kNull -> NullDevice; kLocal -> MemoryDevice (or FileDevice when
-/// `dir` is non-empty); kCloud -> LatencyDevice over the local device.
+/// `dir` is non-empty); kCloud -> LatencyDevice over the local device;
+/// kThreadPool/kIoUring -> FileDevice pinned to that engine (under `dir`, or
+/// the system temp dir when empty).
 std::unique_ptr<Device> MakeDevice(StorageBackend backend,
                                    const std::string& dir = "",
                                    const std::string& name = "");

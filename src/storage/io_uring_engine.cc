@@ -1,0 +1,381 @@
+// io_uring backend for IoEngine, written against the raw kernel UAPI
+// (<linux/io_uring.h>) rather than liburing so the build needs no extra
+// dependency. Compiled only when cmake finds the header (DPR_IOURING=ON,
+// default); otherwise async_io.cc's stub factory keeps the thread pool as
+// the sole backend.
+//
+// Design notes:
+//  - One SQ/CQ ring pair per engine, shared by every file-backed Device on
+//    the box. SQE production is serialized under a kStorageEngine mutex and
+//    flushed with a single io_uring_enter(2) per SubmitBatch call — that
+//    syscall amortization across shards is the point of the backend.
+//  - A dedicated reaper thread parks in io_uring_enter(GETEVENTS,
+//    min_complete=1) and drains CQEs. Completion records are heap-allocated
+//    and carried through user_data.
+//  - Short transfers (res < len) are resubmitted for the remainder, so the
+//    engine presents the same full-transfer contract as the thread pool.
+//  - Registered buffers (IORING_REGISTER_BUFFERS) are deliberately not
+//    used: callers pass arbitrary transient buffers (WAL tails, checkpoint
+//    chunks), so registration would churn per-op — see DESIGN.md §4h.
+//  - Shutdown: destructor waits for in-flight ops to drain, then submits a
+//    NOP sentinel (user_data=0) that tells the reaper to exit.
+
+#include "storage/async_io.h"
+
+#if DPR_HAVE_IOURING
+
+#include <errno.h>
+#include <linux/io_uring.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/sync.h"
+
+namespace dpr {
+
+namespace internal {
+Status ExecuteIoOp(const IoOp& op);
+void NoteIoSubmitted(size_t n);
+void NoteIoCompleted(uint64_t submit_us, bool ok);
+}  // namespace internal
+
+namespace {
+
+int SysIoUringSetup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysIoUringEnter(int fd, unsigned to_submit, unsigned min_complete,
+                    unsigned flags) {
+  return static_cast<int>(syscall(__NR_io_uring_enter, fd, to_submit,
+                                  min_complete, flags, nullptr, 0));
+}
+
+class IoUringEngine : public IoEngine {
+ public:
+  // Factory: returns null when io_uring_setup or the ring mmaps fail
+  // (seccomp'd container, old kernel, absurd queue depth) so MakeIoEngine
+  // can fall back to the thread pool.
+  static std::shared_ptr<IoUringEngine> Create(uint32_t queue_depth) {
+    auto engine = std::shared_ptr<IoUringEngine>(new IoUringEngine());
+    if (!engine->Init(queue_depth)) return nullptr;
+    return engine;
+  }
+
+  ~IoUringEngine() override {
+    if (ring_fd_ < 0) return;
+    // Wait until every real op has completed, then wake the reaper with a
+    // NOP sentinel so it exits after draining.
+    {
+      MutexLock lock(mu_);
+      while (inflight_ > 0) drained_.Wait(mu_);
+      stopping_ = true;
+      PushSqe(MakeNopSqe());
+      FlushSubmissions(1);
+    }
+    reaper_.join();
+    TeardownRings();
+  }
+
+  void Submit(IoOp op) override {
+    std::vector<IoOp> one;
+    one.push_back(std::move(op));
+    SubmitBatch(std::move(one));
+  }
+
+  void SubmitBatch(std::vector<IoOp> ops) override {
+    if (ops.empty()) return;
+    internal::NoteIoSubmitted(ops.size());
+    const uint64_t now = NowMicros();
+    MutexLock lock(mu_);
+    inflight_ += ops.size();
+    unsigned queued = 0;
+    for (auto& op : ops) {
+      auto* rec = new Completion{std::move(op), now};
+      queued += EnqueueLocked(rec);
+    }
+    FlushSubmissions(queued);
+  }
+
+  IoEngineKind kind() const override { return IoEngineKind::kIoUring; }
+
+ private:
+  // Heap record carried through sqe.user_data; freed by the reaper when the
+  // op fully completes (possibly after short-transfer resubmission).
+  struct Completion {
+    IoOp op;
+    uint64_t submit_us;
+  };
+
+  IoUringEngine() = default;
+
+  bool Init(uint32_t queue_depth) {
+    io_uring_params p;
+    memset(&p, 0, sizeof(p));
+    ring_fd_ = SysIoUringSetup(queue_depth, &p);
+    if (ring_fd_ < 0) return false;
+
+    sq_entries_ = p.sq_entries;
+    size_t sq_size = p.sq_off.array + p.sq_entries * sizeof(uint32_t);
+    size_t cq_size = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+    single_mmap_ = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap_ && cq_size > sq_size) sq_size = cq_size;
+
+    sq_ring_sz_ = sq_size;
+    sq_ring_ = mmap(nullptr, sq_size, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_ring_ == MAP_FAILED) {
+      close(ring_fd_);
+      ring_fd_ = -1;
+      return false;
+    }
+    if (single_mmap_) {
+      cq_ring_ = sq_ring_;
+      cq_ring_sz_ = 0;
+    } else {
+      cq_ring_sz_ = cq_size;
+      cq_ring_ = mmap(nullptr, cq_size, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+      if (cq_ring_ == MAP_FAILED) {
+        munmap(sq_ring_, sq_ring_sz_);
+        close(ring_fd_);
+        ring_fd_ = -1;
+        return false;
+      }
+    }
+    sqes_sz_ = p.sq_entries * sizeof(io_uring_sqe);
+    sqes_ = static_cast<io_uring_sqe*>(
+        mmap(nullptr, sqes_sz_, PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES));
+    if (sqes_ == MAP_FAILED) {
+      if (!single_mmap_) munmap(cq_ring_, cq_ring_sz_);
+      munmap(sq_ring_, sq_ring_sz_);
+      close(ring_fd_);
+      ring_fd_ = -1;
+      return false;
+    }
+
+    auto* sq = static_cast<char*>(sq_ring_);
+    sq_head_ = reinterpret_cast<std::atomic<uint32_t>*>(sq + p.sq_off.head);
+    sq_tail_ = reinterpret_cast<std::atomic<uint32_t>*>(sq + p.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<uint32_t*>(sq + p.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<uint32_t*>(sq + p.sq_off.array);
+
+    auto* cq = static_cast<char*>(cq_ring_);
+    cq_head_ = reinterpret_cast<std::atomic<uint32_t>*>(cq + p.cq_off.head);
+    cq_tail_ = reinterpret_cast<std::atomic<uint32_t>*>(cq + p.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<uint32_t*>(cq + p.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
+
+    reaper_ = std::thread([this] { ReapLoop(); });
+    return true;
+  }
+
+  void TeardownRings() {
+    munmap(sqes_, sqes_sz_);
+    if (!single_mmap_) munmap(cq_ring_, cq_ring_sz_);
+    munmap(sq_ring_, sq_ring_sz_);
+    close(ring_fd_);
+    ring_fd_ = -1;
+  }
+
+  io_uring_sqe MakeNopSqe() {
+    io_uring_sqe sqe;
+    memset(&sqe, 0, sizeof(sqe));
+    sqe.opcode = IORING_OP_NOP;
+    sqe.user_data = 0;  // sentinel: reaper exits after seeing this
+    return sqe;
+  }
+
+  static io_uring_sqe SqeFor(const Completion* rec) {
+    const IoOp& op = rec->op;
+    io_uring_sqe sqe;
+    memset(&sqe, 0, sizeof(sqe));
+    sqe.fd = op.fd;
+    sqe.user_data = reinterpret_cast<uint64_t>(rec);
+    switch (op.type) {
+      case IoOp::Type::kWrite:
+        sqe.opcode = IORING_OP_WRITE;
+        sqe.addr = reinterpret_cast<uint64_t>(op.write_buf);
+        sqe.len = static_cast<uint32_t>(op.len);
+        sqe.off = op.offset;
+        break;
+      case IoOp::Type::kRead:
+        sqe.opcode = IORING_OP_READ;
+        sqe.addr = reinterpret_cast<uint64_t>(op.read_buf);
+        sqe.len = static_cast<uint32_t>(op.len);
+        sqe.off = op.offset;
+        break;
+      case IoOp::Type::kFsync:
+        sqe.opcode = IORING_OP_FSYNC;
+        sqe.fsync_flags = IORING_FSYNC_DATASYNC;
+        break;
+    }
+    return sqe;
+  }
+
+  // Copies one SQE into the next free slot, flushing the ring via
+  // io_uring_enter when it is full. Returns the number of SQEs now pending
+  // flush (always 1; the flush side effect is what matters).
+  unsigned EnqueueLocked(const Completion* rec) REQUIRES(mu_) {
+    PushSqe(SqeFor(rec));
+    return 1;
+  }
+
+  void PushSqe(io_uring_sqe sqe) REQUIRES(mu_) {
+    // Non-SQPOLL rings consume SQEs synchronously inside io_uring_enter, so
+    // a full ring clears as soon as we flush what is already queued.
+    uint32_t tail = sq_tail_->load(std::memory_order_relaxed);
+    while (tail - sq_head_->load(std::memory_order_acquire) >= sq_entries_) {
+      FlushSubmissions(0);
+    }
+    const uint32_t idx = tail & sq_mask_;
+    sqes_[idx] = sqe;
+    sq_array_[idx] = idx;
+    sq_tail_->store(tail + 1, std::memory_order_release);
+    ++pending_flush_;
+  }
+
+  // Submits everything between the kernel's SQ head and our tail. `hint` is
+  // only for readability at call sites; the kernel reads the ring directly.
+  void FlushSubmissions(unsigned /*hint*/) REQUIRES(mu_) {
+    while (pending_flush_ > 0) {
+      int r = SysIoUringEnter(ring_fd_, pending_flush_, 0, 0);
+      if (r < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EBUSY) continue;
+        DPR_CHECK_MSG(false, "io_uring_enter failed: %s", strerror(errno));
+      }
+      pending_flush_ -= static_cast<unsigned>(r);
+    }
+  }
+
+  void ReapLoop() {
+    bool stop_seen = false;
+    while (!stop_seen || InflightNonZero()) {
+      uint32_t head = cq_head_->load(std::memory_order_relaxed);
+      if (head == cq_tail_->load(std::memory_order_acquire)) {
+        int r = SysIoUringEnter(ring_fd_, 0, 1, IORING_ENTER_GETEVENTS);
+        if (r < 0 && errno != EINTR && errno != EAGAIN && errno != EBUSY) {
+          DPR_CHECK_MSG(false, "io_uring_enter(GETEVENTS) failed: %s",
+                        strerror(errno));
+        }
+        continue;
+      }
+      while (head != cq_tail_->load(std::memory_order_acquire)) {
+        const io_uring_cqe cqe = cqes_[head & cq_mask_];
+        ++head;
+        cq_head_->store(head, std::memory_order_release);
+        if (cqe.user_data == 0) {
+          stop_seen = true;
+          continue;
+        }
+        HandleCqe(cqe);
+      }
+    }
+  }
+
+  bool InflightNonZero() {
+    MutexLock lock(mu_);
+    return inflight_ > 0;
+  }
+
+  void HandleCqe(const io_uring_cqe& cqe) {
+    auto* rec = reinterpret_cast<Completion*>(cqe.user_data);
+    // The submitter wrote *rec and published it through the SQ ring under
+    // mu_, but the SQ->CQ ordering that makes the record visible here runs
+    // through the kernel, outside the C++ memory model (and TSan's sight).
+    // Pairing with the submitting critical section restores a real
+    // happens-before edge before the record is dereferenced.
+    { MutexLock lock(mu_); }
+    IoOp& op = rec->op;
+    const int32_t res = cqe.res;
+    if (res == -EINTR || res == -EAGAIN) {
+      Resubmit(rec);
+      return;
+    }
+    Status s = Status::OK();
+    if (res < 0) {
+      s = Status::IOError(std::string("io_uring: ") + strerror(-res));
+    } else if (op.type != IoOp::Type::kFsync &&
+               static_cast<size_t>(res) < op.len) {
+      if (res == 0 && op.type == IoOp::Type::kRead) {
+        s = Status::IOError("read past end of device");
+      } else {
+        // Short transfer: advance the cursor and resubmit the remainder so
+        // callers always observe full-length completions.
+        const size_t n = static_cast<size_t>(res);
+        op.offset += n;
+        op.len -= n;
+        if (op.type == IoOp::Type::kWrite) {
+          op.write_buf = static_cast<const char*>(op.write_buf) + n;
+        } else {
+          op.read_buf = static_cast<char*>(op.read_buf) + n;
+        }
+        Resubmit(rec);
+        return;
+      }
+    }
+    Finish(rec, std::move(s));
+  }
+
+  void Resubmit(Completion* rec) {
+    MutexLock lock(mu_);
+    PushSqe(SqeFor(rec));
+    FlushSubmissions(1);
+  }
+
+  // Reaper-thread context: invoke the callback with no engine locks held,
+  // then drop the inflight count (the destructor waits on it).
+  void Finish(Completion* rec, Status s) {
+    internal::NoteIoCompleted(rec->submit_us, s.ok());
+    IoCallback done = std::move(rec->op.done);
+    delete rec;
+    if (done) done(std::move(s));
+    MutexLock lock(mu_);
+    --inflight_;
+    if (inflight_ == 0) drained_.NotifyAll();
+  }
+
+  int ring_fd_ = -1;
+  void* sq_ring_ = nullptr;
+  void* cq_ring_ = nullptr;
+  io_uring_sqe* sqes_ = nullptr;
+  size_t sq_ring_sz_ = 0, cq_ring_sz_ = 0, sqes_sz_ = 0;
+  bool single_mmap_ = false;
+  uint32_t sq_entries_ = 0;
+
+  std::atomic<uint32_t>* sq_head_ = nullptr;
+  std::atomic<uint32_t>* sq_tail_ = nullptr;
+  uint32_t sq_mask_ = 0;
+  uint32_t* sq_array_ = nullptr;
+  std::atomic<uint32_t>* cq_head_ = nullptr;
+  std::atomic<uint32_t>* cq_tail_ = nullptr;
+  uint32_t cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+
+  Mutex mu_{LockRank::kStorageEngine, "storage.engine.uring"};
+  CondVar drained_;
+  size_t inflight_ GUARDED_BY(mu_) = 0;
+  unsigned pending_flush_ GUARDED_BY(mu_) = 0;
+  bool stopping_ GUARDED_BY(mu_) = false;
+
+  std::thread reaper_;
+};
+
+}  // namespace
+
+std::shared_ptr<IoEngine> TryMakeIoUringEngine(uint32_t queue_depth) {
+  return IoUringEngine::Create(queue_depth);
+}
+
+}  // namespace dpr
+
+#endif  // DPR_HAVE_IOURING

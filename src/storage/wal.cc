@@ -1,9 +1,11 @@
 #include "storage/wal.h"
 
 #include <cstring>
+#include <utility>
 #include <vector>
 
 #include "common/hash.h"
+#include "storage/fsync_scheduler.h"
 
 namespace dpr {
 
@@ -11,8 +13,11 @@ namespace {
 constexpr size_t kHeaderSize = 8;  // u32 length + u32 crc
 }  // namespace
 
-WriteAheadLog::WriteAheadLog(std::unique_ptr<Device> device)
-    : device_(std::move(device)), tail_(device_->Size()) {}
+WriteAheadLog::WriteAheadLog(std::unique_ptr<Device> device,
+                             GroupCommitScheduler* scheduler)
+    : device_(std::move(device)),
+      scheduler_(scheduler),
+      tail_(device_->Size()) {}
 
 Status WriteAheadLog::Append(Slice record, uint64_t* offset) {
   MutexLock guard(mu_);
@@ -30,7 +35,18 @@ Status WriteAheadLog::Append(Slice record, uint64_t* offset) {
   return Status::OK();
 }
 
-Status WriteAheadLog::Sync() { return device_->Flush(); }
+Status WriteAheadLog::Sync() {
+  if (scheduler_ != nullptr) return scheduler_->SyncNow(device_.get());
+  return device_->Flush();
+}
+
+void WriteAheadLog::SyncAsync(IoCallback done) {
+  if (scheduler_ != nullptr) {
+    scheduler_->RequestSync(device_.get(), std::move(done));
+    return;
+  }
+  device_->SubmitFsync(std::move(done));
+}
 
 Status WriteAheadLog::Replay(
     const std::function<void(uint64_t, Slice)>& visitor) {

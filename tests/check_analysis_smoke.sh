@@ -53,4 +53,35 @@ void Nudge(int fd, const char* buf, unsigned long n) {
 EOF
 "$CHECK" --lint-only "$TMP"
 
+echo "--- storage lint fires on a raw pwrite(2) outside storage/"
+rm -rf "$TMP/net"
+cat > "$TMP/rawio.cc" <<'EOF'
+#include <unistd.h>
+void Leak(int fd, const char* buf, unsigned long n) {
+  (void)pwrite(fd, buf, n, 0);  // seeded violation: bypasses the IoEngine
+  (void)fsync(fd);
+}
+EOF
+if "$CHECK" --lint-only "$TMP"; then
+  echo "FAIL: storage lint accepted a raw pwrite(2) outside storage/"
+  exit 1
+fi
+
+echo "--- storage lint honors the justified opt-out marker"
+cat > "$TMP/rawio.cc" <<'EOF'
+#include <unistd.h>
+void Nudge(int fd, const char* buf, unsigned long n) {
+  // storage-lint: allowed — bootstrap write before the engine exists.
+  (void)pwrite(fd, buf, n, 0);
+  (void)fsync(fd);  // storage-lint: allowed (same bootstrap path)
+}
+EOF
+"$CHECK" --lint-only "$TMP"
+
+echo "--- storage lint exempts files under a storage/ backend directory"
+mkdir -p "$TMP/storage"
+mv "$TMP/rawio.cc" "$TMP/storage/engine.cc"
+sed -i 's|// storage-lint: allowed.*||' "$TMP/storage/engine.cc"
+"$CHECK" --lint-only "$TMP"
+
 echo "PASS"
