@@ -73,11 +73,12 @@ ShardLoadResult RunShardLoad(IoEngineKind engine_kind, bool group_commit,
       memset(record, 'a' + (i % 26), sizeof(record));
       uint64_t offset = 0;
       for (uint32_t n = 0; n < appends_per_shard; ++n) {
-        Status ws = slice->WriteAt(offset, record, sizeof(record));
+        Status ws = SyncIo::Write(slice, offset, record, sizeof(record));
         DPR_CHECK_MSG(ws.ok(), "%s", ws.ToString().c_str());
         offset += sizeof(record);
         const uint64_t stamp = NowMicros();
-        Status fs = group_commit ? sched.SyncNow(slice) : slice->Flush();
+        Status fs =
+            group_commit ? sched.SyncNow(slice) : SyncIo::Fsync(slice);
         DPR_CHECK_MSG(fs.ok(), "%s", fs.ToString().c_str());
         per_thread[i].Record(NowMicros() - stamp);
       }

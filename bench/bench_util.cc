@@ -330,6 +330,7 @@ std::vector<TimelineSample> RunTimelineDriver(
   uint64_t last_completed = 0;
   uint64_t last_committed = 0;
   uint64_t last_aborted = 0;
+  double last_t = 0.0;
   const Stopwatch timer;
   const double total_seconds = options.duration_ms / 1000.0;
   while (timer.ElapsedSeconds() < total_seconds) {
@@ -347,11 +348,14 @@ std::vector<TimelineSample> RunTimelineDriver(
       committed += s->committed.load(std::memory_order_relaxed);
       aborted += s->aborted.load(std::memory_order_relaxed);
     }
-    const double dt = interval_ms / 1000.0;
+    // Actual elapsed time since the previous sample: an event callback that
+    // blocks (a recovery, a rescale) must not inflate the next rate.
+    const double dt = t - last_t;
     samples.push_back(TimelineSample{
         t, (completed - last_completed) / dt / 1e6,
         (committed - last_committed) / dt / 1e6,
         (aborted - last_aborted) / dt / 1e6});
+    last_t = t;
     last_completed = completed;
     last_committed = committed;
     last_aborted = aborted;

@@ -127,6 +127,38 @@ else
   say "storage lint clean"
 fi
 
+# Blocking-shim lint: the legacy Device::WriteAt/ReadAt/Flush member shims
+# are gone; synchronous waits go through the explicit SyncIo helper so they
+# are visible at the call site. This lint keeps the member-call spelling from
+# coming back (Flush is too generic a name to grep for — the compiler catches
+# that one since no Device::Flush exists). Escape hatch: `storage-lint:
+# allowed` on the line or the line above, for unrelated APIs that legitimately
+# use these method names.
+say "lint: blocking Device member shims (WriteAt/ReadAt) are retired"
+shim_files=$(find "${LINT_DIRS[@]}" \
+    \( -name '*.cc' -o -name '*.h' \) 2>/dev/null | sort || true)
+shim_hits=""
+if [ -n "$shim_files" ]; then
+  # shellcheck disable=SC2086
+  shim_hits=$(awk '
+    FNR == 1 { prev = "" }
+    {
+      code = $0
+      sub(/\/\/.*/, "", code)
+      if (code ~ /(\.|->)(WriteAt|ReadAt)[ \t]*\(/ &&
+          prev !~ /storage-lint: allowed/ && $0 !~ /storage-lint: allowed/)
+        printf "%s:%d: %s\n", FILENAME, FNR, $0
+      prev = $0
+    }
+  ' $shim_files || true)
+fi
+if [ -n "$shim_hits" ]; then
+  printf '%s\n' "$shim_hits"
+  fail "blocking-shim-style member call; use SyncIo::Write/Read/Fsync or the async Submit* API (or mark the line storage-lint: allowed)"
+else
+  say "shim lint clean"
+fi
+
 if [ "$LINT_ONLY" -eq 1 ]; then
   exit "$FAILED"
 fi

@@ -1,0 +1,26 @@
+#include "cluster/cut_monitor.h"
+
+#include <string>
+
+namespace dpr {
+
+Status CutMonotonicityChecker::Observe(const DprCut& cut) {
+  ++observed_;
+  for (const auto& [worker, version] : cut) {
+    auto [it, inserted] = high_water_.emplace(worker, version);
+    if (inserted) continue;
+    if (version < it->second) {
+      std::string msg = "P5 cut regression: worker ";
+      msg += std::to_string(worker);
+      msg += " guaranteed v";
+      msg += std::to_string(it->second);
+      msg += " but a later cut reports v";
+      msg += std::to_string(version);
+      return Status::Corruption(msg);
+    }
+    it->second = version;
+  }
+  return Status::OK();
+}
+
+}  // namespace dpr

@@ -1,0 +1,40 @@
+#ifndef DPR_CLUSTER_CUT_MONITOR_H_
+#define DPR_CLUSTER_CUT_MONITOR_H_
+
+#include "common/status.h"
+#include "dpr/types.h"
+
+namespace dpr {
+
+/// Watches a stream of DPR cuts and proves per-worker monotonicity: once the
+/// system has guaranteed version v of worker w recoverable, no later cut may
+/// guarantee less — that would un-commit acknowledged operations. Elastic
+/// membership makes this worth checking end-to-end: workers join and leave
+/// between cuts, migrations entangle versions across workers, and a buggy
+/// flip could drag the finder's min backwards.
+///
+/// A worker *absent* from a cut is fine (it left the cluster, or the finder
+/// has no row yet); only a present-but-smaller entry is a violation.
+///
+/// Not thread-safe: the chaos runner and benches observe cuts from one
+/// thread. Wrap in a lock if that changes.
+class CutMonotonicityChecker {
+ public:
+  /// Folds one observed cut into the high-water map. Returns Corruption
+  /// naming the offending worker on the first regression.
+  Status Observe(const DprCut& cut);
+
+  /// Largest version ever observed per worker.
+  const DprCut& high_water() const { return high_water_; }
+
+  /// Number of cuts observed so far.
+  uint64_t observed() const { return observed_; }
+
+ private:
+  DprCut high_water_;
+  uint64_t observed_ = 0;
+};
+
+}  // namespace dpr
+
+#endif  // DPR_CLUSTER_CUT_MONITOR_H_

@@ -1,0 +1,64 @@
+#include "cluster/membership.h"
+
+#include <string>
+
+namespace dpr {
+
+bool ClusterMembership::LegalTransition(bool exists, MemberState from,
+                                        MemberState to) {
+  if (!exists) return to == MemberState::kJoining;
+  switch (from) {
+    case MemberState::kJoining:
+      return to == MemberState::kActive || to == MemberState::kRemoved;
+    case MemberState::kActive:
+      return to == MemberState::kDraining;
+    case MemberState::kDraining:
+      return to == MemberState::kRemoved;
+    case MemberState::kRemoved:
+      return false;  // tombstone
+  }
+  return false;
+}
+
+Status ClusterMembership::Transition(WorkerId worker, MemberState to) {
+  MutexLock lock(mu_);
+  std::map<WorkerId, MemberState> states = metadata_->GetMemberStates();
+  auto it = states.find(worker);
+  const bool exists = it != states.end();
+  const MemberState from = exists ? it->second : MemberState::kJoining;
+  if (!LegalTransition(exists, from, to)) {
+    std::string msg = "illegal membership transition for worker ";
+    msg += std::to_string(worker);
+    msg += ": ";
+    msg += exists ? MemberStateName(from) : "(absent)";
+    msg += " -> ";
+    msg += MemberStateName(to);
+    return Status::InvalidArgument(msg);
+  }
+  return metadata_->SetMemberState(worker, to);
+}
+
+Status ClusterMembership::StateOf(WorkerId worker, MemberState* out) const {
+  MutexLock lock(mu_);
+  std::map<WorkerId, MemberState> states = metadata_->GetMemberStates();
+  auto it = states.find(worker);
+  if (it == states.end()) return Status::NotFound("worker never joined");
+  if (out != nullptr) *out = it->second;
+  return Status::OK();
+}
+
+std::map<WorkerId, MemberState> ClusterMembership::States() const {
+  MutexLock lock(mu_);
+  return metadata_->GetMemberStates();
+}
+
+std::vector<WorkerId> ClusterMembership::ActiveMembers() const {
+  MutexLock lock(mu_);
+  std::vector<WorkerId> active;
+  for (const auto& [worker, state] : metadata_->GetMemberStates()) {
+    if (state == MemberState::kActive) active.push_back(worker);
+  }
+  return active;
+}
+
+}  // namespace dpr

@@ -1,0 +1,59 @@
+#ifndef DPR_CLUSTER_MEMBERSHIP_H_
+#define DPR_CLUSTER_MEMBERSHIP_H_
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/sync.h"
+#include "dpr/types.h"
+#include "metadata/metadata_store.h"
+
+namespace dpr {
+
+/// Membership state machine of the elastic cluster plane (DESIGN.md §4i).
+/// The durable truth lives in the metadata service's member rows; this class
+/// owns the *legal transition* relation and serializes check-then-set so two
+/// concurrent transitions for one worker cannot interleave into an illegal
+/// history:
+///
+///     (absent) ──> kJoining ──> kActive ──> kDraining ──> kRemoved
+///                      │                                     ▲
+///                      └──────────── (join aborted) ─────────┘
+///
+/// kRemoved is a tombstone: a decommissioned worker id never transitions out
+/// of it, so stale ownership rows can always be attributed.
+class ClusterMembership {
+ public:
+  explicit ClusterMembership(MetadataStore* metadata) : metadata_(metadata) {}
+
+  /// True iff `from` -> `to` is an edge of the state machine above.
+  /// `exists=false` models the (absent) start state; `from` is ignored then.
+  static bool LegalTransition(bool exists, MemberState from, MemberState to);
+
+  /// Atomically validates and durably records `worker` -> `to`. Returns
+  /// InvalidArgument for an illegal edge (including re-joining a tombstone),
+  /// and passes through metadata-log failures.
+  Status Transition(WorkerId worker, MemberState to);
+
+  /// Current durable state of `worker`; NotFound if it never joined.
+  Status StateOf(WorkerId worker, MemberState* out) const;
+
+  /// Snapshot of all member rows (including tombstones).
+  std::map<WorkerId, MemberState> States() const;
+
+  /// Workers currently in kActive, ascending by id — the set eligible to
+  /// receive migrated shards and to appear in DPR cuts.
+  std::vector<WorkerId> ActiveMembers() const;
+
+ private:
+  MetadataStore* const metadata_;
+  // Serializes check-then-set against the metadata rows. Held across
+  // MetadataStore calls (kMetadata = 70), hence the high kClusterMembers
+  // rank; never nested with the ClusterManager mutex of the same rank.
+  mutable Mutex mu_{LockRank::kClusterMembers, "cluster.membership"};
+};
+
+}  // namespace dpr
+
+#endif  // DPR_CLUSTER_MEMBERSHIP_H_

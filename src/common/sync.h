@@ -99,6 +99,12 @@ enum class LockRank : int {
   // DPR tracking plane.
   kDepTracker = 80,     // VersionDependencyTracker shard latches
   kSession = 100,       // DprSession
+  kHarnessTopology = 105,  // harness cluster address/migration registries
+                           // (taken under kClientEndpoints by the client's
+                           // lazy-connect resolver; connects under it take
+                           // only transport locks)
+  kClientEndpoints = 108,  // dfaster client endpoint/connection registry
+                           // (leaf: never nested with window/session locks)
   kClientWindow = 110,  // dredis/dfaster client pending-window locks
 
   // Finder plane (FinderCore: gate > compute > stage; remote: flush > queue
@@ -116,6 +122,13 @@ enum class LockRank : int {
   kStoreFlush = 142,      // flush/save pipeline locks, store maps
 
   // Worker / server plane.
+  kMigrationChannel = 143,  // migration-channel rendezvous (acquired under
+                            // kMigrationSeal to hand a batch to the
+                            // installer thread / the RPC connection)
+  kMigrationSeal = 145,  // per-partition seal state during live migration:
+                         // serializes forwarded writes with drain chunks.
+                         // Below kWorkerVersionLatch (taken while executing a
+                         // batch under the shared latch), above store locks.
   kWorkerTimer = 148,
   kWorkerVersionLatch = 150,  // held across store checkpoints + finder reads
   kServer = 170,              // dredis/dfaster/resp server request locks

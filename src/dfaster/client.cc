@@ -1,5 +1,6 @@
 #include "dfaster/client.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/clock.h"
@@ -55,11 +56,48 @@ void DFasterClient::RefreshOwnership() {
 
 void DFasterClient::AddRemoteWorker(WorkerId id,
                                     std::unique_ptr<RpcConnection> conn) {
+  MutexLock guard(endpoints_mu_);
   remote_[id] = std::move(conn);
 }
 
 void DFasterClient::AddLocalWorker(DFasterWorker* worker) {
+  MutexLock guard(endpoints_mu_);
   local_[worker->id()] = worker;
+}
+
+RpcConnection* DFasterClient::Connection(WorkerId worker) {
+  MutexLock guard(endpoints_mu_);
+  auto it = remote_.find(worker);
+  if (it != remote_.end()) return it->second.get();
+  if (!config_.connect_worker) return nullptr;
+  // Lazy connect (elastic membership): the worker joined after this client
+  // was built. Resolved under the endpoint lock so concurrent request
+  // threads produce one connection, not one each.
+  std::unique_ptr<RpcConnection> conn = config_.connect_worker(worker);
+  if (conn == nullptr) return nullptr;
+  return (remote_[worker] = std::move(conn)).get();
+}
+
+DFasterWorker* DFasterClient::Local(WorkerId worker) const {
+  MutexLock guard(endpoints_mu_);
+  auto it = local_.find(worker);
+  return it == local_.end() ? nullptr : it->second;
+}
+
+std::vector<WorkerId> DFasterClient::KnownWorkers() const {
+  std::vector<WorkerId> ids;
+  {
+    MutexLock guard(endpoints_mu_);
+    for (const auto& [id, conn] : remote_) ids.push_back(id);
+    for (const auto& [id, w] : local_) ids.push_back(id);
+  }
+  {
+    MutexLock guard(routes_mu_);
+    ids.insert(ids.end(), routes_.begin(), routes_.end());
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
 }
 
 std::unique_ptr<DFasterClient::Session> DFasterClient::NewSession(
@@ -134,8 +172,7 @@ void DFasterClient::Session::Dispatch(WorkerId worker) {
 }
 
 void DFasterClient::Session::SendBatch(WorkerId worker, PendingBatch batch) {
-  auto local_it = client_->local_.find(worker);
-  if (local_it != client_->local_.end()) {
+  if (client_->Local(worker) != nullptr) {
     ExecuteLocal(worker, std::move(batch));
     return;
   }
@@ -215,7 +252,7 @@ void DFasterClient::Session::FinishBatch(WorkerId /*worker*/,
 
 void DFasterClient::Session::ExecuteLocal(WorkerId worker,
                                           PendingBatch batch) {
-  DFasterWorker* target = client_->local_.at(worker);
+  DFasterWorker* target = client_->Local(worker);
   KvBatchRequest req;
   req.ops = batch.ops;
   KvBatchResponse resp;
@@ -244,8 +281,8 @@ void DFasterClient::Session::ExecuteLocal(WorkerId worker,
 void DFasterClient::Session::SendRemote(WorkerId worker,
                                         std::shared_ptr<PendingBatch> batch,
                                         uint64_t start_seqno, int attempt) {
-  auto it = client_->remote_.find(worker);
-  if (it == client_->remote_.end()) {
+  RpcConnection* conn = client_->Connection(worker);
+  if (conn == nullptr) {
     KvBatchResponse resp;
     resp.header.status = DprResponseHeader::BatchStatus::kRetryLater;
     DprResponseHeader vacuous;
@@ -258,7 +295,7 @@ void DFasterClient::Session::SendRemote(WorkerId worker,
   req.ops = batch->ops;
   std::string encoded;
   req.EncodeTo(&encoded);
-  it->second->CallAsync(
+  conn->CallAsync(
       std::move(encoded),
       [this, worker, batch, start_seqno, attempt](Status s, Slice payload) {
         OnRemoteResponse(worker, batch, start_seqno, attempt, std::move(s),
@@ -309,23 +346,23 @@ Status DFasterClient::Session::WaitForAll(uint64_t timeout_ms) {
 }
 
 void DFasterClient::Session::SendPing(WorkerId worker) {
-  auto local_it = client_->local_.find(worker);
-  if (local_it != client_->local_.end()) {
+  DFasterWorker* local = client_->Local(worker);
+  if (local != nullptr) {
     KvBatchRequest req;
     req.header = dpr_session_.MakeHeader();
     KvBatchResponse resp;
-    local_it->second->ExecuteBatch(req, &resp);
+    local->ExecuteBatch(req, &resp);
     dpr_session_.ObserveWatermark(worker, resp.header);
     return;
   }
-  auto it = client_->remote_.find(worker);
-  if (it == client_->remote_.end()) return;
+  RpcConnection* conn = client_->Connection(worker);
+  if (conn == nullptr) return;
   KvBatchRequest req;
   req.header = dpr_session_.MakeHeader();
   std::string encoded;
   req.EncodeTo(&encoded);
   std::string response;
-  if (it->second->Call(encoded, &response).ok()) {
+  if (conn->Call(encoded, &response).ok()) {
     KvBatchResponse resp;
     if (resp.DecodeFrom(response)) {
       dpr_session_.ObserveWatermark(worker, resp.header);
@@ -350,7 +387,10 @@ Status DFasterClient::Session::WaitForCommit(uint64_t timeout_ms) {
     }
     // Commit notifications piggyback on responses; ping the workers to
     // learn the latest watermarks (paper §2: sessions may wait for commit).
-    for (uint32_t w = 0; w < client_->config_.num_workers; ++w) {
+    // KnownWorkers (not config_.num_workers): the cluster may have grown
+    // since this client was built, and a dependency on a joined worker only
+    // clears once its watermark is observed.
+    for (WorkerId w : client_->KnownWorkers()) {
       SendPing(w);
     }
     SleepMicros(2000);

@@ -31,6 +31,12 @@ struct DFasterClientConfig {
   MetadataStore* metadata = nullptr;
   /// Re-route attempts per op before reporting kNotOwner to the caller.
   int max_reroute_attempts = 8;
+  /// Elastic membership (DESIGN.md §4i): opens a connection to a worker the
+  /// client has no endpoint for yet. When the ownership table routes a key
+  /// to an unknown worker (it joined after this client was created), the
+  /// client resolves the endpoint lazily instead of failing the op. May
+  /// return nullptr for an id that does not exist (yet).
+  std::function<std::unique_ptr<RpcConnection>(WorkerId)> connect_worker;
 };
 
 /// Client-side D-FASTER library: owns the routing table (hash partitioning,
@@ -54,13 +60,32 @@ class DFasterClient {
   /// it and only consult the service when changes occur, paper 5.3).
   void RefreshOwnership();
 
+  /// Every worker this client can currently reach or route to: union of the
+  /// endpoint registry and the routing table. Grows as ownership moves to
+  /// workers that joined after the client was created.
+  std::vector<WorkerId> KnownWorkers() const;
+
   const DFasterClientConfig& config() const { return config_; }
 
  private:
   friend class Session;
+
+  /// Connection for `worker`, resolving lazily through connect_worker when
+  /// the endpoint is unknown. nullptr when unresolvable. The returned
+  /// pointer stays valid for the client's lifetime (endpoints are never
+  /// removed).
+  RpcConnection* Connection(WorkerId worker);
+  DFasterWorker* Local(WorkerId worker) const;
+
   DFasterClientConfig config_;
-  std::map<WorkerId, std::unique_ptr<RpcConnection>> remote_;
-  std::map<WorkerId, DFasterWorker*> local_;
+  // Endpoint registry: connections and co-located workers, keyed by id.
+  // Guarded so lazy connects racing request threads are safe; entries are
+  // never removed, so raw pointers handed out stay valid.
+  mutable Mutex endpoints_mu_{LockRank::kClientEndpoints,
+                              "dfaster.client.endpoints"};
+  std::map<WorkerId, std::unique_ptr<RpcConnection>> remote_
+      GUARDED_BY(endpoints_mu_);
+  std::map<WorkerId, DFasterWorker*> local_ GUARDED_BY(endpoints_mu_);
   // Leaf lock: guards only the cached routing table.
   mutable Mutex routes_mu_{LockRank::kClientWindow, "dfaster.client.routes"};
   std::vector<WorkerId> routes_ GUARDED_BY(routes_mu_);  // partition -> worker

@@ -6,6 +6,7 @@ namespace dpr {
 
 void KvBatchRequest::EncodeTo(std::string* dst) const {
   header.EncodeTo(dst);
+  dst->push_back(install ? 1 : 0);
   PutFixed32(dst, static_cast<uint32_t>(ops.size()));
   for (const KvOp& op : ops) {
     dst->push_back(static_cast<char>(op.type));
@@ -18,6 +19,9 @@ bool KvBatchRequest::DecodeFrom(Slice input) {
   size_t consumed = 0;
   if (!header.DecodeFrom(input, &consumed)) return false;
   Decoder dec(Slice(input.data() + consumed, input.size() - consumed));
+  uint8_t flags;
+  if (!dec.GetBytes(&flags, 1)) return false;
+  install = (flags & 1) != 0;
   uint32_t n;
   if (!dec.GetFixed32(&n)) return false;
   // Each op costs 17 wire bytes; reject counts the payload cannot hold

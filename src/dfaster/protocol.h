@@ -31,10 +31,16 @@ struct KvOpResult {
   uint64_t value = 0;
 };
 
-/// Request batch: DPR header followed by the op list. An empty op list is a
-/// valid "ping" used to learn commit watermarks.
+/// Request batch: DPR header, a flags byte, then the op list. An empty op
+/// list is a valid "ping" used to learn commit watermarks.
+///
+/// `install` marks the batch as a migration-install batch (cluster plane):
+/// the receiving worker applies the ops to a partition it does not (yet) own,
+/// skipping the per-op ownership check. Install batches are only ever sent
+/// worker-to-worker by the migration driver, never by clients.
 struct KvBatchRequest {
   DprRequestHeader header;
+  bool install = false;
   std::vector<KvOp> ops;
 
   void EncodeTo(std::string* dst) const;

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "dfaster/migration_channel.h"
 #include "dfaster/protocol.h"
 #include "dpr/worker.h"
 #include "faster/faster_store.h"
@@ -13,6 +14,12 @@
 #include "workload/ycsb.h"
 
 namespace dpr {
+
+/// Session-id namespace for migration-install traffic: install batches for
+/// partition p carry session id kMigrationSessionBase + p, so their
+/// dependency entries are attributable in traces and never collide with
+/// client sessions.
+constexpr uint64_t kMigrationSessionBase = 0xfeed0000;
 
 /// Recoverability modes evaluated in the paper:
 ///  * kNone      — pure in-memory cache, no checkpoints ("No Chkpts");
@@ -75,9 +82,41 @@ class DFasterWorker {
   /// Number of partitions this worker currently owns.
   uint32_t OwnedPartitionCount() const;
   /// Installs migrated records under DPR admission (bypasses the ownership
-  /// check: the partition is mid-transfer and deliberately unowned).
+  /// check: the partition is mid-transfer and deliberately unowned). The
+  /// request header's version + deps make the installing worker fast-forward
+  /// to at least the source's version and record the dependency, so the
+  /// installed data is entangled with the source's world-line and the DPR
+  /// cut cannot cover one side of a migration without the other.
   Status InstallMigratedData(const KvBatchRequest& request,
                              KvBatchResponse* response);
+
+  // --- live migration (cluster plane; DESIGN.md §4i) ---
+  /// Opens the dual-ownership window for an owned partition: records the
+  /// channel, then draws a checkpoint boundary (exclusive version-latch
+  /// barrier) so every batch admitted before the seal has fully executed.
+  /// From then on ops on the partition apply locally (the source stays
+  /// authoritative until the flip) AND forward their effects through
+  /// `channel` to the migration target.
+  Status SealPartition(uint32_t partition,
+                       std::shared_ptr<MigrationChannel> channel);
+  /// Closes the dual-ownership window. `disown=true` completes the
+  /// migration: ownership is dropped under the seal lock, so no op can
+  /// execute locally-but-unforwarded after the target takes over.
+  /// `disown=false` aborts the migration; the source keeps serving.
+  void UnsealPartition(uint32_t partition, bool disown);
+  bool IsPartitionSealed(uint32_t partition) const;
+  /// Sticky flag, set when any forward or drain install through the seal
+  /// channel fails: the target's copy can no longer be trusted and the
+  /// migration driver must abort.
+  bool SealForwardFailed(uint32_t partition) const;
+  /// Pushes a snapshot of the partition's records through the seal channel
+  /// in install batches of `chunk_ops` upserts. Each chunk re-reads values
+  /// under the seal lock, so chunks and concurrent forwarded writes reach
+  /// the target in an order consistent with source apply order (upserts do
+  /// not commute). `*max_installed` returns the largest target version any
+  /// chunk executed in — the commit-barrier target — or kInvalidVersion.
+  Status DrainSealedPartition(uint32_t partition, size_t chunk_ops,
+                              Version* max_installed);
 
   FasterStore* store() { return store_.get(); }
   DprWorker* dpr_worker() { return dpr_worker_.get(); }
@@ -85,8 +124,29 @@ class DFasterWorker {
   const std::string& address() const { return address_; }
 
  private:
+  /// Per-partition dual-ownership window state. `sealed` is the lock-free
+  /// fast-path gate; everything else happens under `mu`. In kDpr mode a
+  /// batch that loads sealed=false is safe to apply locally without the
+  /// lock: it holds the shared version latch, so SealPartition's exclusive-
+  /// latch barrier cannot complete (and the drain cannot start) until the
+  /// batch ends.
+  struct SealState {
+    Mutex mu{LockRank::kMigrationSeal, "dfaster.migration_seal"};
+    std::shared_ptr<MigrationChannel> channel GUARDED_BY(mu);
+    // release-stored under mu / acquire-loaded lock-free on every op.
+    std::atomic<bool> sealed{false};
+    // relaxed: sticky failure flag; the driver polls it between phases.
+    std::atomic<bool> failed{false};
+  };
+
   void RunOps(const KvBatchRequest& request, Version version,
-              KvBatchResponse* response, bool check_ownership);
+              KvBatchResponse* response, bool check_ownership,
+              DependencySet* forward_deps);
+  void ApplyOp(FasterStore::Session* session, const KvOp& op, KvOpResult* out);
+  /// Header for install traffic on `partition`: current world-line, current
+  /// version v, deps {self: v}. The target fast-forwards to >= v and records
+  /// the dependency downward, keeping the version clock invariant.
+  DprRequestHeader MakeInstallHeader(uint32_t partition) const;
   void GcLoop();
   void ExecuteBatchInternal(const KvBatchRequest& request,
                             KvBatchResponse* response, bool check_ownership);
@@ -99,9 +159,20 @@ class DFasterWorker {
   std::string address_;
 
   // Local view of the ownership map: partition -> owning worker.
-  // Read lock-free on every request (relaxed); ownership transfers are
-  // fenced by the migration protocol, not by these cells.
+  //
+  // Memory-ordering invariant (live migration): loads are acquire, stores
+  // are release. AdoptPartition's release store at the target publishes
+  // every migrated-record installation that happened-before it — the driver
+  // flips ownership only after all install rendezvous returned on the flip
+  // thread — so a request thread whose acquire load observes "owned" also
+  // observes the installed records. On the source side, the completed-
+  // migration disown happens under the partition's seal lock
+  // (UnsealPartition) so no op can apply locally-but-unforwarded after the
+  // target took over.
   std::vector<std::atomic<uint32_t>> owners_;
+  // Dual-ownership window state, one slot per partition (slots themselves
+  // are const after construction).
+  std::vector<std::unique_ptr<SealState>> seals_;
 
   // kEventual mode: uncoordinated checkpoint timer.
   std::thread eventual_timer_;

@@ -1,6 +1,7 @@
 #include "dpr/cluster_manager.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/clock.h"
 #include "common/logging.h"
@@ -42,6 +43,12 @@ void ClusterManager::RegisterWorker(DprWorker* worker) {
 void ClusterManager::UnregisterWorker(WorkerId worker_id) {
   MutexLock guard(mu_);
   workers_.erase(worker_id);
+}
+
+void ClusterManager::SetRecoveryListener(
+    std::function<void(WorldLine)> listener) {
+  MutexLock guard(mu_);
+  recovery_listener_ = std::move(listener);
 }
 
 Status ClusterManager::HandleFailure(const std::vector<WorkerId>& failed) {
@@ -89,6 +96,16 @@ Status ClusterManager::HandleFailure(const std::vector<WorkerId>& failed) {
   }
 
   DPR_RETURN_NOT_OK(RetryRecoveryRpc([&] { return finder_->EndRecovery(); }));
+
+  // Recovery is complete: tell the cluster plane so in-flight migrations
+  // abort now instead of at their world-line fence. Copy the listener out so
+  // it runs without mu_ (it may call back into metadata / workers).
+  std::function<void(WorldLine)> listener;
+  {
+    MutexLock guard(mu_);
+    listener = recovery_listener_;
+  }
+  if (listener) listener(new_world_line);
   return result;
 }
 

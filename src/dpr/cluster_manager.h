@@ -1,6 +1,7 @@
 #ifndef DPR_DPR_CLUSTER_MANAGER_H_
 #define DPR_DPR_CLUSTER_MANAGER_H_
 
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -40,11 +41,19 @@ class ClusterManager {
   /// failures behind resolve against their next world-line's cut).
   bool GetRecoveryCut(WorldLine world_line, DprCut* cut) const;
 
+  /// Registers a callback fired (with the new world-line) after every
+  /// completed recovery sequence. The cluster plane hooks this to abort
+  /// in-flight migrations promptly instead of waiting for their world-line
+  /// fence. Runs on the recovering thread with recovery_mu_ held but no
+  /// other lock; the listener may take anything ranked below it.
+  void SetRecoveryListener(std::function<void(WorldLine)> listener);
+
  private:
   DprFinder* finder_;
   mutable Mutex mu_{LockRank::kClusterMembers, "cluster.members"};
   std::map<WorkerId, DprWorker*> workers_ GUARDED_BY(mu_);
   std::map<WorldLine, DprCut> recovery_cuts_ GUARDED_BY(mu_);
+  std::function<void(WorldLine)> recovery_listener_ GUARDED_BY(mu_);
   // Serializes HandleFailure. Ranked above every other lock in the system:
   // recovery holds it across worker rollbacks, which descend through the
   // worker version latch into store and finder locks.

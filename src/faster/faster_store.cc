@@ -385,7 +385,7 @@ Status FasterStore::FlushRange(LogAddress from, LogAddress to) {
   if (options_.fsync_scheduler != nullptr) {
     return options_.fsync_scheduler->SyncNow(options_.log_device.get());
   }
-  return options_.log_device->Flush();
+  return SyncIo::Fsync(options_.log_device.get());
 }
 
 Status FasterStore::AppendCheckpointMeta(uint8_t type, Version token,
@@ -738,7 +738,8 @@ Status FasterStore::ColdRecover(Version token, LogAddress boundary,
     const uint64_t page_end = (pos | (log_.page_size() - 1)) + 1;
     const uint64_t n = std::min<uint64_t>(page_end, cover_boundary) - pos;
     buf.resize(n);
-    DPR_RETURN_NOT_OK(options_.log_device->ReadAt(pos, buf.data(), n));
+    DPR_RETURN_NOT_OK(
+        SyncIo::Read(options_.log_device.get(), pos, buf.data(), n));
     memcpy(log_.Resolve(pos), buf.data(), n);
     pos += n;
   }

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <tuple>
 #include <utility>
 #include <vector>
 
+#include "cluster/cut_monitor.h"
 #include "common/clock.h"
 #include "common/hash.h"
 #include "common/logging.h"
@@ -29,7 +31,8 @@ std::string ChaosEvent::ToString() const {
                                  "coord_crash", "mid_ckpt",  "torn_write",
                                  "write_fail", "slow_fsync", "rpc_error",
                                  "net_drop",   "net_delay",  "partition",
-                                 "slow_fsync_ckpt"};
+                                 "slow_fsync_ckpt", "migrate",
+                                 "migrate_part", "migrate_rb"};
   std::string out = kNames[static_cast<int>(kind)];
   out += "@" + std::to_string(step) + "(" + std::to_string(a) + "," +
          std::to_string(b) + ")";
@@ -62,6 +65,12 @@ ChaosSchedule ChaosSchedule::Generate(const ChaosOptions& options) {
     kinds.insert(kinds.end(), {K::kRpcErrorBurst, K::kNetDropBurst,
                                K::kNetDelayBurst, K::kPartitionFinder});
   }
+  if (options.workers > 1) {
+    // Live migration needs a distinct source and target.
+    kinds.insert(kinds.end(), {K::kMigrateRange, K::kMigrateRange,
+                               K::kMigrateDuringPartition,
+                               K::kMigrateDuringRollback});
+  }
   const uint32_t n_events = 3 + static_cast<uint32_t>(rng.Uniform(6));
   for (uint32_t i = 0; i < n_events; ++i) {
     ChaosEvent e;
@@ -69,7 +78,9 @@ ChaosSchedule ChaosSchedule::Generate(const ChaosOptions& options) {
     e.step = static_cast<uint32_t>(rng.Uniform(options.steps));
     e.a = static_cast<uint32_t>(rng.Uniform(options.workers));
     e.b = static_cast<uint32_t>(rng.Uniform(options.workers));
-    if ((e.kind == K::kDoubleFailure || e.kind == K::kNestedFailure) &&
+    if ((e.kind == K::kDoubleFailure || e.kind == K::kNestedFailure ||
+         e.kind == K::kMigrateRange || e.kind == K::kMigrateDuringPartition ||
+         e.kind == K::kMigrateDuringRollback) &&
         options.workers > 1 && e.b == e.a) {
       e.b = (e.a + 1) % options.workers;
     }
@@ -385,8 +396,101 @@ class ChaosRunner {
                 .param = 2000});
         (void)workers_[e.a]->TryCommit();
         return Status::OK();
+      case K::kMigrateRange:
+        return MigrateRange(e.a, e.b, e.step, /*barrier=*/true);
+      case K::kMigrateDuringPartition:
+        // The barrier has to make progress (or legally abort) while the
+        // tracking plane is unreachable / the source device is failing.
+        if (schedule_.remote_finder) {
+          fp.Arm({.point = faults::kNetPartition, .max_fires = 4});
+        } else {
+          fp.Arm({.point = faults::kDevWriteFail,
+                  .scope = e.a,
+                  .probability = 0.7,
+                  .max_fires = 4});
+        }
+        return MigrateRange(e.a, e.b, e.step, /*barrier=*/true);
+      case K::kMigrateDuringRollback:
+        // Install without a barrier, then crash the source: the moved
+        // records sit uncommitted at the target entangled with the rolled-
+        // back source version, so recovery must erase them everywhere (the
+        // shadow pruning in Recover() models exactly that).
+        DPR_RETURN_NOT_OK(MigrateRange(e.a, e.b, e.step, /*barrier=*/false));
+        return Recover({e.a});
     }
     return Status::OK();
+  }
+
+  /// Chaos-level model of live migration (DESIGN.md §4i): seal a version
+  /// boundary at the source, snapshot a deterministic key range, install it
+  /// at the target under DPR admission with the source's sealed version as
+  /// both fast-forward target and dependency, then (optionally) run the
+  /// commit barrier by committing the target and re-checking the cut. An
+  /// admission rejection (world-line shift mid-move, target wedged) abandons
+  /// the move with nothing installed — the legal abort path.
+  Status MigrateRange(WorkerId a, WorkerId b, uint32_t salt, bool barrier) {
+    if (a == b || a >= options_.workers || b >= options_.workers) {
+      return Status::OK();
+    }
+    // Seal: a checkpoint boundary pins the moved snapshot at a stable
+    // version on the source. Busy/retryable just means the boundary raced
+    // the workload; the snapshot below is still version-consistent.
+    Status seal = workers_[a]->TryCommit();
+    if (!seal.ok() && !seal.IsBusy() && !seal.IsRetryable()) {
+      return Violation("migrate seal: " + seal.ToString());
+    }
+    stores_[a]->WaitForCheckpoints();
+    const Version vs = stores_[a]->CurrentVersion();
+    // Deterministic key range: every live key congruent to the salt mod 4.
+    std::vector<std::pair<uint64_t, uint64_t>> records;
+    stores_[a]->Scan([&](uint64_t key, Slice value) {
+      if ((key & 3) != (salt & 3)) return;
+      uint64_t v = 0;
+      if (value.size() == sizeof(v)) memcpy(&v, value.data(), sizeof(v));
+      records.emplace_back(key, v);
+    });
+    if (records.empty()) return Status::OK();
+    // Install under DPR admission: the batch fast-forwards the target to at
+    // least vs and entangles the installed records with {a: vs}, so no cut
+    // may cover the copies without covering the source version they came
+    // from — the invariant P2/P5 then police.
+    DprRequestHeader header;
+    header.session_id = 0xfeed0000ull + salt;
+    header.world_line = workers_[a]->world_line();
+    header.version = vs;
+    header.deps = {{a, vs}};
+    Version vd = kInvalidVersion;
+    Status admit;
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      admit = workers_[b]->BeginBatch(header, &vd);
+      if (admit.ok() || !admit.IsRetryable()) break;
+      SleepMicros(100);
+    }
+    // Aborted (world-line fence) or still-wedged target: the migration is
+    // abandoned with nothing installed. That is a legal outcome, not a
+    // violation — the checkers verify nothing leaked.
+    if (!admit.ok()) return Status::OK();
+    {
+      auto store_session = stores_[b]->NewSession();
+      for (const auto& [key, value] : records) {
+        Status us = store_session->Upsert(key, value);
+        if (!us.ok()) {
+          workers_[b]->EndBatch();
+          return Violation("migrate install: " + us.ToString());
+        }
+      }
+    }
+    workers_[b]->EndBatch();
+    MergeDependency(&shadow_[WorkerVersion{b, vd}], WorkerVersion{a, vs});
+    for (const auto& [key, value] : records) {
+      history_[{b, key}].push_back(ValueWrite{vd, value});
+    }
+    if (!barrier) return Status::OK();
+    // Commit barrier: the move only counts once a cut covers the installed
+    // version. Committing the target and re-checking the cut is the chaos
+    // equivalent of MigrationDriver::CommitBarrier.
+    DPR_RETURN_NOT_OK(Commit(b));
+    return CheckCut();
   }
 
   Status DoOp(uint32_t si, WorkerId w, uint64_t key, bool withhold) {
@@ -490,6 +594,11 @@ class ChaosRunner {
     if (!cs.ok()) return Violation("ComputeCut: " + cs.ToString());
     DprCut cut;
     local_finder_->GetCut(nullptr, &cut);
+    // P5: per-worker cut entries never regress — across checkpoints,
+    // recoveries, coordinator crashes, and migration barriers alike. A
+    // regression would renege on a guarantee some client already observed.
+    Status p5 = cut_monitor_.Observe(cut);
+    if (!p5.ok()) return Violation(p5.ToString());
     for (const auto& [wv, deps] : shadow_) {
       if (wv.version > CutVersion(cut, wv.worker)) continue;
       for (const auto& [dw, dv] : deps) {
@@ -614,6 +723,7 @@ class ChaosRunner {
 
   std::vector<uint64_t> last_commit_point_;
   std::vector<uint64_t> rolled_back_;
+  CutMonotonicityChecker cut_monitor_;
   std::vector<WorkerVersion> session_last_;
   std::map<WorkerVersion, DependencySet> shadow_;
   std::map<std::pair<uint32_t, uint64_t>, std::vector<ValueWrite>> history_;

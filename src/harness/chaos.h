@@ -44,6 +44,17 @@ struct ChaosEvent {
                                  // device, then start a checkpoint at once:
                                  // the flush's group-commit fsync stalls
                                  // while the workload keeps issuing ops
+    kMigrateRange,          // live-migrate a key range a -> b: seal at a,
+                            // install at b entangled with a's version, then
+                            // run the DPR commit barrier (cut must cover the
+                            // installed version before the move counts)
+    kMigrateDuringPartition,  // same, but with the finder link partitioned
+                              // (remote) or a's device failing writes
+                              // (local) while the barrier runs
+    kMigrateDuringRollback,   // migrate a -> b, then crash a before the
+                              // barrier: the world-line fence must abandon
+                              // the move and the installed (uncommitted)
+                              // records must roll back at b
   };
   Kind kind = Kind::kCrashWorker;
   uint32_t step = 0;

@@ -1,9 +1,11 @@
 #include "harness/cluster.h"
 
+#include <algorithm>
 #include <utility>
 
 #include <cstring>
 
+#include "common/clock.h"
 #include "common/logging.h"
 
 namespace dpr {
@@ -60,6 +62,14 @@ Status DFasterCluster::Start() {
     plane = remote_finder_.get();
   }
   cluster_manager_ = std::make_unique<ClusterManager>(plane);
+  membership_ = std::make_unique<ClusterMembership>(metadata_.get());
+  // A recovery aborts every in-flight migration promptly; the drivers'
+  // world-line fences would catch it anyway, but not before burning the
+  // whole commit-barrier timeout.
+  cluster_manager_->SetRecoveryListener([this](WorldLine) {
+    MutexLock lock(topology_mu_);
+    for (MigrationDriver* driver : active_migrations_) driver->RequestAbort();
+  });
 
   // Seed the durable ownership table with the default assignment so every
   // later lookup (clients, transfers, elastic joins) reads complete truth.
@@ -67,6 +77,14 @@ Status DFasterCluster::Start() {
     for (uint32_t vp = 0; vp < YcsbWorkload::kNumPartitions; ++vp) {
       DPR_RETURN_NOT_OK(metadata_->SetOwner(
           vp, YcsbWorkload::DefaultOwner(vp, options_.num_workers)));
+    }
+  }
+  // Founding members go straight to kActive (kJoining is the state of a
+  // worker still receiving its shards; the founders start owning theirs).
+  if (metadata_->GetMemberStates().empty()) {
+    for (uint32_t i = 0; i < options_.num_workers; ++i) {
+      DPR_RETURN_NOT_OK(membership_->Transition(i, MemberState::kJoining));
+      DPR_RETURN_NOT_OK(membership_->Transition(i, MemberState::kActive));
     }
   }
 
@@ -97,7 +115,10 @@ Status DFasterCluster::Start() {
       server = net_->CreateServer("worker" + std::to_string(i));
     }
     DPR_RETURN_NOT_OK(worker->Start(std::move(server)));
-    addresses_.push_back(worker->address());
+    {
+      MutexLock lock(topology_mu_);
+      addresses_.push_back(worker->address());
+    }
     if (options_.mode == RecoverabilityMode::kDpr) {
       cluster_manager_->RegisterWorker(worker->dpr_worker());
     }
@@ -150,6 +171,27 @@ TrackingPlaneStats DFasterCluster::tracking_stats() {
   return t;
 }
 
+std::string DFasterCluster::AddressOf(WorkerId id) const {
+  MutexLock lock(topology_mu_);
+  return id < addresses_.size() ? addresses_[id] : std::string();
+}
+
+std::unique_ptr<RpcConnection> DFasterCluster::ConnectTo(
+    const std::string& address) {
+  if (address.empty()) return nullptr;
+  if (options_.transport == TransportKind::kTcp) {
+    std::unique_ptr<RpcConnection> conn;
+    Status s = ConnectTcp(address, &conn);
+    if (!s.ok()) {
+      DPR_WARN("connect to %s failed: %s", address.c_str(),
+               s.ToString().c_str());
+      return nullptr;
+    }
+    return conn;
+  }
+  return net_->Connect(address);
+}
+
 std::unique_ptr<DFasterClient> DFasterCluster::NewClient(uint32_t batch_size,
                                                          uint32_t window) {
   DFasterClientConfig config;
@@ -158,15 +200,16 @@ std::unique_ptr<DFasterClient> DFasterCluster::NewClient(uint32_t batch_size,
   config.window = window;
   config.cluster_manager = cluster_manager_.get();
   config.metadata = metadata_.get();
+  // Lazy endpoint resolution: a worker that joins after this client exists
+  // becomes reachable the moment the ownership table routes a key to it.
+  config.connect_worker =
+      [this](WorkerId id) -> std::unique_ptr<RpcConnection> {
+    return ConnectTo(AddressOf(id));
+  };
   auto client = std::make_unique<DFasterClient>(config);
   for (uint32_t i = 0; i < options_.num_workers; ++i) {
-    std::unique_ptr<RpcConnection> conn;
-    if (options_.transport == TransportKind::kTcp) {
-      Status s = ConnectTcp(addresses_[i], &conn);
-      DPR_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
-    } else {
-      conn = net_->Connect(addresses_[i]);
-    }
+    std::unique_ptr<RpcConnection> conn = ConnectTo(AddressOf(i));
+    DPR_CHECK_MSG(conn != nullptr, "no connection to worker %u", i);
     client->AddRemoteWorker(i, std::move(conn));
   }
   return client;
@@ -190,58 +233,67 @@ WorkerId DFasterCluster::OwnerOf(uint32_t partition) const {
   return YcsbWorkload::DefaultOwner(partition, options_.num_workers);
 }
 
-Status DFasterCluster::TransferPartition(uint32_t partition, WorkerId to) {
+Status DFasterCluster::MigratePartition(uint32_t partition, WorkerId to) {
   const WorkerId from = OwnerOf(partition);
   if (from == to) return Status::OK();
-  if (to >= options_.num_workers) {
+  if (to >= workers_.size() || workers_[to] == nullptr) {
     return Status::InvalidArgument("no such worker");
+  }
+  if (from >= workers_.size() || workers_[from] == nullptr) {
+    return Status::InvalidArgument("partition owner not in this cluster");
+  }
+  MemberState to_state;
+  if (membership_ != nullptr && membership_->StateOf(to, &to_state).ok() &&
+      (to_state == MemberState::kDraining ||
+       to_state == MemberState::kRemoved)) {
+    return Status::InvalidArgument("migration target is leaving the cluster");
   }
   DFasterWorker* src = workers_[from].get();
   DFasterWorker* dst = workers_[to].get();
 
-  // 1. Draw a checkpoint boundary on the source so ownership is static
-  //    within versions (paper 5.3), then renounce locally. Ops racing the
-  //    transfer are rejected and the clients retry.
-  if (src->dpr_worker() != nullptr) {
-    Status s = src->dpr_worker()->TryCommit();
-    if (!s.ok() && !s.IsBusy()) return s;
-  }
-  src->DisownPartition(partition);
+  // The install path rides the regular RPC transport (in-memory or epoll
+  // TCP), so migration traffic contends with client traffic exactly as it
+  // would in a real deployment.
+  std::unique_ptr<RpcConnection> conn = ConnectTo(AddressOf(to));
+  if (conn == nullptr) return Status::Unavailable("no route to target");
 
-  // 2. Migrate the partition's keys. The writes run through the
-  //    destination's DPR admission on a migration session, so the moved
-  //    data commits under the same guarantees as client writes.
-  KvBatchRequest migration;
-  src->store()->Scan([&](uint64_t key, Slice value) {
-    if (YcsbWorkload::PartitionOf(key) != partition) return;
-    uint64_t v = 0;
-    if (value.size() == 8) memcpy(&v, value.data(), 8);
-    migration.ops.push_back(KvOp{KvOp::Type::kUpsert, key, v});
-  });
-  DprSession migration_session(0xfeed0000 + partition);
-  if (dst->dpr_worker() != nullptr) {
-    // Align the session with the destination's world-line.
-    DprResponseHeader probe;
-    dst->dpr_worker()->FillResponse(
-        kInvalidVersion, DprResponseHeader::BatchStatus::kOk, &probe);
-    migration_session.ObserveWatermark(to, probe);
-    if (migration_session.needs_failure_handling()) {
-      DprCut cut;
-      cluster_manager_->GetRecoveryInfo(nullptr, &cut);
-      (void)migration_session.HandleFailure(
-          migration_session.observed_world_line(), cut);
-    }
-  }
-  migration.header = migration_session.MakeHeader();
-  KvBatchResponse response;
-  if (!migration.ops.empty()) {
-    DPR_RETURN_NOT_OK(dst->InstallMigratedData(migration, &response));
+  MigrationOptions mo;
+  mo.partition = partition;
+  mo.source = src;
+  mo.target = dst;
+  mo.channel = std::make_shared<RpcMigrationChannel>(to, std::move(conn));
+  mo.metadata = metadata_.get();
+  if (options_.mode == RecoverabilityMode::kDpr) {
+    mo.get_cut = [this](DprCut* cut) {
+      WorldLine wl;
+      finder_->GetCut(&wl, cut);
+      return Status::OK();
+    };
+    mo.pump = [this, src, dst] {
+      // Nudge both sides to checkpoint, push any batched reports at the
+      // finder, and recompute; the coordinator timer would get there too,
+      // but the barrier should not have to wait out a full interval.
+      if (src->dpr_worker() != nullptr) (void)src->dpr_worker()->TryCommit();
+      if (dst->dpr_worker() != nullptr) (void)dst->dpr_worker()->TryCommit();
+      if (remote_finder_ != nullptr) (void)remote_finder_->Flush();
+      (void)finder_->ComputeCut();
+      SleepMicros(200);
+    };
   }
 
-  // 3. Durably record the new owner, then start serving.
-  DPR_RETURN_NOT_OK(metadata_->SetOwner(partition, to));
-  dst->AdoptPartition(partition);
-  return Status::OK();
+  MigrationDriver driver(std::move(mo));
+  {
+    MutexLock lock(topology_mu_);
+    active_migrations_.push_back(&driver);
+  }
+  Status s = driver.Run();
+  {
+    MutexLock lock(topology_mu_);
+    active_migrations_.erase(std::remove(active_migrations_.begin(),
+                                         active_migrations_.end(), &driver),
+                             active_migrations_.end());
+  }
+  return s;
 }
 
 Status DFasterCluster::AddWorker(WorkerId* new_id) {
@@ -274,14 +326,74 @@ Status DFasterCluster::AddWorker(WorkerId* new_id) {
     server = net_->CreateServer("worker" + std::to_string(id));
   }
   DPR_RETURN_NOT_OK(worker->Start(std::move(server)));
-  addresses_.push_back(worker->address());
+  {
+    MutexLock lock(topology_mu_);
+    addresses_.push_back(worker->address());
+  }
   if (options_.mode == RecoverabilityMode::kDpr) {
     cluster_manager_->RegisterWorker(worker->dpr_worker());
   }
   workers_.push_back(std::move(worker));
   options_.num_workers += 1;
+  // Durable membership row: the join survives a metadata-service crash.
+  DPR_RETURN_NOT_OK(membership_->Transition(id, MemberState::kJoining));
   if (new_id != nullptr) *new_id = id;
   return Status::OK();
+}
+
+Status DFasterCluster::ActivateWorker(WorkerId id) {
+  if (id >= workers_.size() || workers_[id] == nullptr) {
+    return Status::InvalidArgument("no such worker");
+  }
+  return membership_->Transition(id, MemberState::kActive);
+}
+
+Status DFasterCluster::DecommissionWorker(WorkerId id) {
+  if (id >= workers_.size() || workers_[id] == nullptr) {
+    return Status::InvalidArgument("no such worker");
+  }
+  DPR_RETURN_NOT_OK(membership_->Transition(id, MemberState::kDraining));
+  // Live-migrate every owned partition to the least-loaded active member;
+  // writes keep flowing throughout, exactly as for a scale-out move.
+  for (;;) {
+    const auto ownership = metadata_->GetOwnership();
+    uint64_t next = 0;
+    bool found = false;
+    for (const auto& [vp, owner] : ownership) {
+      if (owner == id) {
+        next = vp;
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;
+    std::map<WorkerId, uint32_t> load;
+    for (WorkerId w : membership_->ActiveMembers()) {
+      if (w != id && w < workers_.size() && workers_[w] != nullptr) {
+        load[w] = 0;
+      }
+    }
+    if (load.empty()) {
+      return Status::Unavailable("no active member to drain to");
+    }
+    for (const auto& [vp, owner] : ownership) {
+      auto it = load.find(owner);
+      if (it != load.end()) ++it->second;
+    }
+    WorkerId target = load.begin()->first;
+    for (const auto& [w, n] : load) {
+      if (n < load[target]) target = w;
+    }
+    DPR_RETURN_NOT_OK(MigratePartition(static_cast<uint32_t>(next), target));
+  }
+  // RemoveWorker's membership advance walks the remaining legal edge
+  // (kDraining -> kRemoved), landing the tombstone.
+  return RemoveWorker(id);
+}
+
+std::map<WorkerId, MemberState> DFasterCluster::MemberStates() const {
+  if (membership_ == nullptr) return {};
+  return membership_->States();
 }
 
 Status DFasterCluster::RemoveWorker(WorkerId id) {
@@ -296,6 +408,18 @@ Status DFasterCluster::RemoveWorker(WorkerId id) {
   DPR_RETURN_NOT_OK(finder_->RemoveWorker(id));
   cluster_manager_->UnregisterWorker(id);
   workers_[id]->Stop();
+  // Best-effort membership advance for callers that skip DecommissionWorker
+  // (a drained founder being removed directly): walk whatever legal edges
+  // lead to the tombstone.
+  if (membership_ != nullptr) {
+    MemberState st;
+    if (membership_->StateOf(id, &st).ok() && st != MemberState::kRemoved) {
+      if (st == MemberState::kActive) {
+        (void)membership_->Transition(id, MemberState::kDraining);
+      }
+      (void)membership_->Transition(id, MemberState::kRemoved);
+    }
+  }
   return Status::OK();
 }
 
@@ -397,6 +521,32 @@ TrackingPlaneStats DRedisCluster::tracking_stats() {
     t.cut_advances = f.cut_advances;
   }
   return t;
+}
+
+Status DRedisCluster::AddWorker(WorkerId* /*new_id*/) {
+  return Status::NotSupported("D-Redis deployments are fixed-size");
+}
+
+Status DRedisCluster::ActivateWorker(WorkerId /*id*/) {
+  return Status::NotSupported("D-Redis deployments are fixed-size");
+}
+
+Status DRedisCluster::DecommissionWorker(WorkerId /*id*/) {
+  return Status::NotSupported("D-Redis deployments are fixed-size");
+}
+
+std::map<WorkerId, MemberState> DRedisCluster::MemberStates() const {
+  return {};
+}
+
+Status DRedisCluster::MigratePartition(uint32_t /*partition*/,
+                                       WorkerId /*to*/) {
+  return Status::NotSupported(
+      "D-Redis proxies own no hash ranges; nothing to migrate");
+}
+
+WorkerId DRedisCluster::OwnerOf(uint32_t /*partition*/) const {
+  return kInvalidWorker;
 }
 
 Status DRedisCluster::InjectFailure(

@@ -1,10 +1,13 @@
 #ifndef DPR_HARNESS_CLUSTER_H_
 #define DPR_HARNESS_CLUSTER_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "cluster/membership.h"
+#include "cluster/migration.h"
 #include "dfaster/client.h"
 #include "dfaster/worker.h"
 #include "dpr/cluster_manager.h"
@@ -22,6 +25,43 @@
 namespace dpr {
 
 enum class TransportKind { kInMemory, kTcp };
+
+/// Uniform control surface over every harness deployment: the same
+/// membership, migration, and fault entry points whether the cluster under
+/// test is D-FASTER or D-Redis. Tests, benches, and the chaos harness drive
+/// elasticity through this interface; deployments that cannot support an
+/// operation return NotSupported rather than offering a different API.
+class ClusterControl {
+ public:
+  virtual ~ClusterControl() = default;
+
+  virtual Status Start() = 0;
+  virtual void Stop() = 0;
+
+  // --- membership (state machine in cluster/membership.h) ---
+  /// Joins a new, empty worker (kJoining). Returns its id via `new_id`.
+  virtual Status AddWorker(WorkerId* new_id) = 0;
+  /// Promotes a joined worker to full membership (kJoining -> kActive).
+  virtual Status ActivateWorker(WorkerId id) = 0;
+  /// Drains a member (kDraining): live-migrates every partition it owns to
+  /// the least-loaded active member, removes it from the DPR table, and
+  /// tombstones it (kRemoved).
+  virtual Status DecommissionWorker(WorkerId id) = 0;
+  /// Durable membership rows, tombstones included.
+  virtual std::map<WorkerId, MemberState> MemberStates() const = 0;
+
+  // --- live migration (cluster/migration.h) ---
+  /// Moves a virtual partition to worker `to` with the phased protocol:
+  /// seal, dual-ownership forwarding, drain, DPR commit barrier, world-line
+  /// fence, ownership flip. Writes keep flowing throughout.
+  virtual Status MigratePartition(uint32_t partition, WorkerId to) = 0;
+  /// Current owner per the durable ownership table.
+  virtual WorkerId OwnerOf(uint32_t partition) const = 0;
+
+  // --- faults ---
+  /// Crashes `failed` workers and runs the DPR recovery protocol.
+  virtual Status InjectFailure(const std::vector<WorkerId>& failed) = 0;
+};
 
 struct ClusterOptions {
   uint32_t num_workers = 2;
@@ -49,16 +89,16 @@ struct ClusterOptions {
 /// Brings up a whole D-FASTER deployment in-process: metadata store, DPR
 /// finder + coordinator, cluster manager, N workers with RPC endpoints.
 /// The single-box equivalent of the paper's 8-VM Azure cluster.
-class DFasterCluster {
+class DFasterCluster : public ClusterControl {
  public:
   explicit DFasterCluster(ClusterOptions options);
-  ~DFasterCluster();
+  ~DFasterCluster() override;
 
   DFasterCluster(const DFasterCluster&) = delete;
   DFasterCluster& operator=(const DFasterCluster&) = delete;
 
-  Status Start();
-  void Stop();
+  Status Start() override;
+  void Stop() override;
 
   /// Client with remote connections to every worker (dedicated-client mode).
   std::unique_ptr<DFasterClient> NewClient(uint32_t batch_size,
@@ -71,25 +111,42 @@ class DFasterCluster {
                                                     uint32_t window);
 
   /// Injects a failure of `failed` workers and runs the recovery protocol.
-  Status InjectFailure(const std::vector<WorkerId>& failed);
+  Status InjectFailure(const std::vector<WorkerId>& failed) override;
 
-  /// Moves virtual partition `partition` to worker `to` (paper 5.3):
-  /// renounce at a checkpoint boundary, migrate the keys, update the
-  /// durable ownership table, adopt. Clients chase the move via kNotOwner
-  /// retries; the partition is briefly unowned in between.
-  Status TransferPartition(uint32_t partition, WorkerId to);
+  /// Live migration (DESIGN.md §4i): seal -> dual-ownership forwarding ->
+  /// drain -> DPR commit barrier -> world-line fence -> flip. The source
+  /// stays authoritative until the flip, so writes keep flowing for the
+  /// whole move; clients chase the flip via kNotOwner re-routes.
+  Status MigratePartition(uint32_t partition, WorkerId to) override;
+
+  /// Backward-compatible alias for MigratePartition (the pre-elastic name).
+  Status TransferPartition(uint32_t partition, WorkerId to) {
+    return MigratePartition(partition, to);
+  }
 
   /// Current owner of a partition per the durable ownership table.
-  WorkerId OwnerOf(uint32_t partition) const;
+  WorkerId OwnerOf(uint32_t partition) const override;
 
-  /// Elasticity (§5.3): adds a new, empty worker to the running cluster
-  /// (a new row in the DPR table). Move partitions to it with
-  /// TransferPartition. Returns the new worker's id. Note: clients created
-  /// before the join must AddRemoteWorker() to reach it.
-  Status AddWorker(WorkerId* new_id);
+  /// Elasticity (§5.3): adds a new, empty worker to the running cluster — a
+  /// new DPR-table row plus a durable kJoining membership row. Move
+  /// partitions to it with MigratePartition, then ActivateWorker. Existing
+  /// clients created by NewClient reach it automatically (they resolve the
+  /// endpoint lazily on first route).
+  Status AddWorker(WorkerId* new_id) override;
 
-  /// Removes an *empty* worker (drops its DPR-table row). Fails if the
-  /// worker still owns partitions.
+  /// kJoining -> kActive once the join's migrations are done.
+  Status ActivateWorker(WorkerId id) override;
+
+  /// Full decommission: kDraining, live-migrate every owned partition to
+  /// the least-loaded active member, drop the DPR row, tombstone.
+  Status DecommissionWorker(WorkerId id) override;
+
+  /// Durable membership rows.
+  std::map<WorkerId, MemberState> MemberStates() const override;
+
+  /// Removes an *empty* worker (drops its DPR-table row and best-effort
+  /// advances its membership row to kRemoved). Fails if the worker still
+  /// owns partitions. Prefer DecommissionWorker, which drains first.
   Status RemoveWorker(WorkerId id);
 
   DFasterWorker* worker(uint32_t i) { return workers_[i].get(); }
@@ -101,12 +158,18 @@ class DFasterCluster {
   /// The shared batching client, or nullptr when remote_finder is off.
   RemoteDprFinder* remote_finder() { return remote_finder_.get(); }
   MetadataStore* metadata() { return metadata_.get(); }
+  ClusterMembership* membership() { return membership_.get(); }
 
   /// Aggregated tracking-plane counters across workers, finder, and (if
   /// deployed) the remote-finder client.
   TrackingPlaneStats tracking_stats();
 
  private:
+  /// Address of worker `id`, or empty when unknown (locked: AddWorker grows
+  /// the table while client resolvers read it).
+  std::string AddressOf(WorkerId id) const;
+  std::unique_ptr<RpcConnection> ConnectTo(const std::string& address);
+
   ClusterOptions options_;
   // Box-wide group-commit fsync scheduler. Declared before every consumer
   // (metadata store, workers) so it is destroyed after all of them.
@@ -117,8 +180,14 @@ class DFasterCluster {
   std::unique_ptr<DprFinderServer> finder_server_;
   std::unique_ptr<RemoteDprFinder> remote_finder_;
   std::unique_ptr<ClusterManager> cluster_manager_;
+  std::unique_ptr<ClusterMembership> membership_;
   std::vector<std::unique_ptr<DFasterWorker>> workers_;
-  std::vector<std::string> addresses_;
+  // Guards the address table (read by client lazy-connect resolvers under
+  // their endpoint lock) and the in-flight migration registry (aborted by
+  // the recovery listener).
+  mutable Mutex topology_mu_{LockRank::kHarnessTopology, "harness.topology"};
+  std::vector<std::string> addresses_ GUARDED_BY(topology_mu_);
+  std::vector<MigrationDriver*> active_migrations_ GUARDED_BY(topology_mu_);
   bool started_ = false;
 };
 
@@ -137,20 +206,31 @@ struct RedisClusterOptions {
   uint32_t server_threads = 2;
 };
 
-class DRedisCluster {
+class DRedisCluster : public ClusterControl {
  public:
   explicit DRedisCluster(RedisClusterOptions options);
-  ~DRedisCluster();
+  ~DRedisCluster() override;
 
-  Status Start();
-  void Stop();
+  Status Start() override;
+  void Stop() override;
 
   std::unique_ptr<DRedisClient> NewClient(uint32_t batch_size,
                                           uint32_t window);
 
   /// Crashes the given shards' stores and runs the DPR recovery protocol
   /// across all proxies (kDpr deployment only).
-  Status InjectFailure(const std::vector<uint32_t>& failed_shards);
+  Status InjectFailure(const std::vector<WorkerId>& failed_shards) override;
+
+  // The D-Redis deployment is fixed-size: proxies sit one-to-one in front
+  // of their stores and own no hash ranges, so elastic membership and live
+  // migration do not apply. The entry points exist (ClusterControl) and
+  // report NotSupported, keeping harness call sites uniform.
+  Status AddWorker(WorkerId* new_id) override;
+  Status ActivateWorker(WorkerId id) override;
+  Status DecommissionWorker(WorkerId id) override;
+  std::map<WorkerId, MemberState> MemberStates() const override;
+  Status MigratePartition(uint32_t partition, WorkerId to) override;
+  WorkerId OwnerOf(uint32_t partition) const override;
 
   RespStore* store(uint32_t i) { return stores_[i].get(); }
   DRedisProxy* proxy(uint32_t i) { return dpr_proxies_[i].get(); }

@@ -17,6 +17,9 @@ enum RecordType : uint8_t {
   kSetWorldLine = 5,
   kSetOwner = 6,
   kPruneGraph = 7,
+  kSetMemberState = 8,
+  kSetMigration = 9,
+  kClearMigration = 10,
 };
 
 void EncodeDeps(std::string* dst, const DependencySet& deps) {
@@ -41,6 +44,20 @@ bool DecodeDeps(Decoder* dec, DependencySet* deps) {
 
 }  // namespace
 
+const char* MemberStateName(MemberState state) {
+  switch (state) {
+    case MemberState::kJoining:
+      return "joining";
+    case MemberState::kActive:
+      return "active";
+    case MemberState::kDraining:
+      return "draining";
+    case MemberState::kRemoved:
+      return "removed";
+  }
+  return "unknown";
+}
+
 MetadataStore::MetadataStore(std::unique_ptr<Device> wal_device,
                              GroupCommitScheduler* scheduler)
     : wal_(std::move(wal_device), scheduler) {}
@@ -53,6 +70,8 @@ Status MetadataStore::Recover() {
   cut_world_line_ = kInitialWorldLine;
   world_line_ = kInitialWorldLine;
   ownership_.clear();
+  member_states_.clear();
+  migrations_.clear();
   return wal_.Replay(
       [this](uint64_t /*offset*/, Slice record) { ApplyRecord(record); });
 }
@@ -108,6 +127,27 @@ void MetadataStore::ApplyRecord(Slice record) {
       uint64_t vp;
       uint32_t w;
       if (dec.GetFixed64(&vp) && dec.GetFixed32(&w)) ownership_[vp] = w;
+      break;
+    }
+    case kSetMemberState: {
+      uint32_t w;
+      uint8_t st;
+      if (dec.GetFixed32(&w) && dec.GetBytes(&st, 1)) {
+        member_states_[w] = static_cast<MemberState>(st);
+      }
+      break;
+    }
+    case kSetMigration: {
+      uint64_t vp;
+      uint32_t src, dst;
+      if (dec.GetFixed64(&vp) && dec.GetFixed32(&src) && dec.GetFixed32(&dst)) {
+        migrations_[vp] = MigrationRow{src, dst};
+      }
+      break;
+    }
+    case kClearMigration: {
+      uint64_t vp;
+      if (dec.GetFixed64(&vp)) migrations_.erase(vp);
       break;
     }
     case kPruneGraph: {
@@ -222,6 +262,38 @@ Status MetadataStore::SetOwner(uint64_t virtual_partition, WorkerId worker) {
 std::map<uint64_t, WorkerId> MetadataStore::GetOwnership() const {
   MutexLock guard(mu_);
   return ownership_;
+}
+
+Status MetadataStore::SetMemberState(WorkerId worker, MemberState state) {
+  std::string rec(1, static_cast<char>(kSetMemberState));
+  PutFixed32(&rec, worker);
+  rec.push_back(static_cast<char>(state));
+  return LogAndApply(rec);
+}
+
+std::map<WorkerId, MemberState> MetadataStore::GetMemberStates() const {
+  MutexLock guard(mu_);
+  return member_states_;
+}
+
+Status MetadataStore::SetMigration(uint64_t virtual_partition, WorkerId source,
+                                   WorkerId target) {
+  std::string rec(1, static_cast<char>(kSetMigration));
+  PutFixed64(&rec, virtual_partition);
+  PutFixed32(&rec, source);
+  PutFixed32(&rec, target);
+  return LogAndApply(rec);
+}
+
+Status MetadataStore::ClearMigration(uint64_t virtual_partition) {
+  std::string rec(1, static_cast<char>(kClearMigration));
+  PutFixed64(&rec, virtual_partition);
+  return LogAndApply(rec);
+}
+
+std::map<uint64_t, MigrationRow> MetadataStore::GetMigrations() const {
+  MutexLock guard(mu_);
+  return migrations_;
 }
 
 void MetadataStore::SimulateCrash() {

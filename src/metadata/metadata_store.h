@@ -12,6 +12,28 @@
 
 namespace dpr {
 
+/// Lifecycle of a cluster member in the membership state machine (paper §5.3;
+/// DESIGN.md §4i). Rows are durable: a worker that crashes mid-join recovers
+/// into the same state and the cluster plane resumes or aborts the
+/// transition. kRemoved rows are kept as tombstones so a decommissioned
+/// worker id is never silently reused with stale ownership rows around.
+enum class MemberState : uint8_t {
+  kJoining = 0,   // registered, receiving migrated shards, owns nothing yet
+  kActive = 1,    // full member, owns shards, participates in cuts
+  kDraining = 2,  // decommissioning: shards migrating away, no new ownership
+  kRemoved = 3,   // tombstone: fully drained and unregistered
+};
+
+const char* MemberStateName(MemberState state);
+
+/// One in-flight shard migration, recorded durably before the dual-ownership
+/// window opens so a crashed driver can be detected (and the migration
+/// aborted/resumed) from the metadata service alone.
+struct MigrationRow {
+  WorkerId source = 0;
+  WorkerId target = 0;
+};
+
 /// Durable, fault-tolerant metadata service — the stand-in for the paper's
 /// Azure SQL database (Fig. 4). Holds exactly the tables DPR needs:
 ///
@@ -62,6 +84,16 @@ class MetadataStore {
   Status SetOwner(uint64_t virtual_partition, WorkerId worker);
   std::map<uint64_t, WorkerId> GetOwnership() const;
 
+  // --- membership state machine (cluster plane, §5.3) ---
+  Status SetMemberState(WorkerId worker, MemberState state);
+  std::map<WorkerId, MemberState> GetMemberStates() const;
+
+  // --- in-flight migrations (crash-visible dual-ownership windows) ---
+  Status SetMigration(uint64_t virtual_partition, WorkerId source,
+                      WorkerId target);
+  Status ClearMigration(uint64_t virtual_partition);
+  std::map<uint64_t, MigrationRow> GetMigrations() const;
+
   /// Drops volatile state and the unsynced WAL suffix, then recovers;
   /// models a metadata-service crash + restart.
   void SimulateCrash();
@@ -85,6 +117,8 @@ class MetadataStore {
   WorldLine cut_world_line_ GUARDED_BY(mu_) = kInitialWorldLine;
   WorldLine world_line_ GUARDED_BY(mu_) = kInitialWorldLine;
   std::map<uint64_t, WorkerId> ownership_ GUARDED_BY(mu_);
+  std::map<WorkerId, MemberState> member_states_ GUARDED_BY(mu_);
+  std::map<uint64_t, MigrationRow> migrations_ GUARDED_BY(mu_);
 };
 
 }  // namespace dpr

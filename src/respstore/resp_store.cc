@@ -122,14 +122,15 @@ void RespStore::LoadDurableSnapshots() {
 Status RespStore::AppendAof(const RespCommand& command) {
   std::string rec;
   command.EncodeTo(&rec);
-  DPR_RETURN_NOT_OK(options_.aof_device->WriteAt(options_.aof_device->Size(),
-                                                 rec.data(), rec.size()));
+  DPR_RETURN_NOT_OK(SyncIo::Write(options_.aof_device.get(),
+                                  options_.aof_device->Size(), rec.data(),
+                                  rec.size()));
   // appendfsync=always; under a group-commit scheduler concurrent AOF
   // appends across shards sharing a device coalesce into one fsync.
   if (options_.fsync_scheduler != nullptr) {
     return options_.fsync_scheduler->SyncNow(options_.aof_device.get());
   }
-  return options_.aof_device->Flush();
+  return SyncIo::Fsync(options_.aof_device.get());
 }
 
 RespReply RespStore::Execute(const RespCommand& command) {

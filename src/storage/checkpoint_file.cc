@@ -24,11 +24,11 @@ Status CheckpointBlob::Write(Device* device, uint64_t offset,
   memcpy(header + 24, &crc, 4);
   // Payload first, header last: a torn write cannot produce a blob whose
   // header validates but whose body is incomplete.
-  DPR_RETURN_NOT_OK(device->WriteAt(offset + kHeaderSize, payload.data(),
-                                    payload.size()));
-  DPR_RETURN_NOT_OK(device->WriteAt(offset, header, kHeaderSize));
+  DPR_RETURN_NOT_OK(SyncIo::Write(device, offset + kHeaderSize,
+                                  payload.data(), payload.size()));
+  DPR_RETURN_NOT_OK(SyncIo::Write(device, offset, header, kHeaderSize));
   if (scheduler != nullptr) return scheduler->SyncNow(device);
-  return device->Flush();
+  return SyncIo::Fsync(device);
 }
 
 Status CheckpointBlob::Read(Device* device, uint64_t offset,
@@ -37,7 +37,7 @@ Status CheckpointBlob::Read(Device* device, uint64_t offset,
     return Status::NotFound("no checkpoint blob");
   }
   char header[kHeaderSize];
-  DPR_RETURN_NOT_OK(device->ReadAt(offset, header, kHeaderSize));
+  DPR_RETURN_NOT_OK(SyncIo::Read(device, offset, header, kHeaderSize));
   uint64_t magic;
   uint64_t token;
   uint64_t len;
@@ -51,7 +51,8 @@ Status CheckpointBlob::Read(Device* device, uint64_t offset,
     return Status::Corruption("truncated checkpoint blob");
   }
   payload->resize(len);
-  DPR_RETURN_NOT_OK(device->ReadAt(offset + kHeaderSize, payload->data(), len));
+  DPR_RETURN_NOT_OK(
+      SyncIo::Read(device, offset + kHeaderSize, payload->data(), len));
   if (Crc32c(payload->data(), len) != crc) {
     return Status::Corruption("checkpoint blob checksum mismatch");
   }

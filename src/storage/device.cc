@@ -19,11 +19,11 @@
 
 namespace dpr {
 
-// ------------------------------------------------------------ blocking shims
+// ------------------------------------------------------------------- SyncIo
 
 namespace {
 
-/// Stack-allocated rendezvous for the legacy blocking API. The completion
+/// Stack-allocated rendezvous for the explicit SyncIo helper. The completion
 /// may fire inline (before Wait is entered) or from an engine thread; the
 /// notify happens while holding the waiter's own mutex, so the waiter cannot
 /// be destroyed between the state change and the broadcast.
@@ -51,21 +51,22 @@ struct SyncWaiter {
 
 }  // namespace
 
-Status Device::WriteAt(uint64_t offset, const void* data, size_t n) {
+Status SyncIo::Write(Device* device, uint64_t offset, const void* data,
+                     size_t n) {
   SyncWaiter waiter;
-  SubmitWrite(offset, data, n, waiter.Callback());
+  device->SubmitWrite(offset, data, n, waiter.Callback());
   return waiter.Wait();
 }
 
-Status Device::ReadAt(uint64_t offset, void* buf, size_t n) {
+Status SyncIo::Read(Device* device, uint64_t offset, void* buf, size_t n) {
   SyncWaiter waiter;
-  SubmitRead(offset, buf, n, waiter.Callback());
+  device->SubmitRead(offset, buf, n, waiter.Callback());
   return waiter.Wait();
 }
 
-Status Device::Flush() {
+Status SyncIo::Fsync(Device* device) {
   SyncWaiter waiter;
-  SubmitFsync(waiter.Callback());
+  device->SubmitFsync(waiter.Callback());
   return waiter.Wait();
 }
 

@@ -25,10 +25,10 @@ namespace dpr {
 /// engine locks held, so a callback may re-enter the storage plane (e.g. the
 /// group-commit scheduler's waiter fan-out does).
 ///
-/// WriteAt/ReadAt/Flush are thin blocking shims over the async API, kept for
-/// legacy call sites (recovery paths, tests, tools). They are deprecated for
-/// hot paths: new code on the durability path should submit asynchronously or
-/// register with the GroupCommitScheduler. See DESIGN.md §4h.
+/// There is deliberately no blocking member API: a call site that needs to
+/// wait goes through the explicit SyncIo helper below, so a blocking
+/// rendezvous is visible where it happens and cannot silently creep onto a
+/// hot path. See DESIGN.md §4h.
 ///
 /// Durability model: data is guaranteed to survive a (simulated) crash only
 /// after an fsync *submitted after the write completed* itself completes.
@@ -50,12 +50,6 @@ class Device {
   /// before this call returned, then fires `done`.
   virtual void SubmitFsync(IoCallback done) = 0;
 
-  // --- blocking shims (legacy; deprecated on hot paths) -------------------
-
-  Status WriteAt(uint64_t offset, const void* data, size_t n);
-  Status ReadAt(uint64_t offset, void* buf, size_t n);
-  Status Flush();
-
   // --- common -------------------------------------------------------------
 
   /// Current size in bytes (high-water mark of completed writes).
@@ -73,6 +67,19 @@ class Device {
   /// the same root, so one fsync on the root covers them all. Fault wrappers
   /// return themselves to keep injection probes on the coalesced path.
   virtual Device* SyncRoot() { return this; }
+};
+
+/// Explicit synchronous rendezvous over the async Device API, for the call
+/// sites where blocking is the point: WAL replay, checkpoint recovery, tests,
+/// and tools. This replaces the old implicit Device::WriteAt/ReadAt/Flush
+/// member shims — the wait now reads as a SyncIo call at the site, and
+/// scripts/check_analysis.sh rejects new `.WriteAt(` / `.ReadAt(` member
+/// calls so the blocking style cannot reappear under a different name.
+struct SyncIo {
+  static Status Write(Device* device, uint64_t offset, const void* data,
+                      size_t n);
+  static Status Read(Device* device, uint64_t offset, void* buf, size_t n);
+  static Status Fsync(Device* device);
 };
 
 /// Discards writes instantly and cannot be read back. Models the paper's

@@ -27,9 +27,9 @@ Status WriteAheadLog::Append(Slice record, uint64_t* offset) {
   memcpy(header, &len, 4);
   memcpy(header + 4, &crc, 4);
   const uint64_t start = tail_;
-  DPR_RETURN_NOT_OK(device_->WriteAt(start, header, kHeaderSize));
-  DPR_RETURN_NOT_OK(
-      device_->WriteAt(start + kHeaderSize, record.data(), record.size()));
+  DPR_RETURN_NOT_OK(SyncIo::Write(device_.get(), start, header, kHeaderSize));
+  DPR_RETURN_NOT_OK(SyncIo::Write(device_.get(), start + kHeaderSize,
+                                  record.data(), record.size()));
   tail_ = start + kHeaderSize + record.size();
   if (offset != nullptr) *offset = start;
   return Status::OK();
@@ -37,7 +37,7 @@ Status WriteAheadLog::Append(Slice record, uint64_t* offset) {
 
 Status WriteAheadLog::Sync() {
   if (scheduler_ != nullptr) return scheduler_->SyncNow(device_.get());
-  return device_->Flush();
+  return SyncIo::Fsync(device_.get());
 }
 
 void WriteAheadLog::SyncAsync(IoCallback done) {
@@ -56,14 +56,15 @@ Status WriteAheadLog::Replay(
   std::vector<char> buf;
   while (pos + kHeaderSize <= end) {
     char header[kHeaderSize];
-    DPR_RETURN_NOT_OK(device_->ReadAt(pos, header, kHeaderSize));
+    DPR_RETURN_NOT_OK(SyncIo::Read(device_.get(), pos, header, kHeaderSize));
     uint32_t len;
     uint32_t crc;
     memcpy(&len, header, 4);
     memcpy(&crc, header + 4, 4);
     if (pos + kHeaderSize + len > end) break;  // torn tail record
     buf.resize(len);
-    DPR_RETURN_NOT_OK(device_->ReadAt(pos + kHeaderSize, buf.data(), len));
+    DPR_RETURN_NOT_OK(
+        SyncIo::Read(device_.get(), pos + kHeaderSize, buf.data(), len));
     if (Crc32c(buf.data(), len) != crc) break;  // corrupt tail record
     visitor(pos, Slice(buf.data(), len));
     pos += kHeaderSize + len;
@@ -75,7 +76,7 @@ Status WriteAheadLog::Replay(
 Status WriteAheadLog::Reset() {
   MutexLock guard(mu_);
   device_->Truncate(0);
-  DPR_RETURN_NOT_OK(device_->Flush());
+  DPR_RETURN_NOT_OK(SyncIo::Fsync(device_.get()));
   tail_ = 0;
   return Status::OK();
 }

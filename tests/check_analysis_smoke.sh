@@ -84,4 +84,27 @@ mv "$TMP/rawio.cc" "$TMP/storage/engine.cc"
 sed -i 's|// storage-lint: allowed.*||' "$TMP/storage/engine.cc"
 "$CHECK" --lint-only "$TMP"
 
+echo "--- shim lint fires on a retired blocking Device member call"
+rm -rf "$TMP/storage"
+cat > "$TMP/shim.cc" <<'EOF'
+struct Dev;
+void Leak(Dev* dev);
+template <typename D> void Use(D* dev) {
+  dev->WriteAt(0, "x", 1);  // seeded violation: blocking shim is retired
+}
+EOF
+if "$CHECK" --lint-only "$TMP"; then
+  echo "FAIL: shim lint accepted a Device::WriteAt member call"
+  exit 1
+fi
+
+echo "--- shim lint honors the justified opt-out marker"
+cat > "$TMP/shim.cc" <<'EOF'
+template <typename D> void Use(D* dev) {
+  // storage-lint: allowed — unrelated API that happens to share the name.
+  dev->WriteAt(0, "x", 1);
+}
+EOF
+"$CHECK" --lint-only "$TMP"
+
 echo "PASS"

@@ -109,6 +109,41 @@ TEST(MetadataStoreTest, SurvivesCrash) {
   EXPECT_EQ(store->GetOwnership().at(0), 1u);
 }
 
+TEST(MetadataStoreTest, MemberAndMigrationRowsSurviveCrash) {
+  auto store = NewStore();
+  ASSERT_TRUE(store->SetMemberState(0, MemberState::kJoining).ok());
+  ASSERT_TRUE(store->SetMemberState(0, MemberState::kActive).ok());
+  ASSERT_TRUE(store->SetMemberState(1, MemberState::kJoining).ok());
+  ASSERT_TRUE(store->SetMemberState(2, MemberState::kRemoved).ok());
+  ASSERT_TRUE(store->SetMigration(7, /*source=*/0, /*target=*/1).ok());
+  ASSERT_TRUE(store->SetMigration(9, /*source=*/2, /*target=*/0).ok());
+  ASSERT_TRUE(store->ClearMigration(9).ok());
+
+  store->SimulateCrash();
+
+  auto members = store->GetMemberStates();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members.at(0), MemberState::kActive);
+  EXPECT_EQ(members.at(1), MemberState::kJoining);
+  EXPECT_EQ(members.at(2), MemberState::kRemoved);
+  // The cleared migration stays gone; the in-flight one is still visible —
+  // exactly what a restarted driver needs to detect the dual-ownership
+  // window it crashed inside of.
+  auto migrations = store->GetMigrations();
+  ASSERT_EQ(migrations.size(), 1u);
+  EXPECT_EQ(migrations.at(7).source, 0u);
+  EXPECT_EQ(migrations.at(7).target, 1u);
+}
+
+TEST(MetadataStoreTest, MemberRowsAreLastWriterWins) {
+  auto store = NewStore();
+  ASSERT_TRUE(store->SetMemberState(5, MemberState::kJoining).ok());
+  ASSERT_TRUE(store->SetMemberState(5, MemberState::kActive).ok());
+  ASSERT_TRUE(store->SetMemberState(5, MemberState::kDraining).ok());
+  store->SimulateCrash();
+  EXPECT_EQ(store->GetMemberStates().at(5), MemberState::kDraining);
+}
+
 TEST(MetadataStoreTest, CrashLosesNothingAfterEveryOp) {
   // Every mutation syncs before returning, so any crash point preserves all
   // acknowledged mutations (durability property test).

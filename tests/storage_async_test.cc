@@ -161,9 +161,9 @@ TEST(AsyncFileDeviceTest, OutOfOrderCompletionsOnDisjointRanges) {
   EXPECT_EQ(dev->Size(), 12u);
 
   reorder->set_passthrough(true);
-  ASSERT_TRUE(dev->Flush().ok());
+  ASSERT_TRUE(SyncIo::Fsync(dev.get()).ok());
   char buf[12];
-  ASSERT_TRUE(dev->ReadAt(0, buf, 12).ok());
+  ASSERT_TRUE(SyncIo::Read(dev.get(), 0, buf, 12).ok());
   EXPECT_EQ(std::string(buf, 12), "AAAABBBBCCCC");
   dev.reset();
   remove(path.c_str());
@@ -198,7 +198,7 @@ TEST(AsyncFileDeviceTest, CrashHonorsOnlyCompletedFsyncGroups) {
   dev->SimulateCrash();
   EXPECT_EQ(dev->Size(), 4u);
   char buf[4];
-  ASSERT_TRUE(dev->ReadAt(0, buf, 4).ok());
+  ASSERT_TRUE(SyncIo::Read(dev.get(), 0, buf, 4).ok());
   EXPECT_EQ(std::string(buf, 4), "AAAA");
   dev.reset();
   remove(path.c_str());
@@ -209,7 +209,7 @@ TEST(GroupCommitSchedulerTest, CoalescesWaitersIntoOneFsync) {
   GateDevice gate(&base);
   GroupCommitScheduler sched;
 
-  ASSERT_TRUE(gate.WriteAt(0, "AAAA", 4).ok());
+  ASSERT_TRUE(SyncIo::Write(&gate, 0, "AAAA", 4).ok());
 
   std::atomic<int> fired{0};
   auto waiter = [&fired](Status s) {
@@ -244,11 +244,11 @@ TEST(GroupCommitSchedulerTest, CoalescesWaitersIntoOneFsync) {
 TEST(GroupCommitSchedulerTest, SyncNowMakesDataDurable) {
   MemoryDevice dev;
   GroupCommitScheduler sched;
-  ASSERT_TRUE(dev.WriteAt(0, "durable", 7).ok());
+  ASSERT_TRUE(SyncIo::Write(&dev, 0, "durable", 7).ok());
   ASSERT_TRUE(sched.SyncNow(&dev).ok());
   dev.SimulateCrash();
   char buf[7];
-  ASSERT_TRUE(dev.ReadAt(0, buf, 7).ok());
+  ASSERT_TRUE(SyncIo::Read(&dev, 0, buf, 7).ok());
   EXPECT_EQ(std::string(buf, 7), "durable");
   EXPECT_GE(sched.fsyncs_issued(), 1u);
 }
@@ -264,10 +264,10 @@ TEST(IoEngineTest, IoUringSetupFailureFallsBackToThreadPool) {
   const std::string path = TempPath("fallback");
   std::unique_ptr<FileDevice> dev;
   ASSERT_TRUE(FileDevice::Open(path, /*reset=*/true, &dev, engine).ok());
-  ASSERT_TRUE(dev->WriteAt(0, "still works", 11).ok());
-  ASSERT_TRUE(dev->Flush().ok());
+  ASSERT_TRUE(SyncIo::Write(dev.get(), 0, "still works", 11).ok());
+  ASSERT_TRUE(SyncIo::Fsync(dev.get()).ok());
   char buf[11];
-  ASSERT_TRUE(dev->ReadAt(0, buf, 11).ok());
+  ASSERT_TRUE(SyncIo::Read(dev.get(), 0, buf, 11).ok());
   EXPECT_EQ(std::string(buf, 11), "still works");
   dev.reset();
   remove(path.c_str());
@@ -286,10 +286,10 @@ TEST(IoEngineTest, ExplicitIoUringRunsWhenSupported) {
   std::unique_ptr<FileDevice> dev;
   ASSERT_TRUE(FileDevice::Open(path, /*reset=*/true, &dev, engine).ok());
   const std::string payload(64 * 1024, 'x');  // large enough to split/batch
-  ASSERT_TRUE(dev->WriteAt(0, payload.data(), payload.size()).ok());
-  ASSERT_TRUE(dev->Flush().ok());
+  ASSERT_TRUE(SyncIo::Write(dev.get(), 0, payload.data(), payload.size()).ok());
+  ASSERT_TRUE(SyncIo::Fsync(dev.get()).ok());
   std::string back(payload.size(), '\0');
-  ASSERT_TRUE(dev->ReadAt(0, back.data(), back.size()).ok());
+  ASSERT_TRUE(SyncIo::Read(dev.get(), 0, back.data(), back.size()).ok());
   EXPECT_EQ(back, payload);
   dev.reset();
   remove(path.c_str());
@@ -311,15 +311,15 @@ std::vector<std::string> RunProbeSequence(IoEngineKind engine_kind,
 
   // device.write_fail: the first write errors, the second goes through.
   fp.Arm({.point = faults::kDevWriteFail, .scope = kScope, .max_fires = 1});
-  trace.push_back("write_fail#1: " + dev.WriteAt(0, "AAAA", 4).ToString());
-  trace.push_back("write_fail#2: " + dev.WriteAt(0, "AAAA", 4).ToString());
+  trace.push_back("write_fail#1: " + SyncIo::Write(&dev, 0, "AAAA", 4).ToString());
+  trace.push_back("write_fail#2: " + SyncIo::Write(&dev, 0, "AAAA", 4).ToString());
   fp.Disarm(faults::kDevWriteFail);
 
   // device.torn_write: half the range lands, the caller sees an error.
   fp.Arm({.point = faults::kDevTornWrite, .scope = kScope, .max_fires = 1});
-  trace.push_back("torn#1: " + dev.WriteAt(4, "BBBBBBBB", 8).ToString());
+  trace.push_back("torn#1: " + SyncIo::Write(&dev, 4, "BBBBBBBB", 8).ToString());
   trace.push_back("size after tear: " + std::to_string(dev.Size()));
-  trace.push_back("torn#2: " + dev.WriteAt(4, "BBBBBBBB", 8).ToString());
+  trace.push_back("torn#2: " + SyncIo::Write(&dev, 4, "BBBBBBBB", 8).ToString());
   trace.push_back("size after retry: " + std::to_string(dev.Size()));
   fp.Disarm(faults::kDevTornWrite);
 
@@ -330,7 +330,7 @@ std::vector<std::string> RunProbeSequence(IoEngineKind engine_kind,
           .max_fires = 1,
           .param = kStallUs});
   const uint64_t t0 = NowMicros();
-  trace.push_back("slow_fsync: " + dev.Flush().ToString());
+  trace.push_back("slow_fsync: " + SyncIo::Fsync(&dev).ToString());
   trace.push_back(std::string("stalled: ") +
                   (NowMicros() - t0 >= kStallUs / 2 ? "yes" : "no"));
   fp.Disarm(faults::kDevSlowFsync);
@@ -367,8 +367,8 @@ TEST(DeviceSliceTest, SlicesShareSyncRootAndBoundReads) {
   DeviceSlice a(base.get(), /*origin=*/0);
   DeviceSlice b(base.get(), /*origin=*/4096);
 
-  ASSERT_TRUE(a.WriteAt(0, "aaaa", 4).ok());
-  ASSERT_TRUE(b.WriteAt(0, "bbbb", 4).ok());
+  ASSERT_TRUE(SyncIo::Write(&a, 0, "aaaa", 4).ok());
+  ASSERT_TRUE(SyncIo::Write(&b, 0, "bbbb", 4).ok());
   EXPECT_EQ(a.Size(), 4u);
   EXPECT_EQ(b.Size(), 4u);
   EXPECT_EQ(a.SyncRoot(), base.get());
@@ -376,13 +376,13 @@ TEST(DeviceSliceTest, SlicesShareSyncRootAndBoundReads) {
 
   // Reads are bounded by the view's own watermark, not the base's.
   char buf[8];
-  EXPECT_FALSE(a.ReadAt(0, buf, 8).ok());
-  ASSERT_TRUE(a.ReadAt(0, buf, 4).ok());
+  EXPECT_FALSE(SyncIo::Read(&a, 0, buf, 8).ok());
+  ASSERT_TRUE(SyncIo::Read(&a, 0, buf, 4).ok());
   EXPECT_EQ(std::string(buf, 4), "aaaa");
 
   // The slice's bytes live at base origin + offset.
-  ASSERT_TRUE(base->Flush().ok());
-  ASSERT_TRUE(base->ReadAt(4096, buf, 4).ok());
+  ASSERT_TRUE(SyncIo::Fsync(base.get()).ok());
+  ASSERT_TRUE(SyncIo::Read(base.get(), 4096, buf, 4).ok());
   EXPECT_EQ(std::string(buf, 4), "bbbb");
 
   // One SyncNow on either slice syncs the shared root.

@@ -17,34 +17,34 @@ std::string TempPath(const std::string& name) {
 
 TEST(NullDeviceTest, AcceptsWritesTracksSize) {
   NullDevice dev;
-  EXPECT_TRUE(dev.WriteAt(100, "hello", 5).ok());
+  EXPECT_TRUE(SyncIo::Write(&dev, 100, "hello", 5).ok());
   EXPECT_EQ(dev.Size(), 105u);
   char buf[5];
-  EXPECT_TRUE(dev.ReadAt(100, buf, 5).ok());
+  EXPECT_TRUE(SyncIo::Read(&dev, 100, buf, 5).ok());
   EXPECT_EQ(std::string(buf, 5), std::string(5, '\0'));
 }
 
 TEST(MemoryDeviceTest, ReadBackAndCrashSemantics) {
   MemoryDevice dev;
-  ASSERT_TRUE(dev.WriteAt(0, "durable", 7).ok());
-  ASSERT_TRUE(dev.Flush().ok());
-  ASSERT_TRUE(dev.WriteAt(7, "volatile", 8).ok());
+  ASSERT_TRUE(SyncIo::Write(&dev, 0, "durable", 7).ok());
+  ASSERT_TRUE(SyncIo::Fsync(&dev).ok());
+  ASSERT_TRUE(SyncIo::Write(&dev, 7, "volatile", 8).ok());
   dev.SimulateCrash();
   EXPECT_EQ(dev.Size(), 7u);
   char buf[7];
-  ASSERT_TRUE(dev.ReadAt(0, buf, 7).ok());
+  ASSERT_TRUE(SyncIo::Read(&dev, 0, buf, 7).ok());
   EXPECT_EQ(std::string(buf, 7), "durable");
-  EXPECT_FALSE(dev.ReadAt(0, buf, 8).ok());  // past end
+  EXPECT_FALSE(SyncIo::Read(&dev, 0, buf, 8).ok());  // past end
 }
 
 TEST(MemoryDeviceTest, OverwriteBeforeFlushSurvivesOnlyAfterFlush) {
   MemoryDevice dev;
-  ASSERT_TRUE(dev.WriteAt(0, "aaaa", 4).ok());
-  ASSERT_TRUE(dev.Flush().ok());
-  ASSERT_TRUE(dev.WriteAt(0, "bbbb", 4).ok());
+  ASSERT_TRUE(SyncIo::Write(&dev, 0, "aaaa", 4).ok());
+  ASSERT_TRUE(SyncIo::Fsync(&dev).ok());
+  ASSERT_TRUE(SyncIo::Write(&dev, 0, "bbbb", 4).ok());
   dev.SimulateCrash();
   char buf[4];
-  ASSERT_TRUE(dev.ReadAt(0, buf, 4).ok());
+  ASSERT_TRUE(SyncIo::Read(&dev, 0, buf, 4).ok());
   EXPECT_EQ(std::string(buf, 4), "aaaa");
 }
 
@@ -53,15 +53,15 @@ TEST(FileDeviceTest, PersistsAcrossReopen) {
   {
     std::unique_ptr<FileDevice> dev;
     ASSERT_TRUE(FileDevice::Open(path, /*reset=*/true, &dev).ok());
-    ASSERT_TRUE(dev->WriteAt(0, "persist me", 10).ok());
-    ASSERT_TRUE(dev->Flush().ok());
+    ASSERT_TRUE(SyncIo::Write(dev.get(), 0, "persist me", 10).ok());
+    ASSERT_TRUE(SyncIo::Fsync(dev.get()).ok());
   }
   {
     std::unique_ptr<FileDevice> dev;
     ASSERT_TRUE(FileDevice::Open(path, /*reset=*/false, &dev).ok());
     EXPECT_EQ(dev->Size(), 10u);
     char buf[10];
-    ASSERT_TRUE(dev->ReadAt(0, buf, 10).ok());
+    ASSERT_TRUE(SyncIo::Read(dev.get(), 0, buf, 10).ok());
     EXPECT_EQ(std::string(buf, 10), "persist me");
   }
   remove(path.c_str());
@@ -71,9 +71,9 @@ TEST(FileDeviceTest, CrashDropsUnsyncedTail) {
   const std::string path = TempPath("file_crash");
   std::unique_ptr<FileDevice> dev;
   ASSERT_TRUE(FileDevice::Open(path, /*reset=*/true, &dev).ok());
-  ASSERT_TRUE(dev->WriteAt(0, "12345678", 8).ok());
-  ASSERT_TRUE(dev->Flush().ok());
-  ASSERT_TRUE(dev->WriteAt(8, "rest", 4).ok());
+  ASSERT_TRUE(SyncIo::Write(dev.get(), 0, "12345678", 8).ok());
+  ASSERT_TRUE(SyncIo::Fsync(dev.get()).ok());
+  ASSERT_TRUE(SyncIo::Write(dev.get(), 8, "rest", 4).ok());
   dev->SimulateCrash();
   EXPECT_EQ(dev->Size(), 8u);
   remove(path.c_str());
@@ -83,9 +83,9 @@ TEST(LatencyDeviceTest, FlushIsDelayed) {
   auto dev = std::make_unique<LatencyDevice>(
       std::make_unique<MemoryDevice>(), /*flush_latency_us=*/20000,
       /*per_mb_us=*/0);
-  ASSERT_TRUE(dev->WriteAt(0, "x", 1).ok());
+  ASSERT_TRUE(SyncIo::Write(dev.get(), 0, "x", 1).ok());
   Stopwatch timer;
-  ASSERT_TRUE(dev->Flush().ok());
+  ASSERT_TRUE(SyncIo::Fsync(dev.get()).ok());
   EXPECT_GE(timer.ElapsedMicros(), 15000u);
 }
 
@@ -95,8 +95,8 @@ TEST(MakeDeviceTest, FactoryProducesWorkingDevices) {
         StorageBackend::kCloud}) {
     auto dev = MakeDevice(backend);
     ASSERT_NE(dev, nullptr);
-    EXPECT_TRUE(dev->WriteAt(0, "probe", 5).ok());
-    EXPECT_TRUE(dev->Flush().ok());
+    EXPECT_TRUE(SyncIo::Write(dev.get(), 0, "probe", 5).ok());
+    EXPECT_TRUE(SyncIo::Fsync(dev.get()).ok());
   }
 }
 
@@ -138,7 +138,7 @@ TEST(WalTest, TornTailRecordIsDropped) {
   ASSERT_TRUE(wal.Sync().ok());
   // Corrupt one byte of the second record's payload.
   char byte = 'X';
-  ASSERT_TRUE(raw->WriteAt(offset + 9, &byte, 1).ok());
+  ASSERT_TRUE(SyncIo::Write(raw, offset + 9, &byte, 1).ok());
   std::vector<std::string> seen;
   ASSERT_TRUE(wal.Replay([&](uint64_t, Slice rec) {
     seen.push_back(rec.ToString());
@@ -190,7 +190,7 @@ TEST(CheckpointBlobTest, CorruptionDetected) {
   MemoryDevice dev;
   ASSERT_TRUE(CheckpointBlob::Write(&dev, 0, 7, "payload").ok());
   char byte = 'Z';
-  ASSERT_TRUE(dev.WriteAt(30, &byte, 1).ok());  // inside the payload
+  ASSERT_TRUE(SyncIo::Write(&dev, 30, &byte, 1).ok());  // inside the payload
   std::string payload;
   Status s = CheckpointBlob::Read(&dev, 0, &payload, nullptr);
   EXPECT_EQ(s.code(), Status::Code::kCorruption);
