@@ -1,29 +1,66 @@
 // Figure 16: impact of recovery on throughput — a timeline of completed,
 // committed, and aborted operations per second with a failure injected at
-// 1/3 of the run and a nested double failure at 2/3.
+// 1/3 of the run and a nested double failure at 2/3, running on the async
+// storage plane (file-backed devices, group-commit fsync) with the adaptive
+// checkpoint cadence (src/ckpt/). Restores walk the delta chain, so the
+// artifact carries ckpt.chain_restores / ckpt.scan_restores alongside the
+// timeline. --ckpt_fixed reverts to the historical fixed full fold-overs
+// for an A/B on recovery cost.
 //
 // Expected shape: commit progress stalls briefly (~100s of ms) around each
 // failure while operation throughput only dips; some operations abort in
 // the rollback; the nested failure behaves as two failure-recovery
 // sequences without extra recovery time.
+//
+// --live_rescale instead runs the elastic variant: the cluster grows from
+// 2 to 3 workers under load (DESIGN.md §4i) and the joiner is then killed,
+// so recovery runs over live-migrated partitions — the ownership table and
+// the delta chains both have to survive the flip.
+#include <algorithm>
 #include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace dpr {
 namespace {
+
+ClusterOptions BaseOptions(const Flags& flags) {
+  ClusterOptions options;
+  options.num_workers = 2;
+  options.mode = RecoverabilityMode::kDpr;
+  options.backend = StorageBackend::kLocal;
+  options.checkpoint_interval_us = 100000;  // paper: 100 ms RPO ceiling
+  if (flags.GetBool("ckpt_fixed", false)) {
+    options.ckpt = CkptPolicy::FixedInterval();
+  }
+  return options;
+}
+
+void PrintCkptCounters(const MetricsSnapshot& before) {
+  MetricsSnapshot delta = MetricsRegistry::Default().Snapshot();
+  delta.SubtractCounters(before);
+  printf("checkpoint counters:\n");
+  for (const auto& [name, value] : delta.counters) {
+    if (name.rfind("ckpt.", 0) == 0 || name.rfind("faster.checkpoints", 0) == 0) {
+      printf("  %-40s %llu\n", name.c_str(),
+             static_cast<unsigned long long>(value));
+    }
+  }
+}
 
 void Run(const Flags& flags) {
   const BenchConfig config = BenchConfig::FromFlags(flags);
   BenchJsonOutput json(flags, "fig16_recovery");
   json.RecordConfig(config);
   const uint64_t total_ms = config.quick ? 9000 : 45000;
-  ClusterOptions options;
-  options.num_workers = 2;
-  options.backend = StorageBackend::kLocal;
-  options.checkpoint_interval_us = 100000;
+  ClusterOptions options = BaseOptions(flags);
   DFasterCluster cluster(options);
   Status s = cluster.Start();
   DPR_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
@@ -42,14 +79,16 @@ void Run(const Flags& flags) {
       {t2 + 0.2, [&] { (void)cluster.InjectFailure({0}); }},
   };
   printf("\n=== Figure 16: recovery timeline (failures at %.1fs, %.1fs, "
-         "%.1fs) ===\n",
-         t1, t2, t2 + 0.2);
+         "%.1fs; cadence=%s) ===\n",
+         t1, t2, t2 + 0.2, options.ckpt.adaptive ? "adaptive" : "fixed");
+  const MetricsSnapshot before = MetricsRegistry::Default().Snapshot();
   const auto samples =
       RunTimelineDriver(&cluster, driver, /*interval_ms=*/250, events);
   json.AddTimeline(samples);
   if (json.enabled()) {
     json.artifact().SetConfig("failure_t1_s", t1);
     json.artifact().SetConfig("failure_t2_s", t2);
+    json.artifact().SetConfig("ckpt_adaptive", options.ckpt.adaptive);
   }
   printf("%8s  %14s  %14s  %12s\n", "t(s)", "completed Mops",
          "committed Mops", "aborted Mops");
@@ -58,6 +97,88 @@ void Run(const Flags& flags) {
            sample.completed_mops, sample.committed_mops,
            sample.aborted_mops);
   }
+  PrintCkptCounters(before);
+  json.Finish();
+}
+
+/// --live_rescale: grow 2 -> 3 under load, then kill the joiner. Recovery
+/// has to restore partitions whose ownership flipped mid-run and whose
+/// checkpoint chains started on another worker's cadence.
+void RunLiveRescale(const Flags& flags) {
+  const BenchConfig config = BenchConfig::FromFlags(flags);
+  BenchJsonOutput json(flags, "fig16_recovery");
+  json.RecordConfig(config);
+
+  ClusterOptions options = BaseOptions(flags);
+  DFasterCluster cluster(options);
+  Status s = cluster.Start();
+  DPR_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+
+  DriverOptions driver;
+  driver.num_client_threads = config.client_threads;
+  // Room for the rescale, the failure, and the post-recovery tail —
+  // restoring the joiner's migrated partitions can take a couple seconds.
+  driver.duration_ms = std::max<uint64_t>(config.duration_ms, 8000);
+  driver.workload.num_keys = config.num_keys;
+  driver.workload.zipf_theta = 0.99;
+
+  const double t_join = driver.duration_ms / 1000.0 * 0.2;
+  const double t_fail = driver.duration_ms / 1000.0 * 0.45;
+  printf("\n=== Figure 16b: join at %.1fs, kill the joiner at %.1fs "
+         "(cadence=%s) ===\n",
+         t_join, t_fail, options.ckpt.adaptive ? "adaptive" : "fixed");
+  const MetricsSnapshot before = MetricsRegistry::Default().Snapshot();
+  WorkerId joiner = kInvalidWorker;
+  std::thread rescale;
+  std::thread failure;
+  std::vector<std::pair<double, std::function<void()>>> events;
+  events.emplace_back(t_join, [&cluster, &rescale, &joiner] {
+    // Off-thread so the timeline keeps sampling through every
+    // dual-ownership window (same shape as fig10's --live_rescale).
+    rescale = std::thread([&cluster, &joiner] {
+      Status as = cluster.AddWorker(&joiner);
+      DPR_CHECK_MSG(as.ok(), "%s", as.ToString().c_str());
+      uint32_t moved = 0;
+      for (uint32_t vp = 0; vp < YcsbWorkload::kNumPartitions; vp += 3) {
+        Status ms = cluster.MigratePartition(vp, joiner);
+        DPR_CHECK_MSG(ms.ok(), "migrate vp %u: %s", vp,
+                      ms.ToString().c_str());
+        ++moved;
+      }
+      Status act = cluster.ActivateWorker(joiner);
+      DPR_CHECK_MSG(act.ok(), "%s", act.ToString().c_str());
+      printf("[live_rescale] worker %u joined; %u partitions migrated\n",
+             joiner, moved);
+    });
+  });
+  events.emplace_back(t_fail, [&cluster, &rescale, &failure, &joiner] {
+    // The migrations are sub-second; make completion explicit anyway so the
+    // failure always lands on a fully-joined member. Recovery itself runs
+    // off-thread: restoring the joiner's migrated partitions can take
+    // seconds, and the dip during that window is the measurement.
+    if (rescale.joinable()) rescale.join();
+    DPR_CHECK(joiner != kInvalidWorker);
+    failure = std::thread(
+        [&cluster, &joiner] { (void)cluster.InjectFailure({joiner}); });
+  });
+  const auto samples = RunTimelineDriver(&cluster, driver, 100, events);
+  if (rescale.joinable()) rescale.join();
+  if (failure.joinable()) failure.join();
+
+  json.AddTimeline(samples, "live_rescale");
+  if (json.enabled()) {
+    json.artifact().SetConfig("join_t_s", t_join);
+    json.artifact().SetConfig("failure_t_s", t_fail);
+    json.artifact().SetConfig("ckpt_adaptive", options.ckpt.adaptive);
+  }
+  printf("%8s  %14s  %14s  %12s\n", "t(s)", "completed Mops",
+         "committed Mops", "aborted Mops");
+  for (const auto& sample : samples) {
+    printf("%8.2f  %14.3f  %14.3f  %12.3f\n", sample.t_seconds,
+           sample.completed_mops, sample.committed_mops,
+           sample.aborted_mops);
+  }
+  PrintCkptCounters(before);
   json.Finish();
 }
 
@@ -66,7 +187,13 @@ void Run(const Flags& flags) {
 
 int main(int argc, char** argv) {
   dpr::Flags flags(argc, argv);
-  printf("bench_fig16_recovery (quick=%d)\n", flags.GetBool("quick", true));
-  dpr::Run(flags);
+  printf("bench_fig16_recovery (quick=%d; --live_rescale kills a live-"
+         "migrated joiner; --ckpt_fixed reverts to fixed full fold-overs)\n",
+         flags.GetBool("quick", true) ? 1 : 0);
+  if (flags.GetBool("live_rescale", false)) {
+    dpr::RunLiveRescale(flags);
+  } else {
+    dpr::Run(flags);
+  }
   return 0;
 }

@@ -335,11 +335,14 @@ std::vector<TimelineSample> RunTimelineDriver(
   const double total_seconds = options.duration_ms / 1000.0;
   while (timer.ElapsedSeconds() < total_seconds) {
     SleepMicros(interval_ms * 1000);
-    const double t = timer.ElapsedSeconds();
+    double t = timer.ElapsedSeconds();
     while (next_event < events.size() && events[next_event].first <= t) {
       events[next_event].second();
       ++next_event;
     }
+    // Re-stamp after the events: a callback that blocks (an inline recovery)
+    // must widen this sample's dt, not get charged to the old window.
+    t = timer.ElapsedSeconds();
     uint64_t completed = 0;
     uint64_t committed = 0;
     uint64_t aborted = 0;

@@ -159,6 +159,48 @@ else
   say "shim lint clean"
 fi
 
+# Checkpoint-cadence lint: checkpoint scheduling is owned by the cadence
+# controller (src/ckpt/cadence.h) — a timer loop that sleeps a fixed
+# checkpoint_interval and fires PerformCheckpoint/TryCommit re-creates the
+# pre-controller behavior (no adaptivity, no idle skips, no RPO policy) and
+# silently forks the cadence logic. Flag any sleep/wait on a
+# checkpoint_interval expression inside a file that also drives checkpoints,
+# outside the controller plane itself. Escape hatch: `ckpt-lint: allowed`
+# plus a justification on the line or the line above (e.g. GC pacing that
+# merely borrows the interval constant, or the controller-driven loop).
+say "lint: fixed-interval checkpoint timer loops outside the cadence controller"
+ckpt_candidates=$(find "${LINT_DIRS[@]}" -name '*.cc' \
+    -not -path '*ckpt/*' 2>/dev/null | sort || true)
+ckpt_files=""
+if [ -n "$ckpt_candidates" ]; then
+  # Only files that actually drive checkpoints can host a rogue timer loop.
+  # shellcheck disable=SC2086
+  ckpt_files=$(grep -lE '(PerformCheckpoint|TryCommit)[ \t]*\(' \
+      $ckpt_candidates 2>/dev/null || true)
+fi
+ckpt_hits=""
+if [ -n "$ckpt_files" ]; then
+  # shellcheck disable=SC2086
+  ckpt_hits=$(awk '
+    FNR == 1 { prev = "" }
+    {
+      code = $0
+      sub(/\/\/.*/, "", code)
+      if (code ~ /(SleepMicros|SleepFor|sleep_for|WaitFor)[ \t]*\(/ &&
+          code ~ /checkpoint_interval/ &&
+          prev !~ /ckpt-lint: allowed/ && $0 !~ /ckpt-lint: allowed/)
+        printf "%s:%d: %s\n", FILENAME, FNR, $0
+      prev = $0
+    }
+  ' $ckpt_files || true)
+fi
+if [ -n "$ckpt_hits" ]; then
+  printf '%s\n' "$ckpt_hits"
+  fail "fixed-interval checkpoint timer loop; drive cadence through CkptCadenceController (src/ckpt/) or mark the line ckpt-lint: allowed"
+else
+  say "ckpt lint clean"
+fi
+
 if [ "$LINT_ONLY" -eq 1 ]; then
   exit "$FAILED"
 fi

@@ -50,8 +50,43 @@ DFasterWorker::DFasterWorker(DFasterWorkerConfig config)
   store_ = std::make_unique<FasterStore>(std::move(config_.faster));
   if (config_.mode == RecoverabilityMode::kDpr) {
     config_.dpr.worker_id = config_.id;
+    if (!config_.dpr.ckpt_signals) {
+      // Feed the cadence controller live signals from this shard's store
+      // and the box-wide obs gauges (safe: store_ outlives dpr_worker_).
+      config_.dpr.ckpt_signals = [this] { return CollectCkptSignals(); };
+    }
     dpr_worker_ = std::make_unique<DprWorker>(store_.get(), config_.dpr);
   }
+}
+
+CkptSignals DFasterWorker::CollectCkptSignals() const {
+  struct SignalGauges {
+    Gauge* exception_list;
+    Gauge* sched_pending;
+  };
+  static const SignalGauges g = [] {
+    MetricsRegistry& r = MetricsRegistry::Default();
+    return SignalGauges{r.gauge("dpr.session.exception_list"),
+                        r.gauge("storage.sched.pending")};
+  }();
+  CkptSignals s;
+  const LogAddress tail = store_->tail_address();
+  const LogAddress ro = store_->read_only_address();
+  s.dirty_bytes = tail > ro ? tail - ro : 0;
+  if (s.dirty_bytes == 0 && dpr_worker_ != nullptr &&
+      store_->CurrentVersion() > dpr_worker_->last_reported()) {
+    // The store's version advanced outside the commit pipeline (a
+    // compaction stamp, a fast-forward) and the finder has not heard about
+    // it. The cut cannot cover that version until this shard checkpoints
+    // once more, so it must not read as idle — progress waits on it
+    // (FinishCompaction's commit barrier, cross-worker Vmax catch-up).
+    s.dirty_bytes = 1;
+  }
+  s.committed_watermark =
+      dpr_worker_ != nullptr ? dpr_worker_->persisted_watermark() : 0;
+  s.exception_list_len = g.exception_list->value();
+  s.storage_queue_depth = g.sched_pending->value();
+  return s;
 }
 
 DFasterWorker::~DFasterWorker() { Stop(); }
@@ -88,13 +123,25 @@ void DFasterWorker::Stop() {
 }
 
 void DFasterWorker::EventualTimerLoop() {
-  // "No DPR": checkpoint on a local timer without coordination or reporting.
+  // "No DPR": checkpoint on a local timer without coordination or
+  // reporting. Cadence still comes from the controller — uncoordinated
+  // does not mean unscheduled, and idle kEventual shards skip fsyncs too.
+  CkptCadenceController controller(
+      config_.dpr.ckpt_policy.Resolve(config_.dpr.checkpoint_interval_us));
+  uint64_t delay_us = config_.dpr.checkpoint_interval_us;
   while (!stop_.load(std::memory_order_acquire)) {
-    SleepMicros(config_.dpr.checkpoint_interval_us);
+    SleepMicros(delay_us);
     if (stop_.load(std::memory_order_acquire)) break;
+    const CkptDecision decision =
+        controller.Decide(CollectCkptSignals(), NowMicros());
+    delay_us = decision.next_delay_us;
+    if (decision.action == CkptAction::kSkip) continue;
     Version token;
-    Status s = store_->PerformCheckpoint(store_->CurrentVersion() + 1,
-                                         nullptr, &token);
+    Status s = store_->PerformCheckpoint(
+        store_->CurrentVersion() + 1, nullptr, &token,
+        CheckpointHints{
+            .index_image = controller.policy().adaptive,
+            .delta = decision.action == CkptAction::kDelta});
     if (!s.ok() && !s.IsBusy()) {
       DPR_WARN("eventual checkpoint: %s", s.ToString().c_str());
     }
@@ -107,6 +154,8 @@ void DFasterWorker::GcLoop() {
   // cut covers the compaction checkpoint (only entries inside the DPR
   // guarantee are ever dropped).
   while (!stop_.load(std::memory_order_acquire)) {
+    // GC pacing only — checkpoint cadence lives in the controller.
+    // ckpt-lint: allowed
     SleepMicros(config_.dpr.checkpoint_interval_us + 1000);
     if (stop_.load(std::memory_order_acquire)) break;
     const Version watermark = dpr_worker_->persisted_watermark();

@@ -151,6 +151,9 @@ class DFasterWorker {
   void ExecuteBatchInternal(const KvBatchRequest& request,
                             KvBatchResponse* response, bool check_ownership);
   void EventualTimerLoop();
+  /// Samples the live cadence signals for this shard: store dirty bytes,
+  /// DPR watermark, exception-list and fsync-scheduler gauges.
+  CkptSignals CollectCkptSignals() const;
 
   DFasterWorkerConfig config_;
   std::unique_ptr<FasterStore> store_;

@@ -261,6 +261,10 @@ DprSession::CommitPoint DprSession::HandleFailure(WorldLine new_world_line,
   // is preserved across the world-line shift.
   segments_.clear();
   deps_.clear();
+  // ComputePointLocked above published the pre-rollback exception-list
+  // occupancy; with the segments discarded the list is empty — re-zero the
+  // gauge or it leaks the stale count until the next commit-point query.
+  Metrics().exception_list->Set(0);
   for (auto& [w, v] : watermarks_) {
     const Version cv = CutVersion(recovery_cut, w);
     if (v > cv) v = cv;

@@ -27,6 +27,20 @@ namespace dpr {
 /// any version that executed operations becomes a token before the worker's
 /// row can advance past it — see DESIGN.md). The store's current version then
 /// resumes strictly above any pre-rollback version.
+/// Advice the cadence controller attaches to a checkpoint request. Hints
+/// are best-effort: a store that only knows full fold-overs ignores them,
+/// and a store asked for a delta with no usable base persists a full image
+/// instead. Correctness never depends on a hint being honored.
+struct CheckpointHints {
+  /// Persist a hash-index image with the checkpoint meta record so a
+  /// restore can skip the full log scan (FasterStore: WAL record types
+  /// kMetaFullIndex / kMetaDelta).
+  bool index_image = false;
+  /// Persist only the index buckets dirtied since the newest durable
+  /// image checkpoint (the chain base) instead of a full image.
+  bool delta = false;
+};
+
 class StateObject {
  public:
   virtual ~StateObject() = default;
@@ -38,6 +52,16 @@ class StateObject {
   virtual Status PerformCheckpoint(Version target_version,
                                    PersistCallback on_persistent,
                                    Version* out_token) = 0;
+
+  /// Hinted variant used by the cadence controller. The default ignores
+  /// the hints, so stores without incremental support need no changes.
+  virtual Status PerformCheckpoint(Version target_version,
+                                   PersistCallback on_persistent,
+                                   Version* out_token,
+                                   const CheckpointHints& /*hints*/) {
+    return PerformCheckpoint(target_version, std::move(on_persistent),
+                             out_token);
+  }
 
   /// Rolls back to the largest durable token <= `version` and resumes
   /// execution in a fresh version above everything pre-rollback. Fills

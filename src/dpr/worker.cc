@@ -94,22 +94,48 @@ void DprWorker::Stop() {
 }
 
 void DprWorker::TimerLoop() {
+  // Cadence is owned by the controller (src/ckpt/): every tick samples the
+  // live signals, asks for a decision, and sleeps whatever the controller
+  // returns — checkpoint_interval_us only seeds the first wait and bounds
+  // the cadence via CkptPolicy::Resolve. (ckpt-lint: allowed — this IS the
+  // controller-driven loop.)
+  CkptCadenceController controller(
+      options_.ckpt_policy.Resolve(options_.checkpoint_interval_us));
+  uint64_t delay_us = options_.checkpoint_interval_us;
   while (true) {
     {
       // Interruptible wait: Stop() flips stop_ under timer_mu_ and notifies,
       // so shutdown returns immediately instead of sleeping out the interval.
       MutexLock lock(timer_mu_);
       timer_cv_.WaitFor(
-          timer_mu_, std::chrono::microseconds(options_.checkpoint_interval_us),
+          timer_mu_, std::chrono::microseconds(delay_us),
           [this] { return stop_.load(std::memory_order_acquire); });
       if (stop_.load(std::memory_order_acquire)) return;
     }
     // Work runs outside timer_mu_ so Stop() never blocks on a checkpoint.
-    Status s = TryCommit(0);
-    if (!s.ok() && !s.IsRetryable()) {
-      DPR_WARN("worker %u commit: %s", options_.worker_id,
-               s.ToString().c_str());
+    CkptSignals signals;
+    if (options_.ckpt_signals) {
+      signals = options_.ckpt_signals();
+    } else {
+      // No sampler: assume always-dirty so the controller never skips.
+      signals.dirty_bytes = 1;
+      signals.committed_watermark =
+          persisted_watermark_.load(std::memory_order_acquire);
     }
+    const CkptDecision decision = controller.Decide(signals, NowMicros());
+    delay_us = decision.next_delay_us;
+    if (decision.action != CkptAction::kSkip) {
+      const bool delta = decision.action == CkptAction::kDelta;
+      Status s = TryCommit(
+          0, CheckpointHints{.index_image = controller.policy().adaptive,
+                             .delta = delta});
+      if (!s.ok() && !s.IsRetryable()) {
+        DPR_WARN("worker %u commit: %s", options_.worker_id,
+                 s.ToString().c_str());
+      }
+    }
+    // Skipped ticks still refresh: commit-point propagation must not stall
+    // on an idle shard (responses piggyback this watermark).
     RefreshPersistedWatermark();
   }
 }
@@ -173,7 +199,8 @@ void DprWorker::FillResponse(Version executed_version,
       persisted_watermark_.load(std::memory_order_acquire);
 }
 
-Status DprWorker::TryCommit(Version target_version) {
+Status DprWorker::TryCommit(Version target_version,
+                            const CheckpointHints& hints) {
   if (in_recovery_.load(std::memory_order_acquire)) {
     return Status::Unavailable("mid-recovery");
   }
@@ -199,7 +226,7 @@ Status DprWorker::TryCommit(Version target_version) {
   Version token = kInvalidVersion;
   Status s = state_object_->PerformCheckpoint(
       target, [this, wl](Version t) { OnCheckpointPersistent(wl, t); },
-      &token);
+      &token, hints);
   version_latch_.UnlockExclusive();
   return s;
 }
@@ -218,6 +245,17 @@ void DprWorker::OnCheckpointPersistent(WorldLine world_line, Version token) {
   if (!s.ok() && !s.IsAborted()) {
     DPR_WARN("worker %u report v%llu: %s", options_.worker_id,
              static_cast<unsigned long long>(token), s.ToString().c_str());
+    // The report never reached the tracking plane, and the drained set was
+    // the only record of what (last_reported, token] depends on. Re-stage it
+    // at `token` so the next successful report folds it back in — dropping
+    // it here lets a later report advance the cut past `token` without its
+    // dependencies, breaking dependency closure (P2). Skipped when a
+    // rollback intervened (Aborted above, or the world-line check here):
+    // the tracker was cleared and these deps describe an erased world-line.
+    if (!deps.empty() &&
+        world_line_.load(std::memory_order_acquire) == world_line) {
+      deps_.Record(/*session_id=*/0, token, deps, options_.worker_id);
+    }
   }
   RefreshPersistedWatermark();
 }

@@ -2,8 +2,10 @@
 #define DPR_DPR_WORKER_H_
 
 #include <atomic>
+#include <functional>
 #include <thread>
 
+#include "ckpt/cadence.h"
 #include "common/latch.h"
 #include "common/status.h"
 #include "common/sync.h"
@@ -28,6 +30,15 @@ struct DprWorkerOptions {
   /// power of two); sessions hash to stripes, so admission of concurrent
   /// batches from different sessions never contends on one lock.
   uint32_t dep_tracker_shards = VersionDependencyTracker::kDefaultShards;
+  /// Checkpoint cadence policy (src/ckpt/). Zero-valued intervals derive
+  /// from checkpoint_interval_us, which stays the RPO ceiling; set
+  /// adaptive=false for the historical fixed-interval full fold-overs.
+  CkptPolicy ckpt_policy;
+  /// Signal sampler polled before every cadence decision (dirty bytes,
+  /// exception-list occupancy, fsync queue depth). Unset: the controller
+  /// assumes the store is always dirty — no idle skips, cadence at the RPO
+  /// ceiling — so signal-less workers keep checkpointing unconditionally.
+  std::function<CkptSignals()> ckpt_signals;
 };
 
 /// Server-side libDPR (paper §6): wraps any StateObject with the DPR
@@ -74,8 +85,11 @@ class DprWorker {
 
   /// Triggers a commit now. target 0 means current+1 (with Vmax
   /// fast-forward when enabled). Returns Busy if the store is already
-  /// checkpointing; that is benign (the timer will retry).
-  Status TryCommit(Version target_version = 0);
+  /// checkpointing; that is benign (the timer will retry). `hints` are
+  /// forwarded to the store (see CheckpointHints); the default asks for
+  /// the store's legacy full fold-over.
+  Status TryCommit(Version target_version = 0,
+                   const CheckpointHints& hints = CheckpointHints{});
 
   /// Rolls the store back to `safe_version` on world-line `new_world_line`
   /// (invoked by the cluster manager during recovery, §4).

@@ -9,6 +9,7 @@
 #include "common/coding.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "storage/checkpoint_file.h"
 #include "storage/fsync_scheduler.h"
 
 namespace dpr {
@@ -18,6 +19,12 @@ namespace {
 constexpr uint8_t kMetaCheckpoint = 1;
 constexpr uint8_t kMetaRollback = 2;
 constexpr uint8_t kMetaBegin = 3;  // durable log-begin advance (compaction)
+// Checkpoint records carrying a hash-index image (DESIGN.md §4j):
+//   kMetaFullIndex: type, token, boundary, record_count, IndexImage
+//   kMetaDelta:     type, token, boundary, base_token, record_count,
+//                   IndexImage (only buckets dirtied since base_token)
+constexpr uint8_t kMetaFullIndex = 4;
+constexpr uint8_t kMetaDelta = 5;
 constexpr size_t kMaxValueSize = 4096;
 
 struct StoreMetrics {
@@ -28,6 +35,14 @@ struct StoreMetrics {
   ShardedHistogram* stamp_us;        // metadata-only version-bump phase
   ShardedHistogram* flush_us;        // I/O phase, dequeue -> durable
   ShardedHistogram* stamp_to_durable_us;  // enqueue -> callback, total
+  // ckpt.* plane: per-checkpoint byte accounting and restore-path counts.
+  Counter* ckpt_full;                // durable checkpoints with a full image
+  Counter* ckpt_delta;               // durable checkpoints with a delta image
+  Counter* ckpt_log_bytes;           // log bytes flushed for checkpoints
+  Counter* ckpt_index_bytes;         // meta-WAL bytes for checkpoint records
+  Counter* ckpt_chain_restores;      // restores served from an image chain
+  Counter* ckpt_scan_restores;       // restores that fell back to a log scan
+  Gauge* ckpt_chain_length;          // links installed by the last restore
 };
 
 const StoreMetrics& Metrics() {
@@ -39,7 +54,14 @@ const StoreMetrics& Metrics() {
                         r.gauge("faster.flush_queue_depth"),
                         r.histogram("faster.checkpoint.stamp_us"),
                         r.histogram("faster.checkpoint.flush_us"),
-                        r.histogram("faster.checkpoint.stamp_to_durable_us")};
+                        r.histogram("faster.checkpoint.stamp_to_durable_us"),
+                        r.counter("ckpt.full"),
+                        r.counter("ckpt.delta"),
+                        r.counter("ckpt.log_bytes_persisted"),
+                        r.counter("ckpt.index_bytes_persisted"),
+                        r.counter("ckpt.chain_restores"),
+                        r.counter("ckpt.scan_restores"),
+                        r.gauge("ckpt.chain_length")};
   }();
   return m;
 }
@@ -297,6 +319,14 @@ Status FasterStore::UpsertInternal(uint64_t key, Slice value) {
 Status FasterStore::PerformCheckpoint(Version target_version,
                                       PersistCallback on_persist,
                                       Version* out_token) {
+  return PerformCheckpoint(target_version, std::move(on_persist), out_token,
+                           CheckpointHints{});
+}
+
+Status FasterStore::PerformCheckpoint(Version target_version,
+                                      PersistCallback on_persist,
+                                      Version* out_token,
+                                      const CheckpointHints& hints) {
   if (crashed_.load(std::memory_order_acquire)) {
     return Status::Unavailable("store crashed");
   }
@@ -325,8 +355,10 @@ Status FasterStore::PerformCheckpoint(Version target_version,
   const uint64_t enqueue_us = NowMicros();
   {
     MutexLock guard(flush_mu_);
-    flush_queue_.push_back(
-        FlushRequest{token, boundary, std::move(on_persist), enqueue_us});
+    flush_queue_.push_back(FlushRequest{
+        token, boundary, std::move(on_persist), enqueue_us,
+        hints.index_image, hints.delta,
+        record_count_.load(std::memory_order_relaxed)});
     Metrics().flush_queue_depth->Set(
         static_cast<int64_t>(flush_queue_.size()));
   }
@@ -417,12 +449,36 @@ void FasterStore::FlushLoop() {
     const LogAddress from = flushed_until_.load(std::memory_order_acquire);
     Status s = Status::OK();
     if (req.boundary > from) s = FlushRange(from, req.boundary);
-    if (s.ok()) s = AppendCheckpointMeta(kMetaCheckpoint, req.token,
-                                         req.boundary);
+    uint64_t meta_bytes = 0;
+    Version base = kInvalidVersion;
+    if (s.ok()) {
+      if (req.index_image) {
+        // The base is chosen here, at flush time, against the *durable*
+        // checkpoint set: a failed earlier flush simply widens the delta
+        // (dirtiness is judged per bucket as head-version > base, which is
+        // valid for any durable image base — chain versions only decrease
+        // walking backwards).
+        if (req.delta && !force_full_next_.load(std::memory_order_acquire)) {
+          MutexLock guard(checkpoints_mu_);
+          base = LargestImageBaseLocked();
+        }
+        const std::string rec = EncodeIndexMetaRecord(req, base);
+        meta_bytes = rec.size();
+        s = meta_wal_.Append(rec);
+        if (s.ok()) s = meta_wal_.Sync();
+      } else {
+        s = AppendCheckpointMeta(kMetaCheckpoint, req.token, req.boundary);
+        meta_bytes = 17;
+      }
+    }
     if (s.ok()) {
       {
         MutexLock guard(checkpoints_mu_);
-        checkpoints_[req.token] = req.boundary;
+        checkpoints_[req.token] =
+            CkptEntry{req.boundary, base, req.index_image};
+      }
+      if (req.index_image && base == kInvalidVersion) {
+        force_full_next_.store(false, std::memory_order_release);
       }
       if (req.boundary > from) {
         flushed_until_.store(req.boundary, std::memory_order_release);
@@ -433,7 +489,23 @@ void FasterStore::FlushLoop() {
       if (req.enqueue_us != 0 && done_us > req.enqueue_us) {
         Metrics().stamp_to_durable_us->Record(done_us - req.enqueue_us);
       }
+      if (req.boundary > from) {
+        Metrics().ckpt_log_bytes->Add(req.boundary - from);
+      }
+      Metrics().ckpt_index_bytes->Add(meta_bytes);
+      if (req.index_image) {
+        (base == kInvalidVersion ? Metrics().ckpt_full
+                                 : Metrics().ckpt_delta)
+            ->Add();
+      }
     } else {
+      // Failure path invariants (regression-tested with the kDevWriteFail
+      // probe): flushed_until_ stays at `from`, so the next checkpoint's
+      // flush idempotently re-covers [from, its boundary); the token is
+      // NOT registered durable and the callback never fires, so DPR never
+      // reports it; checkpoint_active_/flush_in_progress_ are still reset
+      // below, so the next PerformCheckpoint is admitted and
+      // WaitForCheckpoints cannot hang on a wedged pipeline.
       Metrics().flush_failures->Add();
       DPR_ERROR("checkpoint v%llu flush failed: %s",
                 static_cast<unsigned long long>(req.token),
@@ -445,12 +517,154 @@ void FasterStore::FlushLoop() {
     {
       MutexLock guard(flush_mu_);
       flush_in_progress_ = false;
+      // Success or failure, release the checkpoint claim once the queue is
+      // drained (PerformCheckpoint admits one request at a time, so the
+      // queue is empty here in practice; the guard is belt-and-braces for
+      // future multi-request producers).
       if (flush_queue_.empty()) {
         checkpoint_active_.store(false, std::memory_order_release);
       }
     }
     flush_idle_cv_.NotifyAll();
   }
+}
+
+// Largest durable checkpoint carrying an index image: the only valid delta
+// base (dirtiness is judged against what that image already covers).
+Version FasterStore::LargestImageBaseLocked() const {
+  for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it) {
+    if (it->second.has_index) return it->first;
+  }
+  return kInvalidVersion;
+}
+
+std::string FasterStore::EncodeIndexMetaRecord(const FlushRequest& req,
+                                               Version base) {
+  const bool delta = base != kInvalidVersion;
+  std::string rec(1, static_cast<char>(delta ? kMetaDelta : kMetaFullIndex));
+  PutFixed64(&rec, req.token);
+  PutFixed64(&rec, req.boundary);
+  if (delta) PutFixed64(&rec, base);
+  PutFixed64(&rec, req.record_count);
+  // Capture the image under epoch protection: a concurrent FinishCompaction
+  // may otherwise reclaim pages below a freshly advanced begin address while
+  // we walk chains into them.
+  epoch_.Protect();
+  const LogAddress begin = begin_.load(std::memory_order_acquire);
+  IndexImage image;
+  const uint64_t buckets = index_.bucket_count();
+  for (uint64_t b = 0; b < buckets; ++b) {
+    // Sub-boundary head: everything at or above the checkpoint boundary
+    // belongs to later versions and must not leak into this image. The
+    // walk only dereferences addresses >= boundary > begin, which cannot
+    // be reclaimed while we are epoch-protected.
+    LogAddress addr = index_.HeadAt(b);
+    while (addr != kNullAddress && addr >= req.boundary) {
+      addr = log_.RecordAt(addr)->prev;
+    }
+    if (addr == kNullAddress || addr < begin) continue;
+    if (delta) {
+      // Dirty iff the bucket's newest sub-boundary record was written
+      // after `base`: chain versions are non-increasing walking backwards
+      // (prev is always an older append), in-place updates re-stamp the
+      // current version, and admission blocks them while a checkpoint is
+      // active — so head version <= base implies the whole sub-boundary
+      // chain is exactly what the base image already recorded.
+      if (log_.RecordAt(addr)->version <= base) continue;
+    }
+    image.pairs.emplace_back(static_cast<uint32_t>(b), addr);
+  }
+  epoch_.Unprotect();
+  image.AppendTo(&rec);
+  return rec;
+}
+
+bool FasterStore::ResolveChainLocked(Version token,
+                                     std::vector<Version>* chain) const {
+  chain->clear();
+  Version cur = token;
+  for (;;) {
+    auto it = checkpoints_.find(cur);
+    if (it == checkpoints_.end() || !it->second.has_index) {
+      chain->clear();
+      return false;
+    }
+    chain->push_back(cur);
+    if (it->second.base == kInvalidVersion) break;  // reached the full image
+    cur = it->second.base;
+  }
+  std::reverse(chain->begin(), chain->end());
+  return true;
+}
+
+Status FasterStore::InstallChainImages(const std::vector<Version>& chain,
+                                       uint64_t* restored_record_count) {
+  // Re-replay the meta WAL collecting the newest valid image payload per
+  // chain token. Token numbers can recur across world lines (a rollback to
+  // T revives version T+1), so this maintains the same erasure state
+  // machine as checkpoint registration: a rollback drops collected images
+  // above its point, a begin-advance drops images below its compaction
+  // token — whatever survives is exactly what checkpoints_ says is live.
+  struct Collected {
+    uint8_t type = 0;
+    std::string payload;  // bytes after the token field
+  };
+  std::map<Version, Collected> payloads;
+  Status replay = meta_wal_.Replay([&](uint64_t, Slice record) {
+    Decoder dec(record);
+    uint8_t type;
+    uint64_t token;
+    if (!dec.GetBytes(&type, 1) || !dec.GetFixed64(&token)) return;
+    if (type == kMetaRollback) {
+      for (auto it = payloads.upper_bound(token); it != payloads.end();) {
+        it = payloads.erase(it);
+      }
+      return;
+    }
+    if (type == kMetaBegin) {
+      for (auto it = payloads.begin();
+           it != payloads.end() && it->first < token;) {
+        it = payloads.erase(it);
+      }
+      return;
+    }
+    if (type != kMetaFullIndex && type != kMetaDelta) return;
+    if (!std::binary_search(chain.begin(), chain.end(), token)) return;
+    payloads[token] =
+        Collected{type, std::string(dec.position(), dec.remaining())};
+  });
+  DPR_RETURN_NOT_OK(replay);
+  uint64_t record_count = 0;
+  for (const Version token : chain) {
+    auto it = payloads.find(token);
+    if (it == payloads.end()) {
+      return Status::Corruption("chain image missing from meta WAL");
+    }
+    // Payload cursor (the type byte and token were consumed above):
+    // boundary, [base], record_count, image.
+    Decoder dec(Slice(it->second.payload));
+    uint64_t boundary;
+    uint64_t base = kInvalidVersion;
+    if (!dec.GetFixed64(&boundary)) {
+      return Status::Corruption("truncated chain image");
+    }
+    if (it->second.type == kMetaDelta && !dec.GetFixed64(&base)) {
+      return Status::Corruption("truncated chain image");
+    }
+    if (!dec.GetFixed64(&record_count)) {
+      return Status::Corruption("truncated chain image");
+    }
+    IndexImage image;
+    if (!image.ParseFrom(&dec)) {
+      return Status::Corruption("truncated chain image");
+    }
+    for (const auto& [bucket, head] : image.pairs) {
+      index_.SetHeadAt(bucket, head);
+    }
+  }
+  // The anchor (last link) stamped its record count with the image.
+  *restored_record_count = record_count;
+  return Status::OK();
 }
 
 void FasterStore::WaitForCheckpoints() {
@@ -494,7 +708,7 @@ Status FasterStore::StartCompaction(Version safe_token,
     if (it == checkpoints_.end()) {
       return Status::NotFound("safe token has no durable checkpoint");
     }
-    until = it->second;
+    until = it->second.boundary;
   }
   const LogAddress begin = begin_.load(std::memory_order_acquire);
   if (until <= begin) {
@@ -538,11 +752,15 @@ Status FasterStore::StartCompaction(Version safe_token,
     }
     pos += rec->size();
   }
-  // Checkpoint the copies; `token` is the compaction checkpoint.
+  // Checkpoint the copies; `token` is the compaction checkpoint. Forced
+  // full-with-image: FinishCompaction drops every older checkpoint, so this
+  // token becomes the terminating base for all post-compaction delta chains
+  // (an image-less compaction checkpoint would doom them to scan restores).
   Status s;
   Version token = kInvalidVersion;
   for (int attempt = 0; attempt < 64; ++attempt) {
-    s = PerformCheckpoint(CurrentVersion() + 1, nullptr, &token);
+    s = PerformCheckpoint(CurrentVersion() + 1, nullptr, &token,
+                          CheckpointHints{.index_image = true, .delta = false});
     if (!s.IsBusy()) break;
     WaitForCheckpoints();  // a timer-triggered checkpoint was in flight
   }
@@ -603,6 +821,7 @@ Status FasterStore::RestoreCheckpoint(Version version,
   WaitForCheckpoints();
 
   Version token = kInvalidVersion;
+  Version anchor = kInvalidVersion;
   LogAddress boundary = LogAllocator::kBeginAddress;
   LogAddress cover_boundary = LogAllocator::kBeginAddress;
   {
@@ -612,11 +831,12 @@ Status FasterStore::RestoreCheckpoint(Version version,
     for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it) {
       if (it->first <= version) {
         token = it->first;
-        boundary = it->second;
+        boundary = it->second.boundary;
         break;
       }
     }
     cover_boundary = boundary;
+    anchor = token;
     if (token != version) {
       // The requested version sits in a token gap (its own checkpoint flush
       // failed). The cut only ever contains reported versions, so a later
@@ -627,12 +847,13 @@ Status FasterStore::RestoreCheckpoint(Version version,
       auto cover = checkpoints_.upper_bound(version);
       if (cover != checkpoints_.end()) {
         token = version;
-        cover_boundary = cover->second;
+        anchor = cover->first;
+        cover_boundary = cover->second.boundary;
       }
     }
   }
   Status s = crashed_.load(std::memory_order_acquire)
-                 ? ColdRecover(token, boundary, cover_boundary)
+                 ? ColdRecover(token, boundary, cover_boundary, anchor)
                  : InMemoryRollback(token, boundary, cover_boundary);
   if (s.ok() && restored_token != nullptr) *restored_token = token;
   return s;
@@ -705,11 +926,15 @@ Status FasterStore::InMemoryRollback(Version token, LogAddress boundary,
     // undershoot to `boundary` and lose the (boundary, cover] prefix again.
     {
       MutexLock guard(checkpoints_mu_);
-      checkpoints_[token] = cover_boundary;
+      checkpoints_[token] = CkptEntry{cover_boundary};
     }
     DPR_RETURN_NOT_OK(
         AppendCheckpointMeta(kMetaCheckpoint, token, cover_boundary));
   }
+
+  // A delta chain must never span a rollback: the registered mid-gap entry
+  // is image-less, and invalid marks changed buckets behind every base.
+  force_full_next_.store(true, std::memory_order_release);
 
   // Nothing pre-rollback may be updated in place anymore.
   read_only_address_.store(purge_end, std::memory_order_release);
@@ -723,7 +948,7 @@ Status FasterStore::InMemoryRollback(Version token, LogAddress boundary,
 }
 
 Status FasterStore::ColdRecover(Version token, LogAddress boundary,
-                                LogAddress cover_boundary) {
+                                LogAddress cover_boundary, Version anchor) {
   log_.Clear();
   index_.Clear();
   record_count_.store(0, std::memory_order_relaxed);
@@ -743,34 +968,81 @@ Status FasterStore::ColdRecover(Version token, LogAddress boundary,
     memcpy(log_.Resolve(pos), buf.data(), n);
     pos += n;
   }
-  // Rebuild the hash index by forward scan: the stored prev pointers are
-  // internally consistent within the restored prefix, so installing each
-  // record as its bucket's head in log order reproduces the chains. Records
-  // in the (token, cover] overshoot get invalid marks instead — they must
-  // never resurrect once post-recovery versions reuse the same numbers.
-  const uint64_t page_mask = log_.page_size() - 1;
-  pos = begin_.load(std::memory_order_acquire);
-  uint64_t records = 0;
-  while (pos < cover_boundary) {
-    if (log_.page_size() - (pos & page_mask) < sizeof(RecordHeader)) {
-      pos = (pos | page_mask) + 1;
-      continue;
-    }
-    RecordHeader* rec = log_.RecordAt(pos);
-    if (rec->key == 0 && rec->version == 0 && rec->value_size == 0 &&
-        rec->LoadFlags() == 0) {
-      pos = (pos | page_mask) + 1;
-      continue;
-    }
-    if (!rec->pad() && rec->version > token) {
-      rec->SetFlag(RecordHeader::kInvalid);
-    } else if (!rec->pad() && !rec->invalid() && rec->version <= token) {
-      index_.SetHead(rec->key, pos);
-      ++records;
-    }
-    pos += rec->size();
+  // Fast path: when the anchor checkpoint (the one whose flushed prefix is
+  // being restored) carries an index image, install its delta chain — base
+  // first, each delta overlaying its predecessor — instead of scanning the
+  // whole restored prefix. Falls back to the scan when any chain link lost
+  // its image (legacy checkpoints, rollback mid-gap entries).
+  std::vector<Version> chain;
+  {
+    MutexLock guard(checkpoints_mu_);
+    ResolveChainLocked(anchor, &chain);
   }
-  record_count_.store(records, std::memory_order_relaxed);
+  const uint64_t page_mask = log_.page_size() - 1;
+  uint64_t chain_count = 0;
+  bool chain_restored =
+      !chain.empty() && InstallChainImages(chain, &chain_count).ok();
+  if (chain_restored) {
+    Metrics().ckpt_chain_restores->Add();
+    Metrics().ckpt_chain_length->Set(static_cast<int64_t>(chain.size()));
+    // Only the covering overshoot needs a walk: records with versions in
+    // (token, anchor] must carry invalid marks before post-recovery
+    // versions reuse the same numbers. An exact restore skips even this —
+    // recovery cost is O(image), independent of log size.
+    uint64_t invalidated = 0;
+    pos = std::max(boundary, begin_.load(std::memory_order_acquire));
+    while (pos < cover_boundary) {
+      if (log_.page_size() - (pos & page_mask) < sizeof(RecordHeader)) {
+        pos = (pos | page_mask) + 1;
+        continue;
+      }
+      RecordHeader* rec = log_.RecordAt(pos);
+      if (rec->key == 0 && rec->version == 0 && rec->value_size == 0 &&
+          rec->LoadFlags() == 0) {
+        pos = (pos | page_mask) + 1;
+        continue;
+      }
+      if (!rec->pad() && !rec->invalid() && rec->version > token) {
+        rec->SetFlag(RecordHeader::kInvalid);
+        ++invalidated;
+      }
+      pos += rec->size();
+    }
+    record_count_.store(
+        chain_count > invalidated ? chain_count - invalidated : 0,
+        std::memory_order_relaxed);
+  } else {
+    if (!chain.empty()) index_.Clear();  // discard a partial install
+    Metrics().ckpt_scan_restores->Add();
+    // Rebuild the hash index by forward scan: the stored prev pointers are
+    // internally consistent within the restored prefix, so installing each
+    // record as its bucket's head in log order reproduces the chains.
+    // Records in the (token, cover] overshoot get invalid marks instead —
+    // they must never resurrect once post-recovery versions reuse the same
+    // numbers.
+    pos = begin_.load(std::memory_order_acquire);
+    uint64_t records = 0;
+    while (pos < cover_boundary) {
+      if (log_.page_size() - (pos & page_mask) < sizeof(RecordHeader)) {
+        pos = (pos | page_mask) + 1;
+        continue;
+      }
+      RecordHeader* rec = log_.RecordAt(pos);
+      if (rec->key == 0 && rec->version == 0 && rec->value_size == 0 &&
+          rec->LoadFlags() == 0) {
+        pos = (pos | page_mask) + 1;
+        continue;
+      }
+      if (!rec->pad() && rec->version > token) {
+        rec->SetFlag(RecordHeader::kInvalid);
+      } else if (!rec->pad() && !rec->invalid() && rec->version <= token) {
+        index_.SetHead(rec->key, pos);
+        ++records;
+      }
+      pos += rec->size();
+    }
+    record_count_.store(records, std::memory_order_relaxed);
+  }
   if (cover_boundary > boundary) {
     // Persist the overshoot's invalid marks before trusting the restore.
     const LogAddress mark_base =
@@ -793,13 +1065,17 @@ Status FasterStore::ColdRecover(Version token, LogAddress boundary,
          it != checkpoints_.end();) {
       it = checkpoints_.erase(it);
     }
-    if (cover_boundary > boundary) checkpoints_[token] = cover_boundary;
+    if (cover_boundary > boundary) checkpoints_[token] = CkptEntry{cover_boundary};
   }
   DPR_RETURN_NOT_OK(AppendCheckpointMeta(kMetaRollback, token, boundary));
   if (cover_boundary > boundary) {
     DPR_RETURN_NOT_OK(
         AppendCheckpointMeta(kMetaCheckpoint, token, cover_boundary));
   }
+  // Post-rollback delta chains must restart from a fresh full image: the
+  // mid-gap entry above is image-less and the WAL replay state machine
+  // erases images past the rollback point.
+  force_full_next_.store(true, std::memory_order_release);
   // The rebuilt state carries no pending purge — clear the rollback machine
   // even if a failed in-memory rollback left it mid-THROW/PURGE before the
   // crash escalated to a cold restore.
@@ -834,7 +1110,13 @@ void FasterStore::SimulateCrash() {
         return;
       }
       if (type == kMetaCheckpoint) {
-        checkpoints_[token] = boundary;
+        checkpoints_[token] = CkptEntry{boundary};
+      } else if (type == kMetaFullIndex) {
+        checkpoints_[token] = CkptEntry{boundary, kInvalidVersion, true};
+      } else if (type == kMetaDelta) {
+        uint64_t base;
+        if (!dec.GetFixed64(&base)) return;
+        checkpoints_[token] = CkptEntry{boundary, base, true};
       } else if (type == kMetaRollback) {
         for (auto it = checkpoints_.upper_bound(token);
              it != checkpoints_.end();) {

@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/slice.h"
 #include "common/status.h"
@@ -88,8 +89,18 @@ class FasterStore : public StateObject {
   std::unique_ptr<Session> NewSession();
 
   // --- StateObject (libDPR) interface ---
+  /// Legacy full fold-over: no hash-index image rides in the meta WAL and
+  /// ColdRecover rebuilds the index by scanning the log.
   Status PerformCheckpoint(Version target_version, PersistCallback on_persist,
                            Version* out_token) override;
+  /// Hinted variant (the cadence controller's entry point). With
+  /// hints.index_image the flush thread captures a hash-index image —
+  /// full, or dirty-buckets-only when hints.delta and a durable image base
+  /// exists — and persists it inside the checkpoint meta record, enabling
+  /// chain restores that skip the full log scan.
+  Status PerformCheckpoint(Version target_version, PersistCallback on_persist,
+                           Version* out_token,
+                           const CheckpointHints& hints) override;
   Status RestoreCheckpoint(Version version, Version* restored_token) override;
   Version CurrentVersion() const override {
     return version_.load(std::memory_order_acquire);
@@ -142,6 +153,24 @@ class FasterStore : public StateObject {
     PersistCallback callback;
     /// Enqueue time, for the stamp→durable checkpoint-latency histogram.
     uint64_t enqueue_us = 0;
+    /// CheckpointHints carried to the flush thread, which captures the
+    /// image (the base is chosen at flush time, against durable state).
+    bool index_image = false;
+    bool delta = false;
+    /// Record count at the stamp, persisted with the image so a chain
+    /// restore can reinstate the counter without scanning.
+    uint64_t record_count = 0;
+  };
+
+  /// One durable checkpoint. `base` links a delta image to the newest
+  /// durable image checkpoint it was diffed against (kInvalidVersion for
+  /// full images and image-less legacy checkpoints); `has_index` says an
+  /// index image for this token exists in the meta WAL, making the token
+  /// eligible as a delta base and as a chain-restore anchor.
+  struct CkptEntry {
+    LogAddress boundary = 0;
+    Version base = kInvalidVersion;
+    bool has_index = false;
   };
 
   Status ReadInternal(uint64_t key, std::string* out_str, uint64_t* out_int);
@@ -162,12 +191,34 @@ class FasterStore : public StateObject {
   // its flushed prefix still contains every record with version <= token —
   // and records in (token, cover] get purged. cover_boundary == boundary for
   // an exact-token restore.
+  // `anchor` is the durable checkpoint whose boundary == cover_boundary
+  // (the token itself on an exact restore): when it carries an index
+  // image, recovery installs its delta chain instead of scanning the log.
   Status ColdRecover(Version token, LogAddress boundary,
-                     LogAddress cover_boundary);
+                     LogAddress cover_boundary, Version anchor);
   Status InMemoryRollback(Version token, LogAddress boundary,
                           LogAddress cover_boundary);
   Status AppendCheckpointMeta(uint8_t type, Version token,
                               LogAddress boundary);
+
+  // --- delta-checkpoint machinery (DESIGN.md §4j) ---
+  // Encodes the kMetaFullIndex / kMetaDelta record for `req`, capturing
+  // the index image on the flush thread. `base` (kInvalidVersion for a
+  // full image) must be a durable image checkpoint. Returns the record
+  // size via `bytes`.
+  std::string EncodeIndexMetaRecord(const FlushRequest& req, Version base);
+  // Largest durable token carrying an index image, or kInvalidVersion.
+  Version LargestImageBaseLocked() const REQUIRES(checkpoints_mu_);
+  // Resolves the delta chain ending at `token` (ascending, base first).
+  // Fails (false) when any link lacks an image or left the durable set —
+  // the caller then falls back to the full log scan.
+  bool ResolveChainLocked(Version token, std::vector<Version>* chain) const
+      REQUIRES(checkpoints_mu_);
+  // Replays the meta WAL collecting the newest valid image payload for
+  // each chain token (honoring rollback/compaction erasures), then
+  // installs them ascending so deltas overlay their base.
+  Status InstallChainImages(const std::vector<Version>& chain,
+                            uint64_t* restored_record_count);
 
   FasterOptions options_;
   LightEpoch epoch_;
@@ -196,10 +247,16 @@ class FasterStore : public StateObject {
   std::atomic<bool> crashed_{false};
   std::atomic<uint64_t> record_count_{0};
 
-  // Durable checkpoints: token -> log boundary. Never nests with flush_mu_.
+  // Set after a rollback (either path): the next image checkpoint must be
+  // full, because rollback invalid-marks records and registers image-less
+  // covering entries — a chain must never span a world-line change.
+  // release on set / acquire on the flush-thread read.
+  std::atomic<bool> force_full_next_{false};
+
+  // Durable checkpoints: token -> entry. Never nests with flush_mu_.
   mutable Mutex checkpoints_mu_{LockRank::kStoreCheckpoints,
                                 "faster.checkpoints"};
-  std::map<Version, LogAddress> checkpoints_ GUARDED_BY(checkpoints_mu_);
+  std::map<Version, CkptEntry> checkpoints_ GUARDED_BY(checkpoints_mu_);
   // In-flight compactions: compaction checkpoint token -> new begin address.
   std::map<Version, LogAddress> pending_compactions_
       GUARDED_BY(checkpoints_mu_);

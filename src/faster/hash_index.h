@@ -42,6 +42,17 @@ class HashIndex {
     buckets_[BucketFor(key)].store(address, std::memory_order_release);
   }
 
+  /// Bucket-indexed accessors for checkpoint index images: a full image
+  /// walks every bucket, and a chain restore reinstalls heads by bucket
+  /// number without knowing the keys that hash there.
+  LogAddress HeadAt(uint64_t bucket) const {
+    return buckets_[bucket].load(std::memory_order_acquire);
+  }
+
+  void SetHeadAt(uint64_t bucket, LogAddress address) {
+    buckets_[bucket].store(address, std::memory_order_release);
+  }
+
   void Clear();
 
   uint64_t bucket_count() const { return bucket_count_; }

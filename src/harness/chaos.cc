@@ -32,7 +32,8 @@ std::string ChaosEvent::ToString() const {
                                  "write_fail", "slow_fsync", "rpc_error",
                                  "net_drop",   "net_delay",  "partition",
                                  "slow_fsync_ckpt", "migrate",
-                                 "migrate_part", "migrate_rb"};
+                                 "migrate_part", "migrate_rb",
+                                 "delta-ckpt", "ckpt-storm"};
   std::string out = kNames[static_cast<int>(kind)];
   out += "@" + std::to_string(step) + "(" + std::to_string(a) + "," +
          std::to_string(b) + ")";
@@ -59,7 +60,8 @@ ChaosSchedule ChaosSchedule::Generate(const ChaosOptions& options) {
                           K::kDoubleFailure, K::kNestedFailure,
                           K::kCoordinatorCrash, K::kMidCheckpointFailure,
                           K::kTornWrite,    K::kWriteFailBurst,
-                          K::kSlowFsync,    K::kSlowFsyncDuringCheckpoint};
+                          K::kSlowFsync,    K::kSlowFsyncDuringCheckpoint,
+                          K::kDeltaCheckpoint, K::kCheckpointStorm};
   if (s.remote_finder) {
     // Network and finder-RPC faults only exist on the remote deployment.
     kinds.insert(kinds.end(), {K::kRpcErrorBurst, K::kNetDropBurst,
@@ -410,6 +412,24 @@ class ChaosRunner {
                   .max_fires = 4});
         }
         return MigrateRange(e.a, e.b, e.step, /*barrier=*/true);
+      case K::kDeltaCheckpoint:
+        // A delta checkpoint followed immediately by a crash: the recovery
+        // cut may land on the delta, forcing RestoreCheckpoint to walk the
+        // chain back to its full base (or fall back to the log scan when the
+        // chain is broken — both must reproduce the same store).
+        DPR_RETURN_NOT_OK(Commit(e.a, CheckpointHints{.index_image = true,
+                                                      .delta = true}));
+        return Recover({e.a});
+      case K::kCheckpointStorm: {
+        // Back-to-back checkpoints racing the workload: grows a long delta
+        // chain (every 4th full) with flush requests piling onto the flush
+        // thread. Busy admissions just mean two storm ticks collided.
+        for (int i = 0; i < 8; ++i) {
+          DPR_RETURN_NOT_OK(Commit(
+              e.a, CheckpointHints{.index_image = true, .delta = i % 4 != 3}));
+        }
+        return Status::OK();
+      }
       case K::kMigrateDuringRollback:
         // Install without a barrier, then crash the source: the moved
         // records sit uncommitted at the target entangled with the rolled-
@@ -559,7 +579,16 @@ class ChaosRunner {
   }
 
   Status Commit(WorkerId w) {
-    Status s = workers_[w]->TryCommit();
+    // Workload-driven commits rotate through the image modes (every 4th
+    // persisted as a full image, deltas in between) so every crash event in
+    // the schedule lands on some chain position.
+    const uint64_t n = commit_counter_++;
+    return Commit(w, CheckpointHints{.index_image = true,
+                                     .delta = n % 4 != 0});
+  }
+
+  Status Commit(WorkerId w, const CheckpointHints& hints) {
+    Status s = workers_[w]->TryCommit(0, hints);
     if (!s.ok() && !s.IsBusy() && !s.IsRetryable()) {
       return Violation("TryCommit: " + s.ToString());
     }
@@ -729,6 +758,7 @@ class ChaosRunner {
   std::map<std::pair<uint32_t, uint64_t>, std::vector<ValueWrite>> history_;
   std::vector<PendingOp> pendings_;
   uint64_t value_counter_ = 0;
+  uint64_t commit_counter_ = 0;
 };
 
 }  // namespace

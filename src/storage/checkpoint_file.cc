@@ -31,6 +31,29 @@ Status CheckpointBlob::Write(Device* device, uint64_t offset,
   return SyncIo::Fsync(device);
 }
 
+void IndexImage::AppendTo(std::string* out) const {
+  PutFixed64(out, pairs.size());
+  for (const auto& [bucket, head] : pairs) {
+    PutFixed32(out, bucket);
+    PutFixed64(out, head);
+  }
+}
+
+bool IndexImage::ParseFrom(Decoder* dec) {
+  uint64_t count;
+  if (!dec->GetFixed64(&count)) return false;
+  if (dec->remaining() < count * 12) return false;
+  pairs.clear();
+  pairs.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t bucket;
+    uint64_t head;
+    if (!dec->GetFixed32(&bucket) || !dec->GetFixed64(&head)) return false;
+    pairs.emplace_back(bucket, head);
+  }
+  return true;
+}
+
 Status CheckpointBlob::Read(Device* device, uint64_t offset,
                             std::string* payload, uint64_t* version_token) {
   if (device->Size() < offset + kHeaderSize) {

@@ -3,7 +3,10 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/coding.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "storage/device.h"
@@ -28,6 +31,21 @@ struct CheckpointBlob {
   /// `version_token`. Returns NotFound if there is no valid blob.
   static Status Read(Device* device, uint64_t offset, std::string* payload,
                      uint64_t* version_token);
+};
+
+/// Serialized hash-index image riding inside a checkpoint meta record: a
+/// pair count followed by (bucket, head-address) pairs. A full image lists
+/// every non-empty bucket's sub-boundary head; a delta lists only buckets
+/// dirtied since the chain base. The image is framed by the surrounding WAL
+/// record (length + CRC), so it carries no checksum of its own.
+struct IndexImage {
+  std::vector<std::pair<uint32_t, uint64_t>> pairs;  // (bucket, head addr)
+
+  void AppendTo(std::string* out) const;
+  /// Consumes one image from `dec`. Fails (false) on a truncated record.
+  bool ParseFrom(Decoder* dec);
+
+  uint64_t EncodedSize() const { return 8 + pairs.size() * 12; }
 };
 
 }  // namespace dpr

@@ -107,4 +107,54 @@ template <typename D> void Use(D* dev) {
 EOF
 "$CHECK" --lint-only "$TMP"
 
+echo "--- ckpt lint fires on a fixed-interval checkpoint timer loop"
+rm -f "$TMP/shim.cc"
+cat > "$TMP/timer.cc" <<'EOF'
+struct Store;
+bool stopped();
+void SleepMicros(unsigned long us);
+void Fire(Store* store);
+void Loop(Store* store, unsigned long checkpoint_interval_us) {
+  while (!stopped()) {
+    SleepMicros(checkpoint_interval_us);  // seeded violation: fixed cadence
+    store->TryCommit(0);
+  }
+}
+EOF
+if "$CHECK" --lint-only "$TMP"; then
+  echo "FAIL: ckpt lint accepted a fixed-interval checkpoint timer loop"
+  exit 1
+fi
+
+echo "--- ckpt lint honors the justified opt-out marker"
+cat > "$TMP/timer.cc" <<'EOF'
+struct Store;
+bool stopped();
+void SleepMicros(unsigned long us);
+void Loop(Store* store, unsigned long checkpoint_interval_us) {
+  while (!stopped()) {
+    // ckpt-lint: allowed — GC pacing borrowing the interval constant.
+    SleepMicros(checkpoint_interval_us);
+    store->TryCommit(0);
+  }
+}
+EOF
+"$CHECK" --lint-only "$TMP"
+
+echo "--- ckpt lint exempts the cadence controller plane itself"
+mkdir -p "$TMP/ckpt"
+mv "$TMP/timer.cc" "$TMP/ckpt/cadence.cc"
+sed -i 's|// ckpt-lint: allowed.*||' "$TMP/ckpt/cadence.cc"
+"$CHECK" --lint-only "$TMP"
+
+echo "--- ckpt lint ignores sleeps in files that never drive checkpoints"
+rm -rf "$TMP/ckpt"
+cat > "$TMP/pacer.cc" <<'EOF'
+void SleepMicros(unsigned long us);
+void Pace(unsigned long checkpoint_interval_us) {
+  SleepMicros(checkpoint_interval_us);  // no checkpoint call in this file
+}
+EOF
+"$CHECK" --lint-only "$TMP"
+
 echo "PASS"

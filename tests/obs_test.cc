@@ -4,7 +4,11 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/cadence.h"
 #include "dpr/dep_tracker.h"
+#include "dpr/session.h"
+#include "faster/faster_store.h"
+#include "fault/fault_plane.h"
 #include "gtest/gtest.h"
 #include "net/tcp_net.h"
 #include "obs/bench_artifact.h"
@@ -370,6 +374,125 @@ TEST(RegistryMirrorTest, EventLoopTransportPublishesToRegistry) {
     EXPECT_EQ(snap.gauges.at("net.tcp.server_conns"), 0);
     EXPECT_EQ(snap.gauges.at("net.tcp.output_queue_bytes"), 0);
   }
+  reg.ResetForTest();
+}
+
+// ----------------------------------- checkpoint plane gauges and counters
+
+// Gauge-leak pins: point-in-time gauges on failure paths must re-zero, or
+// dashboards show phantom backlog forever after one fault.
+
+TEST(CkptGaugeTest, ExceptionListGaugeZeroAfterRollback) {
+  auto& reg = MetricsRegistry::Default();
+  reg.ResetForTest();
+  DprSession session(/*session_id=*/1, SessionOptions{});
+  // One withheld (PENDING) op, then a resolved-and-committed one: the
+  // commit point skips the pending op into the exception list.
+  const uint64_t pending = session.IssuePending(/*worker=*/0, 1);
+  (void)pending;
+  DprResponseHeader ok;
+  ok.executed_version = 1;
+  ok.persisted_version = 1;
+  session.RecordBatch(/*worker=*/0, 1, ok);
+  const auto point = session.GetCommitPoint();
+  ASSERT_EQ(point.excluded.size(), 1u);
+  ASSERT_EQ(reg.Snapshot().gauges.at("dpr.session.exception_list"), 1);
+  // Rollback discards every segment; the occupancy gauge must re-zero with
+  // them instead of leaking the pre-rollback count.
+  DprCut cut;
+  cut[0] = 1;
+  (void)session.HandleFailure(/*new_world_line=*/2, cut);
+  EXPECT_EQ(reg.Snapshot().gauges.at("dpr.session.exception_list"), 0);
+  reg.ResetForTest();
+}
+
+TEST(CkptGaugeTest, FlushQueueDepthZeroAfterFailedFlush) {
+  auto& reg = MetricsRegistry::Default();
+  reg.ResetForTest();
+  ScopedFaultPlane fault_plane(/*seed=*/3);
+  constexpr uint64_t kScope = 91;
+  FasterOptions options;
+  options.index_buckets = 256;
+  options.log_device = std::make_unique<FaultDevice>(
+      std::make_unique<MemoryDevice>(), kScope);
+  options.meta_device = std::make_unique<MemoryDevice>();
+  FasterStore store(std::move(options));
+  {
+    auto session = store.NewSession();
+    for (uint64_t k = 0; k < 16; ++k) {
+      ASSERT_TRUE(session->Upsert(k, k).ok());
+    }
+  }
+  FaultPlane::Instance().Arm({.point = faults::kDevWriteFail,
+                              .scope = kScope,
+                              .max_fires = 64});
+  ASSERT_TRUE(store
+                  .PerformCheckpoint(
+                      store.CurrentVersion() + 1, nullptr, nullptr,
+                      CheckpointHints{.index_image = true, .delta = false})
+                  .ok());
+  store.WaitForCheckpoints();
+  FaultPlane::Instance().DisarmAll();
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("faster.flush_failures"), 1u);
+  // The failed request left the queue; the depth gauge must not leak it.
+  EXPECT_EQ(snap.gauges.at("faster.flush_queue_depth"), 0);
+  reg.ResetForTest();
+}
+
+TEST(CkptGaugeTest, CheckpointCountersTrackImagesAndBytes) {
+  auto& reg = MetricsRegistry::Default();
+  reg.ResetForTest();
+  FasterOptions options;
+  options.index_buckets = 256;
+  options.log_device = std::make_unique<MemoryDevice>();
+  options.meta_device = std::make_unique<MemoryDevice>();
+  FasterStore store(std::move(options));
+  auto session = store.NewSession();
+  auto checkpoint = [&](bool delta) {
+    ASSERT_TRUE(store
+                    .PerformCheckpoint(
+                        store.CurrentVersion() + 1, nullptr, nullptr,
+                        CheckpointHints{.index_image = true, .delta = delta})
+                    .ok());
+    store.WaitForCheckpoints();
+  };
+  for (uint64_t k = 0; k < 64; ++k) {
+    ASSERT_TRUE(session->Upsert(k, k).ok());
+  }
+  checkpoint(/*delta=*/false);
+  for (uint64_t k = 0; k < 8; ++k) {
+    ASSERT_TRUE(session->Upsert(k, 100 + k).ok());
+  }
+  checkpoint(/*delta=*/true);
+  checkpoint(/*delta=*/true);  // nothing dirtied: an empty delta, still valid
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("ckpt.full"), 1u);
+  EXPECT_EQ(snap.counters.at("ckpt.delta"), 2u);
+  EXPECT_EQ(snap.counters.at("faster.checkpoints_flushed"), 3u);
+  // Every checkpoint persisted log bytes for its window plus a meta record;
+  // the full image dominates the index-byte accounting.
+  EXPECT_GT(snap.counters.at("ckpt.log_bytes_persisted"), 0u);
+  EXPECT_GT(snap.counters.at("ckpt.index_bytes_persisted"), 0u);
+  reg.ResetForTest();
+}
+
+TEST(CkptGaugeTest, CadenceControllerPublishesDecisions) {
+  auto& reg = MetricsRegistry::Default();
+  reg.ResetForTest();
+  CkptCadenceController controller(CkptPolicy{}.Resolve(100000));
+  CkptSignals dirty;
+  dirty.dirty_bytes = 4096;
+  (void)controller.Decide(dirty, 1000);             // initial full
+  (void)controller.Decide(CkptSignals{}, 101000);   // idle: skip
+  (void)controller.Decide(dirty, 201000);           // delta
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("ckpt.controller.decisions"), 3u);
+  EXPECT_EQ(snap.counters.at("ckpt.controller.fulls"), 1u);
+  EXPECT_EQ(snap.counters.at("ckpt.controller.skips"), 1u);
+  EXPECT_EQ(snap.counters.at("ckpt.controller.deltas"), 1u);
+  EXPECT_GT(snap.gauges.at("ckpt.controller.interval_us"), 0);
   reg.ResetForTest();
 }
 
