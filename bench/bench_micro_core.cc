@@ -42,7 +42,7 @@ void BM_FasterUpsert(benchmark::State& state) {
   auto session = store->NewSession();
   Random rng(1);
   for (auto _ : state) {
-    session->Upsert(rng.Uniform(100000), rng.Next());
+    benchmark::DoNotOptimize(session->Upsert(rng.Uniform(100000), rng.Next()));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -51,7 +51,9 @@ BENCHMARK(BM_FasterUpsert);
 void BM_FasterRead(benchmark::State& state) {
   auto store = MakeStore();
   auto session = store->NewSession();
-  for (uint64_t k = 0; k < 100000; ++k) session->Upsert(k, k);
+  for (uint64_t k = 0; k < 100000; ++k) {
+    benchmark::DoNotOptimize(session->Upsert(k, k));
+  }
   Random rng(2);
   uint64_t value;
   for (auto _ : state) {
@@ -66,7 +68,7 @@ void BM_FasterRmw(benchmark::State& state) {
   auto session = store->NewSession();
   Random rng(3);
   for (auto _ : state) {
-    session->Rmw(rng.Uniform(1000), 1);
+    benchmark::DoNotOptimize(session->Rmw(rng.Uniform(1000), 1));
   }
   state.SetItemsProcessed(state.iterations());
 }

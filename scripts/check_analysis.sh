@@ -1,25 +1,32 @@
 #!/usr/bin/env bash
-# Static-analysis gate for the DPR tree. Three layers, strongest available
-# first; each layer degrades gracefully when its tool is absent so the script
-# is meaningful both on developer laptops (clang available) and in minimal CI
-# images (gcc only):
+# Static-analysis gate for the DPR tree. Three layers; the first is the
+# load-bearing one and always runs, the clang layers are additive and degrade
+# gracefully when their tool is absent, so the script is meaningful both on
+# developer laptops (clang available) and in minimal CI images (gcc only):
 #
-#   1. clang thread-safety analysis: build with -DDPR_ANALYZE=ON under clang
+#   1. dprlint (always runs): the repo-aware analyzer in tools/dprlint/ — a
+#      real C++ lexer feeding repo-specific checks (naked std primitives,
+#      raw net/storage syscalls, retired Device shims, rogue checkpoint
+#      timer loops, blocking calls under locks, discarded Status returns,
+#      undocumented atomic orderings, callbacks invoked under locks).
+#      `dprlint --list-checks` enumerates them; DESIGN.md §4k documents the
+#      escape-hatch grammar (`// dprlint: allowed(<id>) <why>`).
+#   2. clang thread-safety analysis: build with -DDPR_ANALYZE=ON under clang
 #      so every GUARDED_BY/REQUIRES annotation in common/sync.h is enforced
 #      at compile time (-Werror=thread-safety).
-#   2. clang-tidy over src/ with the repo .clang-tidy (bugprone-*,
+#   3. clang-tidy over src/ with the repo .clang-tidy (bugprone-*,
 #      concurrency-*, performance-*, modernize-use-override/nullptr).
-#   3. A grep lint (always runs): no naked std::mutex / std::lock_guard /
-#      std::condition_variable outside common/sync.h — all concurrency must
-#      go through the annotated, rank-checked dpr:: wrappers.
 #
 # Also builds the tree with -DDPR_WERROR=ON (warnings are errors) under
 # whatever compiler is configured. Exits nonzero on any violation.
 #
 # Usage: check_analysis.sh [--lint-only [dir...]]
-#   --lint-only runs just the grep lint (no builds); extra args replace the
-#   default scan set (src bench tests examples) — used by the ctest smoke
-#   test to assert the lint actually fires on a seeded violation.
+#   --lint-only runs just the dprlint layer (no builds); extra args replace
+#   the default scan set (src bench tests examples) — used by the ctest smoke
+#   test to assert each check actually fires on a seeded violation. The
+#   binary is taken from $DPRLINT if set, else the newest build*/ tree; in
+#   --lint-only mode a missing binary is a hard error (build it first), in
+#   full mode it is built on the spot.
 set -u
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -40,172 +47,51 @@ fi
 say()  { printf '==> %s\n' "$*"; }
 fail() { printf 'FAIL: %s\n' "$*"; FAILED=1; }
 
-# ---------------------------------------------------------------- layer 3
-# The lint runs first because it is cheap, dependency-free, and the layer
-# the rest of the plane relies on: if a naked primitive sneaks in, neither
-# the annotations nor the lock-rank checker ever see that lock.
-#
-# Matches declarations and guards of the raw primitives. common/sync.h is
-# the one allowed user (it wraps them); a line may also opt out with the
-# marker comment `// sync-lint: allowed` plus a justification.
-say "lint: naked std synchronization primitives outside common/sync.h"
-LINT_PATTERN='std::(mutex|shared_mutex|recursive_mutex|timed_mutex|condition_variable|condition_variable_any|lock_guard|unique_lock|shared_lock|scoped_lock)\b'
-lint_hits=$(grep -rEn "$LINT_PATTERN" \
-    --include='*.h' --include='*.cc' \
-    "${LINT_DIRS[@]}" 2>/dev/null |
-  grep -v 'common/sync\.h' |
-  grep -v 'sync-lint: allowed' || true)
-if [ -n "$lint_hits" ]; then
-  printf '%s\n' "$lint_hits"
-  fail "naked std synchronization primitive(s); use dpr::Mutex/SharedMutex/CondVar from common/sync.h"
-else
-  say "lint clean"
+# ---------------------------------------------------------------- layer 1
+# dprlint runs first because it is cheap, dependency-free, and the layer the
+# rest of the plane relies on: if a naked primitive sneaks in, neither the
+# annotations nor the lock-rank checker ever see that lock.
+find_dprlint() {
+  if [ -n "${DPRLINT:-}" ]; then
+    printf '%s' "$DPRLINT"
+    return
+  fi
+  # Newest first so a fresh rebuild wins over a stale side build.
+  ls -t build*/tools/dprlint/dprlint 2>/dev/null | head -n1
+}
+
+DPRLINT_BIN="$(find_dprlint)"
+if [ -z "$DPRLINT_BIN" ] || [ ! -x "$DPRLINT_BIN" ]; then
+  if [ "$LINT_ONLY" -eq 1 ]; then
+    printf 'FAIL: dprlint binary not found (looked at $DPRLINT, then '
+    printf 'build*/tools/dprlint/dprlint).\n'
+    printf 'Build it first:  cmake -B build -S . && '
+    printf 'cmake --build build --target dprlint\n'
+    exit 2
+  fi
+  say "dprlint not built yet; building it"
+  if cmake -B build -S . >/dev/null &&
+     cmake --build build --target dprlint -j "$(nproc)" >/dev/null; then
+    DPRLINT_BIN="build/tools/dprlint/dprlint"
+  else
+    fail "could not build dprlint"
+  fi
 fi
 
-# Transport lint: every frame byte must leave through the flush helpers
-# (TcpWriteFully / TcpWritevFully / the event-loop flush), where coalescing
-# metrics and torn-frame accounting live. A raw send(2)/write(2)/writev(2)
-# bypasses both, so direct calls under a net/ directory are flagged unless
-# the line (or the line above it) carries `net-lint: allowed` plus a
-# justification.
-say "lint: raw stream writes under net/ outside the flush helpers"
-net_files=$(find "${LINT_DIRS[@]}" -path '*net/*' \
-    \( -name '*.cc' -o -name '*.h' \) 2>/dev/null | sort || true)
-net_hits=""
-if [ -n "$net_files" ]; then
-  # shellcheck disable=SC2086
-  net_hits=$(awk '
-    FNR == 1 { prev = "" }
-    /(^|[^A-Za-z0-9_.:>"])(send|write|writev|pwrite)[ \t]*\(/ {
-      if (prev !~ /net-lint: allowed/ && $0 !~ /net-lint: allowed/)
-        printf "%s:%d: %s\n", FILENAME, FNR, $0
-    }
-    { prev = $0 }
-  ' $net_files || true)
-fi
-if [ -n "$net_hits" ]; then
-  printf '%s\n' "$net_hits"
-  fail "raw send(2)/write(2) in net/; route frames through TcpWriteFully/TcpWritevFully or mark the line net-lint: allowed"
-else
-  say "net lint clean"
-fi
-
-# Storage lint: every block I/O syscall must go through the async IoEngine
-# backends under src/storage/, where submission metrics, fault probes, and
-# the group-commit scheduler live. A raw pwrite(2)/pread(2)/fsync(2) outside
-# storage/ bypasses all three, so direct calls are flagged unless the line
-# (or the line above it, or a file-scope marker near the top) carries
-# `storage-lint: allowed` plus a justification.
-say "lint: raw block I/O syscalls outside storage/ backends"
-storage_lint_files=$(find "${LINT_DIRS[@]}" \
-    \( -name '*.cc' -o -name '*.h' \) -not -path '*storage/*' 2>/dev/null |
-  sort || true)
-storage_hits=""
-if [ -n "$storage_lint_files" ]; then
-  # shellcheck disable=SC2086
-  storage_hits=$(awk '
-    FNR == 1 { prev = ""; file_allowed = 0 }
-    FNR <= 5 && /storage-lint: allowed/ { file_allowed = 1 }
-    {
-      # Only flag calls in code: prose like "one fsync (per shard)" in a
-      # comment is fine, so the line-comment tail is stripped before
-      # matching (the opt-out marker still matches against the full line).
-      code = $0
-      sub(/\/\/.*/, "", code)
-      if (code ~ /(^|[^A-Za-z0-9_.:>"])(pwrite|pread|pwritev|preadv|fsync|fdatasync)[ \t]*\(/ &&
-          !file_allowed && prev !~ /storage-lint: allowed/ &&
-          $0 !~ /storage-lint: allowed/)
-        printf "%s:%d: %s\n", FILENAME, FNR, $0
-      prev = $0
-    }
-  ' $storage_lint_files || true)
-fi
-if [ -n "$storage_hits" ]; then
-  printf '%s\n' "$storage_hits"
-  fail "raw block I/O syscall outside src/storage/; submit through the Device/IoEngine API or mark the line storage-lint: allowed"
-else
-  say "storage lint clean"
-fi
-
-# Blocking-shim lint: the legacy Device::WriteAt/ReadAt/Flush member shims
-# are gone; synchronous waits go through the explicit SyncIo helper so they
-# are visible at the call site. This lint keeps the member-call spelling from
-# coming back (Flush is too generic a name to grep for — the compiler catches
-# that one since no Device::Flush exists). Escape hatch: `storage-lint:
-# allowed` on the line or the line above, for unrelated APIs that legitimately
-# use these method names.
-say "lint: blocking Device member shims (WriteAt/ReadAt) are retired"
-shim_files=$(find "${LINT_DIRS[@]}" \
-    \( -name '*.cc' -o -name '*.h' \) 2>/dev/null | sort || true)
-shim_hits=""
-if [ -n "$shim_files" ]; then
-  # shellcheck disable=SC2086
-  shim_hits=$(awk '
-    FNR == 1 { prev = "" }
-    {
-      code = $0
-      sub(/\/\/.*/, "", code)
-      if (code ~ /(\.|->)(WriteAt|ReadAt)[ \t]*\(/ &&
-          prev !~ /storage-lint: allowed/ && $0 !~ /storage-lint: allowed/)
-        printf "%s:%d: %s\n", FILENAME, FNR, $0
-      prev = $0
-    }
-  ' $shim_files || true)
-fi
-if [ -n "$shim_hits" ]; then
-  printf '%s\n' "$shim_hits"
-  fail "blocking-shim-style member call; use SyncIo::Write/Read/Fsync or the async Submit* API (or mark the line storage-lint: allowed)"
-else
-  say "shim lint clean"
-fi
-
-# Checkpoint-cadence lint: checkpoint scheduling is owned by the cadence
-# controller (src/ckpt/cadence.h) — a timer loop that sleeps a fixed
-# checkpoint_interval and fires PerformCheckpoint/TryCommit re-creates the
-# pre-controller behavior (no adaptivity, no idle skips, no RPO policy) and
-# silently forks the cadence logic. Flag any sleep/wait on a
-# checkpoint_interval expression inside a file that also drives checkpoints,
-# outside the controller plane itself. Escape hatch: `ckpt-lint: allowed`
-# plus a justification on the line or the line above (e.g. GC pacing that
-# merely borrows the interval constant, or the controller-driven loop).
-say "lint: fixed-interval checkpoint timer loops outside the cadence controller"
-ckpt_candidates=$(find "${LINT_DIRS[@]}" -name '*.cc' \
-    -not -path '*ckpt/*' 2>/dev/null | sort || true)
-ckpt_files=""
-if [ -n "$ckpt_candidates" ]; then
-  # Only files that actually drive checkpoints can host a rogue timer loop.
-  # shellcheck disable=SC2086
-  ckpt_files=$(grep -lE '(PerformCheckpoint|TryCommit)[ \t]*\(' \
-      $ckpt_candidates 2>/dev/null || true)
-fi
-ckpt_hits=""
-if [ -n "$ckpt_files" ]; then
-  # shellcheck disable=SC2086
-  ckpt_hits=$(awk '
-    FNR == 1 { prev = "" }
-    {
-      code = $0
-      sub(/\/\/.*/, "", code)
-      if (code ~ /(SleepMicros|SleepFor|sleep_for|WaitFor)[ \t]*\(/ &&
-          code ~ /checkpoint_interval/ &&
-          prev !~ /ckpt-lint: allowed/ && $0 !~ /ckpt-lint: allowed/)
-        printf "%s:%d: %s\n", FILENAME, FNR, $0
-      prev = $0
-    }
-  ' $ckpt_files || true)
-fi
-if [ -n "$ckpt_hits" ]; then
-  printf '%s\n' "$ckpt_hits"
-  fail "fixed-interval checkpoint timer loop; drive cadence through CkptCadenceController (src/ckpt/) or mark the line ckpt-lint: allowed"
-else
-  say "ckpt lint clean"
+if [ -n "$DPRLINT_BIN" ] && [ -x "$DPRLINT_BIN" ]; then
+  say "dprlint over: ${LINT_DIRS[*]}"
+  if "$DPRLINT_BIN" --baseline tools/dprlint/baseline.json "${LINT_DIRS[@]}"; then
+    say "dprlint clean"
+  else
+    fail "dprlint findings; fix them or add a justified marker: // dprlint: allowed(<check-id>) <why>"
+  fi
 fi
 
 if [ "$LINT_ONLY" -eq 1 ]; then
   exit "$FAILED"
 fi
 
-# ---------------------------------------------------------------- layer 1
+# ---------------------------------------------------------------- layer 2
 CLANGXX="${CLANGXX:-$(command -v clang++ || true)}"
 if [ -n "$CLANGXX" ]; then
   say "clang thread-safety analysis build (DPR_ANALYZE=ON)"
@@ -234,7 +120,7 @@ else
   fail "DPR_WERROR=ON build"
 fi
 
-# ---------------------------------------------------------------- layer 2
+# ---------------------------------------------------------------- layer 3
 CLANG_TIDY="${CLANG_TIDY:-$(command -v clang-tidy || true)}"
 if [ -n "$CLANG_TIDY" ]; then
   say "clang-tidy over src/"

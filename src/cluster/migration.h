@@ -92,6 +92,8 @@ class MigrationDriver {
   }
 
   MigrationOptions options_;
+  // relaxed: a lone abort flag polled at phase boundaries; no other data is
+  // published through it (the phases fence their own state).
   std::atomic<bool> abort_requested_{false};
 };
 

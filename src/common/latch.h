@@ -49,6 +49,8 @@ class CAPABILITY("mutex") SpinLatch {
   }
 
  private:
+  // acquire/release pair: Lock's CAS-acquire observes everything the prior
+  // holder's release store in Unlock published.
   std::atomic<bool> locked_{false};
   const LockRank rank_ = LockRank::kNone;
   const char* const name_ = "spinlatch";
@@ -123,6 +125,8 @@ class CAPABILITY("shared_mutex") SharedSpinLatch {
   }
 
  private:
+  // acquire/release pair: reader/writer admission CASes with acquire;
+  // releases store with release so admitted threads observe the section.
   std::atomic<int64_t> state_{0};
   const LockRank rank_ = LockRank::kNone;
   const char* const name_ = "sharedlatch";

@@ -1,6 +1,7 @@
 #ifndef DPR_COMMON_STATUS_H_
 #define DPR_COMMON_STATUS_H_
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -10,7 +11,13 @@ namespace dpr {
 /// Outcome of an operation. Modeled after the RocksDB/Arrow Status idiom:
 /// cheap to construct for OK, carries a code plus a human-readable message
 /// otherwise. No exceptions are used anywhere on hot paths.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is how torn-write and
+/// lost-persistence bugs hide. The compiler enforces this wherever the call
+/// is direct; dprlint's `status-discard` check covers the indirect cases
+/// (calls through harvested signatures) on clang-less boxes too. An
+/// intentional discard is spelled `(void)Foo();` with a comment saying why.
+class [[nodiscard]] Status {
  public:
   enum class Code : unsigned char {
     kOk = 0,
@@ -95,6 +102,36 @@ class Status {
  private:
   Code code_;
   std::string message_;
+};
+
+/// Status-or-value result, for APIs that today return Status plus an out
+/// parameter. [[nodiscard]] for the same reason as Status: a discarded
+/// StatusOr silently drops both the error and the value.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  /// Implicit from a (non-OK) Status — `return Status::NotFound();` works.
+  /// Constructing from an OK Status is a bug; it degrades to kNotFound so
+  /// ok() can never be true without a value present.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(status.ok() ? Status::NotFound("StatusOr from OK Status")
+                            : std::move(status)) {}
+  /// Implicit from a value — `return computed;` works.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). (No exceptions on hot paths; callers check first,
+  /// exactly as they do for Status + out-parameter APIs.)
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
 };
 
 /// Evaluates `expr`; returns the non-OK status from the enclosing function.

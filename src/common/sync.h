@@ -25,8 +25,9 @@
 ///     timing is unlucky" into a deterministic test failure. Unranked locks
 ///     (LockRank::kNone) skip the checker entirely and cost nothing.
 ///
-/// All new code must use these wrappers; scripts/check_analysis.sh rejects
-/// naked std::mutex / std::lock_guard outside this header.
+/// All new code must use these wrappers; dprlint's `sync-prim` check (run
+/// by scripts/check_analysis.sh and `ctest -L analysis`) rejects naked
+/// std::mutex / std::lock_guard outside this header.
 
 // --- thread-safety annotation macros ----------------------------------------
 

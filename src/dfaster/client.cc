@@ -73,6 +73,9 @@ RpcConnection* DFasterClient::Connection(WorkerId worker) {
   // Lazy connect (elastic membership): the worker joined after this client
   // was built. Resolved under the endpoint lock so concurrent request
   // threads produce one connection, not one each.
+  // dprlint: allowed(callback-lock) connect_worker only dials a transport
+  // endpoint; it takes no DPR locks, and holding endpoints_mu_ is what
+  // dedups concurrent dials.
   std::unique_ptr<RpcConnection> conn = config_.connect_worker(worker);
   if (conn == nullptr) return nullptr;
   return (remote_[worker] = std::move(conn)).get();

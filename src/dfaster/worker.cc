@@ -40,11 +40,12 @@ DFasterWorker::DFasterWorker(DFasterWorkerConfig config)
       owners_(YcsbWorkload::kNumPartitions),
       seals_(YcsbWorkload::kNumPartitions) {
   for (uint32_t vp = 0; vp < YcsbWorkload::kNumPartitions; ++vp) {
-    owners_[vp].store(config_.start_empty
-                          ? kInvalidWorker
-                          : YcsbWorkload::DefaultOwner(vp,
-                                                       config_.num_workers),
-                      std::memory_order_relaxed);
+    const WorkerId owner =
+        config_.start_empty
+            ? kInvalidWorker
+            : YcsbWorkload::DefaultOwner(vp, config_.num_workers);
+    // relaxed: pre-publication init; readers start after the constructor.
+    owners_[vp].store(owner, std::memory_order_relaxed);
     seals_[vp] = std::make_unique<SealState>();
   }
   store_ = std::make_unique<FasterStore>(std::move(config_.faster));
@@ -154,8 +155,8 @@ void DFasterWorker::GcLoop() {
   // cut covers the compaction checkpoint (only entries inside the DPR
   // guarantee are ever dropped).
   while (!stop_.load(std::memory_order_acquire)) {
-    // GC pacing only — checkpoint cadence lives in the controller.
-    // ckpt-lint: allowed
+    // dprlint: allowed(ckpt-interval) GC pacing only — checkpoint cadence
+    // itself lives in CkptCadenceController; GC just trails it by a beat.
     SleepMicros(config_.dpr.checkpoint_interval_us + 1000);
     if (stop_.load(std::memory_order_acquire)) break;
     const Version watermark = dpr_worker_->persisted_watermark();

@@ -105,6 +105,10 @@ Status ClusterManager::HandleFailure(const std::vector<WorkerId>& failed) {
     MutexLock guard(mu_);
     listener = recovery_listener_;
   }
+  // dprlint: allowed(callback-lock) recovery_mu_ is the recovery-epoch
+  // serializer, not a data lock; the listener contract is non-blocking
+  // (migration abort flags), and running it inside the epoch keeps "recovery
+  // finished" and "migrations told" one atomic event for the next failure.
   if (listener) listener(new_world_line);
   return result;
 }

@@ -206,7 +206,8 @@ class FinderCore : public DprFinder {
   /// cannot grow it without bound).
   std::deque<std::pair<WorkerVersion, uint64_t>> cut_latency_pending_
       GUARDED_BY(mu_);
-  /// When the committed cut last advanced, for the cut-age gauge.
+  /// When the committed cut last advanced, for the cut-age gauge
+  /// (relaxed: a monotonic timestamp read only by the stats path).
   std::atomic<uint64_t> last_advance_us_{0};
 };
 

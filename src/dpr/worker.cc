@@ -97,8 +97,8 @@ void DprWorker::TimerLoop() {
   // Cadence is owned by the controller (src/ckpt/): every tick samples the
   // live signals, asks for a decision, and sleeps whatever the controller
   // returns — checkpoint_interval_us only seeds the first wait and bounds
-  // the cadence via CkptPolicy::Resolve. (ckpt-lint: allowed — this IS the
-  // controller-driven loop.)
+  // the cadence via CkptPolicy::Resolve.
+  // dprlint: allowed(ckpt-interval) this IS the controller-driven loop.
   CkptCadenceController controller(
       options_.ckpt_policy.Resolve(options_.checkpoint_interval_us));
   uint64_t delay_us = options_.checkpoint_interval_us;

@@ -142,7 +142,9 @@ class DprWorker {
   /// Dependency sets accumulated per (uncommitted) version, striped by
   /// session; merged only at checkpoint-persist time.
   VersionDependencyTracker deps_;
-  /// Largest token already reported to the finder.
+  /// Largest token already reported to the finder. Relaxed load + release
+  /// CAS max-merge: the value is advisory dedup state; the report payload
+  /// itself rides the RPC, not this cell.
   std::atomic<uint64_t> last_reported_{kInvalidVersion};
 
   /// Commit-timer thread, woken early by Stop() so shutdown does not wait

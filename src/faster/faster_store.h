@@ -239,6 +239,8 @@ class FasterStore : public StateObject {
   std::atomic<int> rollback_state_{static_cast<int>(RollbackState::kRest)};
   // Records with version in (ignore_low, ignore_high] are being rolled back
   // and must be ignored by all lookups (Fig. 8). Disabled when high == 0.
+  // Release stores install/clear the window; lookups load-acquire high
+  // first, so a nonzero high guarantees they see the matching low.
   std::atomic<uint64_t> ignore_low_{0};
   std::atomic<uint64_t> ignore_high_{0};
   // relaxed would do for these two (crash flag is a test hook checked at op

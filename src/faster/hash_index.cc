@@ -20,6 +20,7 @@ HashIndex::HashIndex(uint64_t bucket_count)
 
 void HashIndex::Clear() {
   for (uint64_t i = 0; i < bucket_count_; ++i) {
+    // relaxed: Clear runs before the index is published to other threads.
     buckets_[i].store(kNullAddress, std::memory_order_relaxed);
   }
 }

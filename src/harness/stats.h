@@ -13,6 +13,7 @@ namespace dpr {
 /// field is an independent monotonic tally; the reporting thread may see a
 /// slightly stale mix across fields, which throughput math tolerates.
 struct BenchCounters {
+  // relaxed throughout, per the struct comment above.
   std::atomic<uint64_t> completed{0};
   std::atomic<uint64_t> committed{0};
   std::atomic<uint64_t> aborted{0};

@@ -125,7 +125,7 @@ void EventLoop::Wake() {
   const uint64_t one = 1;
   // The loop clears wake_pending_ before reading the eventfd, so a Post
   // racing the drain re-arms the wakeup rather than losing it.
-  // net-lint: allowed — eventfd nudge, not a stream write.
+  // dprlint: allowed(net-raw-write) eventfd nudge, not a stream write.
   ssize_t n = write(wake_fd_, &one, sizeof(one));
   (void)n;  // eventfd writes cannot short-write; ENOSPC/EAGAIN both mean
             // "already signaled", which is exactly what we wanted.

@@ -164,7 +164,8 @@ Status WriteFully(int fd, const void* buf, size_t n,
   size_t done = 0;
   Status result;
   while (done < n) {
-    // net-lint: allowed — the single-buffer slow path under the flush layer.
+    // dprlint: allowed(net-raw-write) single-buffer slow path under the
+    // flush layer; short writes are counted right below.
     const ssize_t sent = send(fd, p + done, n - done, MSG_NOSIGNAL);
     if (sent >= 0) {
       if (static_cast<size_t>(sent) < n - done) Stats().short_writes->Add();
@@ -676,7 +677,8 @@ void ServerConn::UpdateInterest() {
   uint32_t events = 0;
   if (!reads_paused_) events |= EPOLLIN;
   if (want_write_) events |= EPOLLOUT;
-  loop_->Modify(fd_, events, this);
+  // A failed epoll_ctl here means the fd is already gone; drop the conn.
+  if (!loop_->Modify(fd_, events, this).ok()) CloseOnLoop();
 }
 
 void ServerConn::CloseOnLoop() {

@@ -73,8 +73,8 @@ class Device {
 /// sites where blocking is the point: WAL replay, checkpoint recovery, tests,
 /// and tools. This replaces the old implicit Device::WriteAt/ReadAt/Flush
 /// member shims — the wait now reads as a SyncIo call at the site, and
-/// scripts/check_analysis.sh rejects new `.WriteAt(` / `.ReadAt(` member
-/// calls so the blocking style cannot reappear under a different name.
+/// dprlint's `device-shim` check rejects new `.WriteAt(` / `.ReadAt(`
+/// member calls so the blocking style cannot reappear under another name.
 struct SyncIo {
   static Status Write(Device* device, uint64_t offset, const void* data,
                       size_t n);

@@ -233,6 +233,8 @@ class IoUringEngine : public IoEngine {
   void PushSqe(io_uring_sqe sqe) REQUIRES(mu_) {
     // Non-SQPOLL rings consume SQEs synchronously inside io_uring_enter, so
     // a full ring clears as soon as we flush what is already queued.
+    // relaxed tail read: we are the only SQ producer; the kernel side only
+    // advances head, which we pair with acquire below.
     uint32_t tail = sq_tail_->load(std::memory_order_relaxed);
     while (tail - sq_head_->load(std::memory_order_acquire) >= sq_entries_) {
       FlushSubmissions(0);
@@ -260,6 +262,8 @@ class IoUringEngine : public IoEngine {
   void ReapLoop() {
     bool stop_seen = false;
     while (!stop_seen || InflightNonZero()) {
+      // relaxed head read: we are the only CQ consumer; the ordering pair
+      // with the kernel producer is the acquire on cq_tail_ below.
       uint32_t head = cq_head_->load(std::memory_order_relaxed);
       if (head == cq_tail_->load(std::memory_order_acquire)) {
         int r = SysIoUringEnter(ring_fd_, 0, 1, IORING_ENTER_GETEVENTS);

@@ -1,5 +1,9 @@
 #include "storage/wal.h"
 
+// dprlint: allowed-file(lock-blocking) the WAL serializes appends by design:
+// LockRank::kStorageWal is documented as held across device writes, and
+// group commit (the part worth overlapping) lives in GroupCommitScheduler.
+
 #include <cstring>
 #include <utility>
 #include <vector>
@@ -66,6 +70,9 @@ Status WriteAheadLog::Replay(
     DPR_RETURN_NOT_OK(
         SyncIo::Read(device_.get(), pos + kHeaderSize, buf.data(), len));
     if (Crc32c(buf.data(), len) != crc) break;  // corrupt tail record
+    // dprlint: allowed(callback-lock) the visitor runs under mu_ by
+    // contract: replay is single-threaded recovery and the lock only
+    // fences tail_ against a concurrent Append.
     visitor(pos, Slice(buf.data(), len));
     pos += kHeaderSize + len;
   }

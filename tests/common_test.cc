@@ -4,6 +4,7 @@
 #include <map>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -48,6 +49,54 @@ TEST(StatusTest, ReturnNotOkMacroPropagates) {
     return Status::OK();
   };
   EXPECT_EQ(outer().code(), Status::Code::kCorruption);
+}
+
+TEST(StatusTest, NodiscardRejectsSilentDrop) {
+  // Status and StatusOr are [[nodiscard]]; the sanctioned discard spelling
+  // is an explicit (void) cast, which is what this test exercises.
+  auto make = []() { return Status::IOError("disk"); };
+  (void)make();
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_TRUE(ok.status().ok());
+
+  StatusOr<int> err(Status::NotFound("missing"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), Status::Code::kNotFound);
+  EXPECT_EQ(err.status().message(), "missing");
+}
+
+TEST(StatusOrTest, OkStatusDegradesToNotFound) {
+  // A StatusOr built from Status must never claim to hold a value.
+  StatusOr<int> weird{Status::OK()};
+  EXPECT_FALSE(weird.ok());
+  EXPECT_EQ(weird.status().code(), Status::Code::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValues) {
+  StatusOr<std::unique_ptr<int>> holder(std::make_unique<int>(7));
+  ASSERT_TRUE(holder.ok());
+  std::unique_ptr<int> out = std::move(holder).value();
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(StatusOrTest, WorksWithReturnNotOkMacro) {
+  auto fetch = [](bool good) -> StatusOr<int> {
+    if (!good) return Status::IOError("nope");
+    return 5;
+  };
+  auto use = [&](bool good) -> Status {
+    StatusOr<int> got = fetch(good);
+    DPR_RETURN_NOT_OK(got.status());
+    EXPECT_EQ(got.value(), 5);
+    return Status::OK();
+  };
+  EXPECT_TRUE(use(true).ok());
+  EXPECT_EQ(use(false).code(), Status::Code::kIOError);
 }
 
 TEST(SliceTest, CompareAndEquality) {

@@ -1,0 +1,64 @@
+#ifndef DPR_TOOLS_DPRLINT_DPRLINT_H_
+#define DPR_TOOLS_DPRLINT_DPRLINT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+/// dprlint — the repo-aware static analyzer behind scripts/check_analysis.sh.
+///
+/// Design (DESIGN.md §4k): a real C++ lexer (tools/dprlint/lexer.h) feeds a
+/// registry of repo-specific checks. Each check has a stable ID, uniform
+/// escape-hatch semantics, and fires only on the code channel — comments,
+/// strings, raw strings, and preprocessor text can never false-positive.
+///
+/// Escape hatch grammar (uniform across every check):
+///   // dprlint: allowed(<check-id>) <one-line justification>
+///   // dprlint: allowed-file(<check-id>) <one-line justification>
+/// `allowed` suppresses findings of <check-id> on the marker's line or, when
+/// the marker sits in a comment block (a contiguous run of comment-only
+/// lines), on the first code line below that block. `allowed-file`
+/// suppresses the check for the whole file. A marker with an unknown check
+/// ID or no justification is itself reported (check `allow-syntax`).
+namespace dprlint {
+
+struct Finding {
+  std::string check;    // stable check ID, e.g. "lock-blocking"
+  std::string file;     // path as scanned (normalized to forward slashes)
+  int line = 0;         // 1-based
+  int col = 0;          // 1-based
+  std::string message;  // human-readable; includes the offending spelling
+};
+
+struct CheckInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// The check registry, in reporting order. IDs are stable: they appear in
+/// escape-hatch markers, test assertions, and baselines, so renaming one is
+/// a breaking change to the tree's annotations.
+const std::vector<CheckInfo>& Registry();
+
+/// Analyzes in-memory (path, content) pairs. This is the whole analyzer —
+/// the binary just loads files from disk and feeds them here — so tests can
+/// drive every check hermetically. Paths matter: several checks scope by
+/// directory segment (net/, storage/, ckpt/, obs/) or filename
+/// (common/sync.h), mirroring the old per-directory grep lints.
+std::vector<Finding> AnalyzeSources(
+    const std::vector<std::pair<std::string, std::string>>& files);
+
+/// Walks `paths` (files, or directories searched recursively for
+/// *.h/*.cc/*.hpp/*.cpp), analyzes them, and subtracts `baseline_path` (a
+/// --json findings file; empty string = no baseline). Unreadable inputs are
+/// reported through `errors`.
+std::vector<Finding> RunOnPaths(const std::vector<std::string>& paths,
+                                const std::string& baseline_path,
+                                std::vector<std::string>* errors);
+
+std::string ToJson(const std::vector<Finding>& findings);
+std::string ToText(const std::vector<Finding>& findings);
+
+}  // namespace dprlint
+
+#endif  // DPR_TOOLS_DPRLINT_DPRLINT_H_

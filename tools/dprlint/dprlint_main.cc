@@ -1,0 +1,78 @@
+// dprlint — repo-aware static analyzer for the DPR tree. See DESIGN.md §4k.
+//
+// Usage:
+//   dprlint [--json] [--baseline <findings.json>] <path>...
+//   dprlint --list-checks
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dprlint.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: dprlint [--json] [--baseline <file>] <path>...\n"
+               "       dprlint --list-checks\n"
+               "Scans *.h/*.cc under each path; prints findings and exits\n"
+               "nonzero if any. Suppress a finding with a justified marker:\n"
+               "  // dprlint: allowed(<check-id>) <why>\n"
+               "  // dprlint: allowed-file(<check-id>) <why>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string baseline;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-checks") {
+      for (const auto& c : dprlint::Registry()) {
+        std::printf("%-16s %s\n", c.id, c.summary);
+      }
+      return 0;
+    } else if (arg == "--baseline") {
+      if (i + 1 >= argc) {
+        Usage();
+        return 2;
+      }
+      baseline = argv[++i];
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline = arg.substr(11);
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "dprlint: unknown flag %s\n", arg.c_str());
+      Usage();
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    Usage();
+    return 2;
+  }
+  std::vector<std::string> errors;
+  std::vector<dprlint::Finding> findings =
+      dprlint::RunOnPaths(paths, baseline, &errors);
+  for (const std::string& e : errors) {
+    std::fprintf(stderr, "dprlint: %s\n", e.c_str());
+  }
+  if (json) {
+    std::fputs(dprlint::ToJson(findings).c_str(), stdout);
+  } else {
+    std::fputs(dprlint::ToText(findings).c_str(), stdout);
+    std::fprintf(stderr, "dprlint: %zu finding(s)\n", findings.size());
+  }
+  if (!errors.empty()) return 2;
+  return findings.empty() ? 0 : 1;
+}

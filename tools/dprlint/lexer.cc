@@ -1,0 +1,353 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace dprlint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Cursor over the source with line/col bookkeeping and phase-2 line
+/// splicing: a backslash immediately followed by a newline joins the lines
+/// (the line counter still advances, so token positions stay physical).
+class Cursor {
+ public:
+  explicit Cursor(const std::string& src) : src_(src) {}
+
+  bool Eof() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  int line() const { return line_; }
+  int col() const { return col_; }
+  size_t pos() const { return pos_; }
+
+  /// Advances one character, maintaining line/col.
+  void Bump() {
+    if (Eof()) return;
+    if (src_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  /// True (and consumes) when the cursor sits on a backslash-newline splice.
+  bool EatSplice() {
+    if (Peek() == '\\' && (Peek(1) == '\n' ||
+                           (Peek(1) == '\r' && Peek(2) == '\n'))) {
+      Bump();  // backslash
+      if (Peek() == '\r') Bump();
+      Bump();  // newline
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src), cur_(src) {}
+
+  LexedSource Run() {
+    while (!cur_.Eof()) {
+      if (cur_.EatSplice()) continue;
+      char c = cur_.Peek();
+      if (c == '\n' || c == '\r' || c == '\t' || c == ' ' || c == '\f' ||
+          c == '\v') {
+        if (c == '\n') at_line_start_ = true;
+        cur_.Bump();
+        continue;
+      }
+      if (c == '/' && cur_.Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && cur_.Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (at_line_start_ && c == '#') {
+        LexPreproc();
+        continue;
+      }
+      at_line_start_ = false;
+      if (IsIdentStart(c)) {
+        LexIdentOrRawString();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(cur_.Peek(1))))) {
+        LexNumber();
+        continue;
+      }
+      if (c == '"') {
+        LexString('"');
+        continue;
+      }
+      if (c == '\'') {
+        LexString('\'');
+        continue;
+      }
+      LexPunct();
+    }
+    out_.line_count = cur_.line();
+    EnsureLine(out_.line_count);
+    return std::move(out_);
+  }
+
+ private:
+  void EnsureLine(int line) {
+    if (static_cast<int>(out_.comments_by_line.size()) <= line) {
+      out_.comments_by_line.resize(line + 1);
+      out_.line_has_code.resize(line + 1, false);
+    }
+  }
+
+  void AddComment(int line, const std::string& text) {
+    EnsureLine(line);
+    if (!out_.comments_by_line[line].empty()) {
+      out_.comments_by_line[line] += ' ';
+    }
+    out_.comments_by_line[line] += text;
+  }
+
+  void Emit(Token::Kind kind, std::string text, int line, int col) {
+    EnsureLine(line);
+    out_.line_has_code[line] = true;
+    out_.tokens.push_back(Token{kind, std::move(text), line, col});
+  }
+
+  void LexLineComment() {
+    int line = cur_.line();
+    std::string text;
+    cur_.Bump();
+    cur_.Bump();  // "//"
+    // A spliced line comment continues onto the next physical line; the
+    // continuation text is attached to its own line so markers stay local.
+    while (!cur_.Eof() && cur_.Peek() != '\n') {
+      if (cur_.EatSplice()) {
+        AddComment(line, text);
+        text.clear();
+        line = cur_.line();
+        continue;
+      }
+      text += cur_.Peek();
+      cur_.Bump();
+    }
+    AddComment(line, text);
+  }
+
+  void LexBlockComment() {
+    // C/C++ block comments do NOT nest: the first */ ends the comment no
+    // matter how many /* appeared inside (the lexer test pins this).
+    int line = cur_.line();
+    std::string text;
+    cur_.Bump();
+    cur_.Bump();  // "/*"
+    while (!cur_.Eof()) {
+      if (cur_.Peek() == '*' && cur_.Peek(1) == '/') {
+        cur_.Bump();
+        cur_.Bump();
+        break;
+      }
+      if (cur_.Peek() == '\n') {
+        AddComment(line, text);
+        text.clear();
+        cur_.Bump();
+        line = cur_.line();
+        continue;
+      }
+      text += cur_.Peek();
+      cur_.Bump();
+    }
+    AddComment(line, text);
+  }
+
+  void LexPreproc() {
+    int line = cur_.line(), col = cur_.col();
+    std::string text;
+    while (!cur_.Eof() && cur_.Peek() != '\n') {
+      if (cur_.EatSplice()) {
+        text += ' ';
+        continue;
+      }
+      // Comments inside a preprocessor line still belong to the comment
+      // channel (an allow marker may ride a #define line).
+      if (cur_.Peek() == '/' && cur_.Peek(1) == '/') {
+        LexLineComment();
+        break;
+      }
+      if (cur_.Peek() == '/' && cur_.Peek(1) == '*') {
+        LexBlockComment();
+        text += ' ';
+        continue;
+      }
+      text += cur_.Peek();
+      cur_.Bump();
+    }
+    Emit(Token::Kind::kPreproc, std::move(text), line, col);
+  }
+
+  void LexIdentOrRawString() {
+    int line = cur_.line(), col = cur_.col();
+    std::string text;
+    while (!cur_.Eof() && IsIdentChar(cur_.Peek())) {
+      text += cur_.Peek();
+      cur_.Bump();
+    }
+    // Raw-string prefix? R"..., u8R"..., LR"..., uR"..., UR"...
+    if (cur_.Peek() == '"' && !text.empty() && text.back() == 'R' &&
+        (text == "R" || text == "u8R" || text == "uR" || text == "UR" ||
+         text == "LR")) {
+      LexRawString(std::move(text), line, col);
+      return;
+    }
+    // Encoding-prefixed ordinary literal: u8"...", L'x', etc.
+    if ((cur_.Peek() == '"' || cur_.Peek() == '\'') &&
+        (text == "u8" || text == "u" || text == "U" || text == "L")) {
+      LexString(cur_.Peek());
+      return;
+    }
+    Emit(Token::Kind::kIdent, std::move(text), line, col);
+  }
+
+  void LexRawString(std::string prefix, int line, int col) {
+    std::string text = std::move(prefix);
+    text += '"';
+    cur_.Bump();  // opening quote
+    std::string delim;
+    while (!cur_.Eof() && cur_.Peek() != '(') {
+      delim += cur_.Peek();
+      text += cur_.Peek();
+      cur_.Bump();
+    }
+    if (!cur_.Eof()) {
+      text += '(';
+      cur_.Bump();
+    }
+    const std::string closer = ")" + delim + "\"";
+    std::string window;
+    while (!cur_.Eof()) {
+      // No splices, no escapes: raw string contents are literal.
+      window += cur_.Peek();
+      text += cur_.Peek();
+      cur_.Bump();
+      if (window.size() > closer.size()) {
+        window.erase(0, window.size() - closer.size());
+      }
+      if (window == closer) break;
+    }
+    Emit(Token::Kind::kString, std::move(text), line, col);
+  }
+
+  void LexString(char quote) {
+    int line = cur_.line(), col = cur_.col();
+    std::string text;
+    text += quote;
+    cur_.Bump();
+    while (!cur_.Eof()) {
+      if (cur_.EatSplice()) continue;
+      char c = cur_.Peek();
+      if (c == '\\') {
+        text += c;
+        cur_.Bump();
+        if (!cur_.Eof()) {
+          text += cur_.Peek();
+          cur_.Bump();
+        }
+        continue;
+      }
+      // An unterminated literal stops at end of line, like a compiler's
+      // error recovery, so one bad line cannot swallow the rest of a file.
+      if (c == '\n') break;
+      text += c;
+      cur_.Bump();
+      if (c == quote) break;
+    }
+    Emit(Token::Kind::kString, std::move(text), line, col);
+  }
+
+  void LexNumber() {
+    int line = cur_.line(), col = cur_.col();
+    std::string text;
+    while (!cur_.Eof()) {
+      char c = cur_.Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '_') {
+        text += c;
+        cur_.Bump();
+        // Exponent signs join the pp-number: 1e+5, 0x1p-3.
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            (cur_.Peek() == '+' || cur_.Peek() == '-')) {
+          text += cur_.Peek();
+          cur_.Bump();
+        }
+        continue;
+      }
+      // Digit separator: 1'000'000 — a quote between alnums is part of the
+      // number, not a char literal.
+      if (c == '\'' && IsIdentChar(cur_.Peek(1)) && !text.empty() &&
+          std::isalnum(static_cast<unsigned char>(text.back()))) {
+        text += c;
+        cur_.Bump();
+        continue;
+      }
+      break;
+    }
+    Emit(Token::Kind::kNumber, std::move(text), line, col);
+  }
+
+  void LexPunct() {
+    int line = cur_.line(), col = cur_.col();
+    // Multi-character operators that matter to checks are kept whole so
+    // `dev->WriteAt` lexes as [dev, ->, WriteAt] and `SyncIo::Write` as
+    // [SyncIo, ::, Write]. Everything else may split; no check cares.
+    static const char* kMulti[] = {"->*", "...", "::", "->", "<<=", ">>=",
+                                   "<<",  ">>",  "<=", ">=", "==",  "!=",
+                                   "&&",  "||",  "+=", "-=", "*=",  "/=",
+                                   "%=",  "&=",  "|=", "^=", "++",  "--"};
+    for (const char* op : kMulti) {
+      size_t n = std::char_traits<char>::length(op);
+      bool match = true;
+      for (size_t i = 0; i < n; ++i) {
+        if (cur_.Peek(i) != op[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        for (size_t i = 0; i < n; ++i) cur_.Bump();
+        Emit(Token::Kind::kPunct, op, line, col);
+        return;
+      }
+    }
+    std::string text(1, cur_.Peek());
+    cur_.Bump();
+    Emit(Token::Kind::kPunct, std::move(text), line, col);
+  }
+
+  const std::string& src_;
+  Cursor cur_;
+  LexedSource out_;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+LexedSource Lex(const std::string& src) { return Lexer(src).Run(); }
+
+}  // namespace dprlint

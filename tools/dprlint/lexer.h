@@ -1,0 +1,54 @@
+#ifndef DPR_TOOLS_DPRLINT_LEXER_H_
+#define DPR_TOOLS_DPRLINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+/// dprlint's C++ lexer. Deliberately standalone (no dependency on src/) so
+/// the binary builds on any toolchain tier-1 builds on.
+///
+/// This is a *lexer*, not a parser: it produces a token stream with comments,
+/// string/char literals, raw strings, and preprocessor lines stripped out of
+/// the code channel but preserved where checks need them (comment text is
+/// kept per line for `dprlint: allowed(...)` markers; literals become opaque
+/// kString tokens). That is exactly the layer the old grep/awk lints were
+/// missing: a keyword inside a comment, a string, or a raw string can never
+/// match a code-channel pattern here.
+namespace dprlint {
+
+struct Token {
+  enum class Kind {
+    kIdent,    // identifiers and keywords
+    kNumber,   // numeric literals (digit separators handled)
+    kString,   // string literal, char literal, or raw string (opaque)
+    kPunct,    // operators/punctuation; multi-char ::, ->, etc. kept whole
+    kPreproc,  // a full preprocessor line (continuations folded in)
+  };
+  Kind kind;
+  std::string text;  // kString: unquoted decoded-ish spelling is NOT needed;
+                     // holds the raw spelling so checks can ignore it.
+  int line = 0;      // 1-based line of the first character
+  int col = 0;       // 1-based column of the first character
+};
+
+/// One lexed file: the code-channel token stream plus the comment channel.
+struct LexedSource {
+  std::vector<Token> tokens;
+  /// 1-based; comments_by_line[i] is the concatenation of all comment text
+  /// that lies on line i (a block comment spanning lines contributes its
+  /// per-line slice to each line it covers). Empty string = no comment.
+  std::vector<std::string> comments_by_line;
+  /// 1-based; true when line i carries at least one code token. Used for the
+  /// "comment block immediately above" allow-marker attachment rule.
+  std::vector<bool> line_has_code;
+  int line_count = 0;
+};
+
+/// Lexes `src`. Never fails: malformed input (unterminated literals or block
+/// comments) is consumed to end of file, which matches how a compiler would
+/// diagnose-and-recover and keeps the linter total.
+LexedSource Lex(const std::string& src);
+
+}  // namespace dprlint
+
+#endif  // DPR_TOOLS_DPRLINT_LEXER_H_
