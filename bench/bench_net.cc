@@ -18,6 +18,7 @@
 #include "dfaster/protocol.h"
 #include "harness/stats.h"
 #include "net/tcp_net.h"
+#include "obs/metrics.h"
 
 namespace dpr {
 namespace {
@@ -30,12 +31,16 @@ constexpr uint64_t kLatencySampleEvery = 64;
 // each response callback until the deadline, then drains.
 class PipelinedClient {
  public:
-  PipelinedClient(std::string address, std::string payload, uint32_t window)
+  PipelinedClient(std::string address, std::string payload, uint32_t window,
+                  NetBackend backend)
       : address_(std::move(address)),
         payload_(std::move(payload)),
-        window_(window) {}
+        window_(window),
+        backend_(backend) {}
 
-  Status Connect() { return ConnectTcp(address_, &conn_); }
+  Status Connect() {
+    return ConnectTcp(address_, TcpClientOptions{backend_}, &conn_);
+  }
 
   void Run(uint64_t deadline_us) {
     deadline_us_ = deadline_us;
@@ -91,6 +96,7 @@ class PipelinedClient {
   const std::string address_;
   const std::string payload_;
   const uint32_t window_;
+  const NetBackend backend_;
   std::unique_ptr<RpcConnection> conn_;
   uint64_t deadline_us_ = 0;
   // Touched only from the issuing thread and the connection's single
@@ -106,25 +112,49 @@ class PipelinedClient {
 
 struct NetPoint {
   double mops = 0;
+  double syscalls_per_frame = 0;
   Histogram latency;
 };
 
+uint64_t CounterOrZero(const MetricsSnapshot& snap, const std::string& name) {
+  auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+// Submission-side syscalls per frame moved, from registry counter deltas:
+// epoll pays recv+writev per wakeup, the uring backend pays one
+// io_uring_enter per SQE batch regardless of how many frames ride it.
+double SyscallsPerFrame(const MetricsSnapshot& before,
+                        const MetricsSnapshot& after) {
+  MetricsSnapshot delta = after;
+  delta.SubtractCounters(before);
+  const uint64_t syscalls = CounterOrZero(delta, "net.tcp.recv_calls") +
+                            CounterOrZero(delta, "net.tcp.writev_calls") +
+                            CounterOrZero(delta, "net.uring.sqe_batches");
+  const uint64_t frames = CounterOrZero(delta, "net.tcp.frames_sent") +
+                          CounterOrZero(delta, "net.tcp.frames_received");
+  return frames > 0 ? static_cast<double>(syscalls) / frames : 0;
+}
+
 NetPoint RunPoint(RpcServer* server, const std::string& payload,
-                  uint32_t conns, uint32_t window, uint64_t duration_ms) {
+                  uint32_t conns, uint32_t window, uint64_t duration_ms,
+                  NetBackend backend) {
   std::vector<std::unique_ptr<PipelinedClient>> clients;
   clients.reserve(conns);
   for (uint32_t i = 0; i < conns; ++i) {
     auto client = std::make_unique<PipelinedClient>(server->address(),
-                                                    payload, window);
+                                                    payload, window, backend);
     Status s = client->Connect();
     DPR_CHECK_MSG(s.ok(), "connect: %s", s.ToString().c_str());
     clients.push_back(std::move(client));
   }
+  const MetricsSnapshot before = MetricsRegistry::Default().Snapshot();
   Stopwatch timer;
   const uint64_t deadline_us = NowMicros() + duration_ms * 1000;
   for (auto& client : clients) client->Run(deadline_us);
   for (auto& client : clients) client->Drain();
   const double seconds = timer.ElapsedSeconds();
+  const MetricsSnapshot after = MetricsRegistry::Default().Snapshot();
 
   NetPoint point;
   uint64_t completed = 0;
@@ -134,6 +164,7 @@ NetPoint RunPoint(RpcServer* server, const std::string& payload,
     point.latency.Merge(client->latency());
   }
   point.mops = seconds > 0 ? completed / seconds / 1e6 : 0;
+  point.syscalls_per_frame = SyscallsPerFrame(before, after);
   return point;
 }
 
@@ -188,25 +219,52 @@ void Run(const Flags& flags) {
                    }});
   modes.push_back({"kv", MakeKvPayload(kv_ops), KvHandler});
 
-  for (const Mode& mode : modes) {
-    printf("\n=== bench_net: %s (payload=%zuB, window=%u) ===\n",
-           mode.name.c_str(), mode.payload.size(), window);
-    ResultTable table({"conns", "Mops", "p50us", "p99us"});
-    for (uint32_t conns : conn_counts) {
-      auto server = MakeTcpServer(0);
-      Status s = server->Start(mode.handler);
-      DPR_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
-      const NetPoint point =
-          RunPoint(server.get(), mode.payload, conns, window, duration_ms);
-      server->Stop();
-      json.artifact().AddPoint(mode.name + ".tput", conns, point.mops);
-      json.artifact().AddHistogram(
-          mode.name + ".latency@" + std::to_string(conns), point.latency);
-      table.AddRow({std::to_string(conns), ResultTable::Fmt(point.mops, 3),
-                    std::to_string(point.latency.Percentile(50)),
-                    std::to_string(point.latency.Percentile(99))});
+  // Backend axis: epoll always; uring when this kernel supports it. Series
+  // names carry the backend so one artifact holds both curves (the epoll
+  // series keeps the historical unsuffixed names for baseline comparison).
+  struct Backend {
+    std::string suffix;  // "" for epoll (historical names), ".uring"
+    NetBackend backend;
+  };
+  std::vector<Backend> backends = {{"", NetBackend::kEpoll}};
+  if (NetUringSupported()) {
+    backends.push_back({".uring", NetBackend::kIoUring});
+  } else {
+    printf("io_uring backend unsupported on this kernel; epoll only\n");
+  }
+  json.artifact().SetConfig("uring_supported",
+                            static_cast<uint64_t>(NetUringSupported()));
+
+  for (const Backend& be : backends) {
+    const char* be_name = be.backend == NetBackend::kIoUring ? "uring"
+                                                             : "epoll";
+    for (const Mode& mode : modes) {
+      printf("\n=== bench_net: %s/%s (payload=%zuB, window=%u) ===\n",
+             mode.name.c_str(), be_name, mode.payload.size(), window);
+      ResultTable table({"conns", "Mops", "sys/frame", "p50us", "p99us"});
+      for (uint32_t conns : conn_counts) {
+        TcpServerOptions server_options;
+        server_options.backend = be.backend;
+        auto server = MakeTcpServer(0, server_options);
+        Status s = server->Start(mode.handler);
+        DPR_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+        const NetPoint point = RunPoint(server.get(), mode.payload, conns,
+                                        window, duration_ms, be.backend);
+        server->Stop();
+        json.artifact().AddPoint(mode.name + ".tput" + be.suffix, conns,
+                                 point.mops);
+        json.artifact().AddPoint(mode.name + ".syscalls_per_frame" + be.suffix,
+                                 conns, point.syscalls_per_frame);
+        json.artifact().AddHistogram(mode.name + ".latency" + be.suffix + "@" +
+                                         std::to_string(conns),
+                                     point.latency);
+        table.AddRow({std::to_string(conns), ResultTable::Fmt(point.mops, 3),
+                      ResultTable::Fmt(point.syscalls_per_frame, 2),
+                      std::to_string(point.latency.Percentile(50)),
+                      std::to_string(point.latency.Percentile(99))});
+      }
+      table.Print();
     }
-    table.Print();
   }
   json.Finish();
 }

@@ -106,6 +106,10 @@ enum class LockRank : int {
                            // only transport locks)
   kClientEndpoints = 108,  // dfaster client endpoint/connection registry
                            // (leaf: never nested with window/session locks)
+  kClientTimer = 109,   // dfaster client retry-timer queue (leaf: taken with
+                        // no other lock held — by transport callbacks
+                        // scheduling retries and by the timer thread; tasks
+                        // themselves run outside the lock)
   kClientWindow = 110,  // dredis/dfaster client pending-window locks
 
   // Finder plane (FinderCore: gate > compute > stage; remote: flush > queue

@@ -1,0 +1,210 @@
+#include "common/uring.h"
+
+#if DPR_HAVE_IOURING
+
+#include <errno.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+
+namespace dpr {
+
+namespace {
+
+int SysIoUringSetup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysIoUringRegister(int fd, unsigned opcode, const void* arg,
+                       unsigned nr_args) {
+  return static_cast<int>(
+      syscall(__NR_io_uring_register, fd, opcode, arg, nr_args));
+}
+
+}  // namespace
+
+int UringRing::Enter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                     unsigned flags) {
+  return static_cast<int>(syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                  min_complete, flags, nullptr, 0));
+}
+
+UringRing::~UringRing() {
+  if (ring_fd_ >= 0) Teardown();
+}
+
+bool UringRing::Init(uint32_t entries) {
+  io_uring_params p;
+  memset(&p, 0, sizeof(p));
+  ring_fd_ = SysIoUringSetup(entries, &p);
+  if (ring_fd_ < 0) return false;
+
+  sq_entries_ = p.sq_entries;
+  size_t sq_size = p.sq_off.array + p.sq_entries * sizeof(uint32_t);
+  size_t cq_size = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+  single_mmap_ = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap_ && cq_size > sq_size) sq_size = cq_size;
+
+  sq_ring_sz_ = sq_size;
+  sq_ring_ = mmap(nullptr, sq_size, PROT_READ | PROT_WRITE,
+                  MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+  if (sq_ring_ == MAP_FAILED) {
+    close(ring_fd_);
+    ring_fd_ = -1;
+    return false;
+  }
+  if (single_mmap_) {
+    cq_ring_ = sq_ring_;
+    cq_ring_sz_ = 0;
+  } else {
+    cq_ring_sz_ = cq_size;
+    cq_ring_ = mmap(nullptr, cq_size, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+    if (cq_ring_ == MAP_FAILED) {
+      munmap(sq_ring_, sq_ring_sz_);
+      close(ring_fd_);
+      ring_fd_ = -1;
+      return false;
+    }
+  }
+  sqes_sz_ = p.sq_entries * sizeof(io_uring_sqe);
+  sqes_ = static_cast<io_uring_sqe*>(
+      mmap(nullptr, sqes_sz_, PROT_READ | PROT_WRITE,
+           MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES));
+  if (sqes_ == MAP_FAILED) {
+    if (!single_mmap_) munmap(cq_ring_, cq_ring_sz_);
+    munmap(sq_ring_, sq_ring_sz_);
+    close(ring_fd_);
+    ring_fd_ = -1;
+    return false;
+  }
+
+  auto* sq = static_cast<char*>(sq_ring_);
+  sq_head_ = reinterpret_cast<std::atomic<uint32_t>*>(sq + p.sq_off.head);
+  sq_tail_ = reinterpret_cast<std::atomic<uint32_t>*>(sq + p.sq_off.tail);
+  sq_mask_ = *reinterpret_cast<uint32_t*>(sq + p.sq_off.ring_mask);
+  sq_array_ = reinterpret_cast<uint32_t*>(sq + p.sq_off.array);
+
+  auto* cq = static_cast<char*>(cq_ring_);
+  cq_head_ = reinterpret_cast<std::atomic<uint32_t>*>(cq + p.cq_off.head);
+  cq_tail_ = reinterpret_cast<std::atomic<uint32_t>*>(cq + p.cq_off.tail);
+  cq_mask_ = *reinterpret_cast<uint32_t*>(cq + p.cq_off.ring_mask);
+  cqes_ = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
+  return true;
+}
+
+void UringRing::Teardown() {
+  munmap(sqes_, sqes_sz_);
+  if (!single_mmap_) munmap(cq_ring_, cq_ring_sz_);
+  munmap(sq_ring_, sq_ring_sz_);
+  close(ring_fd_);
+  ring_fd_ = -1;
+}
+
+void UringRing::PushSqe(const io_uring_sqe& sqe) {
+  // relaxed tail read: the caller is the only SQ producer; the kernel side
+  // only advances head, which we pair with acquire below.
+  uint32_t tail = sq_tail_->load(std::memory_order_relaxed);
+  while (tail - sq_head_->load(std::memory_order_acquire) >= sq_entries_) {
+    SubmitPending();
+  }
+  const uint32_t idx = tail & sq_mask_;
+  sqes_[idx] = sqe;
+  sq_array_[idx] = idx;
+  sq_tail_->store(tail + 1, std::memory_order_release);
+  ++pending_flush_;
+}
+
+unsigned UringRing::SubmitPending() {
+  unsigned enters = 0;
+  while (pending_flush_ > 0) {
+    const int r = Enter(ring_fd_, pending_flush_, 0, 0);
+    ++enters;
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EBUSY) continue;
+      DPR_CHECK_MSG(false, "io_uring_enter failed: %s", strerror(errno));
+    }
+    pending_flush_ -= static_cast<unsigned>(r);
+  }
+  return enters;
+}
+
+unsigned UringRing::SubmitAndWait(unsigned min_complete) {
+  unsigned enters = 0;
+  for (;;) {
+    const int r = Enter(ring_fd_, pending_flush_, min_complete,
+                        IORING_ENTER_GETEVENTS);
+    ++enters;
+    if (r >= 0) {
+      pending_flush_ -= static_cast<unsigned>(r);
+      if (pending_flush_ == 0) return enters;
+      // Partial SQ consumption (CQ-overflow backpressure): keep flushing,
+      // the wait condition was already satisfied or will re-arm next call.
+      continue;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EBUSY) continue;
+    DPR_CHECK_MSG(false, "io_uring_enter(submit+wait) failed: %s",
+                  strerror(errno));
+  }
+}
+
+void UringRing::EnterWait(unsigned min_complete) {
+  const int r = Enter(ring_fd_, 0, min_complete, IORING_ENTER_GETEVENTS);
+  if (r < 0 && errno != EINTR && errno != EAGAIN && errno != EBUSY) {
+    DPR_CHECK_MSG(false, "io_uring_enter(GETEVENTS) failed: %s",
+                  strerror(errno));
+  }
+}
+
+bool UringRing::RegisterBufRing(void* ring_addr, uint32_t entries,
+                                uint16_t bgid) {
+// IORING_REGISTER_PBUF_RING is an enum value, not a macro, so it cannot be
+// probed with #ifdef; IORING_RECV_MULTISHOT (a macro from the same header
+// generation, 6.0) proxies for the whole provided-buffer-ring UAPI.
+#ifdef IORING_RECV_MULTISHOT
+  io_uring_buf_reg reg;
+  memset(&reg, 0, sizeof(reg));
+  reg.ring_addr = reinterpret_cast<uint64_t>(ring_addr);
+  reg.ring_entries = entries;
+  reg.bgid = bgid;
+  return SysIoUringRegister(ring_fd_, IORING_REGISTER_PBUF_RING, &reg, 1) == 0;
+#else
+  (void)ring_addr;
+  (void)entries;
+  (void)bgid;
+  return false;
+#endif
+}
+
+void UringRing::UnregisterBufRing(uint16_t bgid) {
+#ifdef IORING_RECV_MULTISHOT
+  io_uring_buf_reg reg;
+  memset(&reg, 0, sizeof(reg));
+  reg.bgid = bgid;
+  SysIoUringRegister(ring_fd_, IORING_UNREGISTER_PBUF_RING, &reg, 1);
+#else
+  (void)bgid;
+#endif
+}
+
+bool UringRing::ProbeOpcode(uint8_t opcode) const {
+  // The probe struct is variable-length (flexible ops[] tail), so it lives
+  // in a raw buffer sized for every opcode this kernel could report.
+  constexpr unsigned kOps = 256;
+  alignas(io_uring_probe) unsigned char buf[sizeof(io_uring_probe) +
+                                            kOps * sizeof(io_uring_probe_op)];
+  memset(buf, 0, sizeof(buf));
+  auto* probe = reinterpret_cast<io_uring_probe*>(buf);
+  if (SysIoUringRegister(ring_fd_, IORING_REGISTER_PROBE, probe, kOps) != 0) {
+    return false;
+  }
+  if (opcode > probe->last_op) return false;
+  return (probe->ops[opcode].flags & IO_URING_OP_SUPPORTED) != 0;
+}
+
+}  // namespace dpr
+
+#endif  // DPR_HAVE_IOURING

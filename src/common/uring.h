@@ -1,0 +1,145 @@
+#ifndef DPR_COMMON_URING_H_
+#define DPR_COMMON_URING_H_
+
+// Shared raw-syscall io_uring ring management, written against the kernel
+// UAPI (<linux/io_uring.h>) rather than liburing so the build needs no extra
+// dependency. Both ring users in the tree sit on this class:
+//   * the storage IoEngine backend (src/storage/io_uring_engine.cc), which
+//     serializes SQE production under its own mutex and drains CQEs from a
+//     dedicated reaper thread, and
+//   * the network transport loops (src/net/uring_net.cc), where one thread
+//     owns both sides of its ring.
+// Keeping the mmap/submit/drain core here means the two planes cannot fork
+// subtly different ring implementations (the ISSUE-6 plumbing is the single
+// source of truth for the memory-ordering contract with the kernel).
+//
+// Thread contract:
+//   * SQ side (PushSqe / SubmitPending / SubmitAndWait) must be externally
+//     serialized by the caller.
+//   * CQ side (DrainCqes / CqReady) is single-consumer.
+//   * EnterWait (to_submit=0) may run concurrently with the SQ side: it only
+//     parks in io_uring_enter(GETEVENTS) and touches no ring indices.
+
+#if DPR_HAVE_IOURING
+
+#include <linux/io_uring.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace dpr {
+
+class UringRing {
+ public:
+  UringRing() = default;
+  ~UringRing();
+
+  UringRing(const UringRing&) = delete;
+  UringRing& operator=(const UringRing&) = delete;
+
+  /// Sets up a ring with (at least) `entries` SQ slots and maps the three
+  /// ring regions (SQ ring, CQ ring, SQE array; one mmap when the kernel
+  /// reports IORING_FEAT_SINGLE_MMAP). Returns false — leaving the object
+  /// invalid — when io_uring_setup or any mmap fails (seccomp'd container,
+  /// old kernel, absurd depth), so callers can fall back gracefully.
+  bool Init(uint32_t entries);
+  bool valid() const { return ring_fd_ >= 0; }
+  int ring_fd() const { return ring_fd_; }
+  uint32_t sq_entries() const { return sq_entries_; }
+
+  /// Copies one SQE into the next free slot. When the SQ ring is full the
+  /// already-queued SQEs are flushed first (non-SQPOLL rings consume SQEs
+  /// synchronously inside io_uring_enter, so a full ring clears as soon as
+  /// the backlog is submitted). SQ side; externally serialized.
+  void PushSqe(const io_uring_sqe& sqe);
+
+  /// SQEs pushed but not yet handed to the kernel.
+  unsigned pending() const { return pending_flush_; }
+
+  /// Submits every pending SQE (possibly several io_uring_enter calls under
+  /// EINTR/EAGAIN/EBUSY). Dies on a hard submit error — by the time SQEs are
+  /// queued there is no caller left to hand the error to. Returns the number
+  /// of io_uring_enter calls made (the syscall-accounting unit).
+  unsigned SubmitPending();
+
+  /// One combined submit-and-wait: flushes pending SQEs and parks until at
+  /// least `min_complete` CQEs are available. Returns the number of
+  /// io_uring_enter calls made. SQ side; externally serialized.
+  unsigned SubmitAndWait(unsigned min_complete);
+
+  /// Blocks until >= min_complete CQEs are available without submitting
+  /// anything. Safe concurrently with the SQ side (reaper threads).
+  void EnterWait(unsigned min_complete);
+
+  bool CqReady() const {
+    // relaxed head: the caller is the only CQ consumer, so its own last
+    // store is visible to it; acquire on tail pairs with the kernel's
+    // release publish of new CQEs.
+    return cq_head_->load(std::memory_order_relaxed) !=
+           cq_tail_->load(std::memory_order_acquire);
+  }
+
+  /// Drains every available CQE through `fn(const io_uring_cqe&)`. The CQ
+  /// slot is released before `fn` runs (the copy is handed to fn), so fn may
+  /// push SQEs — including ones that complete into the freed slot. Returns
+  /// the number of CQEs consumed. Single consumer.
+  template <typename Fn>
+  unsigned DrainCqes(Fn&& fn) {
+    // relaxed head read: we are the only CQ consumer; the ordering pair with
+    // the kernel producer is the acquire on cq_tail_.
+    uint32_t head = cq_head_->load(std::memory_order_relaxed);
+    unsigned drained = 0;
+    while (head != cq_tail_->load(std::memory_order_acquire)) {
+      const io_uring_cqe cqe = cqes_[head & cq_mask_];
+      ++head;
+      cq_head_->store(head, std::memory_order_release);
+      ++drained;
+      fn(cqe);
+    }
+    return drained;
+  }
+
+  /// Registers a provided-buffer ring (IORING_REGISTER_PBUF_RING).
+  /// `ring_addr` must be page-aligned and hold `entries` io_uring_buf slots
+  /// (entries must be a power of two). Returns false when the kernel lacks
+  /// the feature. Compiled out (always false) on pre-5.19 UAPI headers.
+  bool RegisterBufRing(void* ring_addr, uint32_t entries, uint16_t bgid);
+  void UnregisterBufRing(uint16_t bgid);
+
+  /// IORING_REGISTER_PROBE: whether this kernel supports `opcode`.
+  bool ProbeOpcode(uint8_t opcode) const;
+
+  /// Raw io_uring_enter(2); exposed for callers that park outside the
+  /// instance lock (storage reaper). Returns the syscall result; errno set.
+  static int Enter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                   unsigned flags);
+
+ private:
+  void Teardown();
+
+  int ring_fd_ = -1;
+  void* sq_ring_ = nullptr;
+  void* cq_ring_ = nullptr;
+  io_uring_sqe* sqes_ = nullptr;
+  size_t sq_ring_sz_ = 0, cq_ring_sz_ = 0, sqes_sz_ = 0;
+  bool single_mmap_ = false;
+  uint32_t sq_entries_ = 0;
+
+  std::atomic<uint32_t>* sq_head_ = nullptr;
+  std::atomic<uint32_t>* sq_tail_ = nullptr;
+  uint32_t sq_mask_ = 0;
+  uint32_t* sq_array_ = nullptr;
+  std::atomic<uint32_t>* cq_head_ = nullptr;
+  std::atomic<uint32_t>* cq_tail_ = nullptr;
+  uint32_t cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+
+  unsigned pending_flush_ = 0;
+};
+
+}  // namespace dpr
+
+#endif  // DPR_HAVE_IOURING
+
+#endif  // DPR_COMMON_URING_H_

@@ -40,6 +40,61 @@ DFasterClient::DFasterClient(DFasterClientConfig config)
   RefreshOwnership();
 }
 
+DFasterClient::~DFasterClient() {
+  std::thread timer;
+  {
+    MutexLock guard(timer_mu_);
+    timer_stop_ = true;
+    timer.swap(timer_thread_);
+  }
+  timer_cv_.NotifyAll();
+  if (timer.joinable()) timer.join();
+}
+
+void DFasterClient::RunAfter(uint64_t delay_us, std::function<void()> fn) {
+  {
+    MutexLock guard(timer_mu_);
+    if (!timer_thread_.joinable()) {
+      timer_thread_ = std::thread([this] { TimerLoop(); });
+    }
+    timer_queue_.push_back({NowMicros() + delay_us, std::move(fn)});
+  }
+  timer_cv_.NotifyAll();
+}
+
+void DFasterClient::TimerLoop() {
+  for (;;) {
+    std::function<void()> ready;
+    {
+      MutexLock guard(timer_mu_);
+      for (;;) {
+        if (timer_stop_) return;
+        if (timer_queue_.empty()) {
+          timer_cv_.Wait(timer_mu_, [this]() REQUIRES(timer_mu_) {
+            return timer_stop_ || !timer_queue_.empty();
+          });
+          continue;
+        }
+        auto it = std::min_element(timer_queue_.begin(), timer_queue_.end(),
+                                   [](const DelayedTask& a,
+                                      const DelayedTask& b) {
+                                     return a.due_us < b.due_us;
+                                   });
+        const uint64_t now = NowMicros();
+        if (it->due_us > now) {
+          timer_cv_.WaitFor(timer_mu_,
+                            std::chrono::microseconds(it->due_us - now));
+          continue;
+        }
+        ready = std::move(it->fn);
+        timer_queue_.erase(it);
+        break;
+      }
+    }
+    ready();  // outside the lock: tasks resend batches / take client locks
+  }
+}
+
 WorkerId DFasterClient::RouteOf(uint64_t key) const {
   MutexLock guard(routes_mu_);
   return routes_[YcsbWorkload::PartitionOf(key)];
@@ -314,9 +369,18 @@ void DFasterClient::Session::OnRemoteResponse(
     if (resp.header.status == DprResponseHeader::BatchStatus::kRetryLater &&
         attempt < kMaxBatchRetries) {
       // Worker mid-recovery (or behind our world-line): back off and resend
-      // with a refreshed header. The ops keep their seqnos.
-      SleepMicros(kRetryDelayUs);
-      SendRemote(worker, std::move(batch), start_seqno, attempt + 1);
+      // with a refreshed header. The ops keep their seqnos. The backoff is
+      // scheduled, never slept inline: this callback runs on the transport's
+      // delivery thread, and with the io_uring client that one thread
+      // serves every connection in the process — sleeping here would stall
+      // all client traffic for the duration (~Session keeps `this` alive
+      // while the batch is outstanding).
+      client_->RunAfter(kRetryDelayUs,
+                        [this, worker, batch = std::move(batch), start_seqno,
+                         attempt]() mutable {
+                          SendRemote(worker, std::move(batch), start_seqno,
+                                     attempt + 1);
+                        });
       return;
     }
     if (resp.header.status == DprResponseHeader::BatchStatus::kOk) {

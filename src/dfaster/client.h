@@ -6,6 +6,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/sync.h"
@@ -46,6 +47,7 @@ struct DFasterClientConfig {
 class DFasterClient {
  public:
   explicit DFasterClient(DFasterClientConfig config);
+  ~DFasterClient();
 
   void AddRemoteWorker(WorkerId id, std::unique_ptr<RpcConnection> conn);
   void AddLocalWorker(DFasterWorker* worker);
@@ -77,6 +79,14 @@ class DFasterClient {
   RpcConnection* Connection(WorkerId worker);
   DFasterWorker* Local(WorkerId worker) const;
 
+  /// Runs `fn` after `delay_us` on the client's timer thread (started
+  /// lazily). Transport response callbacks must not block their delivery
+  /// thread — with the io_uring client every connection in the process
+  /// shares one loop thread, so a SleepMicros inside a callback stalls all
+  /// client traffic (including the finder reports recovery depends on).
+  /// Batch retries schedule themselves here instead.
+  void RunAfter(uint64_t delay_us, std::function<void()> fn);
+
   DFasterClientConfig config_;
   // Endpoint registry: connections and co-located workers, keyed by id.
   // Guarded so lazy connects racing request threads are safe; entries are
@@ -89,6 +99,18 @@ class DFasterClient {
   // Leaf lock: guards only the cached routing table.
   mutable Mutex routes_mu_{LockRank::kClientWindow, "dfaster.client.routes"};
   std::vector<WorkerId> routes_ GUARDED_BY(routes_mu_);  // partition -> worker
+
+  void TimerLoop();
+
+  struct DelayedTask {
+    uint64_t due_us;
+    std::function<void()> fn;
+  };
+  mutable Mutex timer_mu_{LockRank::kClientTimer, "dfaster.client.timer"};
+  CondVar timer_cv_;
+  std::vector<DelayedTask> timer_queue_ GUARDED_BY(timer_mu_);
+  bool timer_stop_ GUARDED_BY(timer_mu_) = false;
+  std::thread timer_thread_ GUARDED_BY(timer_mu_);
 };
 
 /// A client session: batched, windowed, asynchronous single-key operations

@@ -21,6 +21,7 @@
 #include "faster/faster_store.h"
 #include "fault/fault_plane.h"
 #include "net/inmemory_net.h"
+#include "net/tcp_net.h"
 
 namespace dpr {
 
@@ -51,6 +52,14 @@ ChaosSchedule ChaosSchedule::Generate(const ChaosOptions& options) {
              : fk < 0.70 ? FinderKind::kExact
                          : FinderKind::kHybrid;
   s.remote_finder = rng.Bernoulli(0.35);
+  if (s.remote_finder) {
+    // Rotate the finder link across every production transport. The draw
+    // happens only on remote runs so local-finder schedules from older
+    // seeds replay byte-identically.
+    static constexpr FinderLink kLinks[] = {
+        FinderLink::kInMemory, FinderLink::kTcpEpoll, FinderLink::kTcpUring};
+    s.finder_link = kLinks[rng.Uniform(3)];
+  }
   s.strict_sessions = rng.Bernoulli(0.25);
   static constexpr uint64_t kCaps[] = {~0ull, ~0ull, ~0ull, 1, 2, 8};
   s.exception_list_cap = kCaps[rng.Uniform(6)];
@@ -102,8 +111,12 @@ std::string ChaosSchedule::ToString() const {
   const char* fk = finder == FinderKind::kExact    ? "exact"
                    : finder == FinderKind::kApprox ? "approx"
                                                    : "hybrid";
+  const char* link = finder_link == FinderLink::kTcpEpoll   ? "tcp-epoll"
+                     : finder_link == FinderLink::kTcpUring ? "tcp-uring"
+                                                            : "inmem";
   std::string out = "seed=" + std::to_string(seed) + " finder=" + fk +
                     " remote=" + (remote_finder ? "1" : "0") +
+                    " link=" + link +
                     " strict=" + (strict_sessions ? "1" : "0") + " cap=";
   out += exception_list_cap == ~0ull ? std::string("inf")
                                      : std::to_string(exception_list_cap);
@@ -164,12 +177,40 @@ class ChaosRunner {
         {.kind = schedule_.finder, .metadata = metadata_.get()});
     plane_ = local_finder_.get();
     if (schedule_.remote_finder) {
-      InMemoryNetOptions net_options;
-      net_options.server_threads = 2;
-      net_ = std::make_unique<InMemoryNetwork>(net_options);
-      finder_server_ = std::make_unique<DprFinderServer>(
-          local_finder_.get(), net_->CreateServer("finder"));
-      DPR_RETURN_NOT_OK(finder_server_->Start());
+      // The schedule picks the finder-link transport; a kTcpUring draw on a
+      // kernel without support runs over epoll (the schedule string — the
+      // replay contract — is not rewritten, so the seed still replays).
+      FinderLink link = schedule_.finder_link;
+      if (link == FinderLink::kTcpUring && !NetUringSupported()) {
+        fprintf(stderr,
+                "[chaos] finder link tcp-uring unsupported on this kernel; "
+                "running over tcp-epoll\n");
+        link = FinderLink::kTcpEpoll;
+      }
+      std::unique_ptr<RpcConnection> finder_conn;
+      if (link == FinderLink::kInMemory) {
+        InMemoryNetOptions net_options;
+        net_options.server_threads = 2;
+        net_ = std::make_unique<InMemoryNetwork>(net_options);
+        finder_server_ = std::make_unique<DprFinderServer>(
+            local_finder_.get(), net_->CreateServer("finder"));
+        DPR_RETURN_NOT_OK(finder_server_->Start());
+        finder_conn = net_->Connect(finder_server_->address());
+      } else {
+        const NetBackend backend = link == FinderLink::kTcpUring
+                                       ? NetBackend::kIoUring
+                                       : NetBackend::kEpoll;
+        TcpServerOptions server_options;
+        server_options.io_threads = 2;
+        server_options.executor_threads = 2;
+        server_options.backend = backend;
+        finder_server_ = std::make_unique<DprFinderServer>(
+            local_finder_.get(), MakeTcpServer(0, server_options));
+        DPR_RETURN_NOT_OK(finder_server_->Start());
+        DPR_RETURN_NOT_OK(ConnectTcp(finder_server_->address(),
+                                     TcpClientOptions{backend},
+                                     &finder_conn));
+      }
       RemoteDprFinderOptions ro;
       ro.flush_interval_us = 1000;
       ro.snapshot_ttl_us = 0;  // exact read-after-report for the checkers
@@ -177,7 +218,7 @@ class ChaosRunner {
       ro.retry_backoff_us = 50;
       ro.retry_backoff_max_us = 1000;
       remote_finder_ = std::make_unique<RemoteDprFinder>(
-          net_->Connect(finder_server_->address()), ro);
+          std::move(finder_conn), ro);
       plane_ = remote_finder_.get();
     }
     manager_ = std::make_unique<ClusterManager>(plane_);

@@ -71,6 +71,16 @@ struct ChaosEvent {
   std::string ToString() const;
 };
 
+/// Which transport carries the worker<->finder link on remote_finder runs.
+/// Seed-derived so chaos coverage rotates across every production backend;
+/// a kernel without io_uring support runs kTcpUring schedules over epoll
+/// (logged, but the schedule string — the replay contract — is unchanged).
+enum class FinderLink : uint8_t {
+  kInMemory = 0,
+  kTcpEpoll = 1,
+  kTcpUring = 2,
+};
+
 /// A fully-determined chaos run: rig shape plus the ordered fault schedule.
 /// Generate() is a pure function of ChaosOptions (in particular of the
 /// seed) — regenerating from the same seed yields a byte-identical
@@ -79,8 +89,9 @@ struct ChaosSchedule {
   uint64_t seed = 0;
   FinderKind finder = FinderKind::kApprox;
   /// Deploy the tracking plane behind a DprFinderServer reached through a
-  /// batching RemoteDprFinder over the in-memory transport.
+  /// batching RemoteDprFinder over the transport in `finder_link`.
   bool remote_finder = false;
+  FinderLink finder_link = FinderLink::kInMemory;
   bool strict_sessions = false;
   uint64_t exception_list_cap = ~0ull;
   std::vector<ChaosEvent> events;  // sorted by (step, kind, a, b)

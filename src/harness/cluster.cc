@@ -54,7 +54,9 @@ Status DFasterCluster::Start() {
     DPR_RETURN_NOT_OK(finder_server_->Start());
     std::unique_ptr<RpcConnection> finder_conn;
     if (options_.transport == TransportKind::kTcp) {
-      DPR_RETURN_NOT_OK(ConnectTcp(finder_server_->address(), &finder_conn));
+      DPR_RETURN_NOT_OK(ConnectTcp(finder_server_->address(),
+                                   TcpClientOptions{options_.tcp.backend},
+                                   &finder_conn));
     } else {
       finder_conn = net_->Connect(finder_server_->address());
     }
@@ -182,7 +184,11 @@ std::unique_ptr<RpcConnection> DFasterCluster::ConnectTo(
   if (address.empty()) return nullptr;
   if (options_.transport == TransportKind::kTcp) {
     std::unique_ptr<RpcConnection> conn;
-    Status s = ConnectTcp(address, &conn);
+    // Clients ride the same backend knob as the cluster's servers so a
+    // chaos schedule's finder_link choice exercises one transport end to
+    // end (kAuto still resolves per kernel support).
+    Status s = ConnectTcp(address, TcpClientOptions{options_.tcp.backend},
+                          &conn);
     if (!s.ok()) {
       DPR_WARN("connect to %s failed: %s", address.c_str(),
                s.ToString().c_str());

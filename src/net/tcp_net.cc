@@ -2,7 +2,6 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
@@ -18,102 +17,31 @@
 #include <thread>
 #include <vector>
 
-#include "common/clock.h"
-#include "common/coding.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/sync.h"
-#include "fault/fault_plane.h"
 #include "net/event_loop.h"
 #include "net/executor.h"
+#include "net/frame.h"
+#include "net/uring_net.h"
 #include "obs/metrics.h"
 
 namespace dpr {
 
 namespace {
 
-constexpr size_t kFrameHeader = 12;  // u32 length + u64 request id
-
-// Upper bound on a single frame's payload. A length prefix beyond this is
-// garbage (a desynchronized or hostile peer), and honoring it would pin an
-// arbitrarily large allocation waiting for bytes that never come.
-constexpr uint32_t kMaxFramePayload = 256u << 20;
-
-// iovec budget per flush syscall: every queued frame contributes a header
-// iovec and a payload iovec, so one sendmsg moves up to kMaxIov/2 frames.
-constexpr int kMaxIov = 64;
-
-// Bytes pulled off a readable socket per event-loop pass. One recv per
-// OnReady keeps connections on the same loop fair; level-triggered epoll
-// re-reports the fd while bytes remain.
-constexpr size_t kReadChunk = 64 * 1024;
-
-// Classify a socket errno: peer resets and unreachable routes are transient
-// (reconnect and retry), timeouts carry their own code, anything else is a
-// hard I/O error.
-Status MapSocketError(const char* op, int err) {
-  const std::string msg = std::string(op) + ": " + strerror(err);
-  switch (err) {
-    case ECONNRESET:
-    case EPIPE:
-    case ECONNREFUSED:
-    case ECONNABORTED:
-    case ENETUNREACH:
-    case EHOSTUNREACH:
-      return Status::Transient(msg);
-    case ETIMEDOUT:
-      return Status::TimedOut(msg);
-    default:
-      return Status::IOError(msg);
-  }
-}
-
-// Call-site-cached registry pointers: one registration per process, relaxed
-// atomics after that. Gauges move by deltas so concurrent servers aggregate.
-struct TcpCounters {
-  Counter* frames_sent;
-  Counter* frames_received;
-  Counter* short_writes;
-  Counter* eagain_waits;
-  Counter* poisoned;
-  Counter* writev_calls;     // coalescing flush syscalls (sendmsg)
-  Counter* writev_frames;    // frames completed by those syscalls
-  Counter* accepted;         // server sockets accepted
-  Gauge* output_queue_bytes;  // bytes queued awaiting flush, all server conns
-  Gauge* server_conns;        // live accepted connections
-};
-
-const TcpCounters& Stats() {
-  static const TcpCounters counters = [] {
-    MetricsRegistry& r = MetricsRegistry::Default();
-    return TcpCounters{r.counter("net.tcp.frames_sent"),
-                       r.counter("net.tcp.frames_received"),
-                       r.counter("net.tcp.short_writes"),
-                       r.counter("net.tcp.eagain_waits"),
-                       r.counter("net.tcp.poisoned"),
-                       r.counter("net.tcp.writev_calls"),
-                       r.counter("net.tcp.writev_frames"),
-                       r.counter("net.tcp.accepted"),
-                       r.gauge("net.tcp.output_queue_bytes"),
-                       r.gauge("net.tcp.server_conns")};
-  }();
-  return counters;
-}
-
-// Shared socket configuration. Data sockets get TCP_NODELAY (frames are
-// small and pipelined; Nagle would serialize round trips behind delayed
-// ACKs), listeners get SO_REUSEADDR (tests and restarts rebind fixed ports
-// without waiting out TIME_WAIT).
-enum class SocketKind { kListener, kData };
-
-void ConfigureSocket(int fd, SocketKind kind) {
-  int one = 1;
-  if (kind == SocketKind::kListener) {
-    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  } else {
-    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  }
-}
+using internal::BuildIovecs;
+using internal::ConfigureSocket;
+using internal::ConsumeWritten;
+using internal::kFrameHeader;
+using internal::kMaxIov;
+using internal::kReadChunk;
+using internal::MakeFrame;
+using internal::MapSocketError;
+using internal::OutFrame;
+using internal::ReadGate;
+using internal::SocketKind;
+using internal::Stats;
 
 // Blocks until `fd` is ready for `events` (POLLIN/POLLOUT). POLLERR/POLLHUP
 // fall through as success so the next recv/send reports the real errno.
@@ -133,6 +61,7 @@ Status ReadFully(int fd, void* buf, size_t n, size_t* transferred = nullptr) {
   size_t done = 0;
   Status result;
   while (done < n) {
+    Stats().recv_calls->Add();
     const ssize_t got = recv(fd, p + done, n - done, 0);
     if (got > 0) {
       done += static_cast<size_t>(got);
@@ -203,6 +132,8 @@ Status WritevFully(int fd, struct iovec* iov, int iovcnt,
     msghdr msg{};
     msg.msg_iov = iov + idx;
     msg.msg_iovlen = static_cast<size_t>(iovcnt - idx);
+    // dprlint: allowed(net-raw-write) sanctioned vectored-flush helper; the
+    // framing layer above carries partial-write offsets.
     const ssize_t sent = sendmsg(fd, &msg, MSG_NOSIGNAL);
     if (sent >= 0) {
       Stats().writev_calls->Add();
@@ -233,83 +164,6 @@ Status WritevFully(int fd, struct iovec* iov, int iovcnt,
   }
   if (transferred != nullptr) *transferred = done;
   return result;
-}
-
-// One queued outbound frame. Header and payload stay separate so flushes
-// point iovecs at them in place — the payload is never copied into a
-// staging buffer. `offset` tracks bytes already on the wire when a previous
-// flush stopped mid-frame (partial write).
-struct OutFrame {
-  char header[kFrameHeader];
-  std::string payload;
-  size_t offset = 0;
-  uint64_t id = 0;
-
-  size_t size() const { return kFrameHeader + payload.size(); }
-  size_t remaining() const { return size() - offset; }
-};
-
-OutFrame MakeFrame(uint64_t id, std::string payload) {
-  OutFrame f;
-  std::string header;
-  header.reserve(kFrameHeader);
-  PutFixed32(&header, static_cast<uint32_t>(payload.size()));
-  PutFixed64(&header, id);
-  memcpy(f.header, header.data(), kFrameHeader);
-  f.id = id;
-  f.payload = std::move(payload);
-  return f;
-}
-
-// Points up to kMaxIov iovecs at the queued frames, honoring the front
-// frame's partial-write offset. Returns the frame count covered (the last
-// may be covered only partially if the iovec budget ran out mid-queue —
-// harmless, the next flush picks it back up). *bytes gets the batch size.
-int BuildIovecs(std::deque<OutFrame>& out, struct iovec* iov, int* iovcnt,
-                size_t* bytes) {
-  int n = 0;
-  int frames = 0;
-  size_t total = 0;
-  for (OutFrame& f : out) {
-    if (n + 2 > kMaxIov) break;
-    size_t off = f.offset;
-    if (off < kFrameHeader) {
-      iov[n].iov_base = f.header + off;
-      iov[n].iov_len = kFrameHeader - off;
-      total += iov[n].iov_len;
-      ++n;
-      off = 0;
-    } else {
-      off -= kFrameHeader;
-    }
-    if (f.payload.size() > off) {
-      iov[n].iov_base = f.payload.data() + off;
-      iov[n].iov_len = f.payload.size() - off;
-      total += iov[n].iov_len;
-      ++n;
-    }
-    ++frames;
-  }
-  *iovcnt = n;
-  *bytes = total;
-  return frames;
-}
-
-// Advances frame offsets past `wrote` flushed bytes, popping frames that
-// completed. Returns how many frames finished.
-size_t ConsumeWritten(std::deque<OutFrame>* out, size_t wrote) {
-  size_t completed = 0;
-  while (wrote > 0 && !out->empty()) {
-    OutFrame& f = out->front();
-    const size_t take = std::min(wrote, f.remaining());
-    f.offset += take;
-    wrote -= take;
-    if (f.remaining() == 0) {
-      out->pop_front();
-      ++completed;
-    }
-  }
-  return completed;
 }
 
 Status ReadFrame(int fd, uint64_t* id, std::string* payload) {
@@ -368,8 +222,8 @@ class ServerConn : public EventLoop::Handler,
   // Loop-thread-only state; no lock by construction (single writer thread).
   std::vector<char> input_;
   size_t input_used_ = 0;
-  bool want_write_ = false;    // EPOLLOUT armed (flush hit EAGAIN)
-  bool reads_paused_ = false;  // output queue over budget; EPOLLIN dropped
+  bool want_write_ = false;  // EPOLLOUT armed (flush hit EAGAIN)
+  ReadGate read_gate_;       // output over budget; EPOLLIN dropped
   bool closed_ = false;
 
   Mutex out_mu_{LockRank::kTransport, "net.tcp.server_out"};
@@ -553,6 +407,7 @@ void ServerConn::HandleReadable() {
     input_.resize(input_used_ + kReadChunk);
   }
   for (;;) {
+    Stats().recv_calls->Add();
     const ssize_t got = recv(fd_, input_.data() + input_used_, kReadChunk, 0);
     if (got > 0) {
       input_used_ += static_cast<size_t>(got);
@@ -572,20 +427,16 @@ void ServerConn::HandleReadable() {
 }
 
 void ServerConn::ParseFrames() {
-  size_t pos = 0;
-  while (input_used_ - pos >= kFrameHeader) {
-    const uint32_t len = DecodeFixed32(input_.data() + pos);
-    if (len > kMaxFramePayload) {
-      // Not a frame boundary we can trust; the stream is garbage.
-      CloseOnLoop();
-      return;
-    }
-    if (input_used_ - pos < kFrameHeader + len) break;
-    const uint64_t id = DecodeFixed64(input_.data() + pos + 4);
-    Stats().frames_received->Add();
-    std::string request(input_.data() + pos + kFrameHeader, len);
-    server_->Dispatch(shared_from_this(), id, std::move(request));
-    pos += kFrameHeader + len;
+  bool garbage = false;
+  const size_t pos = internal::ParseFrameStream(
+      input_.data(), input_used_, &garbage,
+      [&](uint64_t id, const char* payload, size_t len) {
+        server_->Dispatch(shared_from_this(), id, std::string(payload, len));
+      });
+  if (garbage) {
+    // Not a frame boundary we can trust; the stream is garbage.
+    CloseOnLoop();
+    return;
   }
   if (pos > 0) {
     memmove(input_.data(), input_.data() + pos, input_used_ - pos);
@@ -629,6 +480,8 @@ void ServerConn::FlushOnLoop() {
       msghdr msg{};
       msg.msg_iov = iov;
       msg.msg_iovlen = static_cast<size_t>(iovcnt);
+      // dprlint: allowed(net-raw-write) sanctioned loop-thread coalescing
+      // flush; partial writes carry offsets via ConsumeWritten.
       const ssize_t sent = sendmsg(fd_, &msg, MSG_NOSIGNAL);
       if (sent < 0) {
         if (errno == EINTR) continue;
@@ -667,15 +520,12 @@ void ServerConn::UpdateInterest() {
     MutexLock guard(out_mu_);
     queued = out_bytes_;
   }
-  // Backpressure hysteresis: pause reads above the byte budget, resume
-  // below half of it, so a slow client draining responses doesn't flap.
-  if (!reads_paused_ && queued > out_budget_) {
-    reads_paused_ = true;
-  } else if (reads_paused_ && queued < out_budget_ / 2) {
-    reads_paused_ = false;
-  }
+  // Backpressure hysteresis shared with the uring backend (see
+  // internal::ReadGate): pause reads above the byte budget, resume below
+  // half of it, so a slow client draining responses doesn't flap.
+  read_gate_.Update(queued, out_budget_);
   uint32_t events = 0;
-  if (!reads_paused_) events |= EPOLLIN;
+  if (!read_gate_.paused) events |= EPOLLIN;
   if (want_write_) events |= EPOLLOUT;
   // A failed epoll_ctl here means the fd is already gone; drop the conn.
   if (!loop_->Modify(fd_, events, this).ok()) CloseOnLoop();
@@ -724,7 +574,10 @@ void ServerConn::ShutdownFd() {
 
 // Client side mirrors the server's write path: CallAsync only enqueues a
 // frame; a single flusher thread drains the queue with vectored writes, so
-// pipelined requests issued back-to-back coalesce into one syscall.
+// pipelined requests issued back-to-back coalesce into one syscall. The
+// flusher is the only thread that dequeues, so there is exactly one
+// in-flight flush per connection by construction (the uring client keeps
+// the same invariant with a single in-flight SENDMSG SQE).
 class TcpConnection : public RpcConnection {
  public:
   TcpConnection(int fd, std::string peer)
@@ -747,25 +600,9 @@ class TcpConnection : public RpcConnection {
   }
 
   void CallAsync(std::string request, ResponseCallback callback) override {
-    FaultPlane& plane = FaultPlane::Instance();
     bool duplicate = false;
-    if (plane.enabled()) {
-      if (plane.ShouldFire(faults::kNetPartition, peer_scope_)) {
-        callback(Status::Transient("injected partition"), Slice());
-        return;
-      }
-      if (plane.ShouldFire(faults::kNetDrop, peer_scope_)) {
-        callback(Status::TimedOut("injected drop"), Slice());
-        return;
-      }
-      uint64_t delay_us = 0;
-      if (plane.ShouldFire(faults::kNetDelay, peer_scope_, &delay_us)) {
-        // Delays the caller rather than the frame: the in-order byte stream
-        // has no per-frame timer, and every DPR client issues from a
-        // dedicated flusher/retry thread that tolerates blocking.
-        SleepMicros(delay_us);
-      }
-      duplicate = plane.ShouldFire(faults::kNetDuplicate, peer_scope_);
+    if (!internal::ApplyClientNetFaults(peer_scope_, callback, &duplicate)) {
+      return;
     }
     const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
     {
@@ -777,13 +614,7 @@ class TcpConnection : public RpcConnection {
       MutexLock guard(out_mu_);
       accepted = !closing_ && !poisoned_;
       if (accepted) {
-        if (duplicate) {
-          // Retransmit with the same id: the server handles the frame
-          // twice, the first response resolves the call, and ReadLoop drops
-          // the loser (unknown ids are ignored), exactly like a duplicated
-          // datagram.
-          out_.push_back(MakeFrame(id, request));
-        }
+        if (duplicate) out_.push_back(MakeFrame(id, request));
         out_.push_back(MakeFrame(id, std::move(request)));
       }
     }
@@ -905,19 +736,9 @@ class TcpConnection : public RpcConnection {
   std::map<uint64_t, ResponseCallback> pending_ GUARDED_BY(pending_mu_);
 };
 
-}  // namespace
-
-std::unique_ptr<RpcServer> MakeTcpServer(uint16_t port) {
-  return std::make_unique<TcpServer>(port, TcpServerOptions{});
-}
-
-std::unique_ptr<RpcServer> MakeTcpServer(uint16_t port,
-                                         const TcpServerOptions& options) {
-  return std::make_unique<TcpServer>(port, options);
-}
-
-Status ConnectTcp(const std::string& address,
-                  std::unique_ptr<RpcConnection>* out) {
+// Opens and connects the socket half of ConnectTcp; shared by both
+// backends (connection establishment stays synchronous either way).
+Status OpenClientSocket(const std::string& address, int* out_fd) {
   const size_t colon = address.rfind(':');
   if (colon == std::string::npos) {
     return Status::InvalidArgument("address must be host:port");
@@ -939,6 +760,65 @@ Status ConnectTcp(const std::string& address,
     return MapSocketError("connect", err);
   }
   ConfigureSocket(fd, SocketKind::kData);
+  *out_fd = fd;
+  return Status::OK();
+}
+
+}  // namespace
+
+NetBackend ResolveNetBackend(NetBackend requested) {
+  switch (requested) {
+    case NetBackend::kEpoll:
+      return NetBackend::kEpoll;
+    case NetBackend::kIoUring:
+      return NetUringSupported() ? NetBackend::kIoUring : NetBackend::kEpoll;
+    case NetBackend::kAuto:
+      return NetUringSupported() ? NetBackend::kIoUring : NetBackend::kEpoll;
+  }
+  return NetBackend::kEpoll;
+}
+
+std::unique_ptr<RpcServer> MakeTcpServer(uint16_t port) {
+  return MakeTcpServer(port, TcpServerOptions{});
+}
+
+std::unique_ptr<RpcServer> MakeTcpServer(uint16_t port,
+                                         const TcpServerOptions& options) {
+  if (ResolveNetBackend(options.backend) == NetBackend::kIoUring) {
+    auto server = internal::TryMakeUringTcpServer(port, options);
+    if (server != nullptr) return server;
+    // Supported-looking kernel but ring setup failed right now (fd limits,
+    // memlock); serve epoll instead of failing the caller.
+    if (options.backend != NetBackend::kEpoll) {
+      Stats().uring_fallbacks->Add();
+    }
+  } else if (options.backend == NetBackend::kIoUring) {
+    Stats().uring_fallbacks->Add();
+  }
+  return std::make_unique<TcpServer>(port, options);
+}
+
+Status ConnectTcp(const std::string& address,
+                  std::unique_ptr<RpcConnection>* out) {
+  return ConnectTcp(address, TcpClientOptions{}, out);
+}
+
+Status ConnectTcp(const std::string& address, const TcpClientOptions& options,
+                  std::unique_ptr<RpcConnection>* out) {
+  int fd = -1;
+  DPR_RETURN_NOT_OK(OpenClientSocket(address, &fd));
+  if (ResolveNetBackend(options.backend) == NetBackend::kIoUring) {
+    auto conn = internal::TryWrapUringClientFd(fd, address);
+    if (conn != nullptr) {
+      *out = std::move(conn);
+      return Status::OK();
+    }
+    if (options.backend != NetBackend::kEpoll) {
+      Stats().uring_fallbacks->Add();
+    }
+  } else if (options.backend == NetBackend::kIoUring) {
+    Stats().uring_fallbacks->Add();
+  }
   *out = std::make_unique<TcpConnection>(fd, address);
   return Status::OK();
 }
@@ -958,7 +838,12 @@ Status TcpWritevFully(int fd, struct iovec* iov, int iovcnt,
   return WritevFully(fd, iov, iovcnt, transferred);
 }
 
-std::unique_ptr<RpcConnection> WrapClientFdForTest(int fd) {
+std::unique_ptr<RpcConnection> WrapClientFdForTest(int fd,
+                                                   NetBackend backend) {
+  if (ResolveNetBackend(backend) == NetBackend::kIoUring &&
+      backend != NetBackend::kEpoll) {
+    return TryWrapUringClientFd(fd, "test-wrapped-fd");
+  }
   return std::make_unique<TcpConnection>(fd, "test-wrapped-fd");
 }
 

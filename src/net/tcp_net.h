@@ -12,22 +12,37 @@ struct iovec;  // <sys/uio.h>
 
 namespace dpr {
 
+/// Transport backend selector, runtime-resolved like the storage plane's
+/// IoEngineKind: kAuto picks io_uring when the build compiled it in AND the
+/// kernel supports the required feature set (multishot accept/recv +
+/// provided buffer rings, ~6.0+), otherwise epoll. An explicit kIoUring
+/// request that cannot be served falls back to epoll and bumps
+/// `net.uring.fallbacks` — callers never get a null transport.
+enum class NetBackend {
+  kAuto,
+  kEpoll,
+  kIoUring,
+};
+
 /// Real-socket transport (loopback on one box reproduces the paper's
 /// multi-process shard deployment). Frames are
 /// [u32 payload-length][u64 request-id][payload]; requests pipeline freely
 /// and responses are matched by id.
 ///
-/// Server architecture: a fixed set of epoll event-loop I/O threads own the
-/// non-blocking sockets (connections pinned round-robin), decode frames, and
-/// hand execution to a shared bounded Executor, so server thread count is
+/// Server architecture (both backends): a fixed set of I/O threads own the
+/// sockets (connections pinned round-robin), decode frames, and hand
+/// execution to a shared bounded Executor, so server thread count is
 /// O(io_threads + executor_threads) regardless of connection count and a
 /// slow handler never stalls unrelated connections. Responses queue per
-/// connection and are flushed with writev — every frame ready at flush time
-/// coalesces into one syscall (header + payload iovecs, payloads are never
-/// copied into a staging buffer). A connection whose output queue exceeds
-/// its byte budget stops being read until the queue drains (backpressure).
+/// connection and are flushed vectored — every frame ready at flush time
+/// coalesces into one sendmsg syscall (epoll) or one SENDMSG SQE (uring),
+/// header + payload iovecs pointed at the queued frames in place. A
+/// connection whose output queue exceeds its byte budget stops being read
+/// until the queue drains below half the budget (backpressure hysteresis;
+/// see internal::ReadGate).
 struct TcpServerOptions {
-  /// Event-loop threads owning sockets. The listener lives on loop 0.
+  /// Event-loop threads owning sockets (epoll loops or uring rings). The
+  /// listener lives on loop 0.
   uint32_t io_threads = 2;
   /// Shared request-executor worker threads.
   uint32_t executor_threads = 2;
@@ -36,6 +51,15 @@ struct TcpServerOptions {
   /// Per-connection output-queue byte budget: above it the connection's
   /// reads pause, below half of it they resume.
   size_t max_output_queue_bytes = 4 << 20;
+  /// Transport backend; kAuto resolves at Start time.
+  NetBackend backend = NetBackend::kAuto;
+};
+
+struct TcpClientOptions {
+  /// Transport backend for the connection's I/O; kAuto resolves at connect
+  /// time. io_uring clients share one process-wide ring loop thread
+  /// (vs two dedicated threads per epoll connection).
+  NetBackend backend = NetBackend::kAuto;
 };
 
 /// Creates a TCP server bound to 127.0.0.1:`port` (0 picks an ephemeral
@@ -46,9 +70,22 @@ std::unique_ptr<RpcServer> MakeTcpServer(uint16_t port,
 
 /// Connects to "host:port" as produced by RpcServer::address(). The client
 /// mirrors the server's write path: CallAsync enqueues frames and a single
-/// per-connection flusher coalesces everything queued into one writev.
+/// per-connection flush (thread or SQE) coalesces everything queued into
+/// one vectored write.
 Status ConnectTcp(const std::string& address,
                   std::unique_ptr<RpcConnection>* out);
+Status ConnectTcp(const std::string& address, const TcpClientOptions& options,
+                  std::unique_ptr<RpcConnection>* out);
+
+/// Applies the kAuto/fallback rules: returns the backend that would
+/// actually serve a request for `requested` on this kernel (kEpoll or
+/// kIoUring, never kAuto). Bench/test labeling helper.
+NetBackend ResolveNetBackend(NetBackend requested);
+
+/// Whether the io_uring transport backend is compiled in AND this kernel
+/// supports every feature it needs (ring setup, multishot accept/recv,
+/// provided buffer rings, async cancel). Cached after the first call.
+bool NetUringSupported();
 
 namespace internal {
 
@@ -69,10 +106,13 @@ Status TcpWriteFully(int fd, const void* buf, size_t n,
 Status TcpWritevFully(int fd, struct iovec* iov, int iovcnt,
                       size_t* transferred = nullptr);
 
-/// Wraps an already-connected stream socket as a client RpcConnection
-/// (tests use a socketpair end to drive torn-frame scenarios that a real
-/// loopback connect cannot reach deterministically).
-std::unique_ptr<RpcConnection> WrapClientFdForTest(int fd);
+/// Wraps an already-connected stream socket as a client RpcConnection on
+/// the requested backend (tests use a socketpair end to drive torn-frame
+/// scenarios that a real loopback connect cannot reach deterministically).
+/// Returns null when `backend` resolves to kIoUring but the client ring
+/// cannot start — callers decide whether to skip or fall back.
+std::unique_ptr<RpcConnection> WrapClientFdForTest(
+    int fd, NetBackend backend = NetBackend::kEpoll);
 
 }  // namespace internal
 

@@ -6,9 +6,11 @@
 //
 // Design notes:
 //  - One SQ/CQ ring pair per engine, shared by every file-backed Device on
-//    the box. SQE production is serialized under a kStorageEngine mutex and
-//    flushed with a single io_uring_enter(2) per SubmitBatch call — that
-//    syscall amortization across shards is the point of the backend.
+//    the box. The ring mmap/submit/drain core lives in common/uring.h
+//    (shared with the net transport loops); SQE production is serialized
+//    under a kStorageEngine mutex and flushed with a single
+//    io_uring_enter(2) per SubmitBatch call — that syscall amortization
+//    across shards is the point of the backend.
 //  - A dedicated reaper thread parks in io_uring_enter(GETEVENTS,
 //    min_complete=1) and drains CQEs. Completion records are heap-allocated
 //    and carried through user_data.
@@ -25,19 +27,15 @@
 #if DPR_HAVE_IOURING
 
 #include <errno.h>
-#include <linux/io_uring.h>
 #include <string.h>
-#include <sys/mman.h>
-#include <sys/syscall.h>
-#include <unistd.h>
 
-#include <atomic>
 #include <thread>
 #include <utility>
 
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/sync.h"
+#include "common/uring.h"
 
 namespace dpr {
 
@@ -48,16 +46,6 @@ void NoteIoCompleted(uint64_t submit_us, bool ok);
 }  // namespace internal
 
 namespace {
-
-int SysIoUringSetup(unsigned entries, io_uring_params* p) {
-  return static_cast<int>(syscall(__NR_io_uring_setup, entries, p));
-}
-
-int SysIoUringEnter(int fd, unsigned to_submit, unsigned min_complete,
-                    unsigned flags) {
-  return static_cast<int>(syscall(__NR_io_uring_enter, fd, to_submit,
-                                  min_complete, flags, nullptr, 0));
-}
 
 class IoUringEngine : public IoEngine {
  public:
@@ -71,7 +59,7 @@ class IoUringEngine : public IoEngine {
   }
 
   ~IoUringEngine() override {
-    if (ring_fd_ < 0) return;
+    if (!ring_.valid()) return;
     // Wait until every real op has completed, then wake the reaper with a
     // NOP sentinel so it exits after draining.
     {
@@ -82,7 +70,7 @@ class IoUringEngine : public IoEngine {
       FlushSubmissions(1);
     }
     reaper_.join();
-    TeardownRings();
+    // ring_ teardown (munmaps + fd close) happens in its destructor.
   }
 
   void Submit(IoOp op) override {
@@ -118,73 +106,9 @@ class IoUringEngine : public IoEngine {
   IoUringEngine() = default;
 
   bool Init(uint32_t queue_depth) {
-    io_uring_params p;
-    memset(&p, 0, sizeof(p));
-    ring_fd_ = SysIoUringSetup(queue_depth, &p);
-    if (ring_fd_ < 0) return false;
-
-    sq_entries_ = p.sq_entries;
-    size_t sq_size = p.sq_off.array + p.sq_entries * sizeof(uint32_t);
-    size_t cq_size = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
-    single_mmap_ = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
-    if (single_mmap_ && cq_size > sq_size) sq_size = cq_size;
-
-    sq_ring_sz_ = sq_size;
-    sq_ring_ = mmap(nullptr, sq_size, PROT_READ | PROT_WRITE,
-                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
-    if (sq_ring_ == MAP_FAILED) {
-      close(ring_fd_);
-      ring_fd_ = -1;
-      return false;
-    }
-    if (single_mmap_) {
-      cq_ring_ = sq_ring_;
-      cq_ring_sz_ = 0;
-    } else {
-      cq_ring_sz_ = cq_size;
-      cq_ring_ = mmap(nullptr, cq_size, PROT_READ | PROT_WRITE,
-                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
-      if (cq_ring_ == MAP_FAILED) {
-        munmap(sq_ring_, sq_ring_sz_);
-        close(ring_fd_);
-        ring_fd_ = -1;
-        return false;
-      }
-    }
-    sqes_sz_ = p.sq_entries * sizeof(io_uring_sqe);
-    sqes_ = static_cast<io_uring_sqe*>(
-        mmap(nullptr, sqes_sz_, PROT_READ | PROT_WRITE,
-             MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES));
-    if (sqes_ == MAP_FAILED) {
-      if (!single_mmap_) munmap(cq_ring_, cq_ring_sz_);
-      munmap(sq_ring_, sq_ring_sz_);
-      close(ring_fd_);
-      ring_fd_ = -1;
-      return false;
-    }
-
-    auto* sq = static_cast<char*>(sq_ring_);
-    sq_head_ = reinterpret_cast<std::atomic<uint32_t>*>(sq + p.sq_off.head);
-    sq_tail_ = reinterpret_cast<std::atomic<uint32_t>*>(sq + p.sq_off.tail);
-    sq_mask_ = *reinterpret_cast<uint32_t*>(sq + p.sq_off.ring_mask);
-    sq_array_ = reinterpret_cast<uint32_t*>(sq + p.sq_off.array);
-
-    auto* cq = static_cast<char*>(cq_ring_);
-    cq_head_ = reinterpret_cast<std::atomic<uint32_t>*>(cq + p.cq_off.head);
-    cq_tail_ = reinterpret_cast<std::atomic<uint32_t>*>(cq + p.cq_off.tail);
-    cq_mask_ = *reinterpret_cast<uint32_t*>(cq + p.cq_off.ring_mask);
-    cqes_ = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
-
+    if (!ring_.Init(queue_depth)) return false;
     reaper_ = std::thread([this] { ReapLoop(); });
     return true;
-  }
-
-  void TeardownRings() {
-    munmap(sqes_, sqes_sz_);
-    if (!single_mmap_) munmap(cq_ring_, cq_ring_sz_);
-    munmap(sq_ring_, sq_ring_sz_);
-    close(ring_fd_);
-    ring_fd_ = -1;
   }
 
   io_uring_sqe MakeNopSqe() {
@@ -230,59 +154,30 @@ class IoUringEngine : public IoEngine {
     return 1;
   }
 
-  void PushSqe(io_uring_sqe sqe) REQUIRES(mu_) {
-    // Non-SQPOLL rings consume SQEs synchronously inside io_uring_enter, so
-    // a full ring clears as soon as we flush what is already queued.
-    // relaxed tail read: we are the only SQ producer; the kernel side only
-    // advances head, which we pair with acquire below.
-    uint32_t tail = sq_tail_->load(std::memory_order_relaxed);
-    while (tail - sq_head_->load(std::memory_order_acquire) >= sq_entries_) {
-      FlushSubmissions(0);
-    }
-    const uint32_t idx = tail & sq_mask_;
-    sqes_[idx] = sqe;
-    sq_array_[idx] = idx;
-    sq_tail_->store(tail + 1, std::memory_order_release);
-    ++pending_flush_;
-  }
+  void PushSqe(const io_uring_sqe& sqe) REQUIRES(mu_) { ring_.PushSqe(sqe); }
 
   // Submits everything between the kernel's SQ head and our tail. `hint` is
   // only for readability at call sites; the kernel reads the ring directly.
   void FlushSubmissions(unsigned /*hint*/) REQUIRES(mu_) {
-    while (pending_flush_ > 0) {
-      int r = SysIoUringEnter(ring_fd_, pending_flush_, 0, 0);
-      if (r < 0) {
-        if (errno == EINTR || errno == EAGAIN || errno == EBUSY) continue;
-        DPR_CHECK_MSG(false, "io_uring_enter failed: %s", strerror(errno));
-      }
-      pending_flush_ -= static_cast<unsigned>(r);
-    }
+    ring_.SubmitPending();
   }
 
   void ReapLoop() {
     bool stop_seen = false;
     while (!stop_seen || InflightNonZero()) {
-      // relaxed head read: we are the only CQ consumer; the ordering pair
-      // with the kernel producer is the acquire on cq_tail_ below.
-      uint32_t head = cq_head_->load(std::memory_order_relaxed);
-      if (head == cq_tail_->load(std::memory_order_acquire)) {
-        int r = SysIoUringEnter(ring_fd_, 0, 1, IORING_ENTER_GETEVENTS);
-        if (r < 0 && errno != EINTR && errno != EAGAIN && errno != EBUSY) {
-          DPR_CHECK_MSG(false, "io_uring_enter(GETEVENTS) failed: %s",
-                        strerror(errno));
-        }
+      if (!ring_.CqReady()) {
+        // EnterWait runs outside mu_ by contract: it only parks in
+        // io_uring_enter(GETEVENTS) and touches no SQ state.
+        ring_.EnterWait(1);
         continue;
       }
-      while (head != cq_tail_->load(std::memory_order_acquire)) {
-        const io_uring_cqe cqe = cqes_[head & cq_mask_];
-        ++head;
-        cq_head_->store(head, std::memory_order_release);
+      ring_.DrainCqes([&](const io_uring_cqe& cqe) {
         if (cqe.user_data == 0) {
           stop_seen = true;
-          continue;
+          return;
         }
         HandleCqe(cqe);
-      }
+      });
     }
   }
 
@@ -348,22 +243,7 @@ class IoUringEngine : public IoEngine {
     if (inflight_ == 0) drained_.NotifyAll();
   }
 
-  int ring_fd_ = -1;
-  void* sq_ring_ = nullptr;
-  void* cq_ring_ = nullptr;
-  io_uring_sqe* sqes_ = nullptr;
-  size_t sq_ring_sz_ = 0, cq_ring_sz_ = 0, sqes_sz_ = 0;
-  bool single_mmap_ = false;
-  uint32_t sq_entries_ = 0;
-
-  std::atomic<uint32_t>* sq_head_ = nullptr;
-  std::atomic<uint32_t>* sq_tail_ = nullptr;
-  uint32_t sq_mask_ = 0;
-  uint32_t* sq_array_ = nullptr;
-  std::atomic<uint32_t>* cq_head_ = nullptr;
-  std::atomic<uint32_t>* cq_tail_ = nullptr;
-  uint32_t cq_mask_ = 0;
-  io_uring_cqe* cqes_ = nullptr;
+  UringRing ring_;
 
   Mutex mu_{LockRank::kStorageEngine, "storage.engine.uring"};
   CondVar drained_;

@@ -79,6 +79,30 @@ void Nudge(int fd, const char* buf, unsigned long n) {
 }
 EOF
 expect_clean
+
+echo "--- net-raw-write fires on a raw sendmsg(2) under net/"
+cat > "$TMP/net/raw.cc" <<'EOF'
+#include <sys/socket.h>
+void Flush(int fd, msghdr* msg) {
+  (void)sendmsg(fd, msg, 0);  // seeded violation
+}
+EOF
+expect_finding net-raw-write
+
+echo "--- net-raw-write fires on a hand-rolled io_uring_enter under net/"
+cat > "$TMP/net/raw.cc" <<'EOF'
+void Submit(int ring_fd) {
+  (void)io_uring_enter(ring_fd, 1, 0, 0);  // seeded violation
+}
+EOF
+expect_finding net-raw-write
+
+echo "--- net-raw-write skips qualified ring-helper calls (ring.enter style)"
+cat > "$TMP/net/raw.cc" <<'EOF'
+struct Ring;
+void Submit(Ring* ring) { (void)ring->io_uring_enter(1); }
+EOF
+expect_clean
 rm -rf "$TMP/net"
 
 echo "--- storage-raw-io fires on a raw pwrite(2) outside storage/"

@@ -125,6 +125,19 @@ TEST(RawCalls, MemberSpellingIsNotTheSyscall) {
           .empty());
 }
 
+TEST(RawCalls, SendmsgAndRingEnterCountAsNetWrites) {
+  EXPECT_TRUE(Has(Lint("x/net/conn.cc",
+                       "void F(int fd, msghdr* m) { sendmsg(fd, m, 0); }\n"),
+                  "net-raw-write"));
+  EXPECT_TRUE(Has(Lint("x/net/ring.cc",
+                       "void F(int fd) { io_uring_enter(fd, 1, 0, 0); }\n"),
+                  "net-raw-write"));
+  // The UringRing helper's member spelling stays sanctioned.
+  EXPECT_TRUE(Lint("x/net/ring.cc",
+                   "void F(R* r) { r->io_uring_enter(1); }\n")
+                  .empty());
+}
+
 TEST(RawCalls, StorageIoOutsideStorageDir) {
   const std::string src = "void F(int fd) { fsync(fd); }\n";
   EXPECT_TRUE(Has(Lint("src/faster/store.cc", src), "storage-raw-io"));

@@ -164,114 +164,9 @@ TEST(TcpNetTest, MultipleClients) {
   server->Stop();
 }
 
-// --- fixed-thread-count machinery -----------------------------------------
-//
-// These helpers talk the wire format directly over raw blocking sockets so
-// opening N connections adds zero threads on the *client* side; any growth
-// in the process's thread count therefore belongs to the server.
-
-int CountProcessThreads() {
-  FILE* f = fopen("/proc/self/status", "r");
-  if (f == nullptr) return -1;
-  char line[256];
-  int threads = -1;
-  while (fgets(line, sizeof(line), f) != nullptr) {
-    if (sscanf(line, "Threads: %d", &threads) == 1) break;
-  }
-  fclose(f);
-  return threads;
-}
-
-int RawConnect(const std::string& address) {
-  const size_t colon = address.rfind(':');
-  const int port = atoi(address.c_str() + colon + 1);
-  const int fd = socket(AF_INET, SOCK_STREAM, 0);
-  EXPECT_GE(fd, 0);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  inet_pton(AF_INET, address.substr(0, colon).c_str(), &addr.sin_addr);
-  EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
-      << strerror(errno);
-  return fd;
-}
-
-// One synchronous request/response in the transport's frame format:
-// [u32 payload-length][u64 request-id][payload].
-void RawCall(int fd, uint64_t id, const std::string& payload,
-             std::string* echo) {
-  std::string frame;
-  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
-  PutFixed64(&frame, id);
-  frame.append(payload);
-  ASSERT_TRUE(internal::TcpWriteFully(fd, frame.data(), frame.size()).ok());
-  char header[12];
-  ASSERT_TRUE(internal::TcpReadFully(fd, header, sizeof(header)).ok());
-  const uint32_t len = DecodeFixed32(header);
-  ASSERT_EQ(DecodeFixed64(header + 4), id);
-  echo->resize(len);
-  if (len > 0) {
-    ASSERT_TRUE(internal::TcpReadFully(fd, echo->data(), len).ok());
-  }
-}
-
-// The point of the event-loop architecture: server-side thread count is
-// O(io_threads + executor_threads), not O(connections). 64 live connections
-// must not add a single thread beyond what the first connection used.
-TEST(TcpNetTest, ServerThreadCountIndependentOfConnectionCount) {
-  auto server = MakeTcpServer(0, TcpServerOptions{.io_threads = 2,
-                                                  .executor_threads = 2});
-  ASSERT_TRUE(server->Start(EchoFixture::Echo).ok());
-
-  std::vector<int> fds;
-  fds.push_back(RawConnect(server->address()));
-  std::string echo;
-  RawCall(fds[0], 1, "warmup", &echo);
-  EXPECT_EQ(echo, "warmup!");
-  const int baseline = CountProcessThreads();
-  ASSERT_GT(baseline, 0);
-
-  constexpr int kConns = 64;
-  for (int i = 1; i < kConns; ++i) {
-    fds.push_back(RawConnect(server->address()));
-    RawCall(fds.back(), static_cast<uint64_t>(i) + 1,
-            "conn" + std::to_string(i), &echo);
-    ASSERT_EQ(echo, "conn" + std::to_string(i) + "!");
-  }
-  // Every connection is live and has served traffic; thread count is flat.
-  EXPECT_EQ(CountProcessThreads(), baseline);
-
-  for (int fd : fds) close(fd);
-  server->Stop();
-}
-
-// A tiny executor intake forces the loop thread to park in Submit while
-// the queue is full (the bounded-intake read throttle); every pipelined
-// request must still complete.
-TEST(TcpNetTest, ServerOptionsSmallExecutorStillServes) {
-  auto server = MakeTcpServer(
-      0, TcpServerOptions{.io_threads = 1,
-                          .executor_threads = 1,
-                          .executor_queue_capacity = 4});
-  ASSERT_TRUE(server->Start(EchoFixture::Echo).ok());
-  std::unique_ptr<RpcConnection> conn;
-  ASSERT_TRUE(ConnectTcp(server->address(), &conn).ok());
-  std::atomic<int> done{0};
-  constexpr int kCalls = 100;  // far more than the executor's intake of 4
-  for (int i = 0; i < kCalls; ++i) {
-    conn->CallAsync("q" + std::to_string(i), [&](Status s, Slice) {
-      EXPECT_TRUE(s.ok());
-      done.fetch_add(1);
-    });
-  }
-  Stopwatch timer;
-  while (done.load() < kCalls && timer.ElapsedMillis() < 10000) {
-    SleepMicros(1000);
-  }
-  EXPECT_EQ(done.load(), kCalls);
-  conn.reset();
-  server->Stop();
-}
+// Thread-count, bounded-executor, and torn-frame contracts are covered per
+// backend in net_conformance_test.cc; only backend-independent connection
+// setup behavior stays here.
 
 TEST(TcpNetTest, ConnectToClosedPortFails) {
   std::unique_ptr<RpcConnection> conn;

@@ -326,15 +326,24 @@ TEST(RegistryMirrorTest, EventLoopTransportPublishesToRegistry) {
   auto& reg = MetricsRegistry::Default();
   reg.ResetForTest();
 
-  auto server = MakeTcpServer(0, TcpServerOptions{.io_threads = 2,
-                                                  .executor_threads = 2});
+  // Pinned to the epoll backend: this test asserts the epoll-plane series
+  // (net.loop.*, net.tcp.writev_*), which the io_uring backend does not
+  // emit. The uring-plane series are covered below.
+  TcpServerOptions options;
+  options.io_threads = 2;
+  options.executor_threads = 2;
+  options.backend = NetBackend::kEpoll;
+  auto server = MakeTcpServer(0, options);
   ASSERT_TRUE(server
                   ->Start([](Slice request, std::string* response) {
                     response->assign(request.data(), request.size());
                   })
                   .ok());
   std::unique_ptr<RpcConnection> conn;
-  ASSERT_TRUE(ConnectTcp(server->address(), &conn).ok());
+  ASSERT_TRUE(
+      ConnectTcp(server->address(), TcpClientOptions{NetBackend::kEpoll},
+                 &conn)
+          .ok());
   constexpr int kCalls = 64;
   for (int i = 0; i < kCalls; ++i) {
     std::string response;
@@ -371,6 +380,64 @@ TEST(RegistryMirrorTest, EventLoopTransportPublishesToRegistry) {
     // Every live-resource gauge returns to zero on clean shutdown.
     EXPECT_EQ(snap.gauges.at("net.loop.threads"), 0);
     EXPECT_EQ(snap.gauges.at("net.executor.threads"), 0);
+    EXPECT_EQ(snap.gauges.at("net.tcp.server_conns"), 0);
+    EXPECT_EQ(snap.gauges.at("net.tcp.output_queue_bytes"), 0);
+  }
+  reg.ResetForTest();
+}
+
+// The io_uring backend's ring-health series: SQE submit batches and CQE
+// reaps move during traffic, and the shared framing counters (frames,
+// accepted, conns gauge) behave identically to the epoll plane.
+TEST(RegistryMirrorTest, UringTransportPublishesToRegistry) {
+  if (!NetUringSupported()) {
+    GTEST_SKIP() << "io_uring transport not supported on this kernel";
+  }
+  auto& reg = MetricsRegistry::Default();
+  reg.ResetForTest();
+
+  TcpServerOptions options;
+  options.io_threads = 2;
+  options.executor_threads = 2;
+  options.backend = NetBackend::kIoUring;
+  auto server = MakeTcpServer(0, options);
+  ASSERT_TRUE(server
+                  ->Start([](Slice request, std::string* response) {
+                    response->assign(request.data(), request.size());
+                  })
+                  .ok());
+  std::unique_ptr<RpcConnection> conn;
+  ASSERT_TRUE(
+      ConnectTcp(server->address(), TcpClientOptions{NetBackend::kIoUring},
+                 &conn)
+          .ok());
+  constexpr int kCalls = 64;
+  for (int i = 0; i < kCalls; ++i) {
+    std::string response;
+    ASSERT_TRUE(conn->Call("ping" + std::to_string(i), &response).ok());
+  }
+
+  {
+    const MetricsSnapshot snap = reg.Snapshot();
+    // Ring health: submissions were batched and completions reaped.
+    EXPECT_GT(snap.counters.at("net.uring.sqe_batches"), 0u);
+    EXPECT_GT(snap.counters.at("net.uring.cqe_reaped"), 0u);
+    // No explicit-uring fallback happened (the kernel supports it here).
+    EXPECT_EQ(snap.counters.at("net.uring.fallbacks"), 0u);
+    // Shared framing counters move regardless of backend. Both directions
+    // carry >= kCalls frames (requests client->server, responses back).
+    EXPECT_GE(snap.counters.at("net.tcp.frames_sent"),
+              static_cast<uint64_t>(kCalls));
+    EXPECT_GE(snap.counters.at("net.tcp.frames_received"),
+              static_cast<uint64_t>(kCalls));
+    EXPECT_EQ(snap.counters.at("net.tcp.accepted"), 1u);
+    EXPECT_EQ(snap.gauges.at("net.tcp.server_conns"), 1);
+  }
+
+  conn.reset();
+  server->Stop();
+  {
+    const MetricsSnapshot snap = reg.Snapshot();
     EXPECT_EQ(snap.gauges.at("net.tcp.server_conns"), 0);
     EXPECT_EQ(snap.gauges.at("net.tcp.output_queue_bytes"), 0);
   }

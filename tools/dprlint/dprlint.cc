@@ -520,8 +520,13 @@ void CheckSyncPrim(const FileCtx& f, std::vector<Finding>* out) {
 void CheckRawCalls(const FileCtx& f, std::vector<Finding>* out) {
   const bool in_net = HasSegment(f.path, "net");
   const bool in_storage = HasSegment(f.path, "storage");
-  static const std::set<std::string> kNet = {"send", "write", "writev",
-                                             "pwrite"};
+  // sendmsg covers the vectored-flush syscall both backends coalesce into;
+  // io_uring_enter covers hand-rolled ring submission that would bypass
+  // UringRing's batching counters (sqe_batches) and EINTR/EBUSY retry
+  // policy. Sanctioned helpers carry `dprlint: allowed(net-raw-write)`.
+  static const std::set<std::string> kNet = {"send",   "write",  "writev",
+                                             "pwrite", "sendmsg",
+                                             "io_uring_enter"};
   static const std::set<std::string> kStorage = {"pwrite", "pread", "pwritev",
                                                  "preadv", "fsync",
                                                  "fdatasync"};
